@@ -1,0 +1,136 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. The experiment tables — one per paper figure / analytical claim
+      (E1..E12, see DESIGN.md §4 and EXPERIMENTS.md).  These are the
+      "regenerate the evaluation" runs.
+   2. Bechamel micro-benchmarks of the sequential substrate and one
+      whole-cluster kernel per protocol, for raw-cost visibility.
+
+   `bench/main.exe` runs both; pass `--quick` for reduced sizes and
+   `--micro-only` / `--tables-only` to select one part. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------- micro-benchmarks ---------------- *)
+
+let btree_insert_bench n =
+  Test.make ~name:(Fmt.str "blink.insert.%d" n)
+    (Staged.stage (fun () ->
+         let t = Dbtree_blink.Btree.create ~capacity:8 () in
+         for i = 1 to n do
+           Dbtree_blink.Btree.insert t (((i * 2654435761) land 0xFFFFFF) + 1) "v"
+         done))
+
+let bptree_insert_bench n =
+  Test.make ~name:(Fmt.str "bptree.insert.%d" n)
+    (Staged.stage (fun () ->
+         let t = Dbtree_blink.Bptree.create ~capacity:8 () in
+         for i = 1 to n do
+           Dbtree_blink.Bptree.insert t (((i * 2654435761) land 0xFFFFFF) + 1) "v"
+         done))
+
+let btree_search_bench n =
+  let t = Dbtree_blink.Btree.create ~capacity:8 () in
+  for i = 1 to n do
+    Dbtree_blink.Btree.insert t i "v"
+  done;
+  Test.make ~name:(Fmt.str "blink.search.%d" n)
+    (Staged.stage (fun () ->
+         for i = 1 to 1000 do
+           ignore (Dbtree_blink.Btree.search t (((i * 7919) mod n) + 1))
+         done))
+
+let cluster_bench name discipline n =
+  Test.make ~name:(Fmt.str "cluster.%s.%d" name n)
+    (Staged.stage (fun () ->
+         let cfg =
+           Dbtree_core.Config.make ~procs:4 ~capacity:8 ~key_space:1_000_000
+             ~discipline ~record_history:false ()
+         in
+         ignore (Dbtree_experiments.Common.run_fixed ~searches_per_proc:0 ~count:n cfg)))
+
+let sim_bench n =
+  Test.make ~name:(Fmt.str "sim.events.%d" n)
+    (Staged.stage (fun () ->
+         let sim = Dbtree_sim.Sim.create () in
+         let rec chain k = if k > 0 then Dbtree_sim.Sim.schedule sim ~delay:1 (fun () -> chain (k - 1)) in
+         chain n;
+         Dbtree_sim.Sim.run sim))
+
+let btree_bulk_load_bench n =
+  let bindings = List.init n (fun i -> (i + 1, "v")) in
+  Test.make ~name:(Fmt.str "blink.bulk_load.%d" n)
+    (Staged.stage (fun () ->
+         ignore (Dbtree_blink.Btree.of_sorted ~capacity:8 bindings)))
+
+let btree_scan_bench n =
+  let t = Dbtree_blink.Btree.create ~capacity:8 () in
+  for i = 1 to n do
+    Dbtree_blink.Btree.insert t i "v"
+  done;
+  Test.make ~name:(Fmt.str "blink.range.%d" n)
+    (Staged.stage (fun () -> ignore (Dbtree_blink.Btree.range t ~lo:100 ~hi:1100)))
+
+let lht_bench n =
+  Test.make ~name:(Fmt.str "lht.insert.%d" n)
+    (Staged.stage (fun () ->
+         let t =
+           Dbtree_lht.Lht.create
+             { Dbtree_lht.Lht.default_config with record_history = false }
+         in
+         for i = 1 to n do
+           ignore
+             (Dbtree_lht.Lht.insert t ~origin:(i mod 4)
+                (((i * 2654435761) land 0xFFFFFF) + 1)
+                "v")
+         done;
+         Dbtree_lht.Lht.run t))
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      btree_insert_bench 10_000;
+      bptree_insert_bench 10_000;
+      btree_search_bench 10_000;
+      btree_bulk_load_bench 10_000;
+      btree_scan_bench 10_000;
+      sim_bench 100_000;
+      cluster_bench "semi" Dbtree_core.Config.Semi 2_000;
+      cluster_bench "sync" Dbtree_core.Config.Sync 2_000;
+      cluster_bench "eager" Dbtree_core.Config.Eager 2_000;
+      lht_bench 2_000;
+    ]
+
+let run_micro () =
+  let benchmark () =
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Fmt.pr "@.########## Bechamel micro-benchmarks ##########@.";
+  let results = analyze (benchmark ()) in
+  Fmt.pr "%-24s  %16s@." "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Fmt.pr "%-24s  %13.0f ns@." name t
+      | Some [] | None -> Fmt.pr "%-24s  (no estimate)@." name)
+    results
+
+(* ---------------- entry point ---------------- *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" argv in
+  let micro_only = List.mem "--micro-only" argv in
+  let tables_only = List.mem "--tables-only" argv in
+  if not micro_only then
+    Dbtree_experiments.Experiments.run_all ~quick ();
+  if not tables_only then run_micro ()

@@ -1,0 +1,119 @@
+(* dbtree — command-line driver for the experiments and ad-hoc runs. *)
+open Cmdliner
+
+let quick_arg =
+  let doc = "Run with reduced workload sizes (fast smoke pass)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+(* ------------------------------ list ------------------------------ *)
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Fmt.pr "%-4s %s@." e.Dbtree_experiments.Experiments.id
+          e.Dbtree_experiments.Experiments.title)
+      Dbtree_experiments.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------ run ------------------------------- *)
+
+let run_cmd =
+  let doc = "Run one experiment by id (e1 .. e12)." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.")
+  in
+  let run quick id =
+    match Dbtree_experiments.Experiments.find (String.lowercase_ascii id) with
+    | Some e ->
+      e.Dbtree_experiments.Experiments.run ~quick ();
+      `Ok ()
+    | None ->
+      `Error (false, Fmt.str "unknown experiment %S; try `dbtree list'" id)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ quick_arg $ id_arg))
+
+(* ------------------------------ all ------------------------------- *)
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  let run quick = Dbtree_experiments.Experiments.run_all ~quick () in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+
+(* ------------------------------ demo ------------------------------ *)
+
+let demo_cmd =
+  let doc =
+    "Ad-hoc cluster run: load keys into a dB-tree and print the verifier \
+     report and statistics."
+  in
+  let procs_arg =
+    Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Processors.")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000 & info [ "keys"; "n" ] ~doc:"Keys to insert.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 8 & info [ "capacity"; "c" ] ~doc:"Node capacity.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let dump_arg =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the distributed tree afterwards.")
+  in
+  let protocol_arg =
+    let protocol_conv =
+      Arg.enum
+        [
+          ("semi", `Semi); ("sync", `Sync); ("eager", `Eager);
+          ("naive", `Naive); ("mobile", `Mobile); ("variable", `Variable);
+        ]
+    in
+    Arg.(
+      value
+      & opt protocol_conv `Semi
+      & info [ "protocol" ]
+          ~doc:"Protocol: semi, sync, eager, naive, mobile, variable.")
+  in
+  let run procs count capacity seed protocol dump =
+    let open Dbtree_core in
+    let open Dbtree_experiments in
+    let mk ?(discipline = Config.Semi) ?(balance_period = 0) () =
+      Config.make ~procs ~capacity ~seed ~key_space:(max 100_000 (count * 20))
+        ~discipline ~balance_period ()
+    in
+    let r =
+      match protocol with
+      | `Semi -> Common.run_fixed ~count (mk ())
+      | `Sync -> Common.run_fixed ~count (mk ~discipline:Config.Sync ())
+      | `Eager -> Common.run_fixed ~count (mk ~discipline:Config.Eager ())
+      | `Naive ->
+        Common.run_fixed ~count
+          (Config.make ~procs ~capacity ~seed
+             ~key_space:(max 100_000 (count * 20))
+             ~discipline:Config.Naive ~replication:Config.All_procs ())
+      | `Mobile -> snd (Common.run_mobile ~count (mk ~balance_period:200 ()))
+      | `Variable -> snd (Common.run_variable ~count (mk ~balance_period:200 ()))
+    in
+    Fmt.pr "%a@." Verify.pp r.Common.report;
+    Fmt.pr "ops completed: %d in %d ticks (%.2f ops/ktick)@."
+      (Common.ops_completed r) r.Common.elapsed (Common.throughput r);
+    Fmt.pr "splits: %d   remote messages: %d   bytes: %d@." r.Common.splits
+      (Common.msgs r)
+      (Cluster.Network.bytes_sent r.Common.cluster.Cluster.net);
+    Fmt.pr "verified: %s@." (Common.verified r);
+    if dump then Fmt.pr "@.%a" Debug.pp_cluster r.Common.cluster
+  in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(
+      const run $ procs_arg $ count_arg $ capacity_arg $ seed_arg
+      $ protocol_arg $ dump_arg)
+
+let main =
+  let doc = "Lazy updates for distributed search structures (dB-tree)" in
+  Cmd.group
+    (Cmd.info "dbtree" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/concurrent_splits.ml: Cluster Config Dbtree_core Dbtree_history Dbtree_sim Dbtree_workload Driver Fixed Fmt List Verify Workload

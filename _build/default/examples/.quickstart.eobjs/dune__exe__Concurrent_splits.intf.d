@@ -1,0 +1,1 @@
+examples/concurrent_splits.mli:

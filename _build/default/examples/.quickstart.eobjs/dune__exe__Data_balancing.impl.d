@@ -1,0 +1,1 @@
+examples/data_balancing.ml: Cluster Config Dbtree_core Dbtree_sim Dump Fmt Mobile Msg Opstate Verify

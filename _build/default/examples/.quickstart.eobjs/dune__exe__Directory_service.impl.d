@@ -1,0 +1,1 @@
+examples/directory_service.ml: Array Cluster Config Dbtree_blink Dbtree_core Dbtree_sim Dbtree_workload Dump Fmt Msg Opstate Rng Store Variable Verify

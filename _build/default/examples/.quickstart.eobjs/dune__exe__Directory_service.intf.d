@@ -1,0 +1,1 @@
+examples/directory_service.mli:

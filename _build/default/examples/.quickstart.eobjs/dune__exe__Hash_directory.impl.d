@@ -1,0 +1,1 @@
+examples/hash_directory.ml: Dbtree_lht Dump Fmt Lht

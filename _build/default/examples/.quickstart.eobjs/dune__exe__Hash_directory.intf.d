@@ -1,0 +1,1 @@
+examples/hash_directory.mli:

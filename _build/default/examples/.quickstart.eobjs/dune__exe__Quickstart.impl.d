@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Config Dbtree_core Dbtree_sim Fixed Fmt List Msg Opstate Option Verify

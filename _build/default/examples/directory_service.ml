@@ -1,0 +1,82 @@
+(* A distributed directory service on the variable-copies dB-tree (§4.3).
+
+     dune exec examples/directory_service.exe
+
+   The motivating workload of the paper's introduction: a very large
+   dictionary served by many processors.  Account records live in leaves
+   spread across the cluster; the replicated index lets every processor
+   answer lookups starting locally.  When the tenant distribution shifts,
+   leaves migrate and processors join/unjoin the replication of interior
+   nodes — the path-replication invariant maintains itself while the
+   service keeps running. *)
+open Dbtree_core
+open Dbtree_sim
+
+let () =
+  let procs = 8 in
+  let cfg =
+    Config.make ~procs ~capacity:16 ~key_space:1_000_000 ~balance_period:300 ()
+  in
+  let t = Variable.create cfg in
+  let cl = Variable.cluster t in
+  let rng = Rng.create 2 in
+
+  (* Provision 5000 accounts with ids clustered by region (region = id
+     prefix), arriving at whichever frontend (processor) the request
+     hits. *)
+  let accounts =
+    Dbtree_workload.Workload.unique_keys rng ~key_space:1_000_000 ~count:5_000
+  in
+  Array.iter
+    (fun id ->
+      ignore
+        (Variable.insert t ~origin:(Rng.int rng procs) id
+           (Fmt.str "account:%d:region-%d" id (id / 125_000))))
+    accounts;
+  Variable.run t;
+  Fmt.pr "provisioned %d accounts across %d processors@." (Array.length accounts)
+    procs;
+  Fmt.pr "leaves per processor: %a@."
+    Fmt.(Dump.array int)
+    (Variable.leaf_counts t);
+
+  (* Lookup storm from every frontend. *)
+  let hits = ref 0 in
+  for _ = 1 to 2_000 do
+    ignore (Variable.search t ~origin:(Rng.int rng procs) (Rng.pick rng accounts))
+  done;
+  Variable.run t;
+  Opstate.iter cl.Cluster.ops (fun r ->
+      match (r.Opstate.kind, r.Opstate.result) with
+      | Opstate.Search, Some (Msg.Found _) -> incr hits
+      | _ -> ());
+  Fmt.pr "lookup storm: %d/2000 hits@." !hits;
+
+  (* A region is decommissioned: drain processor 7's leaves onto the rest
+     of the cluster.  Receivers join the replications they now need;
+     processor 7 unjoins the ones it no longer does. *)
+  let drained = ref 0 in
+  let store = Cluster.store cl 7 in
+  Store.iter store (fun c ->
+      if Dbtree_blink.Node.is_leaf c.Store.node then begin
+        Variable.migrate t ~node:c.Store.node.Dbtree_blink.Node.id
+          ~to_pid:(!drained mod 7);
+        incr drained
+      end);
+  Variable.run t;
+  Fmt.pr "@.drained %d leaves off processor 7 (joins: %d, unjoins: %d)@."
+    !drained (Variable.joins t) (Variable.unjoins t);
+  Fmt.pr "leaves per processor: %a@."
+    Fmt.(Dump.array int)
+    (Variable.leaf_counts t);
+
+  (* The service still answers, from every frontend, including 7. *)
+  for origin = 0 to procs - 1 do
+    for _ = 1 to 100 do
+      ignore (Variable.search t ~origin (Rng.pick rng accounts))
+    done
+  done;
+  Variable.run t;
+  let report = Verify.check cl in
+  Fmt.pr "@.final audit: %a@." Verify.pp report;
+  Fmt.pr "verified: %b@." (Verify.ok report)

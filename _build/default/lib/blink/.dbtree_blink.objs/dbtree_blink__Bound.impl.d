@@ -1,0 +1,1 @@
+lib/blink/bound.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/blink/bound.mli: Fmt

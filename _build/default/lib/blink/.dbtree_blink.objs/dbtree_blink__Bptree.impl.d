@@ -1,0 +1,1 @@
+lib/blink/bptree.ml: Bound Entries Fmt Hashtbl List Node Option

@@ -1,0 +1,1 @@
+lib/blink/btree.ml: Bound Entries Fmt Hashtbl List Node Option Result

@@ -1,0 +1,1 @@
+lib/blink/entries.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/blink/entries.mli: Fmt

@@ -1,0 +1,1 @@
+lib/blink/node.ml: Bound Entries Fmt

@@ -1,0 +1,26 @@
+type key = int
+
+type t = Neg_inf | Key of key | Pos_inf
+
+let compare a b =
+  match (a, b) with
+  | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+  | Neg_inf, _ -> -1
+  | _, Neg_inf -> 1
+  | Pos_inf, _ -> 1
+  | _, Pos_inf -> -1
+  | Key x, Key y -> Int.compare x y
+
+let compare_key b k =
+  match b with Neg_inf -> -1 | Pos_inf -> 1 | Key x -> Int.compare x k
+
+let key_in_range ~low ~high k = compare_key low k <= 0 && compare_key high k > 0
+
+let min_sentinel = min_int
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Neg_inf -> Fmt.string ppf "-inf"
+  | Pos_inf -> Fmt.string ppf "+inf"
+  | Key k -> Fmt.int ppf k

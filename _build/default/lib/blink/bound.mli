@@ -1,0 +1,29 @@
+(** Key-space bounds for B-link node ranges.
+
+    Every node of a B-link tree covers a half-open key range
+    [\[low, high)].  Ranges need the two infinities, so bounds are keys
+    extended with [Neg_inf] and [Pos_inf].
+
+    Keys are [int].  The value [min_int] is reserved as the separator of a
+    leftmost child inside interior-node entry lists (meaning "from the
+    node's own low bound"); user keys must therefore be greater than
+    [min_int]. *)
+
+type key = int
+
+type t = Neg_inf | Key of key | Pos_inf
+
+val compare : t -> t -> int
+
+val compare_key : t -> key -> int
+(** [compare_key b k] orders bound [b] against key [k]. *)
+
+val key_in_range : low:t -> high:t -> key -> bool
+(** [key_in_range ~low ~high k] is [low <= k < high]. *)
+
+val min_sentinel : key
+(** [min_int]: separator standing for "this child starts at the node's low
+    bound" in a leftmost interior entry. *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

@@ -1,0 +1,179 @@
+type key = int
+
+type stats = {
+  mutable accesses : int;
+  mutable splits : int;
+  mutable max_restructure_span : int;
+  mutable restructure_spans : int;
+}
+
+(* Nodes reuse the B-link node record but never set sibling links. *)
+type 'v t = {
+  nodes : (Node.id, 'v Node.t) Hashtbl.t;
+  mutable root : Node.id;
+  mutable next_id : int;
+  cap : int;
+  st : stats;
+}
+
+let create ?(capacity = 8) () =
+  if capacity < 2 then invalid_arg "Bptree.create: capacity must be >= 2";
+  let nodes = Hashtbl.create 97 in
+  Hashtbl.add nodes 0
+    (Node.make ~id:0 ~level:0 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
+       Entries.empty);
+  {
+    nodes;
+    root = 0;
+    next_id = 1;
+    cap = capacity;
+    st =
+      { accesses = 0; splits = 0; max_restructure_span = 0;
+        restructure_spans = 0 };
+  }
+
+let stats t = t.st
+
+let reset_stats t =
+  t.st.accesses <- 0;
+  t.st.splits <- 0;
+  t.st.max_restructure_span <- 0;
+  t.st.restructure_spans <- 0
+
+let get t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> Fmt.failwith "Bptree: dangling node id %d" id
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let descend t k =
+  let rec go id path =
+    let n = get t id in
+    t.st.accesses <- t.st.accesses + 1;
+    if Node.is_leaf n then (n, path)
+    else
+      match Entries.floor n.Node.entries k with
+      | Some (_, Node.Child c) -> go c (n.Node.id :: path)
+      | Some (_, Node.Data _) | None ->
+        Fmt.failwith "Bptree: malformed interior node %d" id
+  in
+  go t.root []
+
+let search t k =
+  let leaf, _ = descend t k in
+  Node.find_leaf_value leaf k
+
+let mem t k = Option.is_some (search t k)
+
+let grow_root t old_root_id sep sibling_id =
+  let old_root = get t old_root_id in
+  let entries =
+    Entries.of_sorted_list
+      [
+        (Bound.min_sentinel, Node.Child old_root_id);
+        (sep, Node.Child sibling_id);
+      ]
+  in
+  let root =
+    Node.make ~id:(fresh_id t) ~level:(old_root.Node.level + 1)
+      ~low:Bound.Neg_inf ~high:Bound.Pos_inf entries
+  in
+  Hashtbl.add t.nodes root.Node.id root;
+  t.root <- root.Node.id
+
+let insert t k v =
+  if k = Bound.min_sentinel then invalid_arg "Bptree.insert: reserved key";
+  let leaf, path = descend t k in
+  Node.add_entry leaf k (Node.Data v);
+  (* Split cascade: all of it forms ONE atomic restructure (the baseline
+     cost E1 compares against the B-link half-split). *)
+  let span = ref 1 in
+  let rec cascade n path =
+    if Node.too_full ~capacity:t.cap n then begin
+      let sib = Node.half_split n ~sibling_id:(fresh_id t) in
+      (* A classic B+ tree has no sibling links: erase them. *)
+      sib.Node.left <- None;
+      n.Node.right <- None;
+      Hashtbl.add t.nodes sib.Node.id sib;
+      t.st.splits <- t.st.splits + 1;
+      span := !span + 2;
+      let sep = Node.separator_of_sibling sib in
+      match path with
+      | [] -> grow_root t n.Node.id sep sib.Node.id
+      | parent_id :: rest ->
+        let parent = get t parent_id in
+        Node.add_entry parent sep (Node.Child sib.Node.id);
+        span := !span + 1;
+        cascade parent rest
+    end
+  in
+  cascade leaf path;
+  if !span > 1 then t.st.restructure_spans <- t.st.restructure_spans + !span;
+  t.st.max_restructure_span <- max t.st.max_restructure_span !span
+
+let rec fold_tree t id f acc =
+  let n = get t id in
+  if Node.is_leaf n then f n acc
+  else
+    Entries.fold
+      (fun _ p acc ->
+        match p with
+        | Node.Child c -> fold_tree t c f acc
+        | Node.Data _ -> acc)
+      n.Node.entries acc
+
+let to_list t =
+  fold_tree t t.root
+    (fun n acc ->
+      Entries.fold
+        (fun k p acc ->
+          match p with Node.Data v -> (k, v) :: acc | Node.Child _ -> acc)
+        n.Node.entries acc)
+    []
+  |> List.rev
+
+let size t = fold_tree t t.root (fun n acc -> acc + Node.size n) 0
+let height t = (get t t.root).Node.level + 1
+let node_count t = Hashtbl.length t.nodes
+
+let check_invariants t =
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let rec check id low high =
+    let n = get t id in
+    if not (Bound.equal n.Node.low low) then
+      fail "node %d: low mismatch" n.Node.id
+    else if not (Bound.equal n.Node.high high) then
+      fail "node %d: high mismatch" n.Node.id
+    else if
+      not
+        (Entries.for_all
+           (fun k _ -> k = Bound.min_sentinel || Node.in_range n k)
+           n.Node.entries)
+    then fail "node %d: entry outside range" n.Node.id
+    else if Node.is_leaf n then Ok ()
+    else
+      (* Check children recursively with the ranges implied by separators. *)
+      let entries = Entries.to_list n.Node.entries in
+      let rec walk = function
+        | [] -> Ok ()
+        | (sep, Node.Child c) :: rest ->
+          let child_low =
+            if sep = Bound.min_sentinel then n.Node.low else Bound.Key sep
+          in
+          let child_high =
+            match rest with
+            | (next, _) :: _ -> Bound.Key next
+            | [] -> n.Node.high
+          in
+          (match check c child_low child_high with
+          | Ok () -> walk rest
+          | Error _ as e -> e)
+        | (_, Node.Data _) :: _ -> fail "node %d: data in interior" n.Node.id
+      in
+      walk entries
+  in
+  check t.root Bound.Neg_inf Bound.Pos_inf

@@ -1,0 +1,37 @@
+(** Classic B+ tree (no sibling links) — the baseline for experiment E1.
+
+    The standard insertion algorithm: when a leaf overflows, it is split
+    and a separator is pushed into the parent *within the same atomic
+    restructuring step*, cascading to the root.  In a concurrent or
+    distributed setting this whole cascade must be protected (lock coupling
+    / an AAS spanning the path), which is exactly the cost the half-split
+    of Figure 1 avoids.  The tree records the span of each restructure so
+    E1 can report "nodes modified atomically per insert" for both trees.
+
+    Functionally equivalent to {!Btree} on search/insert, so the two also
+    serve as mutual oracles in the property tests. *)
+
+type key = int
+type 'v t
+
+type stats = {
+  mutable accesses : int;
+  mutable splits : int;
+  mutable max_restructure_span : int;
+      (** nodes modified in the largest single atomic restructure *)
+  mutable restructure_spans : int;
+      (** sum of spans over all inserts that split *)
+}
+
+val create : ?capacity:int -> unit -> 'v t
+val stats : 'v t -> stats
+val reset_stats : 'v t -> unit
+
+val search : 'v t -> key -> 'v option
+val mem : 'v t -> key -> bool
+val insert : 'v t -> key -> 'v -> unit
+val size : 'v t -> int
+val height : 'v t -> int
+val node_count : 'v t -> int
+val to_list : 'v t -> (key * 'v) list
+val check_invariants : 'v t -> (unit, string) result

@@ -1,0 +1,424 @@
+type key = int
+
+type stats = {
+  mutable accesses : int;
+  mutable right_moves : int;
+  mutable splits : int;
+  mutable max_restructure_span : int;
+}
+
+type 'v t = {
+  nodes : (Node.id, 'v Node.t) Hashtbl.t;
+  mutable root : Node.id;
+  mutable next_id : int;
+  cap : int;
+  st : stats;
+}
+
+let fresh_stats () =
+  { accesses = 0; right_moves = 0; splits = 0; max_restructure_span = 0 }
+
+let create ?(capacity = 8) () =
+  if capacity < 2 then invalid_arg "Btree.create: capacity must be >= 2";
+  let nodes = Hashtbl.create 97 in
+  let root =
+    Node.make ~id:0 ~level:0 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
+      Entries.empty
+  in
+  Hashtbl.add nodes 0 root;
+  { nodes; root = 0; next_id = 1; cap = capacity; st = fresh_stats () }
+
+let capacity t = t.cap
+let stats t = t.st
+
+let reset_stats t =
+  t.st.accesses <- 0;
+  t.st.right_moves <- 0;
+  t.st.splits <- 0;
+  t.st.max_restructure_span <- 0
+
+let get t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> Fmt.failwith "Btree: dangling node id %d" id
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let root_id t = t.root
+let node t id = Hashtbl.find_opt t.nodes id
+
+(* Walk right from [id] until the node whose range contains [k]. *)
+let rec chase t id k =
+  let n = get t id in
+  t.st.accesses <- t.st.accesses + 1;
+  match Node.step n k with
+  | Node.Chase_right r ->
+    t.st.right_moves <- t.st.right_moves + 1;
+    chase t r k
+  | Node.Here | Node.Descend _ | Node.Chase_left _ | Node.Dead_end -> n
+
+(* Descend to the leaf responsible for [k], optionally recording the node
+   visited at each interior level (for bottom-up restructuring). *)
+let descend ?path t k =
+  let rec go id =
+    let n = chase t id k in
+    if Node.is_leaf n then n
+    else begin
+      (match path with Some stack -> stack := n.Node.id :: !stack | None -> ());
+      match Node.step n k with
+      | Node.Descend child -> go child
+      | Node.Here | Node.Chase_right _ | Node.Chase_left _ | Node.Dead_end ->
+        assert false
+    end
+  in
+  go t.root
+
+let search t k =
+  let leaf = descend t k in
+  Node.find_leaf_value leaf k
+
+let mem t k = Option.is_some (search t k)
+
+let grow_root t old_root_id sep sibling_id =
+  let old_root = get t old_root_id in
+  let entries =
+    Entries.of_sorted_list
+      [
+        (Bound.min_sentinel, Node.Child old_root_id);
+        (sep, Node.Child sibling_id);
+      ]
+  in
+  let root =
+    Node.make ~id:(fresh_id t) ~level:(old_root.Node.level + 1)
+      ~low:Bound.Neg_inf ~high:Bound.Pos_inf entries
+  in
+  Hashtbl.add t.nodes root.Node.id root;
+  t.root <- root.Node.id
+
+(* Complete a split by inserting (sep -> sibling) one level up, splitting
+   recursively.  [path] holds the interior ids recorded on the way down,
+   innermost first. *)
+let rec complete_split t path ~split_node_id ~sep ~sibling_id =
+  match path with
+  | [] -> grow_root t split_node_id sep sibling_id
+  | parent_id :: rest ->
+    let parent = chase t parent_id sep in
+    Node.add_entry parent sep (Node.Child sibling_id);
+    t.st.max_restructure_span <- max t.st.max_restructure_span 1;
+    if Node.too_full ~capacity:t.cap parent then begin
+      let sib = Node.half_split parent ~sibling_id:(fresh_id t) in
+      Hashtbl.add t.nodes sib.Node.id sib;
+      t.st.splits <- t.st.splits + 1;
+      complete_split t rest ~split_node_id:parent.Node.id
+        ~sep:(Node.separator_of_sibling sib)
+        ~sibling_id:sib.Node.id
+    end
+
+let insert t k v =
+  if k = Bound.min_sentinel then invalid_arg "Btree.insert: reserved key";
+  let path = ref [] in
+  let leaf = descend ~path t k in
+  Node.add_entry leaf k (Node.Data v);
+  t.st.max_restructure_span <- max t.st.max_restructure_span 1;
+  if Node.too_full ~capacity:t.cap leaf then begin
+    let sib = Node.half_split leaf ~sibling_id:(fresh_id t) in
+    Hashtbl.add t.nodes sib.Node.id sib;
+    t.st.splits <- t.st.splits + 1;
+    complete_split t !path ~split_node_id:leaf.Node.id
+      ~sep:(Node.separator_of_sibling sib)
+      ~sibling_id:sib.Node.id
+  end
+
+let delete t k =
+  let leaf = descend t k in
+  if Entries.mem leaf.Node.entries k then begin
+    Node.remove_entry leaf k;
+    true
+  end
+  else false
+
+let leftmost t level =
+  let rec go id =
+    let n = get t id in
+    if n.Node.level = level then n
+    else
+      match Entries.min_binding n.Node.entries with
+      | Some (_, Node.Child c) -> go c
+      | Some (_, Node.Data _) | None ->
+        Fmt.failwith "Btree.leftmost: malformed interior node %d" id
+  in
+  go t.root
+
+let fold_level t level f acc =
+  let rec go n acc =
+    let acc = f n acc in
+    match n.Node.right with Some r -> go (get t r) acc | None -> acc
+  in
+  go (leftmost t level) acc
+
+let to_list t =
+  fold_level t 0
+    (fun n acc ->
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v -> (k, v) :: acc
+          | Node.Child _ -> acc)
+        n.Node.entries acc)
+    []
+  |> List.rev
+
+let size t = fold_level t 0 (fun n acc -> acc + Node.size n) 0
+
+let height t = (get t t.root).Node.level + 1
+let node_count t = Hashtbl.length t.nodes
+
+let leaf_utilization t =
+  let total, used =
+    fold_level t 0
+      (fun n (total, used) -> (total + t.cap, used + Node.size n))
+      (0, 0)
+  in
+  if total = 0 then 1.0 else float_of_int used /. float_of_int total
+
+let iter f t =
+  fold_level t 0
+    (fun n () ->
+      Entries.iter
+        (fun k p -> match p with Node.Data v -> f k v | Node.Child _ -> ())
+        n.Node.entries)
+    ()
+
+let fold f t acc =
+  fold_level t 0
+    (fun n acc ->
+      Entries.fold
+        (fun k p acc ->
+          match p with Node.Data v -> f k v acc | Node.Child _ -> acc)
+        n.Node.entries acc)
+    acc
+
+let min_binding t =
+  let rec first n =
+    match Entries.min_binding n.Node.entries with
+    | Some (k, Node.Data v) -> Some (k, v)
+    | Some (_, Node.Child _) | None -> (
+      match n.Node.right with Some r -> first (get t r) | None -> None)
+  in
+  first (leftmost t 0)
+
+let max_binding t =
+  (* walk to the rightmost non-empty leaf *)
+  fold_level t 0
+    (fun n acc ->
+      match Entries.max_binding n.Node.entries with
+      | Some (k, Node.Data v) -> Some (k, v)
+      | Some (_, Node.Child _) | None -> acc)
+    None
+
+let successor t k =
+  (* start at k's leaf and scan right across possibly-empty leaves *)
+  let rec scan n =
+    let found =
+      Entries.fold
+        (fun k' p acc ->
+          match (p, acc) with
+          | Node.Data v, None when k' > k -> Some (k', v)
+          | (Node.Data _ | Node.Child _), acc -> acc)
+        n.Node.entries None
+    in
+    match found with
+    | Some _ as r -> r
+    | None -> (
+      match n.Node.right with Some r -> scan (get t r) | None -> None)
+  in
+  scan (descend t k)
+
+let predecessor t k =
+  (* no left links in the sequential tree: fold keeps the last match *)
+  fold
+    (fun k' v acc -> if k' < k then Some (k', v) else acc)
+    t None
+
+let range t ~lo ~hi =
+  let rec collect n acc =
+    let acc =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v when k >= lo && k <= hi -> (k, v) :: acc
+          | Node.Data _ | Node.Child _ -> acc)
+        n.Node.entries acc
+    in
+    match n.Node.right with
+    | Some r when Bound.compare_key n.Node.high hi <= 0 -> collect (get t r) acc
+    | Some _ | None -> acc
+  in
+  List.rev (collect (descend t lo) [])
+
+let of_sorted ?(capacity = 8) ?(fill = 0.9) bindings =
+  if capacity < 2 then invalid_arg "Btree.of_sorted: capacity must be >= 2";
+  let t = create ~capacity () in
+  let per_node = max 1 (int_of_float (float_of_int capacity *. fill)) in
+  (* chunk bindings into leaves *)
+  let rec chunks acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | b :: rest ->
+      if n = per_node then chunks (List.rev cur :: acc) [ b ] 1 rest
+      else chunks acc (b :: cur) (n + 1) rest
+  in
+  match chunks [] [] 0 bindings with
+  | [] -> t
+  | first :: _ as leaf_chunks ->
+    ignore first;
+    (* build one level of nodes over a list of (low_key, id) children;
+       low_key = min_sentinel for the leftmost *)
+    let mk_level level children =
+      let rec group acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | c :: rest ->
+          if n = per_node then group (List.rev cur :: acc) [ c ] 1 rest
+          else group acc (c :: cur) (n + 1) rest
+      in
+      let groups = group [] [] 0 children in
+      let nodes =
+        List.map
+          (fun grp ->
+            let entries = Entries.of_sorted_list grp in
+            let id = fresh_id t in
+            let low =
+              match grp with
+              | (k, _) :: _ when k = Bound.min_sentinel -> Bound.Neg_inf
+              | (k, _) :: _ -> Bound.Key k
+              | [] -> assert false
+            in
+            let n = Node.make ~id ~level ~low ~high:Bound.Pos_inf entries in
+            Hashtbl.add t.nodes id n;
+            n)
+          groups
+      in
+      (* fix highs and links *)
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          a.Node.high <- b.Node.low;
+          a.Node.right <- Some b.Node.id;
+          b.Node.left <- Some a.Node.id;
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link nodes;
+      nodes
+    in
+    (* leaves *)
+    let leaf_children =
+      List.map
+        (fun chunk -> List.map (fun (k, v) -> (k, Node.Data v)) chunk)
+        leaf_chunks
+    in
+    let leaves =
+      List.map
+        (fun entries_list ->
+          let entries = Entries.of_sorted_list entries_list in
+          let id = fresh_id t in
+          let low =
+            match entries_list with
+            | (k, _) :: _ -> Bound.Key k
+            | [] -> assert false
+          in
+          let n = Node.make ~id ~level:0 ~low ~high:Bound.Pos_inf entries in
+          Hashtbl.add t.nodes id n;
+          n)
+        leaf_children
+    in
+    (match leaves with
+    | first :: _ -> first.Node.low <- Bound.Neg_inf
+    | [] -> ());
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        a.Node.high <- b.Node.low;
+        a.Node.right <- Some b.Node.id;
+        b.Node.left <- Some a.Node.id;
+        link rest
+      | [ _ ] | [] -> ()
+    in
+    link leaves;
+    (* the bootstrap empty root (id 0) is garbage now *)
+    Hashtbl.remove t.nodes 0;
+    (* build interior levels until one node remains *)
+    let rec up level nodes =
+      match nodes with
+      | [ only ] -> t.root <- only.Node.id
+      | _ ->
+        let children =
+          List.mapi
+            (fun i (n : 'v Node.t) ->
+              let sep =
+                if i = 0 then Bound.min_sentinel
+                else
+                  match n.Node.low with
+                  | Bound.Key k -> k
+                  | Bound.Neg_inf | Bound.Pos_inf -> assert false
+              in
+              (sep, Node.Child n.Node.id))
+            nodes
+        in
+        up (level + 1) (mk_level level children)
+    in
+    up 1 leaves;
+    t
+
+let compact t = of_sorted ~capacity:t.cap (to_list t)
+
+let check_invariants t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let check_level level =
+    let rec walk n expected_low =
+      let* () =
+        if Bound.equal n.Node.low expected_low then Ok ()
+        else
+          fail "node %d: low %a, expected %a" n.Node.id Bound.pp n.Node.low
+            Bound.pp expected_low
+      in
+      let* () =
+        if
+          Entries.for_all
+            (fun k _ -> k = Bound.min_sentinel || Node.in_range n k)
+            n.Node.entries
+        then Ok ()
+        else fail "node %d: entry outside range" n.Node.id
+      in
+      let* () =
+        if Node.is_leaf n then Ok ()
+        else
+          match (Entries.min_binding n.Node.entries, n.Node.low) with
+          | Some (k, _), Bound.Neg_inf when k = Bound.min_sentinel -> Ok ()
+          | Some (k, _), Bound.Key low when k = low -> Ok ()
+          | Some _, _ -> fail "node %d: first separator <> low" n.Node.id
+          | None, _ -> fail "interior node %d empty" n.Node.id
+      in
+      match n.Node.right with
+      | Some r -> walk (get t r) n.Node.high
+      | None ->
+        if Bound.equal n.Node.high Bound.Pos_inf then Ok ()
+        else fail "node %d: rightmost but high <> +inf" n.Node.id
+    in
+    walk (leftmost t level) Bound.Neg_inf
+  in
+  let rec check_levels level =
+    if level < 0 then Ok ()
+    else
+      let* () = check_level level in
+      check_levels (level - 1)
+  in
+  let* () = check_levels (get t t.root).Node.level in
+  (* Every stored key must be reachable by a fresh search from the root. *)
+  let missing =
+    List.filter (fun (k, _) -> not (mem t k)) (to_list t)
+  in
+  match missing with
+  | [] -> Ok ()
+  | (k, _) :: _ -> fail "key %d stored but not reachable from root" k

@@ -1,0 +1,100 @@
+type key = int
+type 'a t = (key * 'a) array
+
+let empty = [||]
+let length = Array.length
+let is_empty e = Array.length e = 0
+
+let of_sorted_list l =
+  let arr = Array.of_list l in
+  for i = 1 to Array.length arr - 1 do
+    if fst arr.(i - 1) >= fst arr.(i) then
+      invalid_arg "Entries.of_sorted_list: keys not strictly increasing"
+  done;
+  arr
+
+let to_list = Array.to_list
+
+(* Binary search: index of the greatest entry with key <= k, or -1. *)
+let floor_index e k =
+  let rec go lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      if fst e.(mid) <= k then go (mid + 1) hi mid else go lo (mid - 1) best
+  in
+  go 0 (Array.length e - 1) (-1)
+
+let find e k =
+  let i = floor_index e k in
+  if i >= 0 && fst e.(i) = k then Some (snd e.(i)) else None
+
+let mem e k =
+  let i = floor_index e k in
+  i >= 0 && fst e.(i) = k
+
+let floor e k =
+  let i = floor_index e k in
+  if i >= 0 then Some e.(i) else None
+
+let add e k v =
+  let i = floor_index e k in
+  if i >= 0 && fst e.(i) = k then begin
+    let e' = Array.copy e in
+    e'.(i) <- (k, v);
+    e'
+  end
+  else begin
+    let n = Array.length e in
+    let e' = Array.make (n + 1) (k, v) in
+    Array.blit e 0 e' 0 (i + 1);
+    Array.blit e (i + 1) e' (i + 2) (n - i - 1);
+    e'
+  end
+
+let remove e k =
+  let i = floor_index e k in
+  if i >= 0 && fst e.(i) = k then begin
+    let n = Array.length e in
+    let e' = Array.make (n - 1) e.(0) in
+    Array.blit e 0 e' 0 i;
+    Array.blit e (i + 1) e' i (n - i - 1);
+    e'
+  end
+  else e
+
+let min_binding e = if Array.length e = 0 then None else Some e.(0)
+
+let max_binding e =
+  let n = Array.length e in
+  if n = 0 then None else Some e.(n - 1)
+
+let split_half e =
+  let n = Array.length e in
+  if n < 2 then invalid_arg "Entries.split_half: need at least two entries";
+  let mid = n / 2 in
+  let left = Array.sub e 0 mid in
+  let right = Array.sub e mid (n - mid) in
+  (left, fst right.(0), right)
+
+let partition_lt e k =
+  let i = floor_index e (k - 1) in
+  (* entries [0..i] have key <= k-1, i.e. < k *)
+  (Array.sub e 0 (i + 1), Array.sub e (i + 1) (Array.length e - i - 1))
+
+let iter f e = Array.iter (fun (k, v) -> f k v) e
+let fold f e acc = Array.fold_left (fun acc (k, v) -> f k v acc) acc e
+let for_all f e = Array.for_all (fun (k, v) -> f k v) e
+let keys e = Array.to_list (Array.map fst e)
+
+let get e i = e.(i)
+
+let equal eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && eq v1 v2) a b
+
+let pp pv ppf e =
+  Fmt.pf ppf "[%a]"
+    (Fmt.iter ~sep:Fmt.semi (fun f e -> iter (fun k v -> f (k, v)) e)
+       (Fmt.pair ~sep:(Fmt.any ":") Fmt.int pv))
+    e

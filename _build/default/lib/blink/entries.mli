@@ -1,0 +1,56 @@
+(** Immutable sorted entry list of a search-structure node.
+
+    An ['a t] is a sequence of (key, payload) pairs with strictly
+    increasing keys, backed by an array.  Node fan-out is small (tens of
+    entries), so O(n) copies on update are cheap and the immutability makes
+    the protocol code — where one logical node has several physical copies
+    evolving independently — much easier to get right: two copies never
+    alias storage. *)
+
+type key = int
+type 'a t
+
+val empty : 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val of_sorted_list : (key * 'a) list -> 'a t
+(** Keys must be strictly increasing; raises [Invalid_argument] otherwise. *)
+
+val to_list : 'a t -> (key * 'a) list
+
+val find : 'a t -> key -> 'a option
+(** Exact-key binary search. *)
+
+val mem : 'a t -> key -> bool
+
+val floor : 'a t -> key -> (key * 'a) option
+(** Greatest entry with key <= the argument — the B-link child-selection
+    step for interior nodes. *)
+
+val add : 'a t -> key -> 'a -> 'a t
+(** Insert, replacing the payload if the key is already present. *)
+
+val remove : 'a t -> key -> 'a t
+(** Remove if present; identity otherwise. *)
+
+val min_binding : 'a t -> (key * 'a) option
+val max_binding : 'a t -> (key * 'a) option
+
+val split_half : 'a t -> 'a t * key * 'a t
+(** [split_half e] is [(left, sep, right)] where [right] holds the upper
+    half of the entries (at least one), [sep] is [right]'s smallest key and
+    [left] the rest.  Requires [length e >= 2]. *)
+
+val partition_lt : 'a t -> key -> 'a t * 'a t
+(** [partition_lt e k] splits into entries with keys < k and >= k. *)
+
+val iter : (key -> 'a -> unit) -> 'a t -> unit
+val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val for_all : (key -> 'a -> bool) -> 'a t -> bool
+val keys : 'a t -> key list
+val get : 'a t -> int -> key * 'a
+(** [get e i] is the i-th smallest entry.  Raises if out of bounds. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : 'a Fmt.t -> 'a t Fmt.t

@@ -1,0 +1,124 @@
+type key = int
+type id = int
+
+type 'v payload = Child of id | Data of 'v
+
+type 'v t = {
+  id : id;
+  level : int;
+  mutable low : Bound.t;
+  mutable high : Bound.t;
+  mutable entries : 'v payload Entries.t;
+  mutable right : id option;
+  mutable left : id option;
+  mutable parent : id option;
+  mutable version : int;
+}
+
+let make ~id ~level ~low ~high ?right ?left ?parent ?(version = 0) entries =
+  { id; level; low; high; entries; right; left; parent; version }
+
+let is_leaf n = n.level = 0
+let in_range n k = Bound.key_in_range ~low:n.low ~high:n.high k
+
+type step =
+  | Here
+  | Descend of id
+  | Chase_right of id
+  | Chase_left of id
+  | Dead_end
+
+let step n k =
+  if Bound.compare_key n.high k <= 0 then
+    match n.right with Some r -> Chase_right r | None -> Dead_end
+  else if Bound.compare_key n.low k > 0 then
+    match n.left with Some l -> Chase_left l | None -> Dead_end
+  else if is_leaf n then Here
+  else
+    match Entries.floor n.entries k with
+    | Some (_, Child c) -> Descend c
+    | Some (_, Data _) ->
+      invalid_arg "Node.step: Data payload in interior node"
+    | None ->
+      (* An interior node in whose range k falls always has a floor entry:
+         its first separator equals its low bound (or the sentinel). *)
+      invalid_arg "Node.step: interior node with no floor entry"
+
+let find_leaf_value n k =
+  if not (is_leaf n) then invalid_arg "Node.find_leaf_value: interior node";
+  match Entries.find n.entries k with
+  | Some (Data v) -> Some v
+  | Some (Child _) -> invalid_arg "Node.find_leaf_value: Child in leaf"
+  | None -> None
+
+let add_entry n k p = n.entries <- Entries.add n.entries k p
+let remove_entry n k = n.entries <- Entries.remove n.entries k
+let size n = Entries.length n.entries
+
+let too_full ~capacity n = size n > capacity && size n >= 2
+
+let half_split n ~sibling_id =
+  let left_entries, sep, right_entries = Entries.split_half n.entries in
+  let sibling =
+    {
+      id = sibling_id;
+      level = n.level;
+      low = Bound.Key sep;
+      high = n.high;
+      entries = right_entries;
+      right = n.right;
+      left = Some n.id;
+      parent = n.parent;
+      version = n.version + 1;
+    }
+  in
+  n.entries <- left_entries;
+  n.high <- Bound.Key sep;
+  n.right <- Some sibling_id;
+  n.version <- n.version + 1;
+  sibling
+
+let separator_of_sibling sibling =
+  match sibling.low with
+  | Bound.Key k -> k
+  | Bound.Neg_inf | Bound.Pos_inf ->
+    invalid_arg "Node.separator_of_sibling: sibling with infinite low bound"
+
+let clone n =
+  {
+    id = n.id;
+    level = n.level;
+    low = n.low;
+    high = n.high;
+    entries = n.entries;
+    right = n.right;
+    left = n.left;
+    parent = n.parent;
+    version = n.version;
+  }
+
+let payload_equal eq a b =
+  match (a, b) with
+  | Child x, Child y -> x = y
+  | Data x, Data y -> eq x y
+  | Child _, Data _ | Data _, Child _ -> false
+
+let content_equal eq a b =
+  a.level = b.level
+  && Bound.equal a.low b.low
+  && Bound.equal a.high b.high
+  && a.right = b.right
+  && a.version = b.version
+  && Entries.equal (payload_equal eq) a.entries b.entries
+
+let pp_payload pv ppf = function
+  | Child id -> Fmt.pf ppf "->%d" id
+  | Data v -> pv ppf v
+
+let pp pv ppf n =
+  Fmt.pf ppf "@[<h>node %d (lvl %d, v%d) [%a,%a) right=%a %a@]" n.id n.level
+    n.version Bound.pp n.low Bound.pp n.high
+    (Fmt.option ~none:(Fmt.any "none") Fmt.int)
+    n.right
+    (Entries.pp (pp_payload pv))
+    n.entries

@@ -1,0 +1,98 @@
+(** B-link node model.
+
+    A node is identified by an integer id, sits at a [level] (0 = leaf),
+    covers the half-open key range [\[low, high)], holds sorted entries,
+    and points to its right (and optionally left) sibling.  Interior
+    entries map a separator key to a child node id ([Child]); leaf entries
+    hold user data ([Data]).  A leftmost interior entry uses
+    {!Bound.min_sentinel} as its separator.
+
+    The [version] field implements the paper's version numbers (§4.2-4.3):
+    it increments on every half-split, migration, join and unjoin, and
+    orders link-change actions.
+
+    Nodes are mutable records: a distributed node copy is one of these plus
+    per-copy replication metadata kept by the protocol layer.  All
+    navigation logic (where does an action on key [k] go next?) lives here
+    so that the sequential tree and every distributed protocol share it. *)
+
+type key = int
+type id = int
+
+type 'v payload = Child of id | Data of 'v
+
+type 'v t = {
+  id : id;
+  level : int;  (** 0 for leaves *)
+  mutable low : Bound.t;
+  mutable high : Bound.t;
+  mutable entries : 'v payload Entries.t;
+  mutable right : id option;
+  mutable left : id option;
+  mutable parent : id option;  (** hint; may go stale, B-link recovery copes *)
+  mutable version : int;
+}
+
+val make :
+  id:id ->
+  level:int ->
+  low:Bound.t ->
+  high:Bound.t ->
+  ?right:id ->
+  ?left:id ->
+  ?parent:id ->
+  ?version:int ->
+  'v payload Entries.t ->
+  'v t
+
+val is_leaf : 'v t -> bool
+val in_range : 'v t -> key -> bool
+
+(** Result of one navigation step at a node, for an action on key [k]. *)
+type step =
+  | Here  (** [k] is in range and this is a leaf: act locally. *)
+  | Descend of id  (** interior node: continue at this child *)
+  | Chase_right of id  (** [k] >= high: follow the right link *)
+  | Chase_left of id  (** [k] < low (mobile nodes only): follow left link *)
+  | Dead_end  (** out of range with no link to follow — caller recovers *)
+
+val step : 'v t -> key -> step
+(** The B-link navigation step (§1.1): out-of-range keys chase sibling
+    links; in-range keys descend (interior) or act here (leaf). *)
+
+val find_leaf_value : 'v t -> key -> 'v option
+(** Exact lookup in a leaf.  Raises [Invalid_argument] on interior nodes. *)
+
+val add_entry : 'v t -> key -> 'v payload -> unit
+val remove_entry : 'v t -> key -> unit
+val size : 'v t -> int
+
+val too_full : capacity:int -> 'v t -> bool
+(** True when the node holds more than [capacity] entries and can split
+    (i.e. has at least two).  Copies may transiently exceed capacity — the
+    paper's "overflow bucket" (§4.1). *)
+
+val half_split : 'v t -> sibling_id:id -> 'v t
+(** Perform the half-split of Figure 1 on this node: move the upper half of
+    the entries into a fresh sibling, shrink this node's range to
+    [\[low, sep)], link the sibling into the node list, and bump the
+    version.  Returns the new sibling, which covers [\[sep, old high)] and
+    inherits the old right link.  The pointer to the sibling still has to
+    be inserted into the parent — that is the "second step" the lazy
+    protocols order. *)
+
+val separator_of_sibling : 'v t -> key
+(** The separator key under which a freshly split-off sibling must be
+    inserted into the parent: its low bound, which is always a real key. *)
+
+val clone : 'v t -> 'v t
+(** Deep-enough copy (entries are immutable): a new record that can evolve
+    independently — how a replica is born from an existing copy's value. *)
+
+val content_equal : ('v -> 'v -> bool) -> 'v t -> 'v t -> bool
+(** Equality of node *values* (range, entries, links, level) — the
+    single-copy-equivalence check.  Ignores [id] (equal by construction)
+    and compares versions too. *)
+
+val pp : 'v Fmt.t -> 'v t Fmt.t
+val pp_payload : 'v Fmt.t -> 'v payload Fmt.t

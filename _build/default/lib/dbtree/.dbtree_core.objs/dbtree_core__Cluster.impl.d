@@ -1,0 +1,1 @@
+lib/dbtree/cluster.ml: Array Config Dbtree_history Dbtree_sim List Msg Net Opstate Partition Sim Store Trace

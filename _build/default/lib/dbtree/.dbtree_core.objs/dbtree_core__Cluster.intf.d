@@ -1,0 +1,1 @@
+lib/dbtree/cluster.mli: Bound Config Dbtree_blink Dbtree_history Dbtree_sim Msg Net Opstate Partition Sim Stats Store Trace

@@ -1,0 +1,1 @@
+lib/dbtree/config.ml: Dbtree_sim

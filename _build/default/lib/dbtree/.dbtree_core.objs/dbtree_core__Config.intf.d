@@ -1,0 +1,1 @@
+lib/dbtree/config.mli: Dbtree_sim

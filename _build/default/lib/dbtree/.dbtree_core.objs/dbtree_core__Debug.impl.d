@@ -1,0 +1,1 @@
+lib/dbtree/debug.ml: Array Bound Cluster Dbtree_blink Fmt Hashtbl List Node Option Store

@@ -1,0 +1,1 @@
+lib/dbtree/debug.mli: Cluster Fmt Store

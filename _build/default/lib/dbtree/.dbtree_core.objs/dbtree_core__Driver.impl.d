@@ -1,0 +1,1 @@
+lib/dbtree/driver.ml: Array Cluster Dbtree_sim Dbtree_workload Fixed Msg Opstate Workload

@@ -1,0 +1,1 @@
+lib/dbtree/driver.mli: Cluster Dbtree_workload Fixed Msg

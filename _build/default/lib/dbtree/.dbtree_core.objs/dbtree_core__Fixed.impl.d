@@ -1,0 +1,1 @@
+lib/dbtree/fixed.ml: Array Bound Cluster Config Dbtree_blink Dbtree_history Dbtree_sim Entries Fmt Hashtbl List Msg Node Opstate Partition Queue Rng Sim Stats Store

@@ -1,0 +1,1 @@
+lib/dbtree/fixed.mli: Cluster Config Msg

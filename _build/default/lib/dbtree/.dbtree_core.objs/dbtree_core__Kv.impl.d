@@ -1,0 +1,1 @@
+lib/dbtree/kv.ml: Cluster Config Dbtree_sim Fixed Fmt Mobile Msg Opstate Option Variable Verify

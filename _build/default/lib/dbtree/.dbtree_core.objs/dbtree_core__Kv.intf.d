@@ -1,0 +1,1 @@
+lib/dbtree/kv.mli: Cluster Config Msg Verify

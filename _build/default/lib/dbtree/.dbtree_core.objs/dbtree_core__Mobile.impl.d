@@ -1,0 +1,1 @@
+lib/dbtree/mobile.ml: Array Bound Cluster Config Dbtree_blink Dbtree_history Dbtree_sim Driver Entries Fmt Hashtbl List Msg Node Opstate Option Partition Sim Stats Store

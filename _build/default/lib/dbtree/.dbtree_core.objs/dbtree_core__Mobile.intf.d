@@ -1,0 +1,1 @@
+lib/dbtree/mobile.mli: Cluster Config Driver Msg

@@ -1,0 +1,1 @@
+lib/dbtree/msg.ml: Bound Dbtree_blink Entries Fmt List Node String

@@ -1,0 +1,1 @@
+lib/dbtree/msg.mli: Bound Dbtree_blink Fmt Node

@@ -1,0 +1,1 @@
+lib/dbtree/opstate.ml: Array Fmt Hashtbl List Msg Option

@@ -1,0 +1,1 @@
+lib/dbtree/opstate.mli: Hashtbl Msg

@@ -1,0 +1,1 @@
+lib/dbtree/partition.ml: Bound Dbtree_blink List

@@ -1,0 +1,1 @@
+lib/dbtree/partition.mli: Bound Dbtree_blink Msg

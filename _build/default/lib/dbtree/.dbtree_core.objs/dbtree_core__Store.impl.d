@@ -1,0 +1,1 @@
+lib/dbtree/store.ml: Dbtree_blink Fmt Hashtbl List Msg Node Option Queue

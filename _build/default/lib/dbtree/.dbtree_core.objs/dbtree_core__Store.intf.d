@@ -1,0 +1,1 @@
+lib/dbtree/store.mli: Dbtree_blink Hashtbl Msg Node Queue

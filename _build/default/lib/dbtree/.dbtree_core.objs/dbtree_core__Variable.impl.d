@@ -1,0 +1,1 @@
+lib/dbtree/variable.ml: Array Bound Cluster Config Dbtree_blink Dbtree_history Dbtree_sim Driver Entries Fmt Fun Hashtbl List Msg Node Opstate Option Partition Rng Sim Stats Store

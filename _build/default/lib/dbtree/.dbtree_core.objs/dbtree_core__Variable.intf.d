@@ -1,0 +1,1 @@
+lib/dbtree/variable.mli: Cluster Config Driver Msg

@@ -1,0 +1,1 @@
+lib/dbtree/verify.ml: Array Cluster Dbtree_blink Dbtree_history Entries Fmt Hashtbl List Msg Node Opstate Option Store String

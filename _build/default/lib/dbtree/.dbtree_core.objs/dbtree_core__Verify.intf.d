@@ -1,0 +1,1 @@
+lib/dbtree/verify.mli: Cluster Dbtree_history Fmt Msg

@@ -1,0 +1,102 @@
+open Dbtree_sim
+module Network = Net.Make (Msg)
+module Registry = Dbtree_history.Registry
+module Action = Dbtree_history.Action
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  net : Network.t;
+  stores : Store.t array;
+  ops : Opstate.t;
+  hist : Registry.t;
+  trace : Trace.t;
+  partition : Partition.t;
+  mutable next_node_id : int;
+  mutable next_uid : int;
+}
+
+let create (config : Config.t) =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("Cluster.create: " ^ e));
+  let sim = Sim.create ~seed:config.seed () in
+  let net =
+    Network.create ~latency:config.latency ~faults:config.faults sim
+      ~procs:config.procs
+  in
+  let stores =
+    Array.init config.procs (fun pid -> Store.create ~pid ~root:(-1))
+  in
+  {
+    config;
+    sim;
+    net;
+    stores;
+    ops = Opstate.create ();
+    hist = Registry.create ();
+    trace = Trace.create ~enabled:config.trace ();
+    partition =
+      Partition.create ~procs:config.procs ~key_space:config.key_space;
+    next_node_id = 0;
+    next_uid = 0;
+  }
+
+let store t pid = t.stores.(pid)
+let stats t = Sim.stats t.sim
+let now t = Sim.now t.sim
+
+let fresh_node_id t =
+  let id = t.next_node_id in
+  t.next_node_id <- id + 1;
+  id
+
+let recording t = t.config.record_history
+
+let fresh_uid t =
+  let uid =
+    if recording t then Registry.fresh_uid t.hist
+    else begin
+      let u = t.next_uid in
+      t.next_uid <- u + 1;
+      u
+    end
+  in
+  if recording t then Registry.note_issued t.hist uid;
+  uid
+
+let members_for_range t ~low ~high =
+  match t.config.replication with
+  | Config.All_procs -> List.init t.config.procs (fun i -> i)
+  | Config.Path -> Partition.members_of_range t.partition ~low ~high
+
+let pc_of_members = function
+  | [] -> invalid_arg "Cluster.pc_of_members: empty member list"
+  | pc :: _ -> pc
+
+let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+let emit t f =
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:(Sim.now t.sim) (lazy (f ()))
+
+let hist_new_copy t ~node ~pid ~base =
+  if recording t then
+    Registry.new_copy t.hist ~node ~pid
+      ~base:(Registry.Uid_set.of_list base)
+
+let hist_record t ~node ~pid ?(effective = true) ~mode ?(version = 0) ~uid
+    kind =
+  if recording t then
+    Registry.record t.hist ~node ~pid ~effective ~time:(Sim.now t.sim)
+      { Action.uid; node; mode; kind; version }
+
+let hist_snapshot t ~node ~pid =
+  if recording t then
+    Registry.Uid_set.elements (Registry.snapshot t.hist ~node ~pid)
+  else []
+
+let hist_retire t ~node ~pid =
+  if recording t then Registry.retire_copy t.hist ~node ~pid
+
+let run ?(max_events = 50_000_000) t = Sim.run ~max_events t.sim

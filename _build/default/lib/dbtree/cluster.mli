@@ -1,0 +1,73 @@
+(** Shared cluster state: simulator, network, stores, registries.
+
+    Every protocol variant drives one of these.  The cluster owns the
+    deterministic id/uid allocators, the history instrumentation (a thin
+    layer over {!Dbtree_history.Registry} that is a no-op when history
+    recording is off), and the replication-policy computation. *)
+
+open Dbtree_sim
+open Dbtree_blink
+module Network : module type of Net.Make (Msg)
+
+type t = {
+  config : Config.t;
+  sim : Sim.t;
+  net : Network.t;
+  stores : Store.t array;
+  ops : Opstate.t;
+  hist : Dbtree_history.Registry.t;
+  trace : Trace.t;
+  partition : Partition.t;
+  mutable next_node_id : int;
+  mutable next_uid : int;
+}
+
+val create : Config.t -> t
+(** Build the cluster skeleton (no tree yet; protocols bootstrap their own
+    initial structure and install their handler). *)
+
+val store : t -> Msg.pid -> Store.t
+val stats : t -> Stats.t
+val now : t -> int
+
+val fresh_node_id : t -> Msg.node_id
+val fresh_uid : t -> int
+(** Allocate an update uid and, when recording, declare it issued. *)
+
+val members_for_range : t -> low:Bound.t -> high:Bound.t -> Msg.pid list
+(** The replication policy: where the copies of a node covering
+    [\[low, high)] live. *)
+
+val pc_of_members : Msg.pid list -> Msg.pid
+(** The primary copy's processor: the first member. *)
+
+val send : t -> src:Msg.pid -> dst:Msg.pid -> Msg.t -> unit
+val emit : t -> (unit -> string) -> unit
+(** Trace helper (lazy; no cost when tracing is off). *)
+
+(** {2 History instrumentation} — all no-ops when
+    [config.record_history = false]. *)
+
+val recording : t -> bool
+
+val hist_new_copy : t -> node:int -> pid:int -> base:int list -> unit
+
+val hist_record :
+  t ->
+  node:int ->
+  pid:int ->
+  ?effective:bool ->
+  mode:Dbtree_history.Action.mode ->
+  ?version:int ->
+  uid:int ->
+  Dbtree_history.Action.kind ->
+  unit
+
+val hist_snapshot : t -> node:int -> pid:int -> int list
+(** Uids covered by a copy's current value (for snapshot bases); [[]] when
+    not recording. *)
+
+val hist_retire : t -> node:int -> pid:int -> unit
+
+val run : ?max_events:int -> t -> unit
+(** Drain the simulation to quiescence. *)

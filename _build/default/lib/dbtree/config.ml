@@ -1,0 +1,97 @@
+type replication = All_procs | Path
+type discipline = Sync | Semi | Naive | Eager
+
+type t = {
+  procs : int;
+  capacity : int;
+  seed : int;
+  latency : Dbtree_sim.Net.latency;
+  faults : Dbtree_sim.Net.faults;
+  key_space : int;
+  replication : replication;
+  discipline : discipline;
+  record_history : bool;
+  relay_batch : int;
+  relay_flush_delay : int;
+  single_copy_root : bool;
+  forwarding : bool;
+  version_relays : bool;
+  balance_period : int;
+  reclaim_empty_leaves : bool;
+  ordered_links : bool;
+  trace : bool;
+}
+
+let default =
+  {
+    procs = 4;
+    capacity = 8;
+    seed = 42;
+    latency = Dbtree_sim.Net.default_latency;
+    faults = Dbtree_sim.Net.no_faults;
+    key_space = 1 lsl 20;
+    replication = Path;
+    discipline = Semi;
+    record_history = true;
+    relay_batch = 1;
+    relay_flush_delay = 0;
+    single_copy_root = false;
+    forwarding = false;
+    version_relays = true;
+    balance_period = 0;
+    reclaim_empty_leaves = false;
+    ordered_links = true;
+    trace = false;
+  }
+
+let discipline_name = function
+  | Sync -> "sync"
+  | Semi -> "semi"
+  | Naive -> "naive"
+  | Eager -> "eager"
+
+let validate t =
+  if t.procs < 1 then Error "procs must be >= 1"
+  else if t.capacity < 2 then Error "capacity must be >= 2"
+  else if t.key_space < t.procs then Error "key_space must be >= procs"
+  else if t.relay_batch < 1 then Error "relay_batch must be >= 1"
+  else if t.relay_batch > 1 && t.discipline <> Semi then
+    Error "relay batching requires the Semi discipline"
+  else Ok t
+
+let make ?(procs = default.procs) ?(capacity = default.capacity)
+    ?(seed = default.seed) ?(latency = default.latency)
+    ?(faults = default.faults) ?(key_space = default.key_space) ?(replication = default.replication)
+    ?(discipline = default.discipline)
+    ?(record_history = default.record_history)
+    ?(relay_batch = default.relay_batch)
+    ?(relay_flush_delay = default.relay_flush_delay)
+    ?(single_copy_root = default.single_copy_root)
+    ?(forwarding = default.forwarding)
+    ?(version_relays = default.version_relays)
+    ?(balance_period = default.balance_period)
+    ?(reclaim_empty_leaves = default.reclaim_empty_leaves)
+    ?(ordered_links = default.ordered_links) ?(trace = default.trace) () =
+  let t =
+    {
+      procs;
+      capacity;
+      seed;
+      latency;
+      faults;
+      key_space;
+      replication;
+      discipline;
+      record_history;
+      relay_batch;
+      relay_flush_delay;
+      single_copy_root;
+      forwarding;
+      version_relays;
+      balance_period;
+      reclaim_empty_leaves;
+      ordered_links;
+      trace;
+    }
+  in
+  match validate t with Ok t -> t | Error e -> invalid_arg ("Config: " ^ e)

@@ -1,0 +1,107 @@
+(** Configuration of a dB-tree cluster run. *)
+
+(** Where the copies of a node live (§1.1, Figure 2):
+
+    - [All_procs]: every node (leaves included) is replicated on every
+      processor.  This is the §4.1 fixed-copies *model*: it maximizes
+      replica-maintenance traffic and is what the synchronous /
+      semi-synchronous split comparison (E5) and the lost-insert study
+      (E4) exercise.
+    - [Path]: the dB-tree deployment policy — the key space is statically
+      partitioned across processors; a node is replicated on exactly the
+      processors owning leaves in its range.  The root (range = everything)
+      lands on every processor, a leaf on one, interior nodes in between. *)
+type replication = All_procs | Path
+
+(** Replica-coherence discipline for the fixed-copies protocols (§4.1):
+
+    - [Sync]: synchronous splits via a split_start/ack/split_end AAS
+      (§4.1.1) — blocks initial inserts during a split, 3|copies| messages
+      per split.
+    - [Semi]: semi-synchronous splits (§4.1.2) — never blocks, |copies|
+      messages per split, the primary copy rewrites history by forwarding
+      out-of-range relayed updates to the new sibling.
+    - [Naive]: [Semi] without the forwarding correction — the broken
+      strawman of Figure 4, which loses concurrent inserts.  Kept as an
+      ablation; its verification is expected to fail.
+    - [Eager]: the "vigorous" available-copies baseline — every update is
+      routed to the primary copy and applied on all copies under an
+      ack barrier before the operation completes. *)
+type discipline = Sync | Semi | Naive | Eager
+
+type t = {
+  procs : int;  (** number of processors *)
+  capacity : int;  (** max entries per node before it must split *)
+  seed : int;
+  latency : Dbtree_sim.Net.latency;
+  faults : Dbtree_sim.Net.faults;
+      (** network fault injection (E14): the protocols assume a reliable
+          exactly-once FIFO network; injected faults are expected to be
+          caught by the correctness audits, not survived *)
+  key_space : int;  (** user keys are drawn from [\[0, key_space)] *)
+  replication : replication;
+  discipline : discipline;
+  record_history : bool;
+      (** record per-copy update histories for the §3 checkers (on in
+          tests; off in large benchmarks) *)
+  relay_batch : int;
+      (** >1 enables relay piggybacking: up to this many lazy relays are
+          buffered per destination ([Semi] only) *)
+  relay_flush_delay : int;
+      (** max simulated time a buffered relay may wait before the batch is
+          flushed *)
+  single_copy_root : bool;
+      (** E7 ablation: store the root (and grown roots) on one processor
+          only, re-creating the bottleneck the dB-tree removes *)
+  forwarding : bool;
+      (** mobile nodes (§4.2): leave garbage-collectable forwarding
+          addresses behind migrations (an optimization, never needed for
+          correctness) *)
+  version_relays : bool;
+      (** variable copies (§4.3): the PC re-relays updates to members that
+          joined after the update's version.  Turning this off reproduces
+          the Figure 6 incomplete-history anomaly (E6 ablation). *)
+  balance_period : int;
+      (** mobile/variable: period of the leaf data-balancer; 0 disables *)
+  reclaim_empty_leaves : bool;
+      (** dE-tree extension (§5 future work): in the mobile protocol, a
+          leaf emptied by deletes is absorbed into its left neighbor and
+          its parent entry retired — the free-at-empty reclamation the
+          paper defers.  Interior nodes are still never merged. *)
+  ordered_links : bool;
+      (** E12 ablation: when false, link-change actions are applied in
+          arrival order instead of version order — the ordered-history
+          requirement is deliberately violated *)
+  trace : bool;  (** record a human-readable event trace *)
+}
+
+val default : t
+(** 4 processors, capacity 8, [Path] replication, [Semi] discipline,
+    default latency, histories recorded. *)
+
+val make :
+  ?procs:int ->
+  ?capacity:int ->
+  ?seed:int ->
+  ?latency:Dbtree_sim.Net.latency ->
+  ?faults:Dbtree_sim.Net.faults ->
+  ?key_space:int ->
+  ?replication:replication ->
+  ?discipline:discipline ->
+  ?record_history:bool ->
+  ?relay_batch:int ->
+  ?relay_flush_delay:int ->
+  ?single_copy_root:bool ->
+  ?forwarding:bool ->
+  ?version_relays:bool ->
+  ?balance_period:int ->
+  ?reclaim_empty_leaves:bool ->
+  ?ordered_links:bool ->
+  ?trace:bool ->
+  unit ->
+  t
+(** [default] with overrides, validated (positive sizes, batching only
+    with the [Semi] discipline). *)
+
+val validate : t -> (t, string) result
+val discipline_name : discipline -> string

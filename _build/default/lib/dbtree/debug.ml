@@ -1,0 +1,82 @@
+open Dbtree_blink
+
+let collect (cl : Cluster.t) =
+  let tbl : (int, (int * Store.rcopy) list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (store : Store.t) ->
+      Store.iter store (fun c ->
+          let id = c.Store.node.Node.id in
+          let existing = Option.value (Hashtbl.find_opt tbl id) ~default:[] in
+          Hashtbl.replace tbl id ((store.Store.pid, c) :: existing)))
+    cl.Cluster.stores;
+  tbl
+
+let pp_node_line ppf (copies : (int * Store.rcopy) list) =
+  match copies with
+  | [] -> ()
+  | (_, first) :: _ ->
+    let n = first.Store.node in
+    let pids = List.map fst copies |> List.sort compare in
+    Fmt.pf ppf "  node %-4d [%a, %a) %2d entries  right=%a v%d  @@ p%a" n.Node.id
+      Bound.pp n.Node.low Bound.pp n.Node.high (Node.size n)
+      (Fmt.option ~none:(Fmt.any "-") Fmt.int)
+      n.Node.right n.Node.version
+      (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+      pids
+
+let pp_cluster ppf (cl : Cluster.t) =
+  let tbl = collect cl in
+  let by_level = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ copies ->
+      match copies with
+      | (_, c) :: _ ->
+        let level = c.Store.node.Node.level in
+        let existing =
+          Option.value (Hashtbl.find_opt by_level level) ~default:[]
+        in
+        Hashtbl.replace by_level level (copies :: existing)
+      | [] -> ())
+    tbl;
+  let levels =
+    Hashtbl.fold (fun l _ acc -> l :: acc) by_level [] |> List.sort compare
+    |> List.rev
+  in
+  List.iter
+    (fun level ->
+      let nodes =
+        Hashtbl.find by_level level
+        |> List.sort (fun a b ->
+               match (a, b) with
+               | (_, x) :: _, (_, y) :: _ ->
+                 Bound.compare x.Store.node.Node.low y.Store.node.Node.low
+               | _ -> 0)
+      in
+      Fmt.pf ppf "level %d (%d nodes):@." level (List.length nodes);
+      List.iter (fun copies -> Fmt.pf ppf "%a@." pp_node_line copies) nodes)
+    levels
+
+let pp_store ppf (store : Store.t) =
+  Fmt.pf ppf "processor %d (root -> node %d, %d copies):@." store.Store.pid
+    store.Store.root (Store.copy_count store);
+  let copies = ref [] in
+  Store.iter store (fun c -> copies := c :: !copies);
+  let sorted =
+    List.sort
+      (fun (a : Store.rcopy) b ->
+        compare
+          (-a.Store.node.Node.level, Bound.compare a.Store.node.Node.low Bound.Neg_inf)
+          (-b.Store.node.Node.level, Bound.compare b.Store.node.Node.low Bound.Neg_inf))
+      !copies
+  in
+  List.iter
+    (fun (c : Store.rcopy) ->
+      Fmt.pf ppf "  L%d %a@." c.Store.node.Node.level (Node.pp Fmt.string)
+        c.Store.node)
+    sorted
+
+let tree_depth (cl : Cluster.t) =
+  let store = Cluster.store cl 0 in
+  match Store.find store store.Store.root with
+  | Some c -> c.Store.node.Node.level + 1
+  | None -> 0

@@ -1,0 +1,16 @@
+(** Human-readable dumps of a cluster's distributed state.
+
+    For interactive debugging and for the examples: prints the logical
+    tree level by level with each node's range, contents summary, links,
+    version, and replica placement. *)
+
+val pp_cluster : Cluster.t Fmt.t
+(** The whole structure, one line per logical node, grouped by level
+    (root first), with the copies' processors. *)
+
+val pp_store : Store.t Fmt.t
+(** One processor's local view: its root pointer and every copy it
+    holds. *)
+
+val tree_depth : Cluster.t -> int
+(** Number of levels (from processor 0's root). *)

@@ -1,0 +1,76 @@
+open Dbtree_workload
+
+type api = {
+  insert : origin:Msg.pid -> int -> Msg.value -> int;
+  search : origin:Msg.pid -> int -> int;
+  remove : origin:Msg.pid -> int -> int;
+}
+
+let fixed_api t =
+  {
+    insert = (fun ~origin k v -> Fixed.insert t ~origin k v);
+    search = (fun ~origin k -> Fixed.search t ~origin k);
+    remove = (fun ~origin k -> Fixed.remove t ~origin k);
+  }
+
+let issue api ~origin op =
+  match op with
+  | Workload.Insert (k, v) -> ignore (api.insert ~origin k v)
+  | Workload.Search k -> ignore (api.search ~origin k)
+  | Workload.Delete k -> ignore (api.remove ~origin k)
+
+let check_streams (cl : Cluster.t) streams =
+  if Array.length streams <> Array.length cl.Cluster.stores then
+    invalid_arg "Driver: need exactly one stream per processor"
+
+let run_closed ?max_events (cl : Cluster.t) api ~streams ~window =
+  check_streams cl streams;
+  Opstate.on_complete cl.Cluster.ops (fun r ->
+      let origin = r.Opstate.origin in
+      match streams.(origin) () with
+      | Some op -> issue api ~origin op
+      | None -> ());
+  Array.iteri
+    (fun pid stream ->
+      let rec prime n =
+        if n > 0 then
+          match stream () with
+          | Some op ->
+            issue api ~origin:pid op;
+            prime (n - 1)
+          | None -> ()
+      in
+      prime window)
+    streams;
+  Cluster.run ?max_events cl
+
+let run_open ?max_events (cl : Cluster.t) api ~streams ~interval =
+  check_streams cl streams;
+  let interval = max interval 1 in
+  Array.iteri
+    (fun pid stream ->
+      let rec tick () =
+        match stream () with
+        | None -> ()
+        | Some op ->
+          issue api ~origin:pid op;
+          Dbtree_sim.Sim.schedule cl.Cluster.sim ~delay:interval tick
+      in
+      Dbtree_sim.Sim.schedule cl.Cluster.sim ~delay:(1 + pid) tick)
+    streams;
+  Cluster.run ?max_events cl
+
+let run_all ?max_events (cl : Cluster.t) api ~streams =
+  check_streams cl streams;
+  Array.iteri
+    (fun pid stream ->
+      let rec drain () =
+        match stream () with
+        | Some op ->
+          issue api ~origin:pid op;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    streams;
+  Cluster.run ?max_events cl

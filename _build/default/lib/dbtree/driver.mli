@@ -1,0 +1,44 @@
+(** Workload drivers.
+
+    Protocol-agnostic: each protocol exposes its operations as an {!api}
+    record, and the driver feeds it a per-processor stream of workload
+    operations, either closed-loop (a fixed number of outstanding
+    operations per processor — the throughput-measurement mode) or
+    open-loop (fixed arrival interval). *)
+
+type api = {
+  insert : origin:Msg.pid -> int -> Msg.value -> int;
+  search : origin:Msg.pid -> int -> int;
+  remove : origin:Msg.pid -> int -> int;
+}
+
+val fixed_api : Fixed.t -> api
+
+val issue : api -> origin:Msg.pid -> Dbtree_workload.Workload.op -> unit
+
+val run_closed :
+  ?max_events:int ->
+  Cluster.t ->
+  api ->
+  streams:Dbtree_workload.Workload.stream array ->
+  window:int ->
+  unit
+(** Keep [window] operations outstanding per processor until every stream
+    is drained, then run to quiescence.  One stream per processor. *)
+
+val run_open :
+  ?max_events:int ->
+  Cluster.t ->
+  api ->
+  streams:Dbtree_workload.Workload.stream array ->
+  interval:int ->
+  unit
+(** Issue one operation per processor every [interval] ticks. *)
+
+val run_all :
+  ?max_events:int ->
+  Cluster.t ->
+  api ->
+  streams:Dbtree_workload.Workload.stream array ->
+  unit
+(** Issue everything at time zero (maximal concurrency; small tests). *)

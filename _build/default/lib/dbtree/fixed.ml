@@ -1,0 +1,856 @@
+open Dbtree_blink
+open Dbtree_sim
+module Action = Dbtree_history.Action
+
+type t = {
+  cl : Cluster.t;
+  (* Relay piggybacking (E9): per (src, dst) buffers of lazy relays. *)
+  relay_buf : Msg.t list array;
+  buf_scheduled : bool array;
+  (* AAS start times, for blocked-time accounting: (node, pid) -> time. *)
+  aas_since : (int * int, int) Hashtbl.t;
+  mutable splits : int;
+}
+
+let cluster t = t.cl
+let config t = t.cl.Cluster.config
+let splits t = t.splits
+let disc t = (config t).Config.discipline
+let capacity t = (config t).Config.capacity
+let procs t = (config t).Config.procs
+let st t = Cluster.stats t.cl
+let all_procs t = List.init (procs t) (fun i -> i)
+
+let root_members t =
+  if (config t).Config.single_copy_root then [ 0 ] else all_procs t
+
+(* ------------------------------------------------------------------ *)
+(* Sending                                                             *)
+
+let send t ~src ~dst msg = Cluster.send t.cl ~src ~dst msg
+let send_local t pid msg = send t ~src:pid ~dst:pid msg
+let buf_index t src dst = (src * procs t) + dst
+
+let flush_relays t src dst =
+  let i = buf_index t src dst in
+  match t.relay_buf.(i) with
+  | [] -> t.buf_scheduled.(i) <- false
+  | msgs ->
+    t.relay_buf.(i) <- [];
+    t.buf_scheduled.(i) <- false;
+    send t ~src ~dst (Msg.Batch (List.rev msgs))
+
+(* Lazy relays may be piggybacked / batched (§1.1); everything else is
+   sent directly. *)
+let send_relay t ~src ~dst msg =
+  let cfg = config t in
+  if cfg.Config.relay_batch <= 1 || src = dst then send t ~src ~dst msg
+  else begin
+    let i = buf_index t src dst in
+    t.relay_buf.(i) <- msg :: t.relay_buf.(i);
+    if List.length t.relay_buf.(i) >= cfg.Config.relay_batch then
+      flush_relays t src dst
+    else if not t.buf_scheduled.(i) then begin
+      t.buf_scheduled.(i) <- true;
+      Sim.schedule t.cl.Cluster.sim ~delay:cfg.Config.relay_flush_delay
+        (fun () -> flush_relays t src dst)
+    end
+  end
+
+let reply_op t ~src op result =
+  if op >= 0 then
+    match Opstate.find t.cl.Cluster.ops op with
+    | Some r -> send t ~src ~dst:r.Opstate.origin (Msg.Op_done { op; result })
+    | None -> Fmt.failwith "Fixed: reply for unknown op %d" op
+
+(* ------------------------------------------------------------------ *)
+(* Node-value manipulation                                             *)
+
+(* Apply an update action to a copy's value; returns the client reply the
+   initial execution owes, if any. *)
+let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
+  let n = copy.Store.node in
+  match u with
+  | Msg.Upsert { op; value; _ } ->
+    Node.add_entry n key (Node.Data value);
+    Some (op, Msg.Inserted)
+  | Msg.Remove { op; _ } ->
+    let present = Entries.mem n.Node.entries key in
+    Node.remove_entry n key;
+    Some (op, Msg.Removed present)
+  | Msg.Add_child { child; child_members } ->
+    Node.add_entry n key (Node.Child child);
+    Store.learn (Cluster.store t.cl pid) child child_members;
+    None
+  | Msg.Drop_child _ ->
+    Fmt.failwith "Fixed: leaf reclamation is a mobile-protocol extension"
+
+let action_kind key (u : Msg.update) =
+  match u with
+  | Msg.Upsert _ | Msg.Add_child _ -> Action.Insert { key }
+  | Msg.Remove _ | Msg.Drop_child _ -> Action.Delete { key }
+
+(* Mark an update as already answered, for re-issue after history
+   rewriting: the client was answered when the initial action ran. *)
+let silence (u : Msg.update) =
+  match u with
+  | Msg.Upsert { value; _ } -> Msg.Upsert { op = -1; origin = 0; value }
+  | Msg.Remove _ -> Msg.Remove { op = -1; origin = 0 }
+  | Msg.Add_child _ | Msg.Drop_child _ -> u
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+let choose_member t members =
+  match members with
+  | [ m ] -> m
+  | ms -> Rng.pick (Sim.rng t.cl.Cluster.sim) (Array.of_list ms)
+
+(* Forward a routed action towards node [next]: locally when we hold a
+   copy, otherwise to some member (any copy will do — that is the lazy
+   win; the eager redirect to the PC happens at the target node). *)
+let forward t pid msg next =
+  let store = Cluster.store t.cl pid in
+  Stats.incr (st t) "route.hops";
+  if Store.mem store next then send_local t pid msg
+  else
+    let members = Store.members_of store next in
+    send t ~src:pid ~dst:(choose_member t members) msg
+
+(* ------------------------------------------------------------------ *)
+(* Splits and copy installation                                        *)
+
+(* A new sibling's copy set: the replication policy's choice for its
+   range, clamped to the split node's own member set — copies can only be
+   created where the split is relayed.  (The clamp matters under the
+   single-copy-root ablation, whose root pieces must stay unreplicated.) *)
+let sibling_members_for t (copy : Store.rcopy) (sib : Msg.value Node.t) =
+  let policy =
+    Cluster.members_for_range t.cl ~low:sib.Node.low ~high:sib.Node.high
+  in
+  match List.filter (fun m -> List.mem m copy.Store.members) policy with
+  | [] -> [ copy.Store.pc ]
+  | members -> members
+
+let rec maybe_split t pid (copy : Store.rcopy) =
+  if
+    pid = copy.Store.pc
+    && (not copy.Store.splitting)
+    && Node.too_full ~capacity:(capacity t) copy.Store.node
+  then begin
+    match disc t with
+    | Config.Semi | Config.Naive -> do_split t pid copy
+    | Config.Sync -> begin
+      copy.Store.splitting <- true;
+      Hashtbl.replace t.aas_since
+        (copy.Store.node.Node.id, pid)
+        (Cluster.now t.cl);
+      match List.filter (fun m -> m <> pid) copy.Store.members with
+      | [] ->
+        do_split t pid copy;
+        end_aas t pid copy
+      | others ->
+        copy.Store.acks_pending <- List.length others;
+        List.iter
+          (fun m ->
+            send t ~src:pid ~dst:m
+              (Msg.Split_start { node = copy.Store.node.Node.id }))
+          others
+    end
+    | Config.Eager ->
+      Queue.add Store.Eager_split copy.Store.eager_queue;
+      pump_eager t pid copy
+  end
+
+(* Clear the AAS on a copy and re-run the initial updates it blocked. *)
+and end_aas t pid (copy : Store.rcopy) =
+  copy.Store.splitting <- false;
+  (match Hashtbl.find_opt t.aas_since (copy.Store.node.Node.id, pid) with
+  | Some since ->
+    Hashtbl.remove t.aas_since (copy.Store.node.Node.id, pid);
+    Stats.observe (st t) "split.aas_time"
+      (float_of_int (Cluster.now t.cl - since))
+  | None -> ());
+  let blocked = List.rev copy.Store.blocked in
+  copy.Store.blocked <- [];
+  List.iter (send_local t pid) blocked
+
+and do_split t pid (copy : Store.rcopy) =
+  let n = copy.Store.node in
+  let store = Cluster.store t.cl pid in
+  let uid = Cluster.fresh_uid t.cl in
+  let sib_id = Cluster.fresh_node_id t.cl in
+  let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
+  let sib = Node.half_split n ~sibling_id:sib_id in
+  let sep = Node.separator_of_sibling sib in
+  t.splits <- t.splits + 1;
+  Stats.incr (st t) "split.count";
+  Cluster.emit t.cl (fun () ->
+      Fmt.str "p%d: half-split node %d at sep %d -> sibling %d" pid n.Node.id
+        sep sib_id);
+  let sibling_members = sibling_members_for t copy sib in
+  Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
+    (Action.Half_split { sep; sibling = sib_id });
+  (* Register every sibling copy up front: they share one original value,
+     a backwards extension of n's history at the split. *)
+  List.iter
+    (fun m -> Cluster.hist_new_copy t.cl ~node:sib_id ~pid:m ~base)
+    sibling_members;
+  let snapshot = Msg.snapshot_of_node ~base sib in
+  let sib_pc = Cluster.pc_of_members sibling_members in
+  if List.mem pid sibling_members then
+    install_copy t pid ~snap:snapshot ~pc:sib_pc ~members:sibling_members
+  else Store.learn store sib_id sibling_members;
+  let is_sync = disc t = Config.Sync in
+  List.iter
+    (fun m ->
+      if m <> pid then
+        send t ~src:pid ~dst:m
+          (Msg.Split_done
+             {
+               uid;
+               node = n.Node.id;
+               sep;
+               sibling = snapshot;
+               sibling_members;
+               sync = is_sync;
+             }))
+    copy.Store.members;
+  (* Complete the split one level up (the B-link "second step"). *)
+  if store.Store.root = n.Node.id then
+    grow_root t pid ~old_root:n ~sep ~sib_id
+  else begin
+    let uid' = Cluster.fresh_uid t.cl in
+    let act =
+      Msg.Update
+        {
+          uid = uid';
+          u = Msg.Add_child { child = sib_id; child_members = sibling_members };
+        }
+    in
+    let msg =
+      Msg.Route
+        { key = sep; level = n.Node.level + 1; node = store.Store.root; act }
+    in
+    forward t pid msg store.Store.root
+  end
+
+and grow_root t pid ~old_root ~sep ~sib_id =
+  let store = Cluster.store t.cl pid in
+  let members = root_members t in
+  let id = Cluster.fresh_node_id t.cl in
+  let entries =
+    Entries.of_sorted_list
+      [
+        (Bound.min_sentinel, Node.Child old_root.Node.id);
+        (sep, Node.Child sib_id);
+      ]
+  in
+  let root =
+    Node.make ~id ~level:(old_root.Node.level + 1) ~low:Bound.Neg_inf
+      ~high:Bound.Pos_inf entries
+  in
+  Stats.incr (st t) "root.grow";
+  Cluster.emit t.cl (fun () ->
+      Fmt.str "p%d: new root %d (level %d)" pid id root.Node.level);
+  List.iter
+    (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[])
+    members;
+  let snap = Msg.snapshot_of_node root in
+  let pc = Cluster.pc_of_members members in
+  if List.mem pid members then begin
+    ignore (Store.install store ~node:root ~pc ~members);
+    drain_pending t pid id
+  end
+  else Store.learn store id members;
+  store.Store.root <- id;
+  List.iter
+    (fun m ->
+      if m <> pid then send t ~src:pid ~dst:m (Msg.New_root { snap; members }))
+    (all_procs t)
+
+and install_copy t pid ~snap ~pc ~members =
+  let store = Cluster.store t.cl pid in
+  let node = Msg.node_of_snapshot snap in
+  ignore (Store.install store ~node ~pc ~members);
+  drain_pending t pid node.Node.id
+
+and drain_pending t pid node_id =
+  let store = Cluster.store t.cl pid in
+  List.iter (send_local t pid) (Store.take_pending store node_id)
+
+(* ------------------------------------------------------------------ *)
+(* The eager (vigorous) baseline: updates are serialized through the   *)
+(* primary copy and acknowledged by every copy before completing.      *)
+
+and pump_eager t pid (copy : Store.rcopy) =
+  if not copy.Store.eager_busy then
+    match Queue.take_opt copy.Store.eager_queue with
+    | None -> ()
+    | Some (Store.Eager_apply { uid; key; u; _ })
+      when not (Node.in_range copy.Store.node key) ->
+      (* A split executed from this queue moved the range past [key] while
+         the update waited: re-route it to the right sibling. *)
+      Stats.incr (st t) "eager.requeued";
+      (match copy.Store.node.Node.right with
+      | Some r ->
+        forward t pid
+          (Msg.Route
+             {
+               key;
+               level = copy.Store.node.Node.level;
+               node = r;
+               act = Msg.Update { uid; u };
+             })
+          r
+      | None ->
+        Fmt.failwith "Fixed: eager update out of range at rightmost node");
+      pump_eager t pid copy
+    | Some (Store.Eager_apply ({ uid; key; u; _ } as job)) ->
+      let node_id = copy.Store.node.Node.id in
+      job.reply <- apply_update t pid copy key u;
+      Cluster.hist_record t.cl ~node:node_id ~pid ~mode:Action.Initial ~uid
+        (action_kind key u);
+      let others = List.filter (fun m -> m <> pid) copy.Store.members in
+      if others = [] then finish_eager t pid copy (Store.Eager_apply job)
+      else begin
+        copy.Store.eager_busy <- true;
+        copy.Store.eager_current <- Some (Store.Eager_apply job);
+        copy.Store.eager_acks <- List.length others;
+        List.iter
+          (fun m ->
+            send t ~src:pid ~dst:m
+              (Msg.Eager_update { uid; node = node_id; key; u }))
+          others
+      end
+    | Some Store.Eager_split ->
+      if not (Node.too_full ~capacity:(capacity t) copy.Store.node) then
+        pump_eager t pid copy
+      else begin
+        let n = copy.Store.node in
+        let store = Cluster.store t.cl pid in
+        let uid = Cluster.fresh_uid t.cl in
+        let sib_id = Cluster.fresh_node_id t.cl in
+        let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
+        let sib = Node.half_split n ~sibling_id:sib_id in
+        let sep = Node.separator_of_sibling sib in
+        t.splits <- t.splits + 1;
+        Stats.incr (st t) "split.count";
+        Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
+          ~uid
+          (Action.Half_split { sep; sibling = sib_id });
+        let sibling_members = sibling_members_for t copy sib in
+        List.iter
+          (fun m -> Cluster.hist_new_copy t.cl ~node:sib_id ~pid:m ~base)
+          sibling_members;
+        let snapshot = Msg.snapshot_of_node ~base sib in
+        let sib_pc = Cluster.pc_of_members sibling_members in
+        if List.mem pid sibling_members then
+          install_copy t pid ~snap:snapshot ~pc:sib_pc ~members:sibling_members
+        else Store.learn store sib_id sibling_members;
+        let others = List.filter (fun m -> m <> pid) copy.Store.members in
+        if others = [] then finish_eager t pid copy Store.Eager_split
+        else begin
+          copy.Store.eager_busy <- true;
+          copy.Store.eager_current <- Some Store.Eager_split;
+          copy.Store.eager_acks <- List.length others;
+          List.iter
+            (fun m ->
+              send t ~src:pid ~dst:m
+                (Msg.Eager_split
+                   {
+                     uid;
+                     node = n.Node.id;
+                     sep;
+                     sibling = snapshot;
+                     sibling_members;
+                   }))
+            others
+        end;
+        (* Complete the split upward, as in the lazy family. *)
+        if store.Store.root = n.Node.id then
+          grow_root t pid ~old_root:n ~sep ~sib_id
+        else begin
+          let uid' = Cluster.fresh_uid t.cl in
+          let act =
+            Msg.Update
+              {
+                uid = uid';
+                u =
+                  Msg.Add_child
+                    { child = sib_id; child_members = sibling_members };
+              }
+          in
+          forward t pid
+            (Msg.Route
+               {
+                 key = sep;
+                 level = n.Node.level + 1;
+                 node = store.Store.root;
+                 act;
+               })
+            store.Store.root
+        end
+      end
+
+and finish_eager t pid (copy : Store.rcopy) job =
+  (match job with
+  | Store.Eager_apply { reply = Some (op, result); _ } ->
+    reply_op t ~src:pid op result
+  | Store.Eager_apply { reply = None; _ } | Store.Eager_split -> ());
+  copy.Store.eager_busy <- false;
+  copy.Store.eager_current <- None;
+  if Node.too_full ~capacity:(capacity t) copy.Store.node then
+    Queue.add Store.Eager_split copy.Store.eager_queue;
+  pump_eager t pid copy
+
+(* ------------------------------------------------------------------ *)
+(* Performing routed actions at their target node                      *)
+
+(* An initial update action arriving at a copy of its target node. *)
+and perform_update t pid (copy : Store.rcopy) ~key ~uid ~(u : Msg.update) =
+  let node_id = copy.Store.node.Node.id in
+  match disc t with
+  | Config.Eager ->
+    if pid <> copy.Store.pc then
+      (* vigorous rule: initial updates execute at the primary copy *)
+      send t ~src:pid ~dst:copy.Store.pc
+        (Msg.Route
+           {
+             key;
+             level = copy.Store.node.Node.level;
+             node = node_id;
+             act = Msg.Update { uid; u };
+           })
+    else begin
+      Queue.add (Store.Eager_apply { uid; key; u; reply = None })
+        copy.Store.eager_queue;
+      pump_eager t pid copy
+    end
+  | Config.Sync when copy.Store.splitting ->
+    (* the AAS blocks initial updates (never searches or relays) *)
+    Stats.incr (st t) "split.blocked_updates";
+    copy.Store.blocked <-
+      Msg.Route
+        {
+          key;
+          level = copy.Store.node.Node.level;
+          node = node_id;
+          act = Msg.Update { uid; u };
+        }
+      :: copy.Store.blocked
+  | Config.Sync | Config.Semi | Config.Naive ->
+    let reply = apply_update t pid copy key u in
+    Cluster.hist_record t.cl ~node:node_id ~pid ~mode:Action.Initial ~uid
+      (action_kind key u);
+    (match reply with
+    | Some (op, result) -> reply_op t ~src:pid op result
+    | None -> ());
+    let relay =
+      Msg.Relay_update
+        {
+          uid;
+          node = node_id;
+          key;
+          u = silence u;
+          version = copy.Store.node.Node.version;
+          sender = pid;
+        }
+    in
+    List.iter
+      (fun m -> if m <> pid then send_relay t ~src:pid ~dst:m relay)
+      copy.Store.members;
+    maybe_split t pid copy
+
+and perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
+  match act with
+  | Msg.Search { op; origin } ->
+    let result =
+      match Node.find_leaf_value copy.Store.node key with
+      | Some v -> Msg.Found v
+      | None -> Msg.Absent
+    in
+    send t ~src:pid ~dst:origin (Msg.Op_done { op; result })
+  | Msg.Scan { op; origin; hi; acc } -> begin
+    (* collect this leaf's bindings in [route key, hi], then continue
+       along the leaf chain while it still overlaps the range *)
+    let n = copy.Store.node in
+    let acc =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v when k >= key && k <= hi -> (k, v) :: acc
+          | Node.Data _ | Node.Child _ -> acc)
+        n.Node.entries acc
+    in
+    match (n.Node.right, n.Node.high) with
+    | Some r, Bound.Key h when h <= hi ->
+      forward t pid
+        (Msg.Route
+           { key = h; level = 0; node = r; act = Msg.Scan { op; origin; hi; acc } })
+        r
+    | (Some _ | None), _ ->
+      send t ~src:pid ~dst:origin
+        (Msg.Op_done { op; result = Msg.Bindings (List.rev acc) })
+  end
+  | Msg.Update { uid; u } -> perform_update t pid copy ~key ~uid ~u
+  | Msg.Relink _ | Msg.Absorb _ ->
+    Fmt.failwith "Fixed: link-change/absorb actions are a mobile feature"
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers                                                    *)
+
+and handle_route t pid ~key ~level ~node ~act =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None ->
+    (* The copy is not installed yet (e.g. a sibling whose Split_done is
+       still in flight): park the action until it is. *)
+    Stats.incr (st t) "route.parked";
+    Store.add_pending store node (Msg.Route { key; level; node; act })
+  | Some copy ->
+    let n = copy.Store.node in
+    if n.Node.level > level then begin
+      match Node.step n key with
+      | Node.Chase_right r ->
+        Stats.incr (st t) "route.chase";
+        forward t pid (Msg.Route { key; level; node = r; act }) r
+      | Node.Descend c -> forward t pid (Msg.Route { key; level; node = c; act }) c
+      | Node.Here | Node.Chase_left _ | Node.Dead_end ->
+        Fmt.failwith "Fixed: bad navigation at node %d for key %d" node key
+    end
+    else if n.Node.level < level then
+      Fmt.failwith "Fixed: routed below target level (node %d)" node
+    else if Bound.compare_key n.Node.high key <= 0 then begin
+      (* out of range at the target level: chase the right link *)
+      Stats.incr (st t) "route.chase";
+      match n.Node.right with
+      | Some r -> forward t pid (Msg.Route { key; level; node = r; act }) r
+      | None -> Fmt.failwith "Fixed: dead end at node %d for key %d" node key
+    end
+    else if Bound.compare_key n.Node.low key > 0 then
+      Fmt.failwith "Fixed: key %d below node %d's range" key node
+    else perform t pid copy ~key ~act
+
+and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None ->
+    Stats.incr (st t) "route.parked";
+    Store.add_pending store node
+      (Msg.Relay_update { uid; node; key; u; version = 0; sender = pid })
+  | Some copy ->
+    if Node.in_range copy.Store.node key then begin
+      ignore (apply_update t pid copy key u);
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
+        (action_kind key u);
+      Stats.incr (st t) "relay.applied";
+      maybe_split t pid copy
+    end
+    else begin
+      (* Out of range: the copy has already split past this key. *)
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed
+        ~effective:false ~uid (action_kind key u);
+      match disc t with
+      | Config.Sync ->
+        (* safe: the AAS ordering guarantees the PC applied this update
+           before splitting, so the sibling's original value covers it *)
+        Stats.incr (st t) "relay.discarded"
+      | Config.Naive ->
+        Stats.incr (st t) "relay.discarded";
+        if pid = copy.Store.pc then Stats.incr (st t) "naive.lost"
+      | Config.Semi ->
+        if pid <> copy.Store.pc then Stats.incr (st t) "relay.discarded"
+        else begin
+          (* §4.1.2 history rewriting: the relayed update is moved before
+             the split, whose subsequent-action set is amended to forward
+             the key to the new sibling — i.e. re-issue it as an initial
+             update routed right. *)
+          Stats.incr (st t) "semi.forwarded";
+          let uid' = Cluster.fresh_uid t.cl in
+          match copy.Store.node.Node.right with
+          | Some r ->
+            forward t pid
+              (Msg.Route
+                 {
+                   key;
+                   level = copy.Store.node.Node.level;
+                   node = r;
+                   act = Msg.Update { uid = uid'; u };
+                 })
+              r
+          | None ->
+            Fmt.failwith "Fixed: out-of-range relay at rightmost node %d" node
+        end
+      | Config.Eager ->
+        Fmt.failwith "Fixed: relay received under the eager discipline"
+    end
+
+and handle t pid ~src msg =
+  match msg with
+  | Msg.Batch msgs -> List.iter (handle t pid ~src) msgs
+  | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  | Msg.Op_done { op; result } ->
+    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Relay_update { uid; node; key; u; version; sender } ->
+    handle_relay t pid ~uid ~node ~key ~u ~version ~sender
+  | Msg.Split_start { node } -> begin
+    let store = Cluster.store t.cl pid in
+    match Store.find store node with
+    | None ->
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node msg
+    | Some copy ->
+      copy.Store.splitting <- true;
+      Hashtbl.replace t.aas_since (node, pid) (Cluster.now t.cl);
+      send t ~src:pid ~dst:src (Msg.Split_ack { node })
+  end
+  | Msg.Split_ack { node } ->
+    let store = Cluster.store t.cl pid in
+    let copy = Store.get store node in
+    copy.Store.acks_pending <- copy.Store.acks_pending - 1;
+    if copy.Store.acks_pending = 0 then begin
+      do_split t pid copy;
+      end_aas t pid copy;
+      maybe_split t pid copy
+    end
+  | Msg.Split_done { uid; node; sep; sibling; sibling_members; sync } -> begin
+    let store = Cluster.store t.cl pid in
+    match Store.find store node with
+    | None ->
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node msg
+    | Some copy ->
+      apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
+      if sync then end_aas t pid copy
+  end
+  | Msg.New_root { snap; members } ->
+    let store = Cluster.store t.cl pid in
+    let is_newer =
+      match Store.find store store.Store.root with
+      | Some current -> snap.Msg.s_level > current.Store.node.Node.level
+      | None -> true
+    in
+    Store.learn store snap.Msg.s_id members;
+    if List.mem pid members then
+      install_copy t pid ~snap ~pc:(Cluster.pc_of_members members) ~members;
+    if is_newer then store.Store.root <- snap.Msg.s_id
+  | Msg.Eager_update { uid; node; key; u } -> begin
+    let store = Cluster.store t.cl pid in
+    match Store.find store node with
+    | None ->
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node msg
+    | Some copy ->
+      ignore (apply_update t pid copy key u);
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
+        (action_kind key u);
+      send t ~src:pid ~dst:src (Msg.Eager_ack { node })
+  end
+  | Msg.Eager_split { uid; node; sep; sibling; sibling_members } -> begin
+    let store = Cluster.store t.cl pid in
+    match Store.find store node with
+    | None ->
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node msg
+    | Some copy ->
+      apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
+      send t ~src:pid ~dst:src (Msg.Eager_ack { node })
+  end
+  | Msg.Eager_ack { node } ->
+    let store = Cluster.store t.cl pid in
+    let copy = Store.get store node in
+    copy.Store.eager_acks <- copy.Store.eager_acks - 1;
+    if copy.Store.eager_acks = 0 then begin
+      match copy.Store.eager_current with
+      | Some job -> finish_eager t pid copy job
+      | None -> Fmt.failwith "Fixed: eager ack with no job in flight"
+    end
+  | Msg.Migrate_install _ | Msg.Join_request _ | Msg.Join_copy _
+  | Msg.Relay_member _ | Msg.Unjoin_request _ ->
+    Fmt.failwith "Fixed: unexpected message %s" (Msg.kind msg)
+
+(* A relayed / synchronized split arriving at a non-PC copy: shrink the
+   local copy and install the sibling if this processor hosts one. *)
+and apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
+    ~sibling_members =
+  let store = Cluster.store t.cl pid in
+  let n = copy.Store.node in
+  let keep, dropped = Entries.partition_lt n.Node.entries sep in
+  n.Node.entries <- keep;
+  n.Node.high <- Bound.Key sep;
+  n.Node.right <- Some sibling.Msg.s_id;
+  n.Node.version <- n.Node.version + 1;
+  if not (Entries.is_empty dropped) then
+    Stats.incr ~by:(Entries.length dropped) (st t) "split.dropped_entries";
+  Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Relayed ~uid
+    (Action.Half_split { sep; sibling = sibling.Msg.s_id });
+  Store.learn store sibling.Msg.s_id sibling_members;
+  if List.mem pid sibling_members then
+    install_copy t pid ~snap:sibling
+      ~pc:(Cluster.pc_of_members sibling_members)
+      ~members:sibling_members;
+  if pid = copy.Store.pc then maybe_split t pid copy
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+
+let bootstrap t =
+  let cl = t.cl in
+  let cfg = config t in
+  let nprocs = cfg.Config.procs in
+  (* One leaf per partition slice... *)
+  let leaves =
+    List.init nprocs (fun p ->
+        let lo, hi = Partition.slice cl.Cluster.partition p in
+        let low = if p = 0 then Bound.Neg_inf else Bound.Key lo in
+        let high = if p = nprocs - 1 then Bound.Pos_inf else Bound.Key hi in
+        let id = Cluster.fresh_node_id cl in
+        let node = Node.make ~id ~level:0 ~low ~high Entries.empty in
+        (p, lo, node))
+  in
+  (* link the leaf chain *)
+  let rec link = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) ->
+      a.Node.right <- Some b.Node.id;
+      b.Node.left <- Some a.Node.id;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link leaves;
+  (* ... and a root over them. *)
+  let root_id = Cluster.fresh_node_id cl in
+  let root_entries =
+    Entries.of_sorted_list
+      (List.map
+         (fun (p, lo, node) ->
+           ((if p = 0 then Bound.min_sentinel else lo), Node.Child node.Node.id))
+         leaves)
+  in
+  let root =
+    Node.make ~id:root_id ~level:1 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
+      root_entries
+  in
+  let rmembers = root_members t in
+  let leaf_members (node : Msg.value Node.t) =
+    Cluster.members_for_range cl ~low:node.Node.low ~high:node.Node.high
+  in
+  for pid = 0 to nprocs - 1 do
+    let store = Cluster.store cl pid in
+    store.Store.root <- root_id;
+    Store.learn store root_id rmembers;
+    if List.mem pid rmembers then begin
+      ignore
+        (Store.install store ~node:(Node.clone root)
+           ~pc:(Cluster.pc_of_members rmembers)
+           ~members:rmembers);
+      Cluster.hist_new_copy cl ~node:root_id ~pid ~base:[]
+    end;
+    List.iter
+      (fun (_, _, node) ->
+        let members = leaf_members node in
+        Store.learn store node.Node.id members;
+        if List.mem pid members then begin
+          ignore
+            (Store.install store ~node:(Node.clone node)
+               ~pc:(Cluster.pc_of_members members)
+               ~members);
+          Cluster.hist_new_copy cl ~node:node.Node.id ~pid ~base:[]
+        end)
+      leaves
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+
+let create cfg =
+  let cl = Cluster.create cfg in
+  let t =
+    {
+      cl;
+      relay_buf = Array.make (cfg.Config.procs * cfg.Config.procs) [];
+      buf_scheduled = Array.make (cfg.Config.procs * cfg.Config.procs) false;
+      aas_since = Hashtbl.create 16;
+      splits = 0;
+    }
+  in
+  for pid = 0 to cfg.Config.procs - 1 do
+    Cluster.Network.set_handler cl.Cluster.net pid (fun ~src msg ->
+        handle t pid ~src msg)
+  done;
+  bootstrap t;
+  t
+
+let start_route t ~origin msg =
+  let store = Cluster.store t.cl origin in
+  let root = store.Store.root in
+  if Store.mem store root then send_local t origin msg
+  else
+    let members = Store.members_of store root in
+    send t ~src:origin ~dst:(choose_member t members) msg
+
+let insert t ~origin key value =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
+      ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act =
+           Msg.Update { uid; u = Msg.Upsert { op = r.Opstate.id; origin; value } };
+       });
+  r.Opstate.id
+
+let search t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Search { op = r.Opstate.id; origin };
+       });
+  r.Opstate.id
+
+let remove t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Update { uid; u = Msg.Remove { op = r.Opstate.id; origin } };
+       });
+  r.Opstate.id
+
+
+let scan t ~origin ~lo ~hi =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key = lo;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Scan { op = r.Opstate.id; origin; hi; acc = [] };
+       });
+  r.Opstate.id
+
+let run ?max_events t = Cluster.run ?max_events t.cl

@@ -1,0 +1,46 @@
+(** Fixed-position copies: the §4.1 dB-tree protocols.
+
+    Every node has a fixed copy set chosen at creation (per the configured
+    replication policy), a fixed primary copy (PC), and is maintained by
+    one of four disciplines (see {!Config.discipline}):
+
+    - [Sync] — synchronous splits through a split_start / ack / split_end
+      AAS (§4.1.1, Theorem 1),
+    - [Semi] — semi-synchronous splits with history rewriting (§4.1.2,
+      Theorem 2),
+    - [Naive] — [Semi] without the out-of-range forwarding correction;
+      exhibits the Figure 4 lost-insert anomaly (ablation),
+    - [Eager] — the vigorous available-copies baseline: updates serialized
+      through the PC and acknowledged by every copy before the operation
+      completes.
+
+    Operations are asynchronous: {!insert} / {!search} / {!remove} enqueue
+    work and return the operation id; {!run} drains the simulation, after
+    which results are in [ (cluster t).ops ].  Use {!Driver} for whole
+    workloads and {!Verify} for the end-of-computation audit. *)
+
+type t
+
+val create : Config.t -> t
+(** Build the cluster and bootstrap the initial tree: one leaf per
+    processor partition slice plus a root replicated per policy. *)
+
+val cluster : t -> Cluster.t
+val config : t -> Config.t
+
+val insert : t -> origin:Msg.pid -> int -> Msg.value -> int
+(** Issue an insert at processor [origin]; returns the operation id. *)
+
+val search : t -> origin:Msg.pid -> int -> int
+val remove : t -> origin:Msg.pid -> int -> int
+
+val scan : t -> origin:Msg.pid -> lo:int -> hi:int -> int
+(** Range scan along the leaf chain: the result is
+    [Msg.Bindings] of all bindings with [lo <= key <= hi], in key order. *)
+
+val run : ?max_events:int -> t -> unit
+(** Drain the simulation to quiescence (all operations and all relayed
+    maintenance complete, relay batches flushed). *)
+
+val splits : t -> int
+(** Number of half-splits performed (all levels). *)

@@ -1,0 +1,92 @@
+type protocol = Semi | Sync | Eager | Mobile | Variable
+
+(* Uniform view of a protocol: issue functions plus the cluster. *)
+type backend = {
+  cluster : Cluster.t;
+  insert : origin:Msg.pid -> int -> Msg.value -> int;
+  search : origin:Msg.pid -> int -> int;
+  remove : origin:Msg.pid -> int -> int;
+  scan : origin:Msg.pid -> lo:int -> hi:int -> int;
+}
+
+type t = { backend : backend; rng : Dbtree_sim.Rng.t }
+
+let backend_of_fixed f =
+  {
+    cluster = Fixed.cluster f;
+    insert = (fun ~origin k v -> Fixed.insert f ~origin k v);
+    search = (fun ~origin k -> Fixed.search f ~origin k);
+    remove = (fun ~origin k -> Fixed.remove f ~origin k);
+    scan = (fun ~origin ~lo ~hi -> Fixed.scan f ~origin ~lo ~hi);
+  }
+
+let backend_of_mobile m =
+  {
+    cluster = Mobile.cluster m;
+    insert = (fun ~origin k v -> Mobile.insert m ~origin k v);
+    search = (fun ~origin k -> Mobile.search m ~origin k);
+    remove = (fun ~origin k -> Mobile.remove m ~origin k);
+    scan = (fun ~origin ~lo ~hi -> Mobile.scan m ~origin ~lo ~hi);
+  }
+
+let backend_of_variable v =
+  {
+    cluster = Variable.cluster v;
+    insert = (fun ~origin k value -> Variable.insert v ~origin k value);
+    search = (fun ~origin k -> Variable.search v ~origin k);
+    remove = (fun ~origin k -> Variable.remove v ~origin k);
+    scan = (fun ~origin ~lo ~hi -> Variable.scan v ~origin ~lo ~hi);
+  }
+
+let create ?(protocol = Semi) (cfg : Config.t) =
+  let backend =
+    match protocol with
+    | Semi -> backend_of_fixed (Fixed.create { cfg with discipline = Config.Semi })
+    | Sync -> backend_of_fixed (Fixed.create { cfg with discipline = Config.Sync })
+    | Eager ->
+      backend_of_fixed (Fixed.create { cfg with discipline = Config.Eager })
+    | Mobile -> backend_of_mobile (Mobile.create cfg)
+    | Variable -> backend_of_variable (Variable.create cfg)
+  in
+  { backend; rng = Dbtree_sim.Rng.create (cfg.Config.seed + 77) }
+
+let cluster t = t.backend.cluster
+
+let pick_origin t = function
+  | Some at -> at
+  | None -> Dbtree_sim.Rng.int t.rng t.backend.cluster.Cluster.config.Config.procs
+
+let await t op =
+  Cluster.run t.backend.cluster;
+  match (Option.get (Opstate.find t.backend.cluster.Cluster.ops op)).Opstate.result with
+  | Some result -> result
+  | None -> Fmt.failwith "Kv: operation %d did not complete" op
+
+let put t ?at key value =
+  let origin = pick_origin t at in
+  match await t (t.backend.insert ~origin key value) with
+  | Msg.Inserted -> ()
+  | _ -> Fmt.failwith "Kv.put: unexpected result"
+
+let get t ?at key =
+  let origin = pick_origin t at in
+  match await t (t.backend.search ~origin key) with
+  | Msg.Found v -> Some v
+  | Msg.Absent -> None
+  | Msg.Inserted | Msg.Removed _ | Msg.Bindings _ ->
+    Fmt.failwith "Kv.get: unexpected result"
+
+let delete t ?at key =
+  let origin = pick_origin t at in
+  match await t (t.backend.remove ~origin key) with
+  | Msg.Removed present -> present
+  | _ -> Fmt.failwith "Kv.delete: unexpected result"
+
+let range ?at t ~lo ~hi =
+  let origin = pick_origin t at in
+  match await t (t.backend.scan ~origin ~lo ~hi) with
+  | Msg.Bindings bs -> bs
+  | _ -> Fmt.failwith "Kv.range: unexpected result"
+
+let mem t ?at key = Option.is_some (get t ?at key)
+let verify t = Verify.check t.backend.cluster

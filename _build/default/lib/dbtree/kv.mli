@@ -1,0 +1,40 @@
+(** Synchronous key-value facade over any dB-tree protocol.
+
+    The protocol modules expose the asynchronous reality of the system
+    (issue an operation, drain the simulation, read the result).  [Kv]
+    wraps that in the blocking dictionary interface an application wants:
+    each call issues the operation and runs the cluster to quiescence
+    before returning.  Fine for tests, examples, and exploratory use;
+    workloads that need overlapping operations should drive a protocol
+    directly through {!Driver}.
+
+    The [at] argument selects the processor the request enters through
+    (a random one per call by default — every processor can serve any
+    request; that is the point of the replicated index). *)
+
+type t
+
+type protocol =
+  | Semi  (** fixed copies, semi-synchronous splits (the default) *)
+  | Sync  (** fixed copies, synchronous (AAS) splits *)
+  | Eager  (** the vigorous available-copies baseline *)
+  | Mobile  (** single-copy mobile nodes *)
+  | Variable  (** variable copies (join/unjoin + leaf migration) *)
+
+val create : ?protocol:protocol -> Config.t -> t
+(** The [discipline] and (for [Mobile]/[Variable]) replication fields of
+    the config are overridden as the protocol demands. *)
+
+val put : t -> ?at:Msg.pid -> int -> Msg.value -> unit
+val get : t -> ?at:Msg.pid -> int -> Msg.value option
+val delete : t -> ?at:Msg.pid -> int -> bool
+(** [true] iff the key was present. *)
+
+val range : ?at:Msg.pid -> t -> lo:int -> hi:int -> (int * Msg.value) list
+(** All bindings with [lo <= key <= hi], in key order. *)
+
+val mem : t -> ?at:Msg.pid -> int -> bool
+
+val cluster : t -> Cluster.t
+val verify : t -> Verify.report
+(** Quiescent audit of the underlying cluster. *)

@@ -1,0 +1,755 @@
+open Dbtree_blink
+open Dbtree_sim
+module Action = Dbtree_history.Action
+
+type link_tag = [ `Left | `Right | `Child of int ]
+
+type t = {
+  cl : Cluster.t;
+  (* Version last applied per (node, link) — orders link-change actions. *)
+  link_versions : (int * link_tag, int) Hashtbl.t;
+  mutable splits : int;
+  mutable migrations : int;
+}
+
+let cluster t = t.cl
+let config t = t.cl.Cluster.config
+let splits t = t.splits
+let migrations t = t.migrations
+let capacity t = (config t).Config.capacity
+let procs t = (config t).Config.procs
+let st t = Cluster.stats t.cl
+let send t ~src ~dst msg = Cluster.send t.cl ~src ~dst msg
+let send_local t pid msg = send t ~src:pid ~dst:pid msg
+
+let reply_op t ~src op result =
+  if op >= 0 then
+    match Opstate.find t.cl.Cluster.ops op with
+    | Some r -> send t ~src ~dst:r.Opstate.origin (Msg.Op_done { op; result })
+    | None -> Fmt.failwith "Mobile: reply for unknown op %d" op
+
+(* A key guaranteed to lie inside the node's range, used to route actions
+   that concern this node (e.g. the parent's hint update) by key. *)
+let guide_key (n : Msg.value Node.t) =
+  match (n.Node.low, n.Node.high) with
+  | Bound.Key k, _ -> k
+  | Bound.Neg_inf, Bound.Key h -> h - 1
+  | Bound.Neg_inf, (Bound.Pos_inf | Bound.Neg_inf) -> 0
+  | Bound.Pos_inf, _ -> invalid_arg "Mobile.guide_key: low = +inf"
+
+(* ------------------------------------------------------------------ *)
+(* Routing with hints, forwarding addresses and missing-node recovery  *)
+
+let hint_of t pid node =
+  match Store.members_opt (Cluster.store t.cl pid) node with
+  | Some (m :: _) when m <> pid -> Some m
+  | Some _ | None -> None
+
+let forward t pid msg next =
+  let store = Cluster.store t.cl pid in
+  Stats.incr (st t) "route.hops";
+  if Store.mem store next then send_local t pid msg
+  else
+    match hint_of t pid next with
+    | Some m -> send t ~src:pid ~dst:m msg
+    | None ->
+      (* No idea where [next] lives: recover via the root. *)
+      Stats.incr (st t) "route.lost_hint";
+      let root = store.Store.root in
+      if Store.mem store root then send_local t pid msg
+      else
+        match hint_of t pid root with
+        | Some m -> send t ~src:pid ~dst:m msg
+        | None -> Fmt.failwith "Mobile: processor %d cannot reach the root" pid
+
+(* Recovery when a message arrives for a node this processor does not
+   store (§4.2 "missing node"): forwarding address if we kept one,
+   else our own location hint (we always update it when a node leaves
+   us), else re-route the action from a local node that is at or above
+   the action's level, else bounce via the root. *)
+let recover t pid msg ~node ~level =
+  let store = Cluster.store t.cl pid in
+  Stats.incr (st t) "recover.count";
+  match Hashtbl.find_opt store.Store.forwarding node with
+  | Some fwd ->
+    Stats.incr (st t) "recover.forwarded";
+    send t ~src:pid ~dst:fwd msg
+  | None -> (
+    match hint_of t pid node with
+    | Some m ->
+      Stats.incr (st t) "recover.hinted";
+      send t ~src:pid ~dst:m msg
+    | None ->
+      (* Restart the navigation root-ward: the highest local node sees
+         the repaired parent entries, while an arbitrary sibling would
+         chase stale links through reclaimed territory. *)
+      let best = ref None in
+      Store.iter store (fun c ->
+          let l = c.Store.node.Node.level in
+          if l > level then
+            match !best with
+            | Some (bl, _) when bl >= l -> ()
+            | Some _ | None -> best := Some (l, c.Store.node.Node.id));
+      let restart_at =
+        match !best with
+        | Some (_, id) -> Some id
+        | None -> if Store.mem store store.Store.root then Some store.Store.root else None
+      in
+      (match (restart_at, msg) with
+      | Some id, Msg.Route r ->
+        Stats.incr (st t) "recover.rerouted";
+        send_local t pid (Msg.Route { r with node = id })
+      | Some _, _ | None, _ ->
+        (* Not locally navigable: bounce the message via the root's owner. *)
+        Stats.incr (st t) "recover.via_root";
+        let dst =
+          match hint_of t pid store.Store.root with Some m -> m | None -> 0
+        in
+        let msg =
+          match msg with
+          | Msg.Route r -> Msg.Route { r with node = store.Store.root }
+          | other -> other
+        in
+        send t ~src:pid ~dst msg))
+
+(* ------------------------------------------------------------------ *)
+(* Splits                                                              *)
+
+let issue_relink t pid ~key ~level ~start ~which ~target ~version =
+  let uid = Cluster.fresh_uid t.cl in
+  forward t pid
+    (Msg.Route
+       {
+         key;
+         level;
+         node = start;
+         act = Msg.Relink { uid; which; target; target_pid = pid; version; relayed = false };
+       })
+    start
+
+let rec maybe_split t pid (copy : Store.rcopy) =
+  if Node.too_full ~capacity:(capacity t) copy.Store.node then begin
+    let n = copy.Store.node in
+    let store = Cluster.store t.cl pid in
+    let uid = Cluster.fresh_uid t.cl in
+    let sib_id = Cluster.fresh_node_id t.cl in
+    let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
+    let sib = Node.half_split n ~sibling_id:sib_id in
+    let sep = Node.separator_of_sibling sib in
+    t.splits <- t.splits + 1;
+    Stats.incr (st t) "split.count";
+    Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
+      ~version:n.Node.version
+      (Action.Half_split { sep; sibling = sib_id });
+    (* The sibling lives on the same processor (§4.2). *)
+    ignore (Store.install store ~node:sib ~pc:pid ~members:[ pid ]);
+    Cluster.hist_new_copy t.cl ~node:sib_id ~pid ~base;
+    Cluster.emit t.cl (fun () ->
+        Fmt.str "p%d: half-split node %d at %d -> sibling %d" pid n.Node.id sep
+          sib_id);
+    (* Fix the old right neighbor's left link (link-change, §4.2).  The
+       guide key is the sibling's high bound — the neighbor's low key —
+       so the action lands on whoever covers that range now. *)
+    (match (sib.Node.right, sib.Node.high) with
+    | Some r, Bound.Key h ->
+      issue_relink t pid ~key:h ~level:n.Node.level ~start:r ~which:`Left
+        ~target:sib_id ~version:sib.Node.version
+    | (Some _ | None), _ -> ());
+    (* Insert the sibling into the parent. *)
+    if store.Store.root = n.Node.id then grow_root t pid ~old_root:n ~sep ~sib_id
+    else begin
+      let uid' = Cluster.fresh_uid t.cl in
+      let start = Option.value n.Node.parent ~default:store.Store.root in
+      forward t pid
+        (Msg.Route
+           {
+             key = sep;
+             level = n.Node.level + 1;
+             node = start;
+             act =
+               Msg.Update
+                 {
+                   uid = uid';
+                   u = Msg.Add_child { child = sib_id; child_members = [ pid ] };
+                 };
+           })
+        start
+    end;
+    maybe_split t pid copy
+  end
+
+and grow_root t pid ~old_root ~sep ~sib_id =
+  let store = Cluster.store t.cl pid in
+  let id = Cluster.fresh_node_id t.cl in
+  let entries =
+    Entries.of_sorted_list
+      [
+        (Bound.min_sentinel, Node.Child old_root.Node.id);
+        (sep, Node.Child sib_id);
+      ]
+  in
+  let root =
+    Node.make ~id ~level:(old_root.Node.level + 1) ~low:Bound.Neg_inf
+      ~high:Bound.Pos_inf entries
+  in
+  old_root.Node.parent <- Some id;
+  (match Store.find store sib_id with
+  | Some c -> c.Store.node.Node.parent <- Some id
+  | None -> ());
+  Stats.incr (st t) "root.grow";
+  ignore (Store.install store ~node:root ~pc:pid ~members:[ pid ]);
+  Cluster.hist_new_copy t.cl ~node:id ~pid ~base:[];
+  store.Store.root <- id;
+  let snap = Msg.snapshot_of_node root in
+  for p = 0 to procs t - 1 do
+    if p <> pid then send t ~src:pid ~dst:p (Msg.New_root { snap; members = [ pid ] })
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Performing actions                                                  *)
+
+let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
+  let n = copy.Store.node in
+  match u with
+  | Msg.Upsert { op; value; _ } ->
+    Node.add_entry n key (Node.Data value);
+    Some (op, Msg.Inserted)
+  | Msg.Remove { op; _ } ->
+    let present = Entries.mem n.Node.entries key in
+    Node.remove_entry n key;
+    Some (op, Msg.Removed present)
+  | Msg.Add_child { child; child_members } ->
+    Node.add_entry n key (Node.Child child);
+    (* weak: the Add_child can arrive after the child migrated *)
+    Store.learn_if_absent (Cluster.store t.cl pid) child child_members;
+    None
+  | Msg.Drop_child { child; fallback; fallback_pid } -> begin
+    (* dE-tree: retire a freed leaf's parent entry.  The entry is found
+       by value (its key can be the bootstrap sentinel); a first entry is
+       the node's floor and is repointed to the absorber instead. *)
+    let entry =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Child c when c = child -> Some k
+          | Node.Child _ | Node.Data _ -> acc)
+        n.Node.entries None
+    in
+    (match entry with
+    | Some k ->
+      let is_first =
+        match Entries.min_binding n.Node.entries with
+        | Some (k0, _) -> k0 = k
+        | None -> false
+      in
+      if is_first then Node.add_entry n k (Node.Child fallback)
+      else Node.remove_entry n k;
+      Store.learn_if_absent (Cluster.store t.cl pid) fallback [ fallback_pid ];
+      Stats.incr (st t) "reclaim.dropped"
+    | None -> Stats.incr (st t) "reclaim.drop_stale");
+    None
+  end
+
+let action_kind key (u : Msg.update) =
+  match u with
+  | Msg.Upsert _ | Msg.Add_child _ -> Action.Insert { key }
+  | Msg.Remove _ | Msg.Drop_child _ -> Action.Delete { key }
+
+let which_to_action : link_tag -> _ = function
+  | `Left -> `Left
+  | `Right -> `Right
+  | `Child c -> `Child c
+
+let perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
+    ~version =
+  let n = copy.Store.node in
+  let slot = (n.Node.id, (which : link_tag)) in
+  let current = Option.value (Hashtbl.find_opt t.link_versions slot) ~default:(-1) in
+  if target = n.Node.id then begin
+    (* reclamation can collapse a chain of leaves into one node, routing a
+       neighbor relink back to the absorber: vacuously satisfied *)
+    Stats.incr (st t) "link_change.self_absorbed";
+    Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
+      ~effective:false ~version ~uid
+      (Action.Link_change { which = which_to_action which; target })
+  end
+  else begin
+  (* The ordered-history rule; the E12 ablation applies blindly. *)
+  let effective = version > current || not (config t).Config.ordered_links in
+  if effective then begin
+    Hashtbl.replace t.link_versions slot version;
+    let store = Cluster.store t.cl pid in
+    (match which with
+    | `Left -> n.Node.left <- Some target
+    | `Right -> n.Node.right <- Some target
+    | `Child _ -> ());
+    Store.learn store target [ target_pid ]
+  end
+  else Stats.incr (st t) "link_change.absorbed";
+  Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~effective
+    ~version ~uid
+    (Action.Link_change { which = which_to_action which; target })
+  end
+
+(* dE-tree reclamation (§5 future work, single-copy case): an emptied
+   leaf hands its range to its left neighbor and disappears.  The
+   absorber fixes the right neighbor's left link and retires the parent
+   entry; in-flight messages to the dead leaf recover via the departed
+   mark and root restart. *)
+let maybe_reclaim t pid (copy : Store.rcopy) =
+  let n = copy.Store.node in
+  let store = Cluster.store t.cl pid in
+  if
+    (config t).Config.reclaim_empty_leaves
+    && Node.is_leaf n && Node.size n = 0
+    && store.Store.root <> n.Node.id
+  then
+    match (n.Node.left, n.Node.low) with
+    | Some lf, Bound.Key low ->
+      let uid = Cluster.fresh_uid t.cl in
+      Stats.incr (st t) "reclaim.count";
+      Cluster.emit t.cl (fun () ->
+          Fmt.str "p%d: reclaim empty leaf %d [%d, %a)" pid n.Node.id low
+            Bound.pp n.Node.high);
+      Store.remove store n.Node.id;
+      Hashtbl.replace store.Store.departed n.Node.id ();
+      Cluster.hist_retire t.cl ~node:n.Node.id ~pid;
+      let dead_high_key =
+        match n.Node.high with
+        | Bound.Key h -> Some h
+        | Bound.Pos_inf -> None
+        | Bound.Neg_inf -> assert false
+      in
+      forward t pid
+        (Msg.Route
+           {
+             key = low - 1;
+             level = 0;
+             node = lf;
+             act =
+               Msg.Absorb
+                 {
+                   uid;
+                   dead = n.Node.id;
+                   dead_high_key;
+                   dead_right = n.Node.right;
+                   dead_version = n.Node.version;
+                 };
+           })
+        lf
+    | (Some _ | None), _ -> ()
+
+let perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
+  match act with
+  | Msg.Search { op; origin } ->
+    let result =
+      match Node.find_leaf_value copy.Store.node key with
+      | Some v -> Msg.Found v
+      | None -> Msg.Absent
+    in
+    send t ~src:pid ~dst:origin (Msg.Op_done { op; result })
+  | Msg.Update { uid; u } ->
+    let reply = apply_update t pid copy key u in
+    Cluster.hist_record t.cl ~node:copy.Store.node.Node.id ~pid
+      ~mode:Action.Initial ~uid (action_kind key u);
+    (match reply with
+    | Some (op, result) -> reply_op t ~src:pid op result
+    | None -> ());
+    maybe_split t pid copy;
+    (match u with
+    | Msg.Remove _ -> maybe_reclaim t pid copy
+    | Msg.Upsert _ | Msg.Add_child _ | Msg.Drop_child _ -> ())
+  | Msg.Scan { op; origin; hi; acc } -> begin
+    (* collect this leaf's bindings in [route key, hi], then continue
+       along the leaf chain while it still overlaps the range *)
+    let n = copy.Store.node in
+    let acc =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v when k >= key && k <= hi -> (k, v) :: acc
+          | Node.Data _ | Node.Child _ -> acc)
+        n.Node.entries acc
+    in
+    match (n.Node.right, n.Node.high) with
+    | Some r, Bound.Key h when h <= hi ->
+      forward t pid
+        (Msg.Route
+           { key = h; level = 0; node = r; act = Msg.Scan { op; origin; hi; acc } })
+        r
+    | (Some _ | None), _ ->
+      send t ~src:pid ~dst:origin
+        (Msg.Op_done { op; result = Msg.Bindings (List.rev acc) })
+  end
+  | Msg.Relink { uid; which; target; target_pid; version; relayed = _ } ->
+    perform_relink t pid copy ~uid ~which ~target ~target_pid ~version
+  | Msg.Absorb { uid; dead; dead_high_key; dead_right; dead_version } -> begin
+    let n = copy.Store.node in
+    let dead_low = key + 1 in
+    (* only the node whose range ends exactly at the dead leaf's low bound
+       may absorb; anything else means the chain already changed *)
+    if not (Bound.equal n.Node.high (Bound.Key dead_low)) then
+      Stats.incr (st t) "reclaim.absorb_stale"
+    else begin
+      let dead_high =
+        match dead_high_key with
+        | Some h -> Bound.Key h
+        | None -> Bound.Pos_inf
+      in
+      n.Node.high <- dead_high;
+      n.Node.right <- dead_right;
+      n.Node.version <- max n.Node.version dead_version + 1;
+      Hashtbl.replace t.link_versions (n.Node.id, `Right) n.Node.version;
+      Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
+        ~version:n.Node.version ~uid
+        (Action.Link_change
+           { which = `Right; target = Option.value dead_right ~default:(-1) });
+      Stats.incr (st t) "reclaim.absorbed";
+      (* fix the right neighbor's left link *)
+      (match (dead_right, dead_high_key) with
+      | Some r, Some h ->
+        issue_relink t pid ~key:h ~level:0 ~start:r ~which:`Left
+          ~target:n.Node.id ~version:n.Node.version
+      | (Some _ | None), _ -> ());
+      (* retire the dead leaf's parent entry *)
+      let uid' = Cluster.fresh_uid t.cl in
+      let store = Cluster.store t.cl pid in
+      forward t pid
+        (Msg.Route
+           {
+             key = dead_low;
+             level = 1;
+             node = store.Store.root;
+             act =
+               Msg.Update
+                 {
+                   uid = uid';
+                   u =
+                     Msg.Drop_child
+                       { child = dead; fallback = n.Node.id; fallback_pid = pid };
+                 };
+           })
+        store.Store.root
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Migration (§4.2) and data balancing ([14])                          *)
+
+let do_migrate t ~node ~to_pid =
+  (* Executed as a simulation event at the owner. *)
+  let owner =
+    Array.fold_left
+      (fun acc store -> if Store.mem store node then Some store else acc)
+      None t.cl.Cluster.stores
+  in
+  match owner with
+  | None -> Stats.incr (st t) "migrate.skipped"
+  | Some store when store.Store.pid = to_pid -> Stats.incr (st t) "migrate.skipped"
+  | Some store ->
+    let pid = store.Store.pid in
+    let copy = Store.get store node in
+    if store.Store.root = node then Stats.incr (st t) "migrate.skipped"
+    else begin
+      let n = copy.Store.node in
+      n.Node.version <- n.Node.version + 1;
+      let base = Cluster.hist_snapshot t.cl ~node ~pid in
+      let snap = Msg.snapshot_of_node ~base n in
+      Store.remove store node;
+      Cluster.hist_retire t.cl ~node ~pid;
+      if (config t).Config.forwarding then
+        Hashtbl.replace store.Store.forwarding node to_pid;
+      Store.learn store node [ to_pid ];
+      t.migrations <- t.migrations + 1;
+      Stats.incr (st t) "migrate.count";
+      Cluster.emit t.cl (fun () ->
+          Fmt.str "p%d: migrate node %d -> p%d (v%d)" pid node to_pid
+            n.Node.version);
+      send t ~src:pid ~dst:to_pid
+        (Msg.Migrate_install { snap; ancestors = []; from_pid = pid })
+    end
+
+let handle_migrate_install t pid ~(snap : Msg.snapshot) ~from_pid =
+  let store = Cluster.store t.cl pid in
+  let node = Msg.node_of_snapshot snap in
+  let id = node.Node.id in
+  ignore (Store.install store ~node ~pc:pid ~members:[ pid ]);
+  Hashtbl.remove store.Store.forwarding id;
+  Cluster.hist_new_copy t.cl ~node:id ~pid ~base:snap.Msg.s_base;
+  Cluster.hist_record t.cl ~node:id ~pid ~mode:Action.Initial
+    ~version:node.Node.version
+    ~uid:(Cluster.fresh_uid t.cl)
+    (Action.Migrate { to_pid = pid });
+  ignore from_pid;
+  (* Inform the neighbors (left, right, parent) with link-changes. *)
+  let v = node.Node.version in
+  (match (node.Node.left, node.Node.low) with
+  | Some l, Bound.Key low ->
+    issue_relink t pid ~key:(low - 1) ~level:node.Node.level ~start:l
+      ~which:`Right ~target:id ~version:v
+  | (Some _ | None), _ -> ());
+  (match (node.Node.right, node.Node.high) with
+  | Some r, Bound.Key high ->
+    issue_relink t pid ~key:high ~level:node.Node.level ~start:r ~which:`Left
+      ~target:id ~version:v
+  | (Some _ | None), _ -> ());
+  (match node.Node.parent with
+  | Some p ->
+    issue_relink t pid ~key:(guide_key node) ~level:(node.Node.level + 1)
+      ~start:p ~which:(`Child id) ~target:id ~version:v
+  | None -> ());
+  (* Re-run anything parked here for this node. *)
+  List.iter (send_local t pid) (Store.take_pending store id)
+
+(* Periodic leaf balancer: move one leaf from the most to the least loaded
+   processor whenever the spread exceeds one. *)
+let leaf_counts t =
+  Array.map
+    (fun store ->
+      let count = ref 0 in
+      Store.iter store (fun c -> if Node.is_leaf c.Store.node then incr count);
+      !count)
+    t.cl.Cluster.stores
+
+let balance_step t =
+  let counts = leaf_counts t in
+  let hi = ref 0 and lo = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > counts.(!hi) then hi := i;
+      if c < counts.(!lo) then lo := i)
+    counts;
+  if counts.(!hi) - counts.(!lo) >= 2 then begin
+    (* migrate the fullest leaf of the overloaded processor *)
+    let store = Cluster.store t.cl !hi in
+    let victim = ref None in
+    Store.iter store (fun c ->
+        if Node.is_leaf c.Store.node && store.Store.root <> c.Store.node.Node.id
+        then
+          match !victim with
+          | Some (size, _) when size >= Node.size c.Store.node -> ()
+          | Some _ | None ->
+            victim := Some (Node.size c.Store.node, c.Store.node.Node.id));
+    match !victim with
+    | Some (_, id) -> do_migrate t ~node:id ~to_pid:!lo
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handler                                                     *)
+
+let handle_route t pid ~key ~level ~node ~act =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None -> recover t pid (Msg.Route { key; level; node; act }) ~node ~level
+  | Some copy ->
+    let n = copy.Store.node in
+    if n.Node.level > level then begin
+      match Node.step n key with
+      | Node.Chase_right r ->
+        Stats.incr (st t) "route.chase";
+        forward t pid (Msg.Route { key; level; node = r; act }) r
+      | Node.Chase_left l ->
+        Stats.incr (st t) "route.chase";
+        forward t pid (Msg.Route { key; level; node = l; act }) l
+      | Node.Descend c -> forward t pid (Msg.Route { key; level; node = c; act }) c
+      | Node.Here | Node.Dead_end ->
+        Fmt.failwith "Mobile: bad navigation at node %d for key %d" node key
+    end
+    else if n.Node.level < level then begin
+      (* Restart upward via the parent hint (or the root). *)
+      let start = Option.value n.Node.parent ~default:store.Store.root in
+      Stats.incr (st t) "route.up";
+      forward t pid (Msg.Route { key; level; node = start; act }) start
+    end
+    else if Bound.compare_key n.Node.high key <= 0 then begin
+      Stats.incr (st t) "route.chase";
+      match n.Node.right with
+      | Some r -> forward t pid (Msg.Route { key; level; node = r; act }) r
+      | None -> Fmt.failwith "Mobile: dead end right at node %d key %d" node key
+    end
+    else if Bound.compare_key n.Node.low key > 0 then begin
+      Stats.incr (st t) "route.chase";
+      match n.Node.left with
+      | Some l -> forward t pid (Msg.Route { key; level; node = l; act }) l
+      | None -> Fmt.failwith "Mobile: dead end left at node %d key %d" node key
+    end
+    else perform t pid copy ~key ~act
+
+let handle t pid ~src:_ msg =
+  match msg with
+  | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  | Msg.Op_done { op; result } ->
+    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Migrate_install { snap; from_pid; _ } ->
+    handle_migrate_install t pid ~snap ~from_pid
+  | Msg.New_root { snap; members } ->
+    let store = Cluster.store t.cl pid in
+    Store.learn store snap.Msg.s_id members;
+    store.Store.root <- snap.Msg.s_id
+  | Msg.Batch _ | Msg.Relay_update _ | Msg.Split_start _ | Msg.Split_ack _
+  | Msg.Split_done _ | Msg.Eager_update _ | Msg.Eager_split _ | Msg.Eager_ack _
+  | Msg.Join_request _ | Msg.Join_copy _ | Msg.Relay_member _
+  | Msg.Unjoin_request _ ->
+    Fmt.failwith "Mobile: unexpected message %s" (Msg.kind msg)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap and public API                                            *)
+
+let bootstrap t =
+  let cl = t.cl in
+  let nprocs = procs t in
+  let leaves =
+    List.init nprocs (fun p ->
+        let lo, hi = Partition.slice cl.Cluster.partition p in
+        let low = if p = 0 then Bound.Neg_inf else Bound.Key lo in
+        let high = if p = nprocs - 1 then Bound.Pos_inf else Bound.Key hi in
+        let id = Cluster.fresh_node_id cl in
+        (p, lo, Node.make ~id ~level:0 ~low ~high Entries.empty))
+  in
+  let rec link = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) ->
+      a.Node.right <- Some b.Node.id;
+      b.Node.left <- Some a.Node.id;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link leaves;
+  let root_id = Cluster.fresh_node_id cl in
+  let root_entries =
+    Entries.of_sorted_list
+      (List.map
+         (fun (p, lo, node) ->
+           ((if p = 0 then Bound.min_sentinel else lo), Node.Child node.Node.id))
+         leaves)
+  in
+  let root =
+    Node.make ~id:root_id ~level:1 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
+      root_entries
+  in
+  List.iter (fun (_, _, n) -> n.Node.parent <- Some root_id) leaves;
+  for pid = 0 to nprocs - 1 do
+    let store = Cluster.store cl pid in
+    store.Store.root <- root_id;
+    Store.learn store root_id [ 0 ];
+    List.iter
+      (fun (p, _, node) -> Store.learn store node.Node.id [ p ])
+      leaves
+  done;
+  ignore
+    (Store.install (Cluster.store cl 0) ~node:root ~pc:0 ~members:[ 0 ]);
+  Cluster.hist_new_copy cl ~node:root_id ~pid:0 ~base:[];
+  List.iter
+    (fun (p, _, node) ->
+      ignore (Store.install (Cluster.store cl p) ~node ~pc:p ~members:[ p ]);
+      Cluster.hist_new_copy cl ~node:node.Node.id ~pid:p ~base:[])
+    leaves
+
+let create cfg =
+  let cl = Cluster.create cfg in
+  let t =
+    { cl; link_versions = Hashtbl.create 256; splits = 0; migrations = 0 }
+  in
+  for pid = 0 to cfg.Config.procs - 1 do
+    Cluster.Network.set_handler cl.Cluster.net pid (fun ~src msg ->
+        handle t pid ~src msg)
+  done;
+  bootstrap t;
+  if cfg.Config.balance_period > 0 then begin
+    (* The balancer re-arms only while other work is pending, so a drained
+       simulation still quiesces. *)
+    let rec tick () =
+      if Sim.pending cl.Cluster.sim > 0 then begin
+        balance_step t;
+        Sim.schedule cl.Cluster.sim ~delay:cfg.Config.balance_period tick
+      end
+    in
+    Sim.schedule cl.Cluster.sim ~delay:cfg.Config.balance_period tick
+  end;
+  t
+
+let start_route t ~origin msg =
+  let store = Cluster.store t.cl origin in
+  forward t origin msg store.Store.root
+
+let insert t ~origin key value =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
+      ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act =
+           Msg.Update { uid; u = Msg.Upsert { op = r.Opstate.id; origin; value } };
+       });
+  r.Opstate.id
+
+let search t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Search { op = r.Opstate.id; origin };
+       });
+  r.Opstate.id
+
+let remove t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Update { uid; u = Msg.Remove { op = r.Opstate.id; origin } };
+       });
+  r.Opstate.id
+
+
+let scan t ~origin ~lo ~hi =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key = lo;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Scan { op = r.Opstate.id; origin; hi; acc = [] };
+       });
+  r.Opstate.id
+
+let migrate t ~node ~to_pid =
+  if to_pid < 0 || to_pid >= procs t then invalid_arg "Mobile.migrate: bad pid";
+  Sim.schedule t.cl.Cluster.sim ~delay:0 (fun () -> do_migrate t ~node ~to_pid)
+
+let gc_forwarding t =
+  Array.iter
+    (fun store -> Hashtbl.reset store.Store.forwarding)
+    t.cl.Cluster.stores
+
+let run ?max_events t = Cluster.run ?max_events t.cl
+
+let api t =
+  {
+    Driver.insert = (fun ~origin k v -> insert t ~origin k v);
+    Driver.search = (fun ~origin k -> search t ~origin k);
+    Driver.remove = (fun ~origin k -> remove t ~origin k);
+  }

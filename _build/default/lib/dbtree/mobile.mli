@@ -1,0 +1,61 @@
+(** Single-copy mobile nodes (§4.2).
+
+    Every node has exactly one copy, so copy histories are trivially
+    compatible; the interesting machinery is node *mobility* for data
+    balancing (Theorem 3):
+
+    - nodes migrate between processors, leaving (optionally) a
+      garbage-collectable forwarding address behind;
+    - each node carries a version number, incremented by every migration
+      and half-split;
+    - link-change actions — issued by migrations and splits to a node's
+      left neighbor, right neighbor, and parent — are the paper's *ordered*
+      actions: a copy applies a link-change only if its version beats the
+      link's recorded version, otherwise the action is absorbed (the
+      history is "rewritten" with the stale change in its proper, earlier
+      place);
+    - a message arriving for a node its processor does not store recovers
+      B-link-style: follow the forwarding address if one exists, otherwise
+      re-route by key from a local node (or from the root, which is pinned
+      to processor 0).
+
+    The optional data balancer (config [balance_period]) periodically
+    migrates a leaf from the most- to the least-loaded processor, the
+    policy of [14]. *)
+
+type t
+
+val create : Config.t -> t
+(** Bootstraps one leaf per partition slice (owned by the slice processor)
+    under a root pinned at processor 0.  [replication] is ignored: every
+    node is single-copy. *)
+
+val cluster : t -> Cluster.t
+val config : t -> Config.t
+
+val insert : t -> origin:Msg.pid -> int -> Msg.value -> int
+val search : t -> origin:Msg.pid -> int -> int
+val remove : t -> origin:Msg.pid -> int -> int
+
+val scan : t -> origin:Msg.pid -> lo:int -> hi:int -> int
+(** Range scan along the leaf chain: the result is
+    [Msg.Bindings] of all bindings with [lo <= key <= hi], in key order. *)
+
+val migrate : t -> node:Msg.node_id -> to_pid:Msg.pid -> unit
+(** Schedule the migration of a node (any non-root node) to [to_pid].
+    No-op if the node has moved away or is already there when the event
+    fires. *)
+
+val gc_forwarding : t -> unit
+(** Drop every forwarding address (§4.2: they are an optimization and can
+    be garbage-collected at convenient intervals — correctness must
+    survive this, which the tests check). *)
+
+val run : ?max_events:int -> t -> unit
+val api : t -> Driver.api
+
+val splits : t -> int
+val migrations : t -> int
+
+val leaf_counts : t -> int array
+(** Leaves currently owned per processor (the balancer's load measure). *)

@@ -1,0 +1,197 @@
+open Dbtree_blink
+
+type pid = int
+type node_id = int
+type value = string
+
+type snapshot = {
+  s_id : node_id;
+  s_level : int;
+  s_low : Bound.t;
+  s_high : Bound.t;
+  s_entries : (int * value Node.payload) list;
+  s_right : node_id option;
+  s_left : node_id option;
+  s_parent : node_id option;
+  s_version : int;
+  s_base : int list;
+}
+
+type op_result =
+  | Found of value
+  | Absent
+  | Inserted
+  | Removed of bool
+  | Bindings of (int * value) list
+
+type update =
+  | Upsert of { op : int; origin : pid; value : value }
+  | Remove of { op : int; origin : pid }
+  | Add_child of { child : node_id; child_members : pid list }
+  | Drop_child of { child : node_id; fallback : node_id; fallback_pid : pid }
+
+type routed =
+  | Search of { op : int; origin : pid }
+  | Scan of { op : int; origin : pid; hi : int; acc : (int * value) list }
+  | Update of { uid : int; u : update }
+  | Absorb of {
+      uid : int;
+      dead : node_id;
+      dead_high_key : int option;
+      dead_right : node_id option;
+      dead_version : int;
+    }
+  | Relink of {
+      uid : int;
+      which : [ `Left | `Right | `Child of node_id ];
+      target : node_id;
+      target_pid : pid;
+      version : int;
+      relayed : bool;
+    }
+
+type t =
+  | Route of { key : int; level : int; node : node_id; act : routed }
+  | Op_done of { op : int; result : op_result }
+  | Relay_update of {
+      uid : int;
+      node : node_id;
+      key : int;
+      u : update;
+      version : int;
+      sender : pid;
+    }
+  | Split_start of { node : node_id }
+  | Split_ack of { node : node_id }
+  | Split_done of {
+      uid : int;
+      node : node_id;
+      sep : int;
+      sibling : snapshot;
+      sibling_members : pid list;
+      sync : bool;
+    }
+  | New_root of { snap : snapshot; members : pid list }
+  | Eager_update of { uid : int; node : node_id; key : int; u : update }
+  | Eager_split of {
+      uid : int;
+      node : node_id;
+      sep : int;
+      sibling : snapshot;
+      sibling_members : pid list;
+    }
+  | Eager_ack of { node : node_id }
+  | Batch of t list
+  | Migrate_install of {
+      snap : snapshot;
+      ancestors : (node_id * pid list) list;
+      from_pid : pid;
+    }
+  | Join_request of { node : node_id; requester : pid }
+  | Join_copy of {
+      node : node_id;
+      snap : snapshot;
+      members : pid list;
+      join_version : int;
+      hints : (node_id * pid list) list;
+    }
+  | Relay_member of {
+      node : node_id;
+      change : [ `Join of pid | `Unjoin of pid ];
+      version : int;
+      uid : int;
+    }
+  | Unjoin_request of { node : node_id; pid : pid }
+
+let kind = function
+  | Route { act = Search _; _ } -> "route.search"
+  | Route { act = Scan _; _ } -> "route.scan"
+  | Route { act = Update { u = Upsert _; _ }; _ } -> "route.upsert"
+  | Route { act = Update { u = Remove _; _ }; _ } -> "route.remove"
+  | Route { act = Update { u = Add_child _; _ }; _ } -> "route.add_child"
+  | Route { act = Update { u = Drop_child _; _ }; _ } -> "route.drop_child"
+  | Route { act = Absorb _; _ } -> "absorb"
+  | Route { act = Relink _; _ } -> "link_change"
+  | Op_done _ -> "op_done"
+  | Relay_update _ -> "relay_update"
+  | Split_start _ -> "split_start"
+  | Split_ack _ -> "split_ack"
+  | Split_done { sync = true; _ } -> "split_end"
+  | Split_done { sync = false; _ } -> "relay_split"
+  | New_root _ -> "new_root"
+  | Eager_update _ -> "eager_update"
+  | Eager_split _ -> "eager_split"
+  | Eager_ack _ -> "eager_ack"
+  | Batch _ -> "batch"
+  | Migrate_install _ -> "migrate"
+  | Join_request _ -> "join"
+  | Join_copy _ -> "join_copy"
+  | Relay_member _ -> "relay_member"
+  | Unjoin_request _ -> "unjoin"
+
+let update_size = function
+  | Upsert { value; _ } -> 16 + String.length value
+  | Remove _ -> 16
+  | Add_child { child_members; _ } -> 16 + (4 * List.length child_members)
+  | Drop_child _ -> 20
+
+let snapshot_size s =
+  48
+  + List.fold_left
+      (fun acc (_, p) ->
+        acc + 12
+        + match p with Node.Data v -> String.length v | Node.Child _ -> 0)
+      0 s.s_entries
+
+let bindings_size acc =
+  List.fold_left (fun n (_, v) -> n + 12 + String.length v) 0 acc
+
+let rec size = function
+  | Route { act = Search _; _ } -> 32
+  | Route { act = Scan { acc; _ }; _ } -> 32 + bindings_size acc
+  | Route { act = Update { u; _ }; _ } -> 24 + update_size u
+  | Route { act = Relink _; _ } -> 44
+  | Route { act = Absorb _; _ } -> 36
+  | Op_done { result = Found v; _ } -> 16 + String.length v
+  | Op_done { result = Bindings acc; _ } -> 16 + bindings_size acc
+  | Op_done _ -> 16
+  | Relay_update { u; _ } -> 28 + update_size u
+  | Split_start _ | Split_ack _ | Eager_ack _ -> 12
+  | Split_done { sibling; sibling_members; _ }
+  | Eager_split { sibling; sibling_members; _ } ->
+    24 + snapshot_size sibling + (4 * List.length sibling_members)
+  | New_root { snap; members } -> 8 + snapshot_size snap + (4 * List.length members)
+  | Eager_update { u; _ } -> 24 + update_size u
+  | Batch msgs -> List.fold_left (fun acc m -> acc + size m) 8 msgs
+  | Migrate_install { snap; ancestors; _ } ->
+    16 + snapshot_size snap
+    + List.fold_left (fun acc (_, ms) -> acc + 8 + (4 * List.length ms)) 0 ancestors
+  | Join_request _ | Unjoin_request _ -> 16
+  | Join_copy { snap; members; hints; _ } ->
+    16 + snapshot_size snap + (4 * List.length members)
+    + List.fold_left (fun acc (_, ms) -> acc + 8 + (4 * List.length ms)) 0 hints
+  | Relay_member _ -> 20
+
+let snapshot_of_node ?(base = []) (n : value Node.t) =
+  {
+    s_id = n.Node.id;
+    s_level = n.Node.level;
+    s_low = n.Node.low;
+    s_high = n.Node.high;
+    s_entries = Entries.to_list n.Node.entries;
+    s_right = n.Node.right;
+    s_left = n.Node.left;
+    s_parent = n.Node.parent;
+    s_version = n.Node.version;
+    s_base = base;
+  }
+
+let node_of_snapshot s =
+  let n =
+    Node.make ~id:s.s_id ~level:s.s_level ~low:s.s_low ~high:s.s_high
+      ?right:s.s_right ?left:s.s_left ?parent:s.s_parent ~version:s.s_version
+      (Entries.of_sorted_list s.s_entries)
+  in
+  n
+
+let pp ppf m = Fmt.pf ppf "%s" (kind m)

@@ -1,0 +1,159 @@
+(** Wire messages of all dB-tree protocols.
+
+    One shared message type covers every protocol variant (the fixed-copies
+    family, the eager baseline, mobile nodes, and variable copies); each
+    protocol uses the subset it needs.  A message names the logical node it
+    acts on — never a raw address — which is what lets B-link-style
+    recovery reroute misdelivered actions.
+
+    Update actions carry the history uid shared by an initial action and
+    its relays (see {!Dbtree_history.Action}). *)
+
+open Dbtree_blink
+
+type pid = int
+type node_id = int
+type value = string
+
+(** A node value shipped in a message: sibling creation (half-split),
+    new-root installation, migration, and join all transfer one of these.
+    [s_base] carries the history-instrumentation uids covered by the value
+    (empty when history recording is off). *)
+type snapshot = {
+  s_id : node_id;
+  s_level : int;
+  s_low : Bound.t;
+  s_high : Bound.t;
+  s_entries : (int * value Node.payload) list;
+  s_right : node_id option;
+  s_left : node_id option;
+  s_parent : node_id option;
+  s_version : int;
+  s_base : int list;
+}
+
+type op_result =
+  | Found of value
+  | Absent
+  | Inserted
+  | Removed of bool
+  | Bindings of (int * value) list  (** range-scan result, in key order *)
+
+(** The three update actions of the paper's §4.1 model.  [Upsert] and
+    [Remove] act on leaves and carry the client operation to answer;
+    [Add_child] installs a child pointer in an interior node (the "second
+    step" of a half-split). *)
+type update =
+  | Upsert of { op : int; origin : pid; value : value }
+  | Remove of { op : int; origin : pid }
+  | Add_child of { child : node_id; child_members : pid list }
+  | Drop_child of { child : node_id; fallback : node_id; fallback_pid : pid }
+      (** dE-tree extension (§5): retire a freed leaf's entry from its
+          parent.  If the entry is the parent's first (load-bearing floor
+          entry) it is repointed to [fallback] — the absorbing left
+          neighbor — instead of removed. *)
+
+type routed =
+  | Search of { op : int; origin : pid }
+  | Scan of { op : int; origin : pid; hi : int; acc : (int * value) list }
+      (** range scan: the route key is the scan cursor; the action walks
+          the leaf chain rightward accumulating bindings up to [hi] *)
+  | Update of { uid : int; u : update }
+  | Absorb of {
+      uid : int;
+      dead : node_id;
+      dead_high_key : int option;  (** [None] encodes +inf *)
+      dead_right : node_id option;
+      dead_version : int;
+    }
+      (** dE-tree extension (§5): the node covering the route key — the
+          freed leaf's left neighbor — absorbs the dead leaf's range
+          [\[route key + 1, dead_high)] and takes over its right link. *)
+  | Relink of {
+      uid : int;
+      which : [ `Left | `Right | `Child of node_id ];
+      target : node_id;
+      target_pid : pid;
+      version : int;
+      relayed : bool;
+          (** variable copies: a relink applied at one copy of a
+              replicated node is relayed to the other copies *)
+    }
+      (** §4.2 ordered link-change action, routed by key: the node whose
+          range contains the route key at the route level re-points its
+          [which] link to [target] (located at [target_pid]) iff [version]
+          beats the link's recorded version.  Routing by key rather than by
+          node id is what makes the action deliverable after arbitrary
+          migrations and splits. *)
+
+type t =
+  | Route of { key : int; level : int; node : node_id; act : routed }
+      (** An action being navigated to the node of [level] whose range
+          contains [key], currently directed at [node]. *)
+  | Op_done of { op : int; result : op_result }
+  | Relay_update of {
+      uid : int;
+      node : node_id;
+      key : int;
+      u : update;
+      version : int;
+      sender : pid;
+    }  (** lazy relay of an initial update to the other copies *)
+  | Split_start of { node : node_id }  (** sync AAS, PC -> copies *)
+  | Split_ack of { node : node_id }  (** sync AAS, copy -> PC *)
+  | Split_done of {
+      uid : int;
+      node : node_id;
+      sep : int;
+      sibling : snapshot;
+      sibling_members : pid list;
+      sync : bool;
+    }
+      (** the split itself: [split_end] of the synchronous AAS when [sync],
+          otherwise the semi-synchronous relayed split *)
+  | New_root of { snap : snapshot; members : pid list }
+  | Eager_update of { uid : int; node : node_id; key : int; u : update }
+  | Eager_split of {
+      uid : int;
+      node : node_id;
+      sep : int;
+      sibling : snapshot;
+      sibling_members : pid list;
+    }
+  | Eager_ack of { node : node_id }
+  | Batch of t list
+      (** piggybacked lazy relays, flushed as one wire message *)
+  | Migrate_install of {
+      snap : snapshot;
+      ancestors : (node_id * pid list) list;
+          (** root-to-parent path with location hints, so the receiver can
+              join the replication of every ancestor (§4.3) *)
+      from_pid : pid;
+    }  (** §4.2/4.3: a migrating node arriving at its new processor *)
+  | Join_request of { node : node_id; requester : pid }
+  | Join_copy of {
+      node : node_id;
+      snap : snapshot;
+      members : pid list;
+      join_version : int;
+      hints : (node_id * pid list) list;
+          (** location hints for the node's children and siblings, so the
+              joiner can navigate through its new copy *)
+    }  (** PC -> joiner: your copy, the membership, and your join version *)
+  | Relay_member of {
+      node : node_id;
+      change : [ `Join of pid | `Unjoin of pid ];
+      version : int;
+      uid : int;
+    }
+  | Unjoin_request of { node : node_id; pid : pid }
+
+val kind : t -> string
+(** Per-kind accounting tag. *)
+
+val size : t -> int
+(** Estimated wire size in bytes. *)
+
+val snapshot_of_node : ?base:int list -> value Node.t -> snapshot
+val node_of_snapshot : snapshot -> value Node.t
+val pp : t Fmt.t

@@ -1,0 +1,117 @@
+type kind = Search | Insert | Delete | Scan
+
+type record = {
+  id : int;
+  kind : kind;
+  key : int;
+  value : Msg.value option;
+  origin : Msg.pid;
+  issued_at : int;
+  mutable completed_at : int option;
+  mutable result : Msg.op_result option;
+}
+
+type t = {
+  tbl : (int, record) Hashtbl.t;
+  mutable next : int;
+  mutable completed : int;
+  mutable hook : (record -> unit) option;
+  mutable tolerate_duplicates : bool;
+  mutable duplicate_completions : int;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 1024;
+    next = 0;
+    completed = 0;
+    hook = None;
+    tolerate_duplicates = false;
+    duplicate_completions = 0;
+  }
+
+let set_tolerant t = t.tolerate_duplicates <- true
+let duplicate_completions t = t.duplicate_completions
+
+let register t ~kind ~key ~value ~origin ~now =
+  let r =
+    {
+      id = t.next;
+      kind;
+      key;
+      value;
+      origin;
+      issued_at = now;
+      completed_at = None;
+      result = None;
+    }
+  in
+  t.next <- t.next + 1;
+  Hashtbl.add t.tbl r.id r;
+  r
+
+let complete t ~op ~result ~now =
+  match Hashtbl.find_opt t.tbl op with
+  | None -> Fmt.failwith "Opstate.complete: unknown operation %d" op
+  | Some r when r.completed_at <> None ->
+    if t.tolerate_duplicates then
+      t.duplicate_completions <- t.duplicate_completions + 1
+    else Fmt.failwith "Opstate.complete: operation %d completed twice" op
+  | Some r ->
+    r.completed_at <- Some now;
+    r.result <- Some result;
+    t.completed <- t.completed + 1;
+    match t.hook with Some f -> f r | None -> ()
+
+let on_complete t f = t.hook <- Some f
+let find t op = Hashtbl.find_opt t.tbl op
+let issued t = t.next
+let completed t = t.completed
+let outstanding t = t.next - t.completed
+let iter t f = Hashtbl.iter (fun _ r -> f r) t.tbl
+
+let inserted_keys t =
+  (* Replay completed updates in issue order; experiments avoid racing
+     updates on the same key, so issue order is the semantic order. *)
+  let records =
+    Hashtbl.fold (fun _ r acc -> r :: acc) t.tbl []
+    |> List.sort (fun a b -> compare a.id b.id)
+  in
+  let keys = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      match (r.kind, r.result) with
+      | Insert, Some Msg.Inserted ->
+        Hashtbl.replace keys r.key (Option.value r.value ~default:"")
+      | Delete, Some (Msg.Removed true) -> Hashtbl.remove keys r.key
+      | (Search | Insert | Delete | Scan), _ -> ())
+    records;
+  keys
+
+let latencies t kind =
+  Hashtbl.fold
+    (fun _ r acc ->
+      match r.completed_at with
+      | Some c when r.kind = kind -> (c - r.issued_at) :: acc
+      | Some _ | None -> acc)
+    t.tbl []
+
+let mean_latency t kind =
+  match latencies t kind with
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let max_latency t kind = List.fold_left max 0 (latencies t kind)
+
+let latency_percentile t kind p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Opstate.latency_percentile";
+  match List.sort compare (latencies t kind) with
+  | [] -> 0.0
+  | l ->
+    let arr = Array.of_list l in
+    let i =
+      min (Array.length arr - 1)
+        (int_of_float (p *. float_of_int (Array.length arr - 1)))
+    in
+    float_of_int arr.(i)

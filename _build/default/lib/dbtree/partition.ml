@@ -1,0 +1,34 @@
+open Dbtree_blink
+
+type t = { procs : int; key_space : int }
+
+let create ~procs ~key_space =
+  if procs < 1 then invalid_arg "Partition.create: procs must be >= 1";
+  if key_space < procs then
+    invalid_arg "Partition.create: key_space must be >= procs";
+  { procs; key_space }
+
+let owner t k =
+  if k < 0 then 0
+  else if k >= t.key_space then t.procs - 1
+  else k * t.procs / t.key_space
+
+let low_owner t = function
+  | Bound.Neg_inf -> 0
+  | Bound.Key k -> owner t k
+  | Bound.Pos_inf -> t.procs - 1
+
+let high_owner t = function
+  | Bound.Neg_inf -> 0
+  | Bound.Key k -> owner t (k - 1) (* high is exclusive *)
+  | Bound.Pos_inf -> t.procs - 1
+
+let members_of_range t ~low ~high =
+  let lo = low_owner t low and hi = high_owner t high in
+  let hi = max lo hi in
+  List.init (hi - lo + 1) (fun i -> lo + i)
+
+let slice t p =
+  let lo = p * t.key_space / t.procs in
+  let hi = (p + 1) * t.key_space / t.procs in
+  (lo, if p = t.procs - 1 then t.key_space else hi)

@@ -1,0 +1,25 @@
+(** Static key-space partition used by the [Path] replication policy.
+
+    The key space [\[0, key_space)] is divided into [procs] contiguous
+    slices; processor [i] owns slice [i].  A leaf is owned by the
+    processor of its slice, and an interior node is replicated on exactly
+    the processors whose slices intersect its range — which yields the
+    dB-tree shape of Figure 2: root everywhere, leaves on one processor,
+    interior nodes at decreasing replication going down the tree. *)
+
+open Dbtree_blink
+
+type t
+
+val create : procs:int -> key_space:int -> t
+
+val owner : t -> int -> Msg.pid
+(** Owner of a key; keys outside [\[0, key_space)] clamp to the edge
+    slices. *)
+
+val members_of_range : t -> low:Bound.t -> high:Bound.t -> Msg.pid list
+(** Processors whose slice intersects [\[low, high)] — always a contiguous,
+    non-empty interval of pids. *)
+
+val slice : t -> Msg.pid -> int * int
+(** [slice t p] is the inclusive-exclusive key interval owned by [p]. *)

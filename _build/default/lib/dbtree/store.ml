@@ -1,0 +1,107 @@
+open Dbtree_blink
+
+type pid = int
+type node_id = int
+
+type eager_job =
+  | Eager_apply of {
+      uid : int;
+      key : int;
+      u : Msg.update;
+      mutable reply : (int * Msg.op_result) option;
+    }
+  | Eager_split
+
+type rcopy = {
+  node : Msg.value Node.t;
+  mutable pc : pid;
+  mutable members : pid list;
+  mutable join_versions : (pid * int) list;
+  mutable splitting : bool;
+  mutable acks_pending : int;
+  mutable blocked : Msg.t list;
+  mutable eager_busy : bool;
+  mutable eager_queue : eager_job Queue.t;
+  mutable eager_acks : int;
+  mutable eager_current : eager_job option;
+}
+
+type t = {
+  pid : pid;
+  copies : (node_id, rcopy) Hashtbl.t;
+  where : (node_id, pid list) Hashtbl.t;
+  pending : (node_id, Msg.t list) Hashtbl.t;
+  forwarding : (node_id, pid) Hashtbl.t;
+  departed : (node_id, unit) Hashtbl.t;
+  mutable root : node_id;
+}
+
+let create ~pid ~root =
+  {
+    pid;
+    copies = Hashtbl.create 64;
+    where = Hashtbl.create 128;
+    pending = Hashtbl.create 8;
+    forwarding = Hashtbl.create 8;
+    departed = Hashtbl.create 8;
+    root;
+  }
+
+let find t id = Hashtbl.find_opt t.copies id
+
+let get t id =
+  match find t id with
+  | Some c -> c
+  | None ->
+    Fmt.failwith "Store: processor %d has no copy of node %d" t.pid id
+
+let mem t id = Hashtbl.mem t.copies id
+
+let learn t id members = Hashtbl.replace t.where id members
+
+let learn_if_absent t id members =
+  if not (Hashtbl.mem t.where id) then Hashtbl.replace t.where id members
+
+let install t ~node ~pc ~members =
+  let c =
+    {
+      node;
+      pc;
+      members;
+      join_versions = [];
+      splitting = false;
+      acks_pending = 0;
+      blocked = [];
+      eager_busy = false;
+      eager_queue = Queue.create ();
+      eager_acks = 0;
+      eager_current = None;
+    }
+  in
+  Hashtbl.replace t.copies node.Node.id c;
+  learn t node.Node.id members;
+  c
+
+let remove t id = Hashtbl.remove t.copies id
+
+let members_of t id =
+  match Hashtbl.find_opt t.where id with
+  | Some m -> m
+  | None ->
+    Fmt.failwith "Store: processor %d has no location for node %d" t.pid id
+
+let members_opt t id = Hashtbl.find_opt t.where id
+
+let add_pending t id msg =
+  let existing = Option.value (Hashtbl.find_opt t.pending id) ~default:[] in
+  Hashtbl.replace t.pending id (msg :: existing)
+
+let take_pending t id =
+  match Hashtbl.find_opt t.pending id with
+  | None -> []
+  | Some msgs ->
+    Hashtbl.remove t.pending id;
+    List.rev msgs
+
+let copy_count t = Hashtbl.length t.copies
+let iter t f = Hashtbl.iter (fun _ c -> f c) t.copies

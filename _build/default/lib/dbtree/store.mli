@@ -1,0 +1,97 @@
+(** Per-processor node-copy store.
+
+    Each processor of the cluster owns one store: the node copies it
+    maintains (with their replication metadata), a location directory for
+    nodes it knows about but does not store, and the small amount of
+    per-copy protocol state the split disciplines need (AAS flags, blocked
+    actions, the eager baseline's serialization queue).
+
+    The queue-manager half of the paper's architecture is the simulator's
+    network; the store is what the node manager reads and writes. *)
+
+open Dbtree_blink
+
+type pid = int
+type node_id = int
+
+(** A job serialized through the primary copy by the eager baseline.
+    [reply] holds the deferred client answer, sent only once every copy
+    has acknowledged the update. *)
+type eager_job =
+  | Eager_apply of {
+      uid : int;
+      key : int;
+      u : Msg.update;
+      mutable reply : (int * Msg.op_result) option;
+    }
+  | Eager_split
+
+(** One locally stored copy of a logical node. *)
+type rcopy = {
+  node : Msg.value Node.t;  (** the value *)
+  mutable pc : pid;  (** primary copy's processor *)
+  mutable members : pid list;  (** known replica set (includes self) *)
+  mutable join_versions : (pid * int) list;
+      (** PC only (variable copies): version at which each member joined *)
+  mutable splitting : bool;  (** a split AAS is active here *)
+  mutable acks_pending : int;  (** PC only: outstanding split_start acks *)
+  mutable blocked : Msg.t list;
+      (** initial updates blocked by the AAS, newest first *)
+  mutable eager_busy : bool;
+  mutable eager_queue : eager_job Queue.t;
+  mutable eager_acks : int;
+  mutable eager_current : eager_job option;
+}
+
+type t = {
+  pid : pid;
+  copies : (node_id, rcopy) Hashtbl.t;
+  where : (node_id, pid list) Hashtbl.t;
+      (** location directory: node -> known member set *)
+  pending : (node_id, Msg.t list) Hashtbl.t;
+      (** messages that arrived before their node's copy was installed *)
+  forwarding : (node_id, pid) Hashtbl.t;
+      (** §4.2 forwarding addresses left by migrated nodes *)
+  departed : (node_id, unit) Hashtbl.t;
+      (** variable copies: nodes this processor unjoined — relayed actions
+          for them are discarded rather than parked *)
+  mutable root : node_id;  (** this processor's root pointer *)
+}
+
+val create : pid:pid -> root:node_id -> t
+
+val find : t -> node_id -> rcopy option
+val get : t -> node_id -> rcopy
+(** Raises if absent — use where the protocol guarantees presence. *)
+
+val mem : t -> node_id -> bool
+
+val install :
+  t -> node:Msg.value Node.t -> pc:pid -> members:pid list -> rcopy
+(** Add a copy (replacing any previous copy of the same node) and learn
+    its membership. *)
+
+val remove : t -> node_id -> unit
+
+val learn : t -> node_id -> pid list -> unit
+(** Update the location directory. *)
+
+val learn_if_absent : t -> node_id -> pid list -> unit
+(** Record a location hint only when nothing is known yet.  Used for hint
+    sources that can be arbitrarily stale (a relayed Add_child arriving
+    after the child migrated must not overwrite the migration's fresher
+    hint — in particular not the departing processor's own forwarding
+    knowledge). *)
+
+val members_of : t -> node_id -> pid list
+(** Directory lookup; raises if the node is unknown (a protocol-invariant
+    violation in the fixed-copies family). *)
+
+val members_opt : t -> node_id -> pid list option
+
+val add_pending : t -> node_id -> Msg.t -> unit
+val take_pending : t -> node_id -> Msg.t list
+(** Drain buffered messages for a node, in arrival order. *)
+
+val copy_count : t -> int
+val iter : t -> (rcopy -> unit) -> unit

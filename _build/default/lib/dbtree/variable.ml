@@ -1,0 +1,982 @@
+open Dbtree_blink
+open Dbtree_sim
+module Action = Dbtree_history.Action
+
+type link_tag = [ `Left | `Right | `Child of int ]
+
+type t = {
+  cl : Cluster.t;
+  (* Per-copy link versions: (pid, node, link) -> last applied version. *)
+  link_versions : (int * int * link_tag, int) Hashtbl.t;
+  mutable splits : int;
+  mutable migrations : int;
+  mutable joins : int;
+  mutable unjoins : int;
+}
+
+let cluster t = t.cl
+let config t = t.cl.Cluster.config
+let splits t = t.splits
+let migrations t = t.migrations
+let joins t = t.joins
+let unjoins t = t.unjoins
+let capacity t = (config t).Config.capacity
+let procs t = (config t).Config.procs
+let st t = Cluster.stats t.cl
+let send t ~src ~dst msg = Cluster.send t.cl ~src ~dst msg
+let send_local t pid msg = send t ~src:pid ~dst:pid msg
+
+let reply_op t ~src op result =
+  if op >= 0 then
+    match Opstate.find t.cl.Cluster.ops op with
+    | Some r -> send t ~src ~dst:r.Opstate.origin (Msg.Op_done { op; result })
+    | None -> Fmt.failwith "Variable: reply for unknown op %d" op
+
+let guide_key (n : Msg.value Node.t) =
+  match (n.Node.low, n.Node.high) with
+  | Bound.Key k, _ -> k
+  | Bound.Neg_inf, Bound.Key h -> h - 1
+  | Bound.Neg_inf, (Bound.Pos_inf | Bound.Neg_inf) -> 0
+  | Bound.Pos_inf, _ -> invalid_arg "Variable.guide_key: low = +inf"
+
+let choose_member t members =
+  match members with
+  | [ m ] -> m
+  | ms -> Rng.pick (Sim.rng t.cl.Cluster.sim) (Array.of_list ms)
+
+let forward ?authority t pid msg next =
+  let store = Cluster.store t.cl pid in
+  Stats.incr (st t) "route.hops";
+  if Store.mem store next then send_local t pid msg
+  else
+    match Store.members_opt store next with
+    | Some members when List.exists (fun m -> m <> pid) members ->
+      let members = List.filter (fun m -> m <> pid) members in
+      send t ~src:pid ~dst:(choose_member t members) msg
+    | Some _ | None -> (
+      Stats.incr (st t) "route.lost_hint";
+      (* Unknown location.  Hand the action to the PC of the node that
+         referenced [next] — the PC learned every child and sibling it
+         ever pointed to.  Without an authority, restart at the root. *)
+      match authority with
+      | Some a when a <> pid -> send t ~src:pid ~dst:a msg
+      | Some _ | None -> (
+        match msg with
+        | Msg.Route r ->
+          if r.node = store.Store.root then
+            Fmt.failwith "Variable: processor %d lost at its own root" pid
+          else send_local t pid (Msg.Route { r with node = store.Store.root })
+        | _ -> Fmt.failwith "Variable: cannot reroute %s" (Msg.kind msg)))
+
+let action_kind key (u : Msg.update) =
+  match u with
+  | Msg.Upsert _ | Msg.Add_child _ -> Action.Insert { key }
+  | Msg.Remove _ | Msg.Drop_child _ -> Action.Delete { key }
+
+let silence (u : Msg.update) =
+  match u with
+  | Msg.Upsert { value; _ } -> Msg.Upsert { op = -1; origin = 0; value }
+  | Msg.Remove _ -> Msg.Remove { op = -1; origin = 0 }
+  | Msg.Add_child _ | Msg.Drop_child _ -> u
+
+let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
+  let n = copy.Store.node in
+  match u with
+  | Msg.Upsert { op; value; _ } ->
+    Node.add_entry n key (Node.Data value);
+    Some (op, Msg.Inserted)
+  | Msg.Remove { op; _ } ->
+    let present = Entries.mem n.Node.entries key in
+    Node.remove_entry n key;
+    Some (op, Msg.Removed present)
+  | Msg.Add_child { child; child_members } ->
+    Node.add_entry n key (Node.Child child);
+    (* weak: a relayed Add_child can arrive after the child migrated *)
+    Store.learn_if_absent (Cluster.store t.cl pid) child child_members;
+    None
+  | Msg.Drop_child _ ->
+    Fmt.failwith "Variable: leaf reclamation is a mobile-protocol extension"
+
+let join_version_of (copy : Store.rcopy) m =
+  match List.assoc_opt m copy.Store.join_versions with
+  | Some v -> v
+  | None -> -1 (* founding member: never needs catch-up *)
+
+(* The §4.3 catch-up rule: when the PC receives a relayed update carrying
+   version [v], it re-relays it to every member that joined after [v] —
+   the sender could not have known them. *)
+let catchup t pid (copy : Store.rcopy) ~uid ~key ~u ~version ~sender =
+  if (config t).Config.version_relays then
+    List.iter
+      (fun m ->
+        if m <> pid && m <> sender && join_version_of copy m > version then begin
+          Stats.incr (st t) "relay.catchup";
+          send t ~src:pid ~dst:m
+            (Msg.Relay_update
+               { uid; node = copy.Store.node.Node.id; key; u; version; sender = pid })
+        end)
+      copy.Store.members
+
+(* ------------------------------------------------------------------ *)
+(* Splits                                                              *)
+
+let issue_relink t pid ~key ~level ~start ~which ~target ~version =
+  (* Child-hint changes are per-store directory maintenance, not node
+     updates: they stay outside the history model (uid -1). *)
+  let uid =
+    match which with `Child _ -> -1 | `Left | `Right -> Cluster.fresh_uid t.cl
+  in
+  forward t pid
+    (Msg.Route
+       {
+         key;
+         level;
+         node = start;
+         act =
+           Msg.Relink
+             { uid; which; target; target_pid = pid; version; relayed = false };
+       })
+    start
+
+let rec maybe_split t pid (copy : Store.rcopy) =
+  if
+    pid = copy.Store.pc
+    && Node.too_full ~capacity:(capacity t) copy.Store.node
+  then begin
+    do_split t pid copy;
+    maybe_split t pid copy
+  end
+
+and do_split t pid (copy : Store.rcopy) =
+  let n = copy.Store.node in
+  let store = Cluster.store t.cl pid in
+  let uid = Cluster.fresh_uid t.cl in
+  let sib_id = Cluster.fresh_node_id t.cl in
+  let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
+  let sib = Node.half_split n ~sibling_id:sib_id in
+  let sep = Node.separator_of_sibling sib in
+  t.splits <- t.splits + 1;
+  Stats.incr (st t) "split.count";
+  Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
+    ~version:n.Node.version
+    (Action.Half_split { sep; sibling = sib_id });
+  Cluster.emit t.cl (fun () ->
+      Fmt.str "p%d: half-split node %d at %d -> sibling %d" pid n.Node.id sep
+        sib_id);
+  (* The sibling's replication follows the path rule: the processors that
+     own leaves under its range — approximated by the location hints of
+     its children, restricted to the node's members (only they receive
+     the split).  Its PC is the splitting processor.  Leaves stay
+     single-copy. *)
+  let sibling_members =
+    if Node.is_leaf sib then [ pid ]
+    else begin
+      let owners =
+        Entries.fold
+          (fun _ p acc ->
+            match p with
+            | Node.Child c ->
+              (match Store.members_opt store c with
+              | Some ms -> ms @ acc
+              | None -> acc)
+            | Node.Data _ -> acc)
+          sib.Node.entries []
+      in
+      pid
+      :: (List.sort_uniq compare owners
+         |> List.filter (fun m ->
+                m <> pid && List.mem m copy.Store.members))
+    end
+  in
+  List.iter
+    (fun m -> Cluster.hist_new_copy t.cl ~node:sib_id ~pid:m ~base)
+    sibling_members;
+  let snapshot = Msg.snapshot_of_node ~base sib in
+  ignore (Store.install store ~node:sib ~pc:pid ~members:sibling_members);
+  List.iter
+    (fun m ->
+      if m <> pid then
+        send t ~src:pid ~dst:m
+          (Msg.Split_done
+             {
+               uid;
+               node = n.Node.id;
+               sep;
+               sibling = snapshot;
+               sibling_members;
+               sync = false;
+             }))
+    copy.Store.members;
+  (* Leaf splits fix the right neighbor's left link (§4.2 machinery). *)
+  if Node.is_leaf n then begin
+    match (sib.Node.right, sib.Node.high) with
+    | Some r, Bound.Key h ->
+      issue_relink t pid ~key:h ~level:0 ~start:r ~which:`Left ~target:sib_id
+        ~version:sib.Node.version
+    | (Some _ | None), _ -> ()
+  end;
+  if store.Store.root = n.Node.id then grow_root t pid ~old_root:n ~sep ~sib_id
+  else begin
+    let uid' = Cluster.fresh_uid t.cl in
+    forward t pid
+      (Msg.Route
+         {
+           key = sep;
+           level = n.Node.level + 1;
+           node = store.Store.root;
+           act =
+             Msg.Update
+               {
+                 uid = uid';
+                 u = Msg.Add_child { child = sib_id; child_members = sibling_members };
+               };
+         })
+      store.Store.root
+  end
+
+and grow_root t pid ~old_root ~sep ~sib_id =
+  let store = Cluster.store t.cl pid in
+  let members = pid :: List.filter (fun m -> m <> pid) (List.init (procs t) Fun.id) in
+  let id = Cluster.fresh_node_id t.cl in
+  let entries =
+    Entries.of_sorted_list
+      [
+        (Bound.min_sentinel, Node.Child old_root.Node.id);
+        (sep, Node.Child sib_id);
+      ]
+  in
+  let root =
+    Node.make ~id ~level:(old_root.Node.level + 1) ~low:Bound.Neg_inf
+      ~high:Bound.Pos_inf entries
+  in
+  Stats.incr (st t) "root.grow";
+  List.iter (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[]) members;
+  ignore (Store.install store ~node:root ~pc:pid ~members);
+  store.Store.root <- id;
+  let snap = Msg.snapshot_of_node root in
+  List.iter
+    (fun m ->
+      if m <> pid then send t ~src:pid ~dst:m (Msg.New_root { snap; members }))
+    members
+
+(* ------------------------------------------------------------------ *)
+(* Link changes (on leaves and on replicated parents' child hints)     *)
+
+and perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
+    ~version ~relayed =
+  let n = copy.Store.node in
+  let store = Cluster.store t.cl pid in
+  if target = n.Node.id then
+    Fmt.failwith "Variable: link-change would self-link node %d" target;
+  let slot = (pid, n.Node.id, (which : link_tag)) in
+  let current =
+    Option.value (Hashtbl.find_opt t.link_versions slot) ~default:(-1)
+  in
+  let effective = version > current in
+  if effective then begin
+    Hashtbl.replace t.link_versions slot version;
+    (match which with
+    | `Left -> n.Node.left <- Some target
+    | `Right -> n.Node.right <- Some target
+    | `Child _ -> ());
+    Store.learn store target [ target_pid ]
+  end
+  else Stats.incr (st t) "link_change.absorbed";
+  (* Child-hint changes on replicated nodes are directory maintenance and
+     are relayed to the other copies; they are not recorded as value
+     updates (the hint is per-store state, not part of the node value). *)
+  (match which with
+  | `Child _ -> ()
+  | `Left | `Right ->
+    Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
+      ~effective ~version ~uid
+      (Action.Link_change
+         { which = (which :> [ `Left | `Right | `Child of int ]); target }));
+  if (not relayed) && List.exists (fun m -> m <> pid) copy.Store.members then
+    List.iter
+      (fun m ->
+        if m <> pid then
+          send t ~src:pid ~dst:m
+            (Msg.Route
+               {
+                 key = guide_key n;
+                 level = n.Node.level;
+                 node = n.Node.id;
+                 act =
+                   Msg.Relink
+                     { uid; which; target; target_pid; version; relayed = true };
+               }))
+      copy.Store.members
+
+(* ------------------------------------------------------------------ *)
+(* Performing routed actions                                           *)
+
+and perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
+  match act with
+  | Msg.Search { op; origin } ->
+    let result =
+      match Node.find_leaf_value copy.Store.node key with
+      | Some v -> Msg.Found v
+      | None -> Msg.Absent
+    in
+    send t ~src:pid ~dst:origin (Msg.Op_done { op; result })
+  | Msg.Update { uid; u } ->
+    let n = copy.Store.node in
+    let version = n.Node.version in
+    let reply = apply_update t pid copy key u in
+    Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
+      (action_kind key u);
+    (match reply with
+    | Some (op, result) -> reply_op t ~src:pid op result
+    | None -> ());
+    List.iter
+      (fun m ->
+        if m <> pid then
+          send t ~src:pid ~dst:m
+            (Msg.Relay_update
+               { uid; node = n.Node.id; key; u = silence u; version; sender = pid }))
+      copy.Store.members;
+    maybe_split t pid copy
+  | Msg.Scan { op; origin; hi; acc } -> begin
+    (* collect this leaf's bindings in [route key, hi], then continue
+       along the leaf chain while it still overlaps the range *)
+    let n = copy.Store.node in
+    let acc =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v when k >= key && k <= hi -> (k, v) :: acc
+          | Node.Data _ | Node.Child _ -> acc)
+        n.Node.entries acc
+    in
+    match (n.Node.right, n.Node.high) with
+    | Some r, Bound.Key h when h <= hi ->
+      forward t pid
+        (Msg.Route
+           { key = h; level = 0; node = r; act = Msg.Scan { op; origin; hi; acc } })
+        r
+    | (Some _ | None), _ ->
+      send t ~src:pid ~dst:origin
+        (Msg.Op_done { op; result = Msg.Bindings (List.rev acc) })
+  end
+  | Msg.Relink { uid; which; target; target_pid; version; relayed } ->
+    perform_relink t pid copy ~uid ~which ~target ~target_pid ~version ~relayed
+  | Msg.Absorb _ ->
+    Fmt.failwith "Variable: leaf reclamation is a mobile-protocol extension"
+
+(* ------------------------------------------------------------------ *)
+(* Migration, join / unjoin                                            *)
+
+(* The leaf's ancestor path as this processor sees it (path-replication
+   gives the owner a local copy of every ancestor). *)
+and local_ancestors t pid key =
+  let store = Cluster.store t.cl pid in
+  let rec go id acc =
+    match Store.find store id with
+    | Some c when not (Node.is_leaf c.Store.node) -> (
+      let acc = (id, c.Store.members) :: acc in
+      match Node.step c.Store.node key with
+      | Node.Descend child -> go child acc
+      | Node.Chase_right r -> go r acc
+      | Node.Chase_left l -> go l acc
+      | Node.Here | Node.Dead_end -> acc)
+    | Some _ | None -> acc
+  in
+  (* bottom-up order: parent first *)
+  go store.Store.root []
+
+and do_migrate t ~node ~to_pid =
+  let owner =
+    Array.fold_left
+      (fun acc store -> if Store.mem store node then Some store else acc)
+      None t.cl.Cluster.stores
+  in
+  match owner with
+  | None -> Stats.incr (st t) "migrate.skipped"
+  | Some store when store.Store.pid = to_pid ->
+    Stats.incr (st t) "migrate.skipped"
+  | Some store ->
+    let pid = store.Store.pid in
+    let copy = Store.get store node in
+    if not (Node.is_leaf copy.Store.node) then Stats.incr (st t) "migrate.skipped"
+    else begin
+      let n = copy.Store.node in
+      n.Node.version <- n.Node.version + 1;
+      let base = Cluster.hist_snapshot t.cl ~node ~pid in
+      let snap = Msg.snapshot_of_node ~base n in
+      let ancestors = local_ancestors t pid (guide_key n) in
+      Store.remove store node;
+      Cluster.hist_retire t.cl ~node ~pid;
+      if (config t).Config.forwarding then
+        Hashtbl.replace store.Store.forwarding node to_pid;
+      Store.learn store node [ to_pid ];
+      t.migrations <- t.migrations + 1;
+      Stats.incr (st t) "migrate.count";
+      send t ~src:pid ~dst:to_pid
+        (Msg.Migrate_install { snap; ancestors; from_pid = pid });
+      (* Unjoin the replications this processor no longer needs: ancestors
+         with no remaining local leaf in range (the PC and the root never
+         unjoin). *)
+      List.iter
+        (fun (aid, _) ->
+          match Store.find store aid with
+          | Some acopy
+            when acopy.Store.pc <> pid
+                 && store.Store.root <> aid
+                 && not (has_local_leaf_in store acopy) ->
+            do_unjoin t pid acopy
+          | Some _ | None -> ())
+        ancestors
+    end
+
+and has_local_leaf_in store (acopy : Store.rcopy) =
+  let a = acopy.Store.node in
+  let overlaps (l : Msg.value Node.t) =
+    Node.is_leaf l
+    && Bound.compare a.Node.low l.Node.high < 0
+    && Bound.compare l.Node.low a.Node.high < 0
+  in
+  let found = ref false in
+  Store.iter store (fun c -> if overlaps c.Store.node then found := true);
+  !found
+
+and do_unjoin t pid (acopy : Store.rcopy) =
+  let store = Cluster.store t.cl pid in
+  let node = acopy.Store.node.Node.id in
+  t.unjoins <- t.unjoins + 1;
+  Stats.incr (st t) "unjoin.count";
+  Cluster.emit t.cl (fun () -> Fmt.str "p%d: unjoin node %d" pid node);
+  Store.remove store node;
+  Hashtbl.replace store.Store.departed node ();
+  Cluster.hist_retire t.cl ~node ~pid;
+  Store.learn store node (List.filter (fun m -> m <> pid) acopy.Store.members);
+  send t ~src:pid ~dst:acopy.Store.pc (Msg.Unjoin_request { node; pid })
+
+and handle_migrate_install t pid ~(snap : Msg.snapshot) ~ancestors ~from_pid =
+  let store = Cluster.store t.cl pid in
+  let node = Msg.node_of_snapshot snap in
+  let id = node.Node.id in
+  ignore (Store.install store ~node ~pc:pid ~members:[ pid ]);
+  Hashtbl.remove store.Store.forwarding id;
+  Hashtbl.remove store.Store.departed id;
+  Cluster.hist_new_copy t.cl ~node:id ~pid ~base:snap.Msg.s_base;
+  Cluster.hist_record t.cl ~node:id ~pid ~mode:Action.Initial
+    ~version:node.Node.version
+    ~uid:(Cluster.fresh_uid t.cl)
+    (Action.Migrate { to_pid = pid });
+  ignore from_pid;
+  let v = node.Node.version in
+  (match (node.Node.left, node.Node.low) with
+  | Some l, Bound.Key low ->
+    issue_relink t pid ~key:(low - 1) ~level:node.Node.level ~start:l
+      ~which:`Right ~target:id ~version:v
+  | (Some _ | None), _ -> ());
+  (match (node.Node.right, node.Node.high) with
+  | Some r, Bound.Key high ->
+    issue_relink t pid ~key:high ~level:node.Node.level ~start:r ~which:`Left
+      ~target:id ~version:v
+  | (Some _ | None), _ -> ());
+  issue_relink t pid ~key:(guide_key node) ~level:(node.Node.level + 1)
+    ~start:store.Store.root ~which:(`Child id) ~target:id ~version:v;
+  (* Path replication: join every ancestor we do not already maintain. *)
+  List.iter
+    (fun (aid, hints) ->
+      if not (Store.mem store aid) then begin
+        Store.learn store aid hints;
+        match hints with
+        | pc :: _ when pc <> pid ->
+          Stats.incr (st t) "join.requested";
+          send t ~src:pid ~dst:pc (Msg.Join_request { node = aid; requester = pid })
+        | _ -> ()
+      end)
+    ancestors;
+  List.iter (send_local t pid) (Store.take_pending store id)
+
+(* ------------------------------------------------------------------ *)
+(* Message handler                                                     *)
+
+let handle_route t pid ~key ~level ~node ~act =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None ->
+    let msg = Msg.Route { key; level; node; act } in
+    if Hashtbl.mem store.Store.departed node then begin
+      Stats.incr (st t) "recover.departed";
+      send_local t pid (Msg.Route { key; level; node = store.Store.root; act })
+    end
+    else (
+      match Hashtbl.find_opt store.Store.forwarding node with
+      | Some fwd ->
+        Stats.incr (st t) "recover.forwarded";
+        send t ~src:pid ~dst:fwd msg
+      | None -> (
+        match Store.members_opt store node with
+        | Some members when List.exists (fun m -> m <> pid) members ->
+          Stats.incr (st t) "recover.hinted";
+          send t ~src:pid
+            ~dst:(choose_member t (List.filter (fun m -> m <> pid) members))
+            msg
+        | Some _ | None ->
+          (* A routed action carries its key: restart the navigation from
+             the local root (stale hints repair themselves via the child
+             link-changes; the PC-authority fallback covers the rest). *)
+          Stats.incr (st t) "recover.restart";
+          send_local t pid
+            (Msg.Route { key; level; node = store.Store.root; act })))
+  | Some copy ->
+    let n = copy.Store.node in
+    if n.Node.level > level then begin
+      let authority = copy.Store.pc in
+      match Node.step n key with
+      | Node.Chase_right r ->
+        Stats.incr (st t) "route.chase";
+        forward ~authority t pid (Msg.Route { key; level; node = r; act }) r
+      | Node.Chase_left l ->
+        Stats.incr (st t) "route.chase";
+        forward ~authority t pid (Msg.Route { key; level; node = l; act }) l
+      | Node.Descend c ->
+        forward ~authority t pid (Msg.Route { key; level; node = c; act }) c
+      | Node.Here | Node.Dead_end ->
+        Fmt.failwith "Variable: bad navigation at node %d key %d" node key
+    end
+    else if n.Node.level < level then begin
+      Stats.incr (st t) "route.up";
+      forward t pid
+        (Msg.Route { key; level; node = store.Store.root; act })
+        store.Store.root
+    end
+    else if Bound.compare_key n.Node.high key <= 0 then begin
+      Stats.incr (st t) "route.chase";
+      match n.Node.right with
+      | Some r ->
+        forward ~authority:copy.Store.pc t pid
+          (Msg.Route { key; level; node = r; act })
+          r
+      | None -> Fmt.failwith "Variable: dead end right at node %d key %d" node key
+    end
+    else if Bound.compare_key n.Node.low key > 0 then begin
+      Stats.incr (st t) "route.chase";
+      match n.Node.left with
+      | Some l ->
+        forward ~authority:copy.Store.pc t pid
+          (Msg.Route { key; level; node = l; act })
+          l
+      | None -> Fmt.failwith "Variable: dead end left at node %d key %d" node key
+    end
+    else perform t pid copy ~key ~act
+
+let handle_relay t pid ~uid ~node ~key ~u ~version ~sender =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None ->
+    if Hashtbl.mem store.Store.departed node then
+      Stats.incr (st t) "relay.to_departed"
+    else begin
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node
+        (Msg.Relay_update { uid; node; key; u; version; sender })
+    end
+  | Some copy ->
+    if pid = copy.Store.pc then
+      catchup t pid copy ~uid ~key ~u ~version ~sender;
+    if Node.in_range copy.Store.node key then begin
+      ignore (apply_update t pid copy key u);
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
+        (action_kind key u);
+      Stats.incr (st t) "relay.applied";
+      maybe_split t pid copy
+    end
+    else begin
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed
+        ~effective:false ~uid (action_kind key u);
+      Stats.incr (st t) "relay.discarded";
+      if pid = copy.Store.pc then begin
+        (* §4.1.2 history rewriting: forward to the right sibling. *)
+        Stats.incr (st t) "semi.forwarded";
+        let uid' = Cluster.fresh_uid t.cl in
+        match copy.Store.node.Node.right with
+        | Some r ->
+          forward t pid
+            (Msg.Route
+               {
+                 key;
+                 level = copy.Store.node.Node.level;
+                 node = r;
+                 act = Msg.Update { uid = uid'; u };
+               })
+            r
+        | None ->
+          Fmt.failwith "Variable: out-of-range relay at rightmost node %d" node
+      end
+    end
+
+let apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
+    ~sibling_members =
+  let store = Cluster.store t.cl pid in
+  let n = copy.Store.node in
+  let keep, _dropped = Entries.partition_lt n.Node.entries sep in
+  n.Node.entries <- keep;
+  n.Node.high <- Bound.Key sep;
+  n.Node.right <- Some sibling.Msg.s_id;
+  n.Node.version <- n.Node.version + 1;
+  Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Relayed ~uid
+    ~version:n.Node.version
+    (Action.Half_split { sep; sibling = sibling.Msg.s_id });
+  Store.learn store sibling.Msg.s_id sibling_members;
+  if List.mem pid sibling_members then begin
+    let node = Msg.node_of_snapshot sibling in
+    ignore
+      (Store.install store ~node
+         ~pc:(Cluster.pc_of_members sibling_members)
+         ~members:sibling_members);
+    Hashtbl.remove store.Store.departed sibling.Msg.s_id;
+    List.iter (send_local t pid) (Store.take_pending store sibling.Msg.s_id)
+  end
+
+let handle_join_request t pid ~node ~requester =
+  let store = Cluster.store t.cl pid in
+  let copy = Store.get store node in
+  if List.mem requester copy.Store.members then Stats.incr (st t) "join.duplicate"
+  else begin
+    let n = copy.Store.node in
+    n.Node.version <- n.Node.version + 1;
+    let version = n.Node.version in
+    let uid = Cluster.fresh_uid t.cl in
+    t.joins <- t.joins + 1;
+    Stats.incr (st t) "join.count";
+    Cluster.hist_record t.cl ~node ~pid ~mode:Action.Initial ~version ~uid
+      (Action.Join { pid = requester });
+    copy.Store.members <- copy.Store.members @ [ requester ];
+    copy.Store.join_versions <-
+      (requester, version) :: copy.Store.join_versions;
+    Store.learn store node copy.Store.members;
+    let base = Cluster.hist_snapshot t.cl ~node ~pid in
+    Cluster.hist_new_copy t.cl ~node ~pid:requester ~base;
+    let snap = Msg.snapshot_of_node ~base n in
+    let hint_ids =
+      Entries.fold
+        (fun _ p acc ->
+          match p with Node.Child c -> c :: acc | Node.Data _ -> acc)
+        n.Node.entries []
+    in
+    let hint_ids =
+      match n.Node.right with Some r -> r :: hint_ids | None -> hint_ids
+    in
+    let hints =
+      List.filter_map
+        (fun c ->
+          Option.map (fun ms -> (c, ms)) (Store.members_opt store c))
+        hint_ids
+    in
+    send t ~src:pid ~dst:requester
+      (Msg.Join_copy
+         { node; snap; members = copy.Store.members; join_version = version; hints });
+    List.iter
+      (fun m ->
+        if m <> pid && m <> requester then
+          send t ~src:pid ~dst:m
+            (Msg.Relay_member { node; change = `Join requester; version; uid }))
+      copy.Store.members
+  end
+
+let handle_join_copy t pid ~node ~(snap : Msg.snapshot) ~members ~hints =
+  let store = Cluster.store t.cl pid in
+  List.iter (fun (c, ms) -> Store.learn_if_absent store c ms) hints;
+  if Store.mem store node then Stats.incr (st t) "join.already_member"
+  else begin
+    let n = Msg.node_of_snapshot snap in
+    ignore
+      (Store.install store ~node:n ~pc:(Cluster.pc_of_members members) ~members);
+    Hashtbl.remove store.Store.departed node;
+    List.iter (send_local t pid) (Store.take_pending store node)
+  end
+
+let handle_relay_member t pid ~node ~change ~version ~uid =
+  let store = Cluster.store t.cl pid in
+  match Store.find store node with
+  | None ->
+    if Hashtbl.mem store.Store.departed node then
+      Stats.incr (st t) "relay.to_departed"
+    else begin
+      Stats.incr (st t) "route.parked";
+      Store.add_pending store node (Msg.Relay_member { node; change; version; uid })
+    end
+  | Some copy ->
+    let n = copy.Store.node in
+    n.Node.version <- max n.Node.version version;
+    (match change with
+    | `Join p ->
+      if not (List.mem p copy.Store.members) then
+        copy.Store.members <- copy.Store.members @ [ p ];
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~version ~uid
+        (Action.Join { pid = p })
+    | `Unjoin p ->
+      copy.Store.members <- List.filter (fun m -> m <> p) copy.Store.members;
+      Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~version ~uid
+        (Action.Unjoin { pid = p }));
+    Store.learn store node copy.Store.members
+
+let handle_unjoin_request t pid ~node ~who =
+  let store = Cluster.store t.cl pid in
+  let copy = Store.get store node in
+  if not (List.mem who copy.Store.members) then
+    Stats.incr (st t) "unjoin.duplicate"
+  else begin
+    let n = copy.Store.node in
+    n.Node.version <- n.Node.version + 1;
+    let version = n.Node.version in
+    let uid = Cluster.fresh_uid t.cl in
+    Cluster.hist_record t.cl ~node ~pid ~mode:Action.Initial ~version ~uid
+      (Action.Unjoin { pid = who });
+    copy.Store.members <- List.filter (fun m -> m <> who) copy.Store.members;
+    copy.Store.join_versions <-
+      List.filter (fun (m, _) -> m <> who) copy.Store.join_versions;
+    Store.learn store node copy.Store.members;
+    List.iter
+      (fun m ->
+        if m <> pid then
+          send t ~src:pid ~dst:m
+            (Msg.Relay_member { node; change = `Unjoin who; version; uid }))
+      copy.Store.members
+  end
+
+let handle t pid ~src:_ msg =
+  match msg with
+  | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  | Msg.Op_done { op; result } ->
+    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Relay_update { uid; node; key; u; version; sender } ->
+    handle_relay t pid ~uid ~node ~key ~u ~version ~sender
+  | Msg.Split_done { uid; node; sep; sibling; sibling_members; sync = _ } -> begin
+    let store = Cluster.store t.cl pid in
+    match Store.find store node with
+    | None ->
+      if Hashtbl.mem store.Store.departed node then begin
+        Stats.incr (st t) "relay.to_departed";
+        (* The split raced our unjoin and implicitly enrolled us in the
+           sibling's replication (the PC computed the member set before
+           processing the unjoin).  Decline it: mark the sibling departed
+           and tell its PC to drop us. *)
+        if List.mem pid sibling_members then begin
+          Hashtbl.replace store.Store.departed sibling.Msg.s_id ();
+          Cluster.hist_retire t.cl ~node:sibling.Msg.s_id ~pid;
+          let sib_pc = Cluster.pc_of_members sibling_members in
+          if sib_pc <> pid then
+            send t ~src:pid ~dst:sib_pc
+              (Msg.Unjoin_request { node = sibling.Msg.s_id; pid })
+        end
+      end
+      else begin
+        Stats.incr (st t) "route.parked";
+        Store.add_pending store node msg
+      end
+    | Some copy -> apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members
+  end
+  | Msg.New_root { snap; members } ->
+    let store = Cluster.store t.cl pid in
+    Store.learn store snap.Msg.s_id members;
+    let n = Msg.node_of_snapshot snap in
+    ignore
+      (Store.install store ~node:n ~pc:(Cluster.pc_of_members members) ~members);
+    store.Store.root <- snap.Msg.s_id;
+    List.iter (send_local t pid) (Store.take_pending store snap.Msg.s_id)
+  | Msg.Migrate_install { snap; ancestors; from_pid } ->
+    handle_migrate_install t pid ~snap ~ancestors ~from_pid
+  | Msg.Join_request { node; requester } -> handle_join_request t pid ~node ~requester
+  | Msg.Join_copy { node; snap; members; join_version = _; hints } ->
+    handle_join_copy t pid ~node ~snap ~members ~hints
+  | Msg.Relay_member { node; change; version; uid } ->
+    handle_relay_member t pid ~node ~change ~version ~uid
+  | Msg.Unjoin_request { node; pid = who } -> handle_unjoin_request t pid ~node ~who
+  | Msg.Batch _ | Msg.Split_start _ | Msg.Split_ack _ | Msg.Eager_update _
+  | Msg.Eager_split _ | Msg.Eager_ack _ ->
+    Fmt.failwith "Variable: unexpected message %s" (Msg.kind msg)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap and public API                                            *)
+
+let leaf_counts t =
+  Array.map
+    (fun store ->
+      let count = ref 0 in
+      Store.iter store (fun c -> if Node.is_leaf c.Store.node then incr count);
+      !count)
+    t.cl.Cluster.stores
+
+let balance_step t =
+  let counts = leaf_counts t in
+  let hi = ref 0 and lo = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if c > counts.(!hi) then hi := i;
+      if c < counts.(!lo) then lo := i)
+    counts;
+  if counts.(!hi) - counts.(!lo) >= 2 then begin
+    let store = Cluster.store t.cl !hi in
+    let victim = ref None in
+    Store.iter store (fun c ->
+        if Node.is_leaf c.Store.node then
+          match !victim with
+          | Some (size, _) when size >= Node.size c.Store.node -> ()
+          | Some _ | None ->
+            victim := Some (Node.size c.Store.node, c.Store.node.Node.id));
+    match !victim with
+    | Some (_, id) -> do_migrate t ~node:id ~to_pid:!lo
+    | None -> ()
+  end
+
+let bootstrap t =
+  let cl = t.cl in
+  let nprocs = procs t in
+  let leaves =
+    List.init nprocs (fun p ->
+        let lo, hi = Partition.slice cl.Cluster.partition p in
+        let low = if p = 0 then Bound.Neg_inf else Bound.Key lo in
+        let high = if p = nprocs - 1 then Bound.Pos_inf else Bound.Key hi in
+        let id = Cluster.fresh_node_id cl in
+        (p, lo, Node.make ~id ~level:0 ~low ~high Entries.empty))
+  in
+  let rec link = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) ->
+      a.Node.right <- Some b.Node.id;
+      b.Node.left <- Some a.Node.id;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link leaves;
+  let root_id = Cluster.fresh_node_id cl in
+  let root_entries =
+    Entries.of_sorted_list
+      (List.map
+         (fun (p, lo, node) ->
+           ((if p = 0 then Bound.min_sentinel else lo), Node.Child node.Node.id))
+         leaves)
+  in
+  let members = List.init nprocs Fun.id in
+  for pid = 0 to nprocs - 1 do
+    let store = Cluster.store cl pid in
+    store.Store.root <- root_id;
+    let root =
+      Node.make ~id:root_id ~level:1 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
+        root_entries
+    in
+    ignore (Store.install store ~node:root ~pc:0 ~members);
+    Cluster.hist_new_copy cl ~node:root_id ~pid ~base:[];
+    List.iter
+      (fun (p, _, node) -> Store.learn store node.Node.id [ p ])
+      leaves
+  done;
+  List.iter
+    (fun (p, _, node) ->
+      node.Node.parent <- Some root_id;
+      ignore (Store.install (Cluster.store cl p) ~node ~pc:p ~members:[ p ]);
+      Cluster.hist_new_copy cl ~node:node.Node.id ~pid:p ~base:[])
+    leaves
+
+let create cfg =
+  let cl = Cluster.create cfg in
+  let t =
+    {
+      cl;
+      link_versions = Hashtbl.create 256;
+      splits = 0;
+      migrations = 0;
+      joins = 0;
+      unjoins = 0;
+    }
+  in
+  for pid = 0 to cfg.Config.procs - 1 do
+    Cluster.Network.set_handler cl.Cluster.net pid (fun ~src msg ->
+        handle t pid ~src msg)
+  done;
+  bootstrap t;
+  if cfg.Config.balance_period > 0 then begin
+    let rec tick () =
+      if Sim.pending cl.Cluster.sim > 0 then begin
+        balance_step t;
+        Sim.schedule cl.Cluster.sim ~delay:cfg.Config.balance_period tick
+      end
+    in
+    Sim.schedule cl.Cluster.sim ~delay:cfg.Config.balance_period tick
+  end;
+  t
+
+let start_route t ~origin msg = send_local t origin msg
+
+let insert t ~origin key value =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
+      ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act =
+           Msg.Update { uid; u = Msg.Upsert { op = r.Opstate.id; origin; value } };
+       });
+  r.Opstate.id
+
+let search t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Search { op = r.Opstate.id; origin };
+       });
+  r.Opstate.id
+
+let remove t ~origin key =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  let uid = Cluster.fresh_uid t.cl in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Update { uid; u = Msg.Remove { op = r.Opstate.id; origin } };
+       });
+  r.Opstate.id
+
+
+let scan t ~origin ~lo ~hi =
+  let r =
+    Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
+      ~origin ~now:(Cluster.now t.cl)
+  in
+  start_route t ~origin
+    (Msg.Route
+       {
+         key = lo;
+         level = 0;
+         node = (Cluster.store t.cl origin).Store.root;
+         act = Msg.Scan { op = r.Opstate.id; origin; hi; acc = [] };
+       });
+  r.Opstate.id
+
+let migrate t ~node ~to_pid =
+  if to_pid < 0 || to_pid >= procs t then
+    invalid_arg "Variable.migrate: bad pid";
+  Sim.schedule t.cl.Cluster.sim ~delay:0 (fun () -> do_migrate t ~node ~to_pid)
+
+let run ?max_events t = Cluster.run ?max_events t.cl
+
+let api t =
+  {
+    Driver.insert = (fun ~origin k v -> insert t ~origin k v);
+    Driver.search = (fun ~origin k -> search t ~origin k);
+    Driver.remove = (fun ~origin k -> remove t ~origin k);
+  }

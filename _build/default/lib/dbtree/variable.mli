@@ -1,0 +1,57 @@
+(** Variable copies (§4.3): the full never-merge dB-tree.
+
+    The culminating protocol of the paper, combining the fixed-copies lazy
+    machinery with node mobility:
+
+    - {b leaves} are single-copy and migrate between processors for data
+      balancing, exactly as in {!Mobile};
+    - {b interior nodes} are replicated with semi-synchronous splits, and
+      processors *join* and *unjoin* a node's replication as the
+      path-replication rule dictates: a processor that receives a leaf
+      joins the replication of every ancestor of that leaf; a processor
+      whose last leaf under a node departs unjoins it (the primary copy
+      never unjoins — the paper fixes each node's PC for good);
+    - the {b root} is replicated everywhere and exempt from unjoins;
+    - every join/unjoin (and split) increments the node's version at the
+      PC and is relayed to all copies in version order.  A relayed lazy
+      update carries the version its sender held; when it reaches the PC,
+      the PC re-relays it to every member whose join version is newer —
+      this is the Figure 6 catch-up rule that keeps late joiners'
+      histories complete (Theorem 4).  Setting
+      [Config.version_relays = false] disables the rule and reproduces the
+      anomaly (experiment E6).
+
+    Verification: at quiescence all live copies of every interior node are
+    value-identical, every key is reachable from every processor, and the
+    recorded histories satisfy the §3 requirements. *)
+
+type t
+
+val create : Config.t -> t
+(** Bootstrap: one leaf per partition slice; a root replicated on every
+    processor.  [replication] is ignored (membership is dynamic). *)
+
+val cluster : t -> Cluster.t
+val config : t -> Config.t
+
+val insert : t -> origin:Msg.pid -> int -> Msg.value -> int
+val search : t -> origin:Msg.pid -> int -> int
+val remove : t -> origin:Msg.pid -> int -> int
+
+val scan : t -> origin:Msg.pid -> lo:int -> hi:int -> int
+(** Range scan along the leaf chain: the result is
+    [Msg.Bindings] of all bindings with [lo <= key <= hi], in key order. *)
+
+val migrate : t -> node:Msg.node_id -> to_pid:Msg.pid -> unit
+(** Migrate a leaf to [to_pid]: the receiver joins the replication of the
+    leaf's ancestors, the sender unjoins the ancestors it no longer needs.
+    No-op on interior nodes or if the leaf has moved. *)
+
+val run : ?max_events:int -> t -> unit
+val api : t -> Driver.api
+
+val splits : t -> int
+val migrations : t -> int
+val joins : t -> int
+val unjoins : t -> int
+val leaf_counts : t -> int array

@@ -1,0 +1,198 @@
+open Dbtree_blink
+
+type report = {
+  nodes : int;
+  leaves : int;
+  keys_found : int;
+  divergent_nodes : (int * string) list;
+  missing_keys : int list;
+  phantom_keys : int list;
+  unreachable : (Msg.pid * int) list;
+  history : Dbtree_history.Checker.report option;
+  copies_per_level : (int * int * int) list;
+}
+
+let ok r =
+  r.divergent_nodes = [] && r.missing_keys = [] && r.phantom_keys = []
+  && r.unreachable = []
+  && match r.history with
+     | Some h -> Dbtree_history.Checker.ok h
+     | None -> true
+
+(* Gather all copies of every node across the stores. *)
+let collect (cl : Cluster.t) =
+  let tbl : (int, (int * Store.rcopy) list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun store ->
+      Store.iter store (fun copy ->
+          let id = copy.Store.node.Node.id in
+          let existing = Option.value (Hashtbl.find_opt tbl id) ~default:[] in
+          Hashtbl.replace tbl id ((store.Store.pid, copy) :: existing)))
+    cl.Cluster.stores;
+  tbl
+
+(* The copy we treat as the node's reference value: the PC's if present. *)
+let canonical copies =
+  match List.find_opt (fun (pid, c) -> pid = c.Store.pc) copies with
+  | Some (_, c) -> c
+  | None -> snd (List.hd copies)
+
+let check_divergence tbl =
+  Hashtbl.fold
+    (fun id copies acc ->
+      let reference = canonical copies in
+      let bad =
+        List.filter_map
+          (fun (pid, c) ->
+            if
+              Node.content_equal String.equal c.Store.node
+                reference.Store.node
+            then None
+            else
+              Some
+                (Fmt.str "copy at p%d differs from PC copy (%a vs %a)" pid
+                   (Node.pp Fmt.string) c.Store.node (Node.pp Fmt.string)
+                   reference.Store.node))
+          copies
+      in
+      match bad with [] -> acc | d :: _ -> (id, d) :: acc)
+    tbl []
+
+(* Walk the leaf chain left-to-right through canonical copies. *)
+let leaf_bindings tbl root_id =
+  let node_of id =
+    match Hashtbl.find_opt tbl id with
+    | Some copies -> (canonical copies).Store.node
+    | None -> Fmt.failwith "Verify: dangling node id %d" id
+  in
+  let rec leftmost id =
+    let n = node_of id in
+    if Node.is_leaf n then n
+    else
+      match Entries.min_binding n.Node.entries with
+      | Some (_, Node.Child c) -> leftmost c
+      | Some (_, Node.Data _) | None ->
+        Fmt.failwith "Verify: malformed interior node %d" id
+  in
+  let rec walk n acc count =
+    let acc =
+      Entries.fold
+        (fun k p acc ->
+          match p with
+          | Node.Data v -> (k, v) :: acc
+          | Node.Child _ -> acc)
+        n.Node.entries acc
+    in
+    match n.Node.right with
+    | Some r -> walk (node_of r) acc (count + 1)
+    | None -> (List.rev acc, count + 1)
+  in
+  walk (leftmost root_id) [] 0
+
+(* A search executed over the quiesced state, hopping between stores the
+   way messages would. *)
+let static_search (cl : Cluster.t) tbl ~origin key =
+  let store = Cluster.store cl origin in
+  let rec go id fuel =
+    if fuel = 0 then None
+    else
+      let node =
+        match Store.find store id with
+        | Some c -> Some c.Store.node
+        | None ->
+          Option.map
+            (fun copies -> (canonical copies).Store.node)
+            (Hashtbl.find_opt tbl id)
+      in
+      match node with
+      | None -> None
+      | Some n -> (
+        match Node.step n key with
+        | Node.Here -> Node.find_leaf_value n key
+        | Node.Descend c -> go c (fuel - 1)
+        | Node.Chase_right r -> go r (fuel - 1)
+        | Node.Chase_left (l) -> go l (fuel - 1)
+        | Node.Dead_end -> None)
+  in
+  go store.Store.root 10_000
+
+let copies_per_level tbl =
+  let acc = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ copies ->
+      let level = (canonical copies).Store.node.Node.level in
+      let nodes, total = Option.value (Hashtbl.find_opt acc level) ~default:(0, 0) in
+      Hashtbl.replace acc level (nodes + 1, total + List.length copies))
+    tbl;
+  Hashtbl.fold (fun level (n, c) l -> (level, n, c) :: l) acc []
+  |> List.sort compare
+
+let check ?(search_sample = 64) (cl : Cluster.t) =
+  let tbl = collect cl in
+  let divergent_nodes = check_divergence tbl in
+  let root_id = (Cluster.store cl 0).Store.root in
+  let bindings, leaves = leaf_bindings tbl root_id in
+  let expected = Opstate.inserted_keys cl.Cluster.ops in
+  let found = Hashtbl.create (List.length bindings) in
+  List.iter (fun (k, v) -> Hashtbl.replace found k v) bindings;
+  let missing_keys =
+    Hashtbl.fold
+      (fun k _ acc -> if Hashtbl.mem found k then acc else k :: acc)
+      expected []
+    |> List.sort compare
+  in
+  let phantom_keys =
+    Hashtbl.fold
+      (fun k _ acc -> if Hashtbl.mem expected k then acc else k :: acc)
+      found []
+    |> List.sort compare
+  in
+  (* Reachability: probe a sample of the stored keys from every origin. *)
+  let stored = Array.of_list (List.map fst bindings) in
+  let unreachable = ref [] in
+  let nprocs = Array.length cl.Cluster.stores in
+  if Array.length stored > 0 then
+    for origin = 0 to nprocs - 1 do
+      let step = max 1 (Array.length stored / search_sample) in
+      let i = ref 0 in
+      while !i < Array.length stored do
+        let key = stored.(!i) in
+        (match static_search cl tbl ~origin key with
+        | Some _ -> ()
+        | None -> unreachable := (origin, key) :: !unreachable);
+        i := !i + step
+      done
+    done;
+  let history =
+    if Cluster.recording cl then
+      Some (Dbtree_history.Checker.check cl.Cluster.hist)
+    else None
+  in
+  {
+    nodes = Hashtbl.length tbl;
+    leaves;
+    keys_found = Hashtbl.length found;
+    divergent_nodes;
+    missing_keys;
+    phantom_keys;
+    unreachable = !unreachable;
+    history;
+    copies_per_level = copies_per_level tbl;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>nodes=%d leaves=%d keys=%d@," r.nodes r.leaves r.keys_found;
+  Fmt.pf ppf "divergent=%d missing=%d phantom=%d unreachable=%d@,"
+    (List.length r.divergent_nodes)
+    (List.length r.missing_keys)
+    (List.length r.phantom_keys)
+    (List.length r.unreachable);
+  (match List.nth_opt r.divergent_nodes 0 with
+  | Some (id, why) -> Fmt.pf ppf "first divergence: node %d: %s@," id why
+  | None -> ());
+  (match r.history with
+  | Some h -> Fmt.pf ppf "%a@," Dbtree_history.Checker.pp_report h
+  | None -> ());
+  Fmt.pf ppf "copies/level: %a@]"
+    (Fmt.list ~sep:Fmt.sp (fun ppf (l, n, c) -> Fmt.pf ppf "L%d:%dn/%dc" l n c))
+    r.copies_per_level

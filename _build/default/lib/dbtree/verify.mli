@@ -1,0 +1,39 @@
+(** Quiescent-state verification.
+
+    After a run drains to quiescence, this module audits the whole cluster
+    against the paper's correctness claims:
+
+    - {b single-copy equivalence} (Compatible History Requirement,
+      value half): all live copies of every node hold identical values;
+    - {b no lost or phantom keys}: the leaf level contains exactly the
+      keys the completed operations say it should (this is what the Naive
+      ablation fails — the Figure 4 lost inserts);
+    - {b reachability}: a fresh search from any processor finds every
+      stored key (B-link navigability);
+    - {b §3 history requirements} via {!Dbtree_history.Checker}, when the
+      run recorded histories.
+
+    The report also carries structural statistics (copies per level) used
+    by experiment E2. *)
+
+type report = {
+  nodes : int;
+  leaves : int;
+  keys_found : int;
+  divergent_nodes : (int * string) list;
+  missing_keys : int list;  (** expected but absent — lost updates *)
+  phantom_keys : int list;  (** present but never (still) inserted *)
+  unreachable : (Msg.pid * int) list;
+      (** (origin, key): stored but not found by a search from [origin] *)
+  history : Dbtree_history.Checker.report option;
+  copies_per_level : (int * int * int) list;
+      (** (level, logical nodes, physical copies) — Figure 2's shape *)
+}
+
+val ok : report -> bool
+
+val check : ?search_sample:int -> Cluster.t -> report
+(** Audit the cluster.  [search_sample] bounds the number of keys probed
+    per processor for the reachability check (default 64). *)
+
+val pp : report Fmt.t

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Cluster Config Dbtree_core Dbtree_sim Dbtree_workload Driver Fixed Mobile Opstate Option Rng Stats Variable Verify Workload

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cluster Config Dbtree_core Driver Mobile Opstate Variable Verify

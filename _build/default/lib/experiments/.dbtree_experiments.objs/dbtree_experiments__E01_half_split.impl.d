@@ -1,0 +1,1 @@
+lib/experiments/e01_half_split.ml: Array Bptree Btree Common Dbtree_blink Dbtree_sim List Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e02_replication_policy.ml: Cluster Common Config Dbtree_core Dbtree_sim List Table Verify

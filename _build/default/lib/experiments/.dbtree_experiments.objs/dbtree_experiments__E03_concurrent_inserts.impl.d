@@ -1,0 +1,1 @@
+lib/experiments/e03_concurrent_inserts.ml: Cluster Config Dbtree_core Dbtree_sim Dbtree_workload Driver Fixed Fmt List Stats Table Trace Verify Workload

@@ -1,0 +1,1 @@
+lib/experiments/e04_lost_insert.ml: Common Config Dbtree_core List Table Verify

@@ -1,0 +1,1 @@
+lib/experiments/e05_split_cost.ml: Cluster Common Config Dbtree_core Dbtree_sim Fmt List Opstate Table

@@ -1,0 +1,1 @@
+lib/experiments/e06_join_catchup.ml: Cluster Common Config Dbtree_core Dbtree_history Dbtree_sim List Stats Table Variable Verify

@@ -1,0 +1,1 @@
+lib/experiments/e07_root_bottleneck.ml: Cluster Common Config Dbtree_core List Opstate Table

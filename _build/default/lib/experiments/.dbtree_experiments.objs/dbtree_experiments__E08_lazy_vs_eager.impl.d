@@ -1,0 +1,1 @@
+lib/experiments/e08_lazy_vs_eager.ml: Cluster Common Config Dbtree_core List Opstate Table

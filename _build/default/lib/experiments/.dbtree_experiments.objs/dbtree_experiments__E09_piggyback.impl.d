@@ -1,0 +1,1 @@
+lib/experiments/e09_piggyback.ml: Cluster Common Config Dbtree_core List Opstate Table

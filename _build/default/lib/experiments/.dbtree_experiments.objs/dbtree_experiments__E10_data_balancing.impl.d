@@ -1,0 +1,1 @@
+lib/experiments/e10_data_balancing.ml: Array Cluster Common Config Dbtree_core Dbtree_sim Fmt List Mobile Opstate Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/e11_never_merge.ml: Array Btree Common Dbtree_blink Dbtree_sim List Rng Table

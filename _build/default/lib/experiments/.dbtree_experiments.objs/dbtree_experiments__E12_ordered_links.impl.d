@@ -1,0 +1,1 @@
+lib/experiments/e12_ordered_links.ml: Array Cluster Common Config Dbtree_blink Dbtree_core Dbtree_history Dbtree_sim List Mobile Rng Sim Stats Store Table Verify

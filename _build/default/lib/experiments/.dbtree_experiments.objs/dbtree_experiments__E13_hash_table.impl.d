@@ -1,0 +1,1 @@
+lib/experiments/e13_hash_table.ml: Common Dbtree_lht Dbtree_sim Lht List Table

@@ -1,0 +1,1 @@
+lib/experiments/e14_network_faults.ml: Cluster Common Config Dbtree_core Dbtree_history Dbtree_sim Driver Fixed List Opstate Table Verify

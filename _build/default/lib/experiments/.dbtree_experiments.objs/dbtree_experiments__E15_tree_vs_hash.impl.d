@@ -1,0 +1,1 @@
+lib/experiments/e15_tree_vs_hash.ml: Array Cluster Common Config Dbtree_core Dbtree_lht Dbtree_sim Dbtree_workload Fixed Fmt Lht Rng Table Verify

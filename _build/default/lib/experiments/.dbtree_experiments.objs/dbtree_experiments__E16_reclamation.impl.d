@@ -1,0 +1,1 @@
+lib/experiments/e16_reclamation.ml: Array Cluster Common Config Dbtree_core Dbtree_sim Dbtree_workload List Mobile Rng Stats Store Table Verify

@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Fmt List String

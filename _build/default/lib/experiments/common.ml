@@ -1,0 +1,80 @@
+open Dbtree_core
+open Dbtree_workload
+open Dbtree_sim
+
+type run_result = {
+  cluster : Cluster.t;
+  splits : int;
+  keys : int array;
+  report : Verify.report;
+  elapsed : int;
+}
+
+let scale quick n = if quick then max 1 (n / 4) else n
+
+let load_and_search ?(window = 4) ?(searches_per_proc = 64)
+    ?key_space ~api ~(cluster : Cluster.t) ~splits ~count ~seed () =
+  let cfg = cluster.Cluster.config in
+  let key_space = Option.value key_space ~default:cfg.Config.key_space in
+  let procs = cfg.Config.procs in
+  let rng = Rng.create (seed + 7) in
+  let keys = Workload.unique_keys rng ~key_space ~count in
+  let streams =
+    Array.map (fun ks -> Workload.inserts ~keys:ks)
+      (Workload.chunk keys ~parts:procs)
+  in
+  Driver.run_closed cluster api ~streams ~window;
+  if searches_per_proc > 0 then begin
+    let search_streams =
+      Array.init procs (fun pid ->
+          Workload.searches (Rng.create (seed + 100 + pid)) ~keys
+            ~count:searches_per_proc)
+    in
+    Driver.run_closed cluster api ~streams:search_streams ~window
+  end;
+  let report = Verify.check cluster in
+  {
+    cluster;
+    splits = splits ();
+    keys;
+    report;
+    elapsed = Cluster.now cluster;
+  }
+
+let run_fixed ?window ?searches_per_proc ~count cfg =
+  let t = Fixed.create cfg in
+  load_and_search ?window ?searches_per_proc ~api:(Driver.fixed_api t)
+    ~cluster:(Fixed.cluster t)
+    ~splits:(fun () -> Fixed.splits t)
+    ~count ~seed:cfg.Config.seed ()
+
+let run_mobile ?window ?searches_per_proc ~count cfg =
+  let t = Mobile.create cfg in
+  let r =
+    load_and_search ?window ?searches_per_proc ~api:(Mobile.api t)
+      ~cluster:(Mobile.cluster t)
+      ~splits:(fun () -> Mobile.splits t)
+      ~count ~seed:cfg.Config.seed ()
+  in
+  (t, r)
+
+let run_variable ?window ?searches_per_proc ~count cfg =
+  let t = Variable.create cfg in
+  let r =
+    load_and_search ?window ?searches_per_proc ~api:(Variable.api t)
+      ~cluster:(Variable.cluster t)
+      ~splits:(fun () -> Variable.splits t)
+      ~count ~seed:cfg.Config.seed ()
+  in
+  (t, r)
+
+let msgs r = Cluster.Network.remote_messages r.cluster.Cluster.net
+let stat r name = Stats.get (Cluster.stats r.cluster) name
+let msgs_of_kind r kind = stat r ("net.msg." ^ kind)
+let ops_completed r = Opstate.completed r.cluster.Cluster.ops
+
+let throughput r =
+  1000.0 *. float_of_int (ops_completed r) /. float_of_int (max 1 r.elapsed)
+
+let mean_latency r kind = Opstate.mean_latency r.cluster.Cluster.ops kind
+let verified r = if Verify.ok r.report then "ok" else "FAIL"

@@ -1,0 +1,50 @@
+(** Shared machinery for the experiment runners. *)
+
+open Dbtree_core
+
+type run_result = {
+  cluster : Cluster.t;
+  splits : int;
+  keys : int array;
+  report : Verify.report;
+  elapsed : int;  (** simulated ticks consumed by the run *)
+}
+
+val scale : bool -> int -> int
+(** [scale quick n] shrinks a workload size in quick mode. *)
+
+val load_and_search :
+  ?window:int ->
+  ?searches_per_proc:int ->
+  ?key_space:int ->
+  api:Driver.api ->
+  cluster:Cluster.t ->
+  splits:(unit -> int) ->
+  count:int ->
+  seed:int ->
+  unit ->
+  run_result
+(** Closed-loop: load [count] unique keys split across the processors,
+    then run searches from every processor, quiesce, verify. *)
+
+val run_fixed :
+  ?window:int -> ?searches_per_proc:int -> count:int -> Config.t -> run_result
+
+val run_mobile :
+  ?window:int -> ?searches_per_proc:int -> count:int -> Config.t ->
+  Mobile.t * run_result
+
+val run_variable :
+  ?window:int -> ?searches_per_proc:int -> count:int -> Config.t ->
+  Variable.t * run_result
+
+val msgs : run_result -> int
+val msgs_of_kind : run_result -> string -> int
+val stat : run_result -> string -> int
+val ops_completed : run_result -> int
+val throughput : run_result -> float
+(** Completed operations per 1000 simulated ticks. *)
+
+val mean_latency : run_result -> Opstate.kind -> float
+val verified : run_result -> string
+(** ["ok"] or ["FAIL"], for table cells. *)

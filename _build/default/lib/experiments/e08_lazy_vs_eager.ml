@@ -1,0 +1,50 @@
+(* E8 — §1/§5: lazy updates vs vigorous (available-copies) replication.
+   Same tree, same workload, three coherence strategies: the lazy
+   semi-synchronous protocol, the synchronous-split variant, and the eager
+   baseline that routes every update through the primary copy under a full
+   acknowledgement barrier.  Lazy replication needs a fraction of the
+   messages and completes updates in a fraction of the time. *)
+open Dbtree_core
+
+let id = "e8"
+let title = "Lazy vs vigorous replica maintenance"
+
+let run ?(quick = false) () =
+  let count = Common.scale quick 2_000 in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          "procs"; "protocol"; "msgs/op"; "insert latency"; "p99 insert";
+          "search latency"; "throughput ops/ktick"; "verified";
+        ]
+  in
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun discipline ->
+          let cfg =
+            Config.make ~procs ~capacity:4 ~key_space:400_000 ~discipline
+              ~replication:Config.All_procs ~seed:33 ~record_history:false ()
+          in
+          let r = Common.run_fixed ~window:4 ~count cfg in
+          let ops = max 1 (Common.ops_completed r) in
+          Table.add_row table
+            [
+              Table.cell_i procs;
+              Config.discipline_name discipline;
+              Table.cell_f (float_of_int (Common.msgs r) /. float_of_int ops);
+              Table.cell_f (Common.mean_latency r Opstate.Insert);
+              Table.cell_f
+                (Opstate.latency_percentile r.Common.cluster.Cluster.ops
+                   Opstate.Insert 0.99);
+              Table.cell_f (Common.mean_latency r Opstate.Search);
+              Table.cell_f (Common.throughput r);
+              Common.verified r;
+            ])
+        [ Config.Semi; Config.Sync; Config.Eager ])
+    [ 2; 4; 8 ];
+  Table.add_note table
+    "eager completes an update only after every copy acknowledges it; \
+     lazy protocols answer immediately and relay in the background.";
+  Table.print table

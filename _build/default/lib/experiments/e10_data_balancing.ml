@@ -1,0 +1,61 @@
+(* E10 — §4.2/[14]: mobile nodes and leaf-level data balancing.
+   A skewed insert stream piles leaves onto one processor.  With lazy
+   migration the balancer spreads them; misnavigated messages recover via
+   forwarding addresses (when kept) or B-link re-routing (always), and
+   Theorem 3's ordered link-changes keep the structure sound. *)
+open Dbtree_core
+open Dbtree_sim
+
+let id = "e10"
+let title = "Mobile nodes: leaf data balancing under a skewed load"
+
+let run_one ~balance_period ~forwarding ~count ~searches =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:100_000 ~seed:5
+      ~balance_period ~forwarding ()
+  in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  (* keys confined to processor 0's slice: maximal skew *)
+  let r =
+    Common.load_and_search ~window:4 ~searches_per_proc:searches
+      ~key_space:20_000 ~api:(Mobile.api t) ~cluster:cl
+      ~splits:(fun () -> Mobile.splits t)
+      ~count ~seed:5 ()
+  in
+  (t, r)
+
+let spread counts =
+  Array.fold_left max 0 counts - Array.fold_left min max_int counts
+
+let run ?(quick = false) () =
+  let count = Common.scale quick 1_200 in
+  let searches = Common.scale quick 200 in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          "balancer"; "forwarding"; "migrations"; "leaf spread";
+          "recoveries"; "fwd hops"; "search latency"; "verified";
+        ]
+  in
+  List.iter
+    (fun (balance_period, forwarding) ->
+      let t, r = run_one ~balance_period ~forwarding ~count ~searches in
+      let stats = Cluster.stats r.Common.cluster in
+      Table.add_row table
+        [
+          (if balance_period = 0 then "off" else Fmt.str "every %d" balance_period);
+          (if forwarding then "on" else "off");
+          Table.cell_i (Mobile.migrations t);
+          Table.cell_i (spread (Mobile.leaf_counts t));
+          Table.cell_i (Stats.get stats "recover.count");
+          Table.cell_i (Stats.get stats "recover.forwarded");
+          Table.cell_f (Common.mean_latency r Opstate.Search);
+          Common.verified r;
+        ])
+    [ (0, false); (100, false); (100, true); (40, true) ];
+  Table.add_note table
+    "All keys target one processor's slice; 'leaf spread' = max - min \
+     leaves per processor after the run.";
+  Table.print table

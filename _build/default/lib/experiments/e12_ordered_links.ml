@@ -1,0 +1,104 @@
+(* E12 — §3/§4.2: the ordered-history requirement does real work.
+   Migration storms generate competing link-change actions.  With version
+   ordering, stale changes are absorbed (history rewritten) and the
+   ordered-history audit passes; with the ablation (apply in arrival
+   order), the audit reports violations and stale links can corrupt
+   navigation. *)
+open Dbtree_core
+open Dbtree_sim
+
+let id = "e12"
+let title = "Ordered link-changes: version numbers vs arrival order"
+
+let churn t cl rounds =
+  (* Racing link-changes need the same leaf to migrate several times
+     before its neighbors apply the first relink: chains of staggered
+     migrations, no quiescing in between, under latency jitter. *)
+  let rng = Rng.create 3 in
+  let sim = cl.Cluster.sim in
+  for _ = 1 to rounds do
+    Array.iter
+      (fun (store : Store.t) ->
+        let leaves = ref [] in
+        Store.iter store (fun c ->
+            if Dbtree_blink.Node.is_leaf c.Store.node then
+              leaves := c.Store.node.Dbtree_blink.Node.id :: !leaves);
+        List.iteri
+          (fun i id ->
+            if i mod 3 = 0 then begin
+              Mobile.migrate t ~node:id ~to_pid:(Rng.int rng 4);
+              let hop delay =
+                let dst = Rng.int rng 4 in
+                Sim.schedule sim ~delay (fun () ->
+                    Mobile.migrate t ~node:id ~to_pid:dst)
+              in
+              hop 45; hop 95; hop 150
+            end)
+          !leaves)
+      cl.Cluster.stores;
+    (* A corrupted link structure (the ablation) can cycle forever; bound
+       the run and report the livelock instead of hanging. *)
+    Mobile.run ~max_events:2_000_000 t
+  done
+
+let run ?(quick = false) () =
+  let count = Common.scale quick 800 in
+  let rounds = if quick then 3 else 8 in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          "link ordering"; "migrations"; "stale changes absorbed";
+          "ordered violations"; "unreachable keys"; "livelock"; "verified";
+        ]
+  in
+  List.iter
+    (fun ordered_links ->
+      let cfg =
+        Config.make ~procs:4 ~capacity:4 ~key_space:100_000 ~seed:5
+          ~ordered_links
+          ~latency:
+            { Dbtree_sim.Net.local_delay = 1; remote_base = 20; remote_jitter = 60 }
+          ()
+      in
+      let t = Mobile.create cfg in
+      let cl = Mobile.cluster t in
+      let r =
+        Common.load_and_search ~window:4 ~searches_per_proc:64
+          ~key_space:50_000 ~api:(Mobile.api t) ~cluster:cl
+          ~splits:(fun () -> Mobile.splits t)
+          ~count ~seed:5 ()
+      in
+      let livelocked =
+        try
+          churn t cl rounds;
+          false
+        with Sim.Budget_exhausted -> true
+      in
+      let report = Verify.check cl in
+      let ordered_violations =
+        match report.Verify.history with
+        | None -> 0
+        | Some h ->
+          List.length
+            (List.filter
+               (fun v -> v.Dbtree_history.Checker.requirement = `Ordered)
+               h.Dbtree_history.Checker.violations)
+      in
+      ignore r;
+      Table.add_row table
+        [
+          (if ordered_links then "version numbers" else "arrival order");
+          Table.cell_i (Mobile.migrations t);
+          Table.cell_i (Stats.get (Cluster.stats cl) "link_change.absorbed");
+          Table.cell_i ordered_violations;
+          Table.cell_i (List.length report.Verify.unreachable);
+          (if livelocked then "YES" else "no");
+          (if Verify.ok report && not livelocked then "ok" else "FAIL");
+        ])
+    [ true; false ];
+  Table.add_note table
+    "Version ordering absorbs stale link-changes (rewriting them into \
+     their proper place); the ablation applies them blindly and the \
+     ordered-history audit catches it.";
+  Table.print table

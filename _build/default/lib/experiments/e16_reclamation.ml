@@ -1,0 +1,68 @@
+(* E16 — §5 future work: lazy node deletion (towards the dE-tree).
+   The paper closes with "developing lazy updates algorithms for node
+   merging and node deletion (for a dE-tree)".  This experiment exercises
+   our single-copy instalment of that programme: an emptied leaf is
+   absorbed by its left neighbor through ordered link-changes and its
+   parent entry retired lazily — no synchronization, misdirected messages
+   recover through the departed mark and a root-ward restart.  Interior
+   merging (the replicated case) remains future work, as in the paper. *)
+open Dbtree_core
+open Dbtree_sim
+
+let id = "e16"
+let title = "Lazy leaf reclamation (dE-tree, Sec.5 future work)"
+
+let run_one ~reclaim ~n ~delete_frac =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:1_000_000
+      ~reclaim_empty_leaves:reclaim ()
+  in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let rng = Rng.create 7 in
+  let keys = Dbtree_workload.Workload.unique_keys rng ~key_space:200_000 ~count:n in
+  Array.iteri (fun i k -> ignore (Mobile.insert t ~origin:(i mod 4) k "v")) keys;
+  Mobile.run t;
+  let deletions = int_of_float (float_of_int n *. delete_frac) in
+  for i = 0 to deletions - 1 do
+    ignore (Mobile.remove t ~origin:(i mod 4) keys.(i))
+  done;
+  Mobile.run t;
+  (t, cl)
+
+let total_nodes (cl : Cluster.t) =
+  Array.fold_left (fun acc s -> acc + Store.copy_count s) 0 cl.Cluster.stores
+
+let run ?(quick = false) () =
+  let n = Common.scale quick 2_000 in
+  let table =
+    Table.create ~title
+      ~columns:
+        [
+          "delete frac"; "reclaim"; "nodes left"; "leaves freed";
+          "recoveries"; "verified";
+        ]
+  in
+  List.iter
+    (fun delete_frac ->
+      List.iter
+        (fun reclaim ->
+          let t, cl = run_one ~reclaim ~n ~delete_frac in
+          ignore t;
+          let stats = Cluster.stats cl in
+          Table.add_row table
+            [
+              Table.cell_f delete_frac;
+              (if reclaim then "on" else "off");
+              Table.cell_i (total_nodes cl);
+              Table.cell_i (Stats.get stats "reclaim.count");
+              Table.cell_i (Stats.get stats "recover.count");
+              (if Verify.ok (Verify.check cl) then "ok" else "FAIL");
+            ])
+        [ false; true ])
+    [ 0.5; 0.9 ];
+  Table.add_note table
+    "Without reclamation, emptied leaves linger forever (free-at-empty \
+     with no collector); with it, their space returns while the \
+     structure keeps answering — the single-copy half of the dE-tree.";
+  Table.print table

@@ -1,0 +1,55 @@
+type t = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+let all =
+  [
+    { id = E01_half_split.id; title = E01_half_split.title; run = E01_half_split.run };
+    {
+      id = E02_replication_policy.id;
+      title = E02_replication_policy.title;
+      run = E02_replication_policy.run;
+    };
+    {
+      id = E03_concurrent_inserts.id;
+      title = E03_concurrent_inserts.title;
+      run = E03_concurrent_inserts.run;
+    };
+    { id = E04_lost_insert.id; title = E04_lost_insert.title; run = E04_lost_insert.run };
+    { id = E05_split_cost.id; title = E05_split_cost.title; run = E05_split_cost.run };
+    { id = E06_join_catchup.id; title = E06_join_catchup.title; run = E06_join_catchup.run };
+    {
+      id = E07_root_bottleneck.id;
+      title = E07_root_bottleneck.title;
+      run = E07_root_bottleneck.run;
+    };
+    { id = E08_lazy_vs_eager.id; title = E08_lazy_vs_eager.title; run = E08_lazy_vs_eager.run };
+    { id = E09_piggyback.id; title = E09_piggyback.title; run = E09_piggyback.run };
+    {
+      id = E10_data_balancing.id;
+      title = E10_data_balancing.title;
+      run = E10_data_balancing.run;
+    };
+    { id = E11_never_merge.id; title = E11_never_merge.title; run = E11_never_merge.run };
+    { id = E12_ordered_links.id; title = E12_ordered_links.title; run = E12_ordered_links.run };
+    { id = E13_hash_table.id; title = E13_hash_table.title; run = E13_hash_table.run };
+    {
+      id = E14_network_faults.id;
+      title = E14_network_faults.title;
+      run = E14_network_faults.run;
+    };
+    { id = E15_tree_vs_hash.id; title = E15_tree_vs_hash.title; run = E15_tree_vs_hash.run };
+    { id = E16_reclamation.id; title = E16_reclamation.title; run = E16_reclamation.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick () =
+  List.iter
+    (fun e ->
+      Fmt.pr "@.########## %s: %s ##########@." (String.uppercase_ascii e.id)
+        e.title;
+      e.run ?quick ())
+    all

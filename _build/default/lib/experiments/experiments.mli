@@ -1,0 +1,15 @@
+(** The experiment registry.
+
+    Each experiment regenerates one figure or analytical claim of the
+    paper (the paper has no measurement tables — see DESIGN.md §2); the
+    mapping is documented per experiment module and in EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** "e1" .. "e12" *)
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : t list
+val find : string -> t option
+val run_all : ?quick:bool -> unit -> unit

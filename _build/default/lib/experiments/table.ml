@@ -1,0 +1,37 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* newest first *)
+  mutable notes : string list;  (* newest first *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let add_note t note = t.notes <- note :: t.notes
+let cell_f x = Fmt.str "%.2f" x
+let cell_i = string_of_int
+
+let print t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length col) rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad row widths)
+  in
+  Fmt.pr "@.== %s ==@." t.title;
+  Fmt.pr "%s@." (line t.columns);
+  Fmt.pr "%s@." (String.make (String.length (line t.columns)) '-');
+  List.iter (fun row -> Fmt.pr "%s@." (line row)) rows;
+  List.iter (fun n -> Fmt.pr "   note: %s@." n) (List.rev t.notes)

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val add_note : t -> string -> unit
+val cell_f : float -> string
+(** Fixed two-decimal float cell. *)
+
+val cell_i : int -> string
+val print : t -> unit
+(** Render to stdout: title, aligned header, rows, then notes. *)

@@ -1,0 +1,1 @@
+lib/history/action.ml: Fmt

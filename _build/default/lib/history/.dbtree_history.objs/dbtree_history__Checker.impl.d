@@ -1,0 +1,1 @@
+lib/history/checker.ml: Action Fmt Hashtbl List Registry Uid_set

@@ -1,0 +1,1 @@
+lib/history/checker.mli: Fmt Registry

@@ -1,0 +1,1 @@
+lib/history/registry.ml: Action Fmt Hashtbl Int List Set

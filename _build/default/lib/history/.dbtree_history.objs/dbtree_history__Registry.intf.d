@@ -1,0 +1,1 @@
+lib/history/registry.mli: Action Set

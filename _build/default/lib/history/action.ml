@@ -1,0 +1,48 @@
+type mode = Initial | Relayed
+
+type kind =
+  | Insert of { key : int }
+  | Delete of { key : int }
+  | Half_split of { sep : int; sibling : int }
+  | Link_change of { which : [ `Left | `Right | `Child of int ]; target : int }
+  | Join of { pid : int }
+  | Unjoin of { pid : int }
+  | Migrate of { to_pid : int }
+  | Resize of { depth : int }
+
+type t = { uid : int; node : int; mode : mode; kind : kind; version : int }
+
+let is_update _ = true
+
+let ordered_class a =
+  match a.kind with
+  | Link_change { which = `Left; _ } -> Some "link.left"
+  | Link_change { which = `Right; _ } -> Some "link.right"
+  | Link_change { which = `Child c; _ } -> Some (Fmt.str "link.child.%d" c)
+  | Join _ | Unjoin _ | Migrate _ -> Some "membership"
+  | Resize _ -> Some "resize"
+  | Insert _ | Delete _ | Half_split _ -> None
+
+let uniform a = { a with mode = Initial }
+
+let pp_kind ppf = function
+  | Insert { key } -> Fmt.pf ppf "insert(%d)" key
+  | Delete { key } -> Fmt.pf ppf "delete(%d)" key
+  | Half_split { sep; sibling } -> Fmt.pf ppf "half_split(sep=%d,sib=%d)" sep sibling
+  | Link_change { which; target } ->
+    let w =
+      match which with
+      | `Left -> "left"
+      | `Right -> "right"
+      | `Child c -> Fmt.str "child.%d" c
+    in
+    Fmt.pf ppf "link_change(%s->%d)" w target
+  | Join { pid } -> Fmt.pf ppf "join(p%d)" pid
+  | Unjoin { pid } -> Fmt.pf ppf "unjoin(p%d)" pid
+  | Migrate { to_pid } -> Fmt.pf ppf "migrate(->p%d)" to_pid
+  | Resize { depth } -> Fmt.pf ppf "resize(depth=%d)" depth
+
+let pp ppf a =
+  Fmt.pf ppf "%s#%d@@n%d:%a/v%d"
+    (match a.mode with Initial -> "I" | Relayed -> "r")
+    a.uid a.node pp_kind a.kind a.version

@@ -1,0 +1,55 @@
+(** Actions of the paper's correctness model (§3).
+
+    An *operation* (search, insert) executes as a sequence of *actions* on
+    node copies.  An update action is performed *initially* on one copy and
+    *relayed* to the others; initial and relayed executions of the same
+    logical update share a unique id [uid], so that the uniform history
+    U(H) — which erases the initial/relayed distinction — is just the
+    multiset of uids.
+
+    The [kind] taxonomy follows §4: inserts are lazy updates, half-splits
+    are semi-synchronous (ordered through the primary copy), link-changes,
+    joins, unjoins and migrations are the ordered / membership actions of
+    §4.2-4.3. *)
+
+type mode = Initial | Relayed
+
+type kind =
+  | Insert of { key : int }
+      (** add an entry (leaf datum or child pointer under separator [key]) *)
+  | Delete of { key : int }
+  | Half_split of { sep : int; sibling : int }
+  | Link_change of { which : [ `Left | `Right | `Child of int ]; target : int }
+      (** re-point a link; ordered by the node version carried in
+          [version] *)
+  | Join of { pid : int }
+  | Unjoin of { pid : int }
+  | Migrate of { to_pid : int }
+  | Resize of { depth : int }
+      (** a replicated structure grew (e.g. hash-directory doubling);
+          ordered by version like the membership actions *)
+
+type t = {
+  uid : int;  (** shared by the initial action and all its relays *)
+  node : int;  (** logical node the action updates *)
+  mode : mode;
+  kind : kind;
+  version : int;
+      (** node version attached to the action (orders the ordered class;
+          0 where irrelevant) *)
+}
+
+val is_update : kind -> bool
+(** All kinds here are updates; searches are never recorded.  Provided for
+    documentation symmetry. *)
+
+val ordered_class : t -> string option
+(** [Some tag] when the action belongs to an ordered class (§3: all
+    actions of a class must appear in time order); the tag identifies the
+    class, e.g. ["link.right"].  Link-changes, joins/unjoins and
+    migrations are ordered via node versions; inserts are not. *)
+
+val uniform : t -> t
+(** The action with [mode = Initial]: the image under U(·). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,143 @@
+type violation = {
+  requirement : [ `Compatible | `Complete | `Ordered | `Exactly_once ];
+  node : int option;
+  message : string;
+}
+
+type report = {
+  violations : violation list;
+  nodes_checked : int;
+  copies_checked : int;
+  actions_checked : int;
+}
+
+let ok r = r.violations = []
+
+open Registry
+
+let uids_of_copy (c : copy) =
+  List.fold_left
+    (fun acc r -> Uid_set.add r.action.Action.uid acc)
+    c.base c.records
+
+let check_exactly_once violations (c : copy) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let uid = r.action.Action.uid in
+      if Hashtbl.mem seen uid || Uid_set.mem uid c.base then
+        violations :=
+          {
+            requirement = `Exactly_once;
+            node = Some c.node;
+            message =
+              Fmt.str "copy (n%d,p%d) performed update #%d twice" c.node c.pid
+                uid;
+          }
+          :: !violations
+      else Hashtbl.add seen uid ())
+    c.records
+
+let check_ordered violations (c : copy) =
+  (* records are newest-first; walk oldest-first *)
+  let per_class = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if r.effective then
+        match Action.ordered_class r.action with
+        | None -> ()
+        | Some cls -> (
+          let v = r.action.Action.version in
+          match Hashtbl.find_opt per_class cls with
+          | Some prev when prev > v ->
+            violations :=
+              {
+                requirement = `Ordered;
+                node = Some c.node;
+                message =
+                  Fmt.str
+                    "copy (n%d,p%d): class %s applied version %d after %d"
+                    c.node c.pid cls v prev;
+              }
+              :: !violations
+          | Some _ | None -> Hashtbl.replace per_class cls v))
+    (List.rev c.records)
+
+let check t =
+  let violations = ref [] in
+  let nodes = all_nodes t in
+  let copies_checked = ref 0 in
+  let actions_checked = ref 0 in
+  let all_performed = ref Uid_set.empty in
+  List.iter
+    (fun node ->
+      let copies = copies_of t node in
+      let m_n =
+        List.fold_left
+          (fun acc c -> Uid_set.union acc (uids_of_copy c))
+          Uid_set.empty copies
+      in
+      all_performed := Uid_set.union !all_performed m_n;
+      List.iter
+        (fun c ->
+          incr copies_checked;
+          actions_checked := !actions_checked + List.length c.records;
+          check_exactly_once violations c;
+          check_ordered violations c;
+          if c.live then begin
+            let mine = uids_of_copy c in
+            if not (Uid_set.equal mine m_n) then begin
+              let missing = Uid_set.diff m_n mine in
+              violations :=
+                {
+                  requirement = `Compatible;
+                  node = Some node;
+                  message =
+                    Fmt.str
+                      "copy (n%d,p%d) misses %d update(s) of M_n (e.g. #%d)"
+                      node c.pid (Uid_set.cardinal missing)
+                      (Uid_set.min_elt missing);
+                }
+                :: !violations
+            end
+          end)
+        copies)
+    nodes;
+  let unplaced = Uid_set.diff (issued t) !all_performed in
+  Uid_set.iter
+    (fun uid ->
+      violations :=
+        {
+          requirement = `Complete;
+          node = None;
+          message = Fmt.str "issued update #%d was never performed" uid;
+        }
+        :: !violations)
+    unplaced;
+  {
+    violations = List.rev !violations;
+    nodes_checked = List.length nodes;
+    copies_checked = !copies_checked;
+    actions_checked = !actions_checked;
+  }
+
+let pp_violation ppf v =
+  let req =
+    match v.requirement with
+    | `Compatible -> "compatible"
+    | `Complete -> "complete"
+    | `Ordered -> "ordered"
+    | `Exactly_once -> "exactly-once"
+  in
+  Fmt.pf ppf "[%s] %s" req v.message
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf
+      "history OK: %d nodes, %d copies, %d recorded actions, 0 violations"
+      r.nodes_checked r.copies_checked r.actions_checked
+  else
+    Fmt.pf ppf "history VIOLATIONS (%d):@,%a"
+      (List.length r.violations)
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.violations

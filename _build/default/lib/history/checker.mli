@@ -1,0 +1,39 @@
+(** Audits recorded histories against the paper's correctness criteria
+    (§3.1): the compatible, complete, and ordered history requirements,
+    plus an exactly-once sanity check on replica maintenance.
+
+    These checks are what turn Theorems 1-4 into executable tests: every
+    protocol run in the test suite and the experiment harness finishes by
+    auditing its history registry. *)
+
+type violation = {
+  requirement : [ `Compatible | `Complete | `Ordered | `Exactly_once ];
+  node : int option;
+  message : string;
+}
+
+type report = {
+  violations : violation list;
+  nodes_checked : int;
+  copies_checked : int;
+  actions_checked : int;
+}
+
+val ok : report -> bool
+
+val check : Registry.t -> report
+(** Runs all requirement checks:
+
+    - {b Compatible}: for every node, every live copy's backwards-extended
+      uniform update set equals the node's full update set M_n (first
+      condition of the Compatible History Requirement; value equality of
+      the copies is checked by the protocol verifier, which owns the
+      values).
+    - {b Complete}: every issued update uid appears in some copy's
+      history.
+    - {b Ordered}: on every copy, the effective actions of each ordered
+      class appear in non-decreasing version order.
+    - {b Exactly-once}: no copy records the same update twice, nor an
+      update already covered by its original value. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,70 @@
+type uid = int
+
+module Uid_set = Set.Make (Int)
+
+type record = { action : Action.t; effective : bool; time : int }
+
+type copy = {
+  node : int;
+  pid : int;
+  mutable base : Uid_set.t;
+  mutable records : record list;
+  mutable live : bool;
+}
+
+type t = {
+  copies : (int * int, copy) Hashtbl.t;
+  mutable next_uid : int;
+  mutable issued : Uid_set.t;
+}
+
+let create () =
+  { copies = Hashtbl.create 256; next_uid = 0; issued = Uid_set.empty }
+
+let fresh_uid t =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  uid
+
+let note_issued t uid = t.issued <- Uid_set.add uid t.issued
+
+let new_copy t ~node ~pid ~base =
+  (* A node can be re-created at a pid that unjoined earlier; the new life
+     replaces the retired record under the same key. *)
+  Hashtbl.replace t.copies (node, pid)
+    { node; pid; base; records = []; live = true }
+
+let find_copy t ~node ~pid = Hashtbl.find_opt t.copies (node, pid)
+
+let get t ~node ~pid =
+  match find_copy t ~node ~pid with
+  | Some c -> c
+  | None ->
+    Fmt.failwith "History.Registry: copy (node %d, pid %d) not registered"
+      node pid
+
+let snapshot t ~node ~pid =
+  let c = get t ~node ~pid in
+  List.fold_left
+    (fun acc r -> Uid_set.add r.action.Action.uid acc)
+    c.base c.records
+
+let record t ~node ~pid ?(effective = true) ~time action =
+  let c = get t ~node ~pid in
+  c.records <- { action; effective; time } :: c.records
+
+let retire_copy t ~node ~pid = (get t ~node ~pid).live <- false
+
+let copies_of t node =
+  Hashtbl.fold
+    (fun (n, _) c acc -> if n = node then c :: acc else acc)
+    t.copies []
+  |> List.sort (fun a b -> compare a.pid b.pid)
+
+let live_copies_of t node = List.filter (fun c -> c.live) (copies_of t node)
+
+let all_nodes t =
+  Hashtbl.fold (fun (n, _) _ acc -> Uid_set.add n acc) t.copies Uid_set.empty
+  |> Uid_set.elements
+
+let issued t = t.issued

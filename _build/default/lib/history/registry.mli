@@ -1,0 +1,66 @@
+(** Recorder for per-copy update histories (§3.1).
+
+    Protocol code registers every copy it creates and records every update
+    action it performs (or deliberately absorbs) on that copy; the
+    {!Checker} then audits the recorded histories against the paper's
+    three requirements.
+
+    The model of a copy's history here is the pair (base, records): [base]
+    is the set of update uids covered by the copy's *original value* — the
+    backwards extension B_c of §3.1 — and [records] are the update actions
+    performed on the copy afterwards.  A record may be marked
+    non-[effective]: the action was absorbed without changing the value
+    (an out-of-range relayed insert discarded after a split, or a stale
+    link-change skipped under version ordering).  Absorbed actions still
+    count in the uniform history — they are exactly the actions whose
+    position the paper's proofs "rewrite". *)
+
+type uid = int
+
+module Uid_set : Set.S with type elt = int
+
+type record = { action : Action.t; effective : bool; time : int }
+
+type copy = {
+  node : int;
+  pid : int;
+  mutable base : Uid_set.t;
+  mutable records : record list;  (** newest first *)
+  mutable live : bool;  (** false once the copy is deleted / unjoined *)
+}
+
+type t
+
+val create : unit -> t
+
+val fresh_uid : t -> uid
+(** Allocate the uid for a new initial update action. *)
+
+val note_issued : t -> uid -> unit
+(** Declare that an update action with this uid has been issued as a
+    subsequent action — the complete-history requirement demands it end up
+    in some node's update set. *)
+
+val new_copy : t -> node:int -> pid:int -> base:Uid_set.t -> unit
+(** Register a copy created with an original value covering [base]. *)
+
+val snapshot : t -> node:int -> pid:int -> Uid_set.t
+(** [base ∪ recorded uids] of an existing copy — the base to give a new
+    copy whose original value is this copy's current value. *)
+
+val record :
+  t -> node:int -> pid:int -> ?effective:bool -> time:int -> Action.t -> unit
+(** Record one update action performed on a copy (default
+    [effective:true]). *)
+
+val retire_copy : t -> node:int -> pid:int -> unit
+(** Mark a copy deleted (migration away, unjoin).  Its history is kept but
+    exempted from end-of-computation value checks. *)
+
+val copies_of : t -> int -> copy list
+(** All registered copies (live and retired) of a node. *)
+
+val live_copies_of : t -> int -> copy list
+val all_nodes : t -> int list
+val issued : t -> Uid_set.t
+val find_copy : t -> node:int -> pid:int -> copy option

@@ -1,0 +1,1 @@
+lib/lht/lht.ml: Array Dbtree_history Dbtree_sim Fmt Hashtbl Int64 List Net Option Rng Sim Stats String

@@ -1,0 +1,1 @@
+lib/lht/lht.mli: Dbtree_history Dbtree_sim Fmt

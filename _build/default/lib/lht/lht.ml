@@ -1,0 +1,641 @@
+open Dbtree_sim
+module Action = Dbtree_history.Action
+module Registry = Dbtree_history.Registry
+
+type pid = int
+
+type config = {
+  procs : int;
+  bucket_capacity : int;
+  seed : int;
+  latency : Net.latency;
+  lazy_directory : bool;
+  record_history : bool;
+}
+
+let default_config =
+  {
+    procs = 4;
+    bucket_capacity = 8;
+    seed = 42;
+    latency = Net.default_latency;
+    lazy_directory = true;
+    record_history = true;
+  }
+
+type op_result = Found of string | Absent | Inserted | Removed of bool
+
+(* ------------------------------------------------------------------ *)
+(* Hashing: splitmix64 finalizer over the key, truncated to 56 bits so
+   all shifts below stay well-defined. *)
+
+let hash key =
+  let z = Int64.of_int key in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0xFF_FFFF_FFFF_FFFFL)
+
+let low_bits h bits = h land ((1 lsl bits) - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Wire messages *)
+
+type op_kind = K_search | K_insert of string | K_remove
+
+module Msg = struct
+  type t =
+    | Op of { op : int; kind : op_kind; key : int; origin : pid; bucket : int }
+    | Op_done of { op : int; result : op_result }
+    | Dir_update of {
+        uid : int;
+        suffix : int;
+        bits : int;
+        bucket : int;
+        owner : pid;
+        relayed : bool;
+      }
+    | Dir_ack of { uid : int }
+    | Double_request of { want : int }
+    | Dir_double of { uid : int; depth : int; version : int }
+    | Bucket_install of {
+        id : int;
+        suffix : int;
+        ldepth : int;
+        entries : (int * string) list;
+        base : int list;
+      }
+
+  let kind = function
+    | Op { kind = K_search; _ } -> "op.search"
+    | Op { kind = K_insert _; _ } -> "op.insert"
+    | Op { kind = K_remove; _ } -> "op.remove"
+    | Op_done _ -> "op_done"
+    | Dir_update { relayed = false; _ } -> "dir_update"
+    | Dir_update { relayed = true; _ } -> "relay_dir_update"
+    | Dir_ack _ -> "dir_ack"
+    | Double_request _ -> "double_request"
+    | Dir_double _ -> "dir_double"
+    | Bucket_install _ -> "bucket_install"
+
+  let size = function
+    | Op { kind = K_insert v; _ } -> 24 + String.length v
+    | Op _ -> 24
+    | Op_done { result = Found v; _ } -> 12 + String.length v
+    | Op_done _ -> 12
+    | Dir_update _ -> 28
+    | Dir_ack _ | Double_request _ -> 8
+    | Dir_double _ -> 16
+    | Bucket_install { entries; _ } ->
+      24
+      + List.fold_left (fun acc (_, v) -> acc + 12 + String.length v) 0 entries
+end
+
+module Network = Net.Make (Msg)
+
+(* ------------------------------------------------------------------ *)
+(* State *)
+
+type bucket = {
+  id : int;
+  mutable suffix : int;
+  mutable ldepth : int;
+  mutable entries : (int * string) list;  (* unordered assoc *)
+  (* past splits, oldest first: (bit, buddy id, buddy owner) *)
+  mutable chain : (int * int * pid) list;
+  mutable asked_double : bool;
+}
+
+type directory = {
+  mutable depth : int;
+  mutable slots : int array;  (* 2^depth bucket ids *)
+  mutable slot_bits : int array;
+      (* specificity of each slot's pointer: pointer updates for the same
+         slot arrive with strictly increasing [bits] over time but may be
+         delivered out of order, so they form an ordered class — a more
+         specific pointer must never be overwritten by a less specific
+         one (the lazy-update analogue of the version rule) *)
+  owners : (int, pid) Hashtbl.t;  (* bucket -> owner *)
+  mutable version : int;  (* doubling version *)
+  mutable pending_updates : Msg.t list;  (* bits > depth, newest first *)
+}
+
+type proc_state = {
+  pid : pid;
+  dir : directory;
+  buckets : (int, bucket) Hashtbl.t;
+  parked : (int, Msg.t list) Hashtbl.t;  (* bucket installs in flight *)
+}
+
+type op_record = {
+  op_id : int;
+  op_key : int;
+  op_kind : op_kind;
+  mutable op_result : op_result option;
+}
+
+type t = {
+  cfg : config;
+  sim : Sim.t;
+  net : Network.t;
+  procs_state : proc_state array;
+  hist : Registry.t;
+  ops : (int, op_record) Hashtbl.t;
+  mutable next_op : int;
+  mutable next_bucket : int;
+  mutable next_uid : int;
+  mutable splits : int;
+  mutable doublings : int;
+  place_rng : Rng.t;
+}
+
+(* The directory is modelled as logical node 0 in the history registry;
+   bucket b is node (b + 1). *)
+let dir_node = 0
+let bucket_node id = id + 1
+
+let fresh_uid t =
+  if t.cfg.record_history then begin
+    let uid = Registry.fresh_uid t.hist in
+    Registry.note_issued t.hist uid;
+    uid
+  end
+  else begin
+    let u = t.next_uid in
+    t.next_uid <- u + 1;
+    u
+  end
+
+let record t ~node ~pid ?(effective = true) ~mode ?(version = 0) ~uid kind =
+  if t.cfg.record_history then
+    Registry.record t.hist ~node ~pid ~effective ~time:(Sim.now t.sim)
+      { Action.uid; node; mode; kind; version }
+
+let hist_new_copy t ~node ~pid ~base =
+  if t.cfg.record_history then
+    Registry.new_copy t.hist ~node ~pid ~base:(Registry.Uid_set.of_list base)
+
+let hist_snapshot t ~node ~pid =
+  if t.cfg.record_history then
+    Registry.Uid_set.elements (Registry.snapshot t.hist ~node ~pid)
+  else []
+
+let stats t = Sim.stats t.sim
+let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+(* ------------------------------------------------------------------ *)
+(* Directory maintenance *)
+
+(* Apply a pointer update: every slot whose low [bits] bits equal
+   [suffix] now points at [bucket]. *)
+let apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial =
+  let ps = t.procs_state.(pid) in
+  let dir = ps.dir in
+  if bits > dir.depth then begin
+    (* ahead of our doubling: hold until Dir_double arrives *)
+    Stats.incr (stats t) "dir.update_held";
+    dir.pending_updates <-
+      Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed = not initial }
+      :: dir.pending_updates
+  end
+  else begin
+    let stride = 1 lsl bits in
+    let wrote = ref false in
+    let i = ref suffix in
+    while !i < Array.length dir.slots do
+      if bits > dir.slot_bits.(!i) then begin
+        dir.slots.(!i) <- bucket;
+        dir.slot_bits.(!i) <- bits;
+        wrote := true
+      end;
+      i := !i + stride
+    done;
+    if not !wrote then Stats.incr (stats t) "dir.update_absorbed";
+    Hashtbl.replace dir.owners bucket owner;
+    record t ~node:dir_node ~pid
+      ~mode:(if initial then Action.Initial else Action.Relayed)
+      ~effective:!wrote ~version:bits ~uid
+      (Action.Insert { key = (bits lsl 48) lor suffix })
+  end
+
+let rec apply_dir_double t pid ~uid ~depth ~version =
+  let ps = t.procs_state.(pid) in
+  let dir = ps.dir in
+  if version <= dir.version then
+    record t ~node:dir_node ~pid ~mode:Action.Relayed ~effective:false
+      ~version ~uid (Action.Resize { depth })
+  else begin
+    while dir.depth < depth do
+      dir.slots <- Array.append dir.slots dir.slots;
+      dir.slot_bits <- Array.append dir.slot_bits dir.slot_bits;
+      dir.depth <- dir.depth + 1
+    done;
+    dir.version <- version;
+    record t ~node:dir_node ~pid
+      ~mode:(if pid = 0 then Action.Initial else Action.Relayed)
+      ~version ~uid (Action.Resize { depth });
+    (* held pointer updates may now be applicable *)
+    let held = List.rev dir.pending_updates in
+    dir.pending_updates <- [];
+    List.iter
+      (fun msg ->
+        match msg with
+        | Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed } ->
+          apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner
+            ~initial:(not relayed)
+        | _ -> assert false)
+      held;
+    (* buckets that were waiting for headroom can split now *)
+    Hashtbl.iter
+      (fun _ b ->
+        if b.asked_double then begin
+          b.asked_double <- false;
+          maybe_split t pid b
+        end)
+      ps.buckets
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Buckets *)
+
+and install_bucket t pid ~id ~suffix ~ldepth ~entries ~base =
+  let ps = t.procs_state.(pid) in
+  let b = { id; suffix; ldepth; entries; chain = []; asked_double = false } in
+  Hashtbl.replace ps.buckets id b;
+  hist_new_copy t ~node:(bucket_node id) ~pid ~base;
+  (match Hashtbl.find_opt ps.parked id with
+  | Some msgs ->
+    Hashtbl.remove ps.parked id;
+    List.iter (fun m -> send t ~src:pid ~dst:pid m) (List.rev msgs)
+  | None -> ());
+  (* a freshly installed buddy may itself be over capacity *)
+  maybe_split t pid b;
+  b
+
+and maybe_split t pid (b : bucket) =
+  if List.length b.entries > t.cfg.bucket_capacity then begin
+    let ps = t.procs_state.(pid) in
+    if b.ldepth >= ps.dir.depth then begin
+      (* need a directory doubling first; ask the PC once *)
+      if not b.asked_double then begin
+        b.asked_double <- true;
+        Stats.incr (stats t) "double.requested";
+        send t ~src:pid ~dst:0 (Msg.Double_request { want = b.ldepth + 1 })
+      end
+    end
+    else begin
+      let bit = b.ldepth in
+      let buddy_id = t.next_bucket in
+      t.next_bucket <- buddy_id + 1;
+      let buddy_suffix = b.suffix lor (1 lsl bit) in
+      let stay, move =
+        List.partition (fun (k, _) -> (hash k lsr bit) land 1 = 0) b.entries
+      in
+      let base = hist_snapshot t ~node:(bucket_node b.id) ~pid in
+      b.ldepth <- bit + 1;
+      b.entries <- stay;
+      t.splits <- t.splits + 1;
+      Stats.incr (stats t) "bucket.split";
+      record t ~node:(bucket_node b.id) ~pid ~mode:Action.Initial
+        ~uid:(fresh_uid t)
+        (Action.Half_split { sep = bit; sibling = buddy_id });
+      (* place the buddy on the least-loaded processor *)
+      let owner =
+        let best = ref 0 and best_count = ref max_int in
+        Array.iteri
+          (fun p ps' ->
+            let c = Hashtbl.length ps'.buckets in
+            if c < !best_count then begin
+              best := p;
+              best_count := c
+            end)
+          t.procs_state;
+        if !best_count = Hashtbl.length ps.buckets then pid else !best
+      in
+      b.chain <- b.chain @ [ (bit, buddy_id, owner) ];
+      if owner = pid then
+        ignore
+          (install_bucket t pid ~id:buddy_id ~suffix:buddy_suffix
+             ~ldepth:(bit + 1) ~entries:move ~base)
+      else begin
+        (* the history copy exists from creation; register before send *)
+        hist_new_copy t ~node:(bucket_node buddy_id) ~pid:owner ~base;
+        send t ~src:pid ~dst:owner
+          (Msg.Bucket_install
+             { id = buddy_id; suffix = buddy_suffix; ldepth = bit + 1; entries = move; base })
+      end;
+      (* the lazy update: re-point the buddy's suffix region *)
+      let uid = fresh_uid t in
+      if t.cfg.lazy_directory then begin
+        apply_dir_update t pid ~uid ~suffix:buddy_suffix ~bits:(bit + 1)
+          ~bucket:buddy_id ~owner ~initial:true;
+        for p = 0 to t.cfg.procs - 1 do
+          if p <> pid then
+            send t ~src:pid ~dst:p
+              (Msg.Dir_update
+                 {
+                   uid;
+                   suffix = buddy_suffix;
+                   bits = bit + 1;
+                   bucket = buddy_id;
+                   owner;
+                   relayed = true;
+                 })
+        done
+      end
+      else
+        (* eager baseline: serialize through the primary copy *)
+        send t ~src:pid ~dst:0
+          (Msg.Dir_update
+             {
+               uid;
+               suffix = buddy_suffix;
+               bits = bit + 1;
+               bucket = buddy_id;
+               owner;
+               relayed = false;
+             });
+      maybe_split t pid b
+    end
+  end
+
+(* A misnavigated operation walks the bucket's split chain: the first
+   recorded split whose bit is set in the key's hash (with all lower bits
+   agreeing) is where the key departed. *)
+and chase_chain t pid (b : bucket) h =
+  let rec go = function
+    | [] -> None
+    | (bit, buddy, owner) :: rest ->
+      if (h lsr bit) land 1 = 1 && low_bits h bit = low_bits b.suffix bit then
+        Some (buddy, owner)
+      else go rest
+  in
+  ignore t;
+  ignore pid;
+  go b.chain
+
+and perform_op t pid (b : bucket) ~op ~kind ~key ~origin =
+  let result =
+    match kind with
+    | K_search -> (
+      match List.assoc_opt key b.entries with
+      | Some v -> Found v
+      | None -> Absent)
+    | K_insert v ->
+      b.entries <- (key, v) :: List.remove_assoc key b.entries;
+      record t ~node:(bucket_node b.id) ~pid ~mode:Action.Initial
+        ~uid:(fresh_uid t) (Action.Insert { key });
+      Inserted
+    | K_remove ->
+      let present = List.mem_assoc key b.entries in
+      b.entries <- List.remove_assoc key b.entries;
+      record t ~node:(bucket_node b.id) ~pid ~mode:Action.Initial
+        ~uid:(fresh_uid t) (Action.Delete { key });
+      Removed present
+  in
+  send t ~src:pid ~dst:origin (Msg.Op_done { op; result });
+  match kind with K_insert _ -> maybe_split t pid b | K_search | K_remove -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Message handler *)
+
+let handle t pid ~src msg =
+  let ps = t.procs_state.(pid) in
+  match msg with
+  | Msg.Op { op; kind; key; origin; bucket } -> begin
+    match Hashtbl.find_opt ps.buckets bucket with
+    | None -> (
+      (* the bucket's install may still be in flight to us *)
+      match Hashtbl.find_opt ps.dir.owners bucket with
+      | Some owner when owner <> pid ->
+        Stats.incr (stats t) "op.rerouted";
+        send t ~src:pid ~dst:owner msg
+      | Some _ | None ->
+        Stats.incr (stats t) "op.parked";
+        Hashtbl.replace ps.parked bucket
+          (msg :: Option.value (Hashtbl.find_opt ps.parked bucket) ~default:[])
+      )
+    | Some b ->
+      let h = hash key in
+      if low_bits h b.ldepth = b.suffix then
+        perform_op t pid b ~op ~kind ~key ~origin
+      else (
+        (* stale directory somewhere: follow the split chain *)
+        Stats.incr (stats t) "op.chased";
+        match chase_chain t pid b h with
+        | Some (buddy, owner) ->
+          send t ~src:pid ~dst:owner
+            (Msg.Op { op; kind; key; origin; bucket = buddy })
+        | None ->
+          Fmt.failwith "Lht: key %d reached bucket %d outside its chain" key
+            b.id)
+  end
+  | Msg.Op_done { op; result } -> begin
+    match Hashtbl.find_opt t.ops op with
+    | Some r ->
+      if r.op_result <> None then
+        Fmt.failwith "Lht: operation %d completed twice" op;
+      r.op_result <- Some result
+    | None -> Fmt.failwith "Lht: unknown operation %d" op
+  end
+  | Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed } ->
+    if (not t.cfg.lazy_directory) && pid = 0 && not relayed then begin
+      (* eager: the PC applies and broadcasts under acknowledgement *)
+      apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial:true;
+      for p = 1 to t.cfg.procs - 1 do
+        send t ~src:pid ~dst:p
+          (Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed = true })
+      done
+    end
+    else begin
+      apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial:false;
+      if not t.cfg.lazy_directory then send t ~src:pid ~dst:src (Msg.Dir_ack { uid })
+    end
+  | Msg.Dir_ack _ -> Stats.incr (stats t) "dir.acks"
+  | Msg.Double_request { want } ->
+    assert (pid = 0);
+    let dir = ps.dir in
+    if dir.depth < want then begin
+      let uid = fresh_uid t in
+      t.doublings <- t.doublings + 1;
+      Stats.incr (stats t) "dir.double";
+      let version = dir.version + 1 in
+      apply_dir_double t pid ~uid ~depth:(dir.depth + 1) ~version;
+      for p = 1 to t.cfg.procs - 1 do
+        send t ~src:pid ~dst:p
+          (Msg.Dir_double { uid; depth = dir.depth; version })
+      done
+    end
+  | Msg.Dir_double { uid; depth; version } ->
+    apply_dir_double t pid ~uid ~depth ~version
+  | Msg.Bucket_install { id; suffix; ldepth; entries; base } ->
+    ignore (install_bucket t pid ~id ~suffix ~ldepth ~entries ~base)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and operations *)
+
+let create cfg =
+  if cfg.procs < 1 then invalid_arg "Lht.create: procs must be >= 1";
+  if cfg.bucket_capacity < 2 then
+    invalid_arg "Lht.create: bucket_capacity must be >= 2";
+  let sim = Sim.create ~seed:cfg.seed () in
+  let net = Network.create ~latency:cfg.latency sim ~procs:cfg.procs in
+  let procs_state =
+    Array.init cfg.procs (fun pid ->
+        {
+          pid;
+          dir =
+            {
+              depth = 0;
+              slots = [| 0 |];
+              slot_bits = [| 0 |];
+              owners = Hashtbl.create 64;
+              version = 0;
+              pending_updates = [];
+            };
+          buckets = Hashtbl.create 64;
+          parked = Hashtbl.create 8;
+        })
+  in
+  let t =
+    {
+      cfg;
+      sim;
+      net;
+      procs_state;
+      hist = Registry.create ();
+      ops = Hashtbl.create 1024;
+      next_op = 0;
+      next_bucket = 1;
+      next_uid = 0;
+      splits = 0;
+      doublings = 0;
+      place_rng = Rng.create (cfg.seed + 5);
+    }
+  in
+  for pid = 0 to cfg.procs - 1 do
+    Network.set_handler net pid (fun ~src msg -> handle t pid ~src msg);
+    Hashtbl.replace t.procs_state.(pid).dir.owners 0 0;
+    hist_new_copy t ~node:dir_node ~pid ~base:[]
+  done;
+  (* bucket 0 on processor 0 *)
+  ignore (install_bucket t 0 ~id:0 ~suffix:0 ~ldepth:0 ~entries:[] ~base:[]);
+  t
+
+let issue t ~origin ~kind key =
+  let op = t.next_op in
+  t.next_op <- op + 1;
+  Hashtbl.replace t.ops op { op_id = op; op_key = key; op_kind = kind; op_result = None };
+  let ps = t.procs_state.(origin) in
+  let h = hash key in
+  let slot = low_bits h ps.dir.depth in
+  let bucket = ps.dir.slots.(slot) in
+  let dst = Option.value (Hashtbl.find_opt ps.dir.owners bucket) ~default:0 in
+  send t ~src:origin ~dst (Msg.Op { op; kind; key; origin; bucket });
+  op
+
+let insert t ~origin key value = issue t ~origin ~kind:(K_insert value) key
+let search t ~origin key = issue t ~origin ~kind:K_search key
+let remove t ~origin key = issue t ~origin ~kind:K_remove key
+let run ?(max_events = 50_000_000) t = Sim.run ~max_events t.sim
+
+let result t op =
+  Option.bind (Hashtbl.find_opt t.ops op) (fun r -> r.op_result)
+
+let completed t =
+  Hashtbl.fold (fun _ r acc -> if r.op_result <> None then acc + 1 else acc) t.ops 0
+
+let issued t = t.next_op
+let depth t pid = t.procs_state.(pid).dir.depth
+let bucket_count t = t.next_bucket
+let splits t = t.splits
+let doublings t = t.doublings
+let messages t = Network.remote_messages t.net
+
+let buckets_per_proc t =
+  Array.map (fun ps -> Hashtbl.length ps.buckets) t.procs_state
+
+(* ------------------------------------------------------------------ *)
+(* Verification *)
+
+type report = {
+  directory_divergent : bool;
+  missing_keys : int list;
+  phantom_keys : int list;
+  misplaced : int list;
+  history : Dbtree_history.Checker.report option;
+}
+
+let verify t =
+  let reference = t.procs_state.(0).dir in
+  let directory_divergent =
+    Array.exists
+      (fun ps ->
+        ps.dir.depth <> reference.depth || ps.dir.slots <> reference.slots
+        || ps.dir.pending_updates <> [])
+      t.procs_state
+  in
+  (* expected contents from the op log, in issue order *)
+  let expected = Hashtbl.create 256 in
+  for op = 0 to t.next_op - 1 do
+    match Hashtbl.find_opt t.ops op with
+    | Some { op_key; op_kind = K_insert v; op_result = Some Inserted; _ } ->
+      Hashtbl.replace expected op_key v
+    | Some { op_key; op_kind = K_remove; op_result = Some (Removed true); _ } ->
+      Hashtbl.remove expected op_key
+    | Some _ | None -> ()
+  done;
+  let found = Hashtbl.create 256 in
+  let misplaced = ref [] in
+  Array.iter
+    (fun ps ->
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun (k, v) ->
+              Hashtbl.replace found k v;
+              if low_bits (hash k) b.ldepth <> b.suffix then
+                misplaced := k :: !misplaced)
+            b.entries)
+        ps.buckets)
+    t.procs_state;
+  let missing_keys =
+    Hashtbl.fold
+      (fun k _ acc -> if Hashtbl.mem found k then acc else k :: acc)
+      expected []
+    |> List.sort compare
+  in
+  let phantom_keys =
+    Hashtbl.fold
+      (fun k _ acc -> if Hashtbl.mem expected k then acc else k :: acc)
+      found []
+    |> List.sort compare
+  in
+  let history =
+    if t.cfg.record_history then Some (Dbtree_history.Checker.check t.hist)
+    else None
+  in
+  {
+    directory_divergent;
+    missing_keys;
+    phantom_keys;
+    misplaced = List.sort compare !misplaced;
+    history;
+  }
+
+let verified r =
+  (not r.directory_divergent)
+  && r.missing_keys = [] && r.phantom_keys = [] && r.misplaced = []
+  && match r.history with
+     | Some h -> Dbtree_history.Checker.ok h
+     | None -> true
+
+let pp_report ppf r =
+  Fmt.pf ppf "directory divergent: %b; missing=%d phantom=%d misplaced=%d"
+    r.directory_divergent
+    (List.length r.missing_keys)
+    (List.length r.phantom_keys)
+    (List.length r.misplaced);
+  match r.history with
+  | Some h -> Fmt.pf ppf "@.%a" Dbtree_history.Checker.pp_report h
+  | None -> ()

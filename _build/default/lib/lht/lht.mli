@@ -1,0 +1,97 @@
+(** A distributed extendible hash table maintained by lazy updates.
+
+    The paper's §5 names hash tables as the next target for the lazy-update
+    technique ("We will apply lazy updates to other distributed data
+    structures, such as hash tables", citing Ellis [5]).  This module
+    carries the programme out, mapping each dB-tree ingredient onto an
+    extendible hash table:
+
+    - the {b directory} (the 2^depth bucket-pointer array) plays the role
+      of the replicated interior nodes: every processor holds a copy;
+    - {b buckets} play the role of leaves: single-copy, spread across
+      processors;
+    - a {b bucket split} updates the directory ("suffix s·1 now points to
+      the new buddy").  Updates for disjoint suffix regions commute
+      outright (lazy updates); successive splits along one lineage nest,
+      and the nested, more-specific pointer must win regardless of
+      delivery order — so pointer updates form an {e ordered class} keyed
+      by their bit-count, resolved per slot exactly like the paper's
+      version-numbered link-changes (semi-synchronous updates; no
+      blocking, no AAS);
+    - {b directory doubling} is the one non-commuting action (the
+      analogue of the half-split): it is serialized through a primary
+      copy (processor 0) and ordered by a version number, exactly the
+      semi-synchronous treatment of §4.1.2;
+    - a {b misnavigated operation} (stale directory copy) recovers the
+      B-link way: each bucket remembers the buddy links of its past
+      splits and forwards the action along the split chain.
+
+    The eager ablation ([lazy_directory = false]) routes every directory
+    update through the primary copy under an acknowledgement barrier —
+    the available-copies baseline — for the E13 comparison.
+
+    Keys are hashed with splitmix64, so any [int] key distribution works. *)
+
+type pid = int
+
+type config = {
+  procs : int;
+  bucket_capacity : int;  (** max entries before a bucket must split *)
+  seed : int;
+  latency : Dbtree_sim.Net.latency;
+  lazy_directory : bool;  (** false = eager (PC-serialized, acked) updates *)
+  record_history : bool;
+}
+
+val default_config : config
+(** 4 processors, capacity 8, lazy directory, histories recorded. *)
+
+type t
+
+val create : config -> t
+(** One empty bucket (depth 0) on processor 0; directory of size 1
+    replicated everywhere. *)
+
+type op_result = Found of string | Absent | Inserted | Removed of bool
+
+val insert : t -> origin:pid -> int -> string -> int
+(** Asynchronous upsert; returns the operation id. *)
+
+val search : t -> origin:pid -> int -> int
+val remove : t -> origin:pid -> int -> int
+
+val run : ?max_events:int -> t -> unit
+(** Drain the simulated cluster to quiescence. *)
+
+val result : t -> int -> op_result option
+(** Completed operation's outcome, if it has completed. *)
+
+val completed : t -> int
+val issued : t -> int
+
+(** {2 Introspection} *)
+
+val depth : t -> pid -> int
+(** Global depth as seen by a processor's directory copy. *)
+
+val bucket_count : t -> int
+val buckets_per_proc : t -> int array
+val splits : t -> int
+val doublings : t -> int
+val messages : t -> int
+val stats : t -> Dbtree_sim.Stats.t
+
+(** {2 Verification} *)
+
+type report = {
+  directory_divergent : bool;
+      (** copies of the directory differ at quiescence *)
+  missing_keys : int list;  (** inserted but unreachable *)
+  phantom_keys : int list;
+  misplaced : int list;  (** keys stored in a bucket not covering them *)
+  history : Dbtree_history.Checker.report option;
+}
+
+val verify : t -> report
+val verified : report -> bool
+val pp_report : report Fmt.t

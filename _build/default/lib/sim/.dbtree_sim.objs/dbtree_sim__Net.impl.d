@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Fmt List Rng Sim Stats

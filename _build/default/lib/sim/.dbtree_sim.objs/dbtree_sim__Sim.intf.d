@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Rng Stats

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Float Fmt Hashtbl List Option String

@@ -1,0 +1,23 @@
+(** Array-backed binary min-heap.
+
+    Used as the simulator's pending-event queue.  Elements are compared with
+    the function supplied at creation; ties must be broken by the caller
+    (the simulator uses a monotone sequence number) to keep runs
+    deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit

@@ -1,0 +1,118 @@
+module type MESSAGE = sig
+  type t
+
+  val kind : t -> string
+  val size : t -> int
+end
+
+type latency = { local_delay : int; remote_base : int; remote_jitter : int }
+
+let default_latency = { local_delay = 1; remote_base = 20; remote_jitter = 5 }
+let zero_latency = { local_delay = 0; remote_base = 0; remote_jitter = 0 }
+
+type faults = { duplicate_prob : float; delay_prob : float; delay_ticks : int }
+
+let no_faults = { duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+
+module Make (M : MESSAGE) = struct
+  type pid = int
+
+  type t = {
+    sim : Sim.t;
+    procs : int;
+    latency : latency;
+    faults : faults;
+    handlers : (src:pid -> M.t -> unit) option array;
+    (* Last scheduled delivery time per (src, dst) channel; FIFO is enforced
+       by never scheduling a delivery at or before this time. *)
+    channel_front : int array;
+    inbound : int array;
+    rng : Rng.t;
+    mutable remote : int;
+    mutable local : int;
+    mutable bytes : int;
+  }
+
+  let create ?(latency = default_latency) ?(faults = no_faults) sim ~procs =
+    {
+      sim;
+      procs;
+      latency;
+      faults;
+      handlers = Array.make procs None;
+      channel_front = Array.make (procs * procs) min_int;
+      inbound = Array.make procs 0;
+      rng = Rng.split (Sim.rng sim);
+      remote = 0;
+      local = 0;
+      bytes = 0;
+    }
+
+  let sim t = t.sim
+  let procs t = t.procs
+
+  let set_handler t pid handler =
+    if pid < 0 || pid >= t.procs then invalid_arg "Net.set_handler: bad pid";
+    t.handlers.(pid) <- Some handler
+
+  let deliver t ~src ~dst msg =
+    match t.handlers.(dst) with
+    | Some handler -> handler ~src msg
+    | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
+
+  let send t ~src ~dst msg =
+    if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
+    let stats = Sim.stats t.sim in
+    let raw_delay =
+      if src = dst then t.latency.local_delay
+      else begin
+        t.remote <- t.remote + 1;
+        t.bytes <- t.bytes + M.size msg;
+        t.inbound.(dst) <- t.inbound.(dst) + 1;
+        Stats.incr stats "net.msgs";
+        Stats.incr stats ("net.msg." ^ M.kind msg);
+        Stats.incr ~by:(M.size msg) stats "net.bytes";
+        t.latency.remote_base
+        + (if t.latency.remote_jitter > 0 then
+             Rng.int t.rng t.latency.remote_jitter
+           else 0)
+      end
+    in
+    if src = dst then begin
+      t.local <- t.local + 1;
+      Stats.incr stats "net.local"
+    end;
+    let chan = (src * t.procs) + dst in
+    let now = Sim.now t.sim in
+    (* FIFO per channel: a message may not overtake an earlier one. *)
+    let at = max (now + raw_delay) (t.channel_front.(chan) + 1) in
+    t.channel_front.(chan) <- at;
+    Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg);
+    if src <> dst then begin
+      (* fault injection (off by default): duplicate delivery, and FIFO
+         violation via an extra late delivery of a copy *)
+      if
+        t.faults.duplicate_prob > 0.0
+        && Rng.float t.rng 1.0 < t.faults.duplicate_prob
+      then begin
+        Stats.incr stats "net.fault.duplicated";
+        Sim.schedule t.sim ~delay:(at - now + 1) (fun () ->
+            deliver t ~src ~dst msg)
+      end;
+      if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
+      then begin
+        Stats.incr stats "net.fault.delayed";
+        Sim.schedule t.sim
+          ~delay:(at - now + t.faults.delay_ticks)
+          (fun () -> deliver t ~src ~dst msg)
+      end
+    end
+
+  let broadcast t ~src ~dsts msg =
+    List.iter (fun dst -> if dst <> src then send t ~src ~dst msg) dsts
+
+  let remote_messages t = t.remote
+  let local_messages t = t.local
+  let bytes_sent t = t.bytes
+  let sent_to t pid = t.inbound.(pid)
+end

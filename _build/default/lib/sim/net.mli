@@ -1,0 +1,82 @@
+(** Reliable FIFO message-passing network over {!Sim}.
+
+    The paper assumes "the network is reliable, delivering every message
+    exactly once in order" (§4).  This module provides exactly that: for
+    each ordered processor pair, messages are delivered exactly once, in
+    send order, after a configurable latency.  Local sends (src = dst) model
+    the queue manager: a subsequent action on a locally stored node is put
+    back on the processor's own queue with a small local delay, so local
+    and remote actions interleave the way the paper's architecture
+    dictates.
+
+    The network also does the message accounting every experiment relies
+    on: total remote messages, per-kind counts, and byte estimates. *)
+
+module type MESSAGE = sig
+  type t
+
+  val kind : t -> string
+  (** Short tag used for per-kind accounting ("relay_insert", ...). *)
+
+  val size : t -> int
+  (** Estimated wire size in bytes, for bandwidth accounting. *)
+end
+
+type latency = {
+  local_delay : int;  (** queueing delay for local (src = dst) actions *)
+  remote_base : int;  (** fixed one-way network latency *)
+  remote_jitter : int;  (** uniform extra in [\[0, remote_jitter)] *)
+}
+
+val default_latency : latency
+(** [{ local_delay = 1; remote_base = 20; remote_jitter = 5 }] — a 1992-era
+    LAN-ish ratio of ~20x between a local action and a network hop. *)
+
+val zero_latency : latency
+(** All delays collapsed to the minimum that still preserves atomic,
+    FIFO-ordered actions.  Useful for pure message-count experiments. *)
+
+(** Fault injection — for experiments that probe the paper's network
+    assumption ("the network is reliable, delivering every message
+    exactly once in order", §4).  The protocols are NOT designed to
+    survive these faults; the point is to show the correctness audits
+    catching the damage. *)
+type faults = {
+  duplicate_prob : float;  (** probability a remote message is delivered twice *)
+  delay_prob : float;
+      (** probability a remote message is held back long enough to be
+          re-ordered behind later traffic (breaks FIFO) *)
+  delay_ticks : int;  (** how long a delayed message is held *)
+}
+
+val no_faults : faults
+
+module Make (M : MESSAGE) : sig
+  type pid = int
+  type t
+
+  val create : ?latency:latency -> ?faults:faults -> Sim.t -> procs:int -> t
+
+  val sim : t -> Sim.t
+  val procs : t -> int
+
+  val set_handler : t -> pid -> (src:pid -> M.t -> unit) -> unit
+  (** Install the message handler (the "node manager") for [pid].  Must be
+      set before any message is delivered to [pid]. *)
+
+  val send : t -> src:pid -> dst:pid -> M.t -> unit
+  (** Enqueue a message.  Delivery invokes [dst]'s handler atomically at
+      some later virtual time; two sends on the same (src, dst) channel are
+      delivered in order. *)
+
+  val broadcast : t -> src:pid -> dsts:pid list -> M.t -> unit
+  (** [send] to every element of [dsts] except [src] itself. *)
+
+  (** Accounting (also mirrored into [Sim.stats] under ["net.*"] keys): *)
+
+  val remote_messages : t -> int
+  val local_messages : t -> int
+  val bytes_sent : t -> int
+  val sent_to : t -> pid -> int
+  (** Remote messages delivered to [pid] — used for hot-spot detection. *)
+end

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Rng.t]
+    so that a run is fully reproducible from its seed.  The generator is
+    splitmix64, which is fast, has a 64-bit state, and supports cheap
+    derivation of independent streams ({!split}). *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent stream from [t],
+    advancing [t].  Use one stream per concern (workload, latency, ...) so
+    adding draws to one concern does not perturb the others. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0 .. n-1]. *)

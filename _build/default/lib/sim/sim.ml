@@ -1,0 +1,64 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable processed : int;
+  pending : event Heap.t;
+  rng : Rng.t;
+  stats : Stats.t;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    seq = 0;
+    processed = 0;
+    pending = Heap.create ~cmp:compare_event;
+    rng = Rng.create seed;
+    stats = Stats.create ();
+  }
+
+let now t = t.now
+let pending t = Heap.length t.pending
+let rng t = t.rng
+let stats t = t.stats
+let events_processed t = t.processed
+
+let schedule t ~delay action =
+  let delay = max delay 0 in
+  let ev = { time = t.now + delay; seq = t.seq; action } in
+  t.seq <- t.seq + 1;
+  Heap.add t.pending ev
+
+exception Budget_exhausted
+
+let step t =
+  match Heap.pop t.pending with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.action ();
+    true
+
+let run ?max_events ?max_time t =
+  let exceeded () =
+    match max_events with Some m -> t.processed >= m | None -> false
+  in
+  let in_horizon ev =
+    match max_time with Some limit -> ev.time <= limit | None -> true
+  in
+  let rec loop () =
+    if exceeded () then raise Budget_exhausted;
+    match Heap.peek t.pending with
+    | None -> ()
+    | Some ev when not (in_horizon ev) -> ()
+    | Some _ ->
+      ignore (step t);
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event simulator.
+
+    This is the substrate standing in for the paper's message-passing
+    multicomputer: virtual time in integer ticks, a pending-event heap, and
+    an event loop that runs callbacks in (time, insertion) order.  Each
+    callback executes atomically, which gives exactly the paper's execution
+    model — the node manager processes one action at a time, and an action
+    on a node cannot be interrupted by another action (§1.1).
+
+    All randomness flows through {!rng}, so a run is a pure function of the
+    seed and the scheduled work. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulator at time 0.  Default [seed] is 42. *)
+
+val now : t -> int
+(** Current virtual time, in ticks. *)
+
+val pending : t -> int
+(** Number of events waiting in the heap.  Periodic background activities
+    (e.g. a data balancer) use this to self-disarm when they are the only
+    thing left, so the simulation can quiesce. *)
+
+val rng : t -> Rng.t
+val stats : t -> Stats.t
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t + max delay 0].  Events
+    with equal times run in scheduling order. *)
+
+exception Budget_exhausted
+
+val run : ?max_events:int -> ?max_time:int -> t -> unit
+(** Drain the event heap until quiescence (no pending events).
+
+    @param max_events raise {!Budget_exhausted} after this many events —
+           a runaway-protocol backstop for tests.
+    @param max_time stop (without error) once the next event lies strictly
+           beyond this time; the event stays pending. *)
+
+val step : t -> bool
+(** Execute the single next event.  Returns [false] if none is pending. *)
+
+val events_processed : t -> int

@@ -1,0 +1,67 @@
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  summaries : (string, summary ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; summaries = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name x =
+  match Hashtbl.find_opt t.summaries name with
+  | Some r ->
+    let s = !r in
+    r :=
+      {
+        count = s.count + 1;
+        sum = s.sum +. x;
+        min = Float.min s.min x;
+        max = Float.max s.max x;
+      }
+  | None ->
+    Hashtbl.add t.summaries name (ref { count = 1; sum = x; min = x; max = x })
+
+let summary t name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt t.summaries name)
+
+let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+let sorted_bindings tbl extract =
+  Hashtbl.fold (fun k v acc -> (k, extract v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters (fun r -> !r)
+let summaries t = sorted_bindings t.summaries (fun r -> !r)
+
+let get_prefix t p =
+  let plen = String.length p in
+  Hashtbl.fold
+    (fun k r acc ->
+      if String.length k >= plen && String.sub k 0 plen = p then acc + !r
+      else acc)
+    t.counters 0
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.summaries
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%s = %d@." k v) (counters t);
+  List.iter
+    (fun (k, s) ->
+      Fmt.pf ppf "%s: n=%d mean=%.2f min=%.2f max=%.2f@." k s.count (mean s)
+        s.min s.max)
+    (summaries t)

@@ -1,0 +1,43 @@
+(** Named counters and summaries for simulation runs.
+
+    A [Stats.t] is a mutable bag of metrics keyed by string.  Protocol code
+    increments counters ("msg.relay_insert", "split.blocked", ...) and the
+    experiment harness reads them back after the run.  Two metric shapes are
+    supported: integer counters and scalar summaries (count / sum / min /
+    max), the latter used for latencies and queue lengths. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump counter [name] by [by] (default 1), creating it at 0 if absent. *)
+
+val get : t -> string -> int
+(** Counter value, 0 if never incremented. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into summary [name]. *)
+
+val summary : t -> string -> summary option
+val mean : summary -> float
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val summaries : t -> (string * summary) list
+
+val get_prefix : t -> string -> int
+(** [get_prefix t p] sums every counter whose name starts with [p]. *)
+
+val reset : t -> unit
+
+val pp : t Fmt.t
+(** Render all metrics, one per line, for debugging. *)

@@ -1,0 +1,15 @@
+type t = { mutable enabled : bool; mutable events : (int * string) list }
+
+let create ?(enabled = false) () = { enabled; events = [] }
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let emit t ~time line =
+  if t.enabled then t.events <- (time, Lazy.force line) :: t.events
+
+let to_list t = List.rev t.events
+
+let pp ppf t =
+  List.iter (fun (time, line) -> Fmt.pf ppf "[%6d] %s@." time line) (to_list t)
+
+let clear t = t.events <- []

@@ -1,0 +1,22 @@
+(** Lightweight event trace.
+
+    Protocol code emits human-readable trace lines; experiments that
+    illustrate an interleaving (e.g. the Figure 3 concurrent-split scenario)
+    print the collected trace.  When disabled, [emit] costs one branch and
+    never forces the lazy message. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Disabled by default. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:int -> string Lazy.t -> unit
+
+val to_list : t -> (int * string) list
+(** All recorded (time, line) pairs, in emission order. *)
+
+val pp : t Fmt.t
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Dbtree_sim Float Fmt Hashtbl List Rng

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_blink Test_fixed Test_history Test_kv Test_lht Test_misc Test_mobile Test_regressions Test_sim Test_variable Test_verify Test_workload

@@ -1,0 +1,1 @@
+test/scenario.ml: Alcotest Array Cluster Config Dbtree_core Dbtree_sim Dbtree_workload Driver Hashtbl List Msg Opstate Option Rng Store Verify Workload

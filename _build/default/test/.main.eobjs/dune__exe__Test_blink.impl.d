@@ -1,0 +1,1 @@
+test/test_blink.ml: Alcotest Bound Bptree Btree Dbtree_blink Entries Fmt Int List Map Node Option QCheck QCheck_alcotest String

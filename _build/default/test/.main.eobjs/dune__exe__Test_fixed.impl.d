@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Array Astring Cluster Config Dbtree_core Dbtree_sim Dbtree_workload Debug Driver Fixed Fmt List Msg Opstate Option QCheck QCheck_alcotest Scenario Stats String Verify

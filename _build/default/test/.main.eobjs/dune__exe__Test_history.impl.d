@@ -1,0 +1,1 @@
+test/test_history.ml: Action Alcotest Checker Dbtree_history List Registry

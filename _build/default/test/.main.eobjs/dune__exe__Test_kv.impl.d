@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Config Dbtree_core Fmt Int Kv List Map QCheck QCheck_alcotest Verify

@@ -1,0 +1,1 @@
+test/test_lht.ml: Alcotest Array Dbtree_lht Dbtree_sim Fmt Lht List QCheck QCheck_alcotest Rng Stats

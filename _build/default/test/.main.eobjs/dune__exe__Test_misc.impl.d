@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bound Cluster Config Dbtree_blink Dbtree_core Dbtree_workload Driver Entries Fixed List Msg Node Opstate String

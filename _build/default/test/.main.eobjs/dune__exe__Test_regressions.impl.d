@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Cluster Config Dbtree_core Dbtree_lht Dbtree_sim Dbtree_workload Fixed Lht Mobile Rng Scenario Variable Verify

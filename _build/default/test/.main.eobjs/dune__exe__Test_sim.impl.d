@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dbtree_sim Fun Heap List Net Option QCheck QCheck_alcotest Rng Sim Stats Trace

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Bound Cluster Config Dbtree_blink Dbtree_core Dbtree_sim Fixed Fmt List Node Opstate Option Store Verify

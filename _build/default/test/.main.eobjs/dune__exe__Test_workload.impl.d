@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bound Dbtree_blink Dbtree_core Dbtree_sim Dbtree_workload List Partition QCheck QCheck_alcotest Rng Workload

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "dbtree"
+    [
+      ("sim", Test_sim.suite);
+      ("blink", Test_blink.suite);
+      ("history", Test_history.suite);
+      ("workload", Test_workload.suite);
+      ("fixed", Test_fixed.suite);
+      ("mobile", Test_mobile.suite);
+      ("variable", Test_variable.suite);
+      ("lht", Test_lht.suite);
+      ("verify", Test_verify.suite);
+      ("kv", Test_kv.suite);
+      ("misc", Test_misc.suite);
+      ("regressions", Test_regressions.suite);
+    ]

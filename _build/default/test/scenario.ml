@@ -1,0 +1,80 @@
+(* Shared end-to-end scenario helpers for the protocol test suites. *)
+open Dbtree_core
+open Dbtree_workload
+open Dbtree_sim
+
+let insert_streams ~rng_seed ~key_space ~count ~procs =
+  let rng = Rng.create rng_seed in
+  let keys = Workload.unique_keys rng ~key_space ~count in
+  let streams =
+    Array.map (fun ks -> Workload.inserts ~keys:ks)
+      (Workload.chunk keys ~parts:procs)
+  in
+  (keys, streams)
+
+let search_streams ~keys ~procs ~per_proc =
+  Array.init procs (fun pid ->
+      Workload.searches (Rng.create (1000 + pid)) ~keys ~count:per_proc)
+
+(* Load [count] unique keys, then run searches from every processor, then
+   audit.  Returns (cluster, keys, verify report). *)
+let run_cluster ~api ~cluster ~(cfg : Config.t) ~count ?(searches = 32) () =
+  let keys, streams =
+    insert_streams ~rng_seed:(cfg.Config.seed + 1) ~key_space:cfg.Config.key_space
+      ~count ~procs:cfg.Config.procs
+  in
+  Driver.run_closed cluster api ~streams ~window:4;
+  Driver.run_closed cluster api
+    ~streams:(search_streams ~keys ~procs:cfg.Config.procs ~per_proc:searches)
+    ~window:4;
+  let report = Verify.check cluster in
+  (keys, report)
+
+let check_verified ?(expect_ok = true) label report =
+  if Verify.ok report <> expect_ok then
+    Alcotest.failf "%s: expected verify=%b but got:@.%a" label expect_ok
+      Verify.pp report
+
+let check_no_leftover label (cluster : Cluster.t) =
+  Array.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun id msgs ->
+          Alcotest.failf "%s: %d message(s) parked forever at p%d for node %d"
+            label (List.length msgs) s.Store.pid id)
+        s.Store.pending)
+    cluster.Cluster.stores
+
+let all_search_results_correct (cluster : Cluster.t) keys =
+  let expected = Opstate.inserted_keys cluster.Cluster.ops in
+  Opstate.iter cluster.Cluster.ops (fun r ->
+      match (r.Opstate.kind, r.Opstate.result) with
+      | Opstate.Search, Some result -> (
+        match (Hashtbl.find_opt expected r.Opstate.key, result) with
+        | Some v, Msg.Found v' when v = v' -> ()
+        | None, Msg.Absent -> ()
+        | _, _ ->
+          Alcotest.failf "search %d returned wrong result" r.Opstate.key)
+      | Opstate.Search, None -> Alcotest.failf "search %d never completed" r.Opstate.key
+      | (Opstate.Insert | Opstate.Delete | Opstate.Scan), _ -> ());
+  ignore keys
+
+(* Verify a completed scan operation against the expected contents. *)
+let check_scan (cluster : Cluster.t) ~op ~lo ~hi =
+  let expected = Opstate.inserted_keys cluster.Cluster.ops in
+  let want =
+    Hashtbl.fold
+      (fun k v acc -> if k >= lo && k <= hi then (k, v) :: acc else acc)
+      expected []
+    |> List.sort compare
+  in
+  match (Option.get (Opstate.find cluster.Cluster.ops op)).Opstate.result with
+  | Some (Msg.Bindings got) ->
+    if got <> want then
+      Alcotest.failf "scan [%d,%d]: got %d bindings, expected %d" lo hi
+        (List.length got) (List.length want);
+    (* result must be sorted *)
+    if List.sort compare got <> got then
+      Alcotest.failf "scan [%d,%d]: bindings out of order" lo hi
+  | Some _ -> Alcotest.failf "scan [%d,%d]: wrong result constructor" lo hi
+  | None -> Alcotest.failf "scan [%d,%d] never completed" lo hi

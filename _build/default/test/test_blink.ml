@@ -1,0 +1,427 @@
+(* Tests for the B-link substrate: entries, node model, sequential B-link
+   tree (against a Map model and the classic B+ tree), invariants. *)
+open Dbtree_blink
+module IntMap = Map.Make (Int)
+
+(* ---------------- Entries ---------------- *)
+
+let entries_of_list l =
+  List.sort_uniq (fun (a, _) (b, _) -> compare a b) l |> Entries.of_sorted_list
+
+let test_entries_basic () =
+  let e = entries_of_list [ (1, "a"); (5, "b"); (9, "c") ] in
+  Alcotest.(check int) "length" 3 (Entries.length e);
+  Alcotest.(check (option string)) "find hit" (Some "b") (Entries.find e 5);
+  Alcotest.(check (option string)) "find miss" None (Entries.find e 4);
+  Alcotest.(check bool) "mem" true (Entries.mem e 9);
+  Alcotest.(check (option (pair int string)))
+    "floor exact" (Some (5, "b")) (Entries.floor e 5);
+  Alcotest.(check (option (pair int string)))
+    "floor between" (Some (5, "b")) (Entries.floor e 8);
+  Alcotest.(check (option (pair int string))) "floor below" None (Entries.floor e 0);
+  Alcotest.(check (option (pair int string)))
+    "min" (Some (1, "a")) (Entries.min_binding e);
+  Alcotest.(check (option (pair int string)))
+    "max" (Some (9, "c")) (Entries.max_binding e)
+
+let test_entries_add_replace () =
+  let e = entries_of_list [ (1, "a"); (5, "b") ] in
+  let e = Entries.add e 5 "B" in
+  Alcotest.(check int) "replace keeps length" 2 (Entries.length e);
+  Alcotest.(check (option string)) "replaced" (Some "B") (Entries.find e 5);
+  let e = Entries.add e 3 "c" in
+  Alcotest.(check (list int)) "sorted keys" [ 1; 3; 5 ] (Entries.keys e)
+
+let test_entries_remove () =
+  let e = entries_of_list [ (1, "a"); (5, "b"); (9, "c") ] in
+  let e = Entries.remove e 5 in
+  Alcotest.(check (list int)) "removed" [ 1; 9 ] (Entries.keys e);
+  let e' = Entries.remove e 42 in
+  Alcotest.(check (list int)) "remove absent is id" [ 1; 9 ] (Entries.keys e')
+
+let test_entries_split_half () =
+  let e = entries_of_list (List.init 7 (fun i -> (i * 2, string_of_int i))) in
+  let left, sep, right = Entries.split_half e in
+  Alcotest.(check int) "sep is right's min" sep (fst (Option.get (Entries.min_binding right)));
+  Alcotest.(check int) "total preserved" 7 (Entries.length left + Entries.length right);
+  Alcotest.(check bool) "left < sep" true (Entries.for_all (fun k _ -> k < sep) left);
+  Alcotest.(check bool) "right >= sep" true (Entries.for_all (fun k _ -> k >= sep) right)
+
+let test_entries_partition () =
+  let e = entries_of_list [ (1, "a"); (5, "b"); (9, "c") ] in
+  let lt, ge = Entries.partition_lt e 5 in
+  Alcotest.(check (list int)) "lt" [ 1 ] (Entries.keys lt);
+  Alcotest.(check (list int)) "ge" [ 5; 9 ] (Entries.keys ge);
+  let lt, ge = Entries.partition_lt e 100 in
+  Alcotest.(check int) "all lt" 3 (Entries.length lt);
+  Alcotest.(check int) "none ge" 0 (Entries.length ge)
+
+let test_entries_rejects_unsorted () =
+  Alcotest.check_raises "unsorted input"
+    (Invalid_argument "Entries.of_sorted_list: keys not strictly increasing")
+    (fun () -> ignore (Entries.of_sorted_list [ (2, ()); (1, ()) ]))
+
+let prop_entries_model =
+  QCheck.Test.make ~name:"entries behave like a Map" ~count:300
+    QCheck.(list (pair (int_bound 100) (int_bound 1000)))
+    (fun ops ->
+      let e, m =
+        List.fold_left
+          (fun (e, m) (k, v) ->
+            if v mod 5 = 0 then (Entries.remove e k, IntMap.remove k m)
+            else (Entries.add e k v, IntMap.add k v m))
+          (Entries.empty, IntMap.empty)
+          ops
+      in
+      Entries.to_list e = IntMap.bindings m)
+
+let prop_entries_floor =
+  QCheck.Test.make ~name:"floor = greatest key <= probe" ~count:300
+    QCheck.(pair (list (int_bound 100)) (int_bound 100))
+    (fun (keys, probe) ->
+      let e =
+        List.fold_left (fun e k -> Entries.add e k k) Entries.empty keys
+      in
+      let expect =
+        List.sort_uniq compare keys
+        |> List.filter (fun k -> k <= probe)
+        |> fun l -> match List.rev l with [] -> None | k :: _ -> Some (k, k)
+      in
+      Entries.floor e probe = expect)
+
+(* ---------------- Bound & Node ---------------- *)
+
+let test_bound_order () =
+  let open Bound in
+  Alcotest.(check bool) "neg < key" true (compare Neg_inf (Key 0) < 0);
+  Alcotest.(check bool) "key < pos" true (compare (Key max_int) Pos_inf < 0);
+  Alcotest.(check bool) "key order" true (compare (Key 1) (Key 2) < 0);
+  Alcotest.(check bool) "in range" true (key_in_range ~low:(Key 5) ~high:(Key 10) 5);
+  Alcotest.(check bool) "high exclusive" false
+    (key_in_range ~low:(Key 5) ~high:(Key 10) 10);
+  Alcotest.(check bool) "infinite range" true
+    (key_in_range ~low:Neg_inf ~high:Pos_inf 12345)
+
+let leaf_with keys =
+  let entries =
+    Entries.of_sorted_list (List.map (fun k -> (k, Node.Data (string_of_int k))) keys)
+  in
+  Node.make ~id:1 ~level:0 ~low:(Bound.Key 0) ~high:(Bound.Key 100) ~right:2
+    entries
+
+let test_node_step_leaf () =
+  let n = leaf_with [ 10; 20 ] in
+  (match Node.step n 10 with
+  | Node.Here -> ()
+  | _ -> Alcotest.fail "expected Here");
+  (match Node.step n 150 with
+  | Node.Chase_right 2 -> ()
+  | _ -> Alcotest.fail "expected Chase_right");
+  match Node.step n (-5) with
+  | Node.Dead_end -> ()
+  | _ -> Alcotest.fail "expected Dead_end (no left link)"
+
+let test_node_step_interior () =
+  let entries =
+    Entries.of_sorted_list
+      [ (Bound.min_sentinel, Node.Child 10); (50, Node.Child 11) ]
+  in
+  let n =
+    Node.make ~id:5 ~level:1 ~low:Bound.Neg_inf ~high:(Bound.Key 100) ~right:6
+      entries
+  in
+  (match Node.step n 7 with
+  | Node.Descend 10 -> ()
+  | _ -> Alcotest.fail "descend leftmost");
+  (match Node.step n 50 with
+  | Node.Descend 11 -> ()
+  | _ -> Alcotest.fail "descend at separator");
+  match Node.step n 100 with
+  | Node.Chase_right 6 -> ()
+  | _ -> Alcotest.fail "chase right at high"
+
+let test_node_half_split () =
+  let n = leaf_with [ 10; 20; 30; 40 ] in
+  let v0 = n.Node.version in
+  let sib = Node.half_split n ~sibling_id:99 in
+  Alcotest.(check int) "sep" 30 (Node.separator_of_sibling sib);
+  Alcotest.(check (list int)) "left keys" [ 10; 20 ] (Entries.keys n.Node.entries);
+  Alcotest.(check (list int)) "right keys" [ 30; 40 ] (Entries.keys sib.Node.entries);
+  Alcotest.(check bool) "left high = sep" true (Bound.equal n.Node.high (Bound.Key 30));
+  Alcotest.(check bool) "sib low = sep" true (Bound.equal sib.Node.low (Bound.Key 30));
+  Alcotest.(check (option int)) "link to sibling" (Some 99) n.Node.right;
+  Alcotest.(check (option int)) "sibling inherits right" (Some 2) sib.Node.right;
+  Alcotest.(check (option int)) "sibling left link" (Some 1) sib.Node.left;
+  Alcotest.(check int) "versions bumped" (v0 + 1) n.Node.version;
+  Alcotest.(check int) "sibling version" (v0 + 1) sib.Node.version
+
+let test_node_content_equal () =
+  let a = leaf_with [ 1; 2 ] and b = leaf_with [ 1; 2 ] in
+  Alcotest.(check bool) "equal" true (Node.content_equal String.equal a b);
+  Node.add_entry b 3 (Node.Data "3");
+  Alcotest.(check bool) "differ" false (Node.content_equal String.equal a b);
+  let c = leaf_with [ 1; 2 ] in
+  let d = Node.clone c in
+  Node.add_entry d 9 (Node.Data "9");
+  Alcotest.(check bool) "clone does not alias" false
+    (Node.content_equal String.equal c d)
+
+(* ---------------- Sequential B-link tree ---------------- *)
+
+let check_inv t =
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariant: " ^ e)
+
+let test_btree_basic () =
+  let t = Btree.create ~capacity:4 () in
+  Alcotest.(check (option string)) "empty search" None (Btree.search t 5);
+  Btree.insert t 5 "five";
+  Btree.insert t 3 "three";
+  Btree.insert t 8 "eight";
+  Alcotest.(check (option string)) "found" (Some "five") (Btree.search t 5);
+  Alcotest.(check int) "size" 3 (Btree.size t);
+  Alcotest.(check (list (pair int string)))
+    "sorted bindings"
+    [ (3, "three"); (5, "five"); (8, "eight") ]
+    (Btree.to_list t);
+  check_inv t
+
+let test_btree_grows () =
+  let t = Btree.create ~capacity:4 () in
+  for i = 1 to 500 do
+    Btree.insert t i (string_of_int i)
+  done;
+  Alcotest.(check int) "size" 500 (Btree.size t);
+  Alcotest.(check bool) "height grew" true (Btree.height t > 2);
+  Alcotest.(check bool) "splits happened" true ((Btree.stats t).Btree.splits > 50);
+  Alcotest.(check int) "blink restructures touch one node" 1
+    (Btree.stats t).Btree.max_restructure_span;
+  check_inv t;
+  for i = 1 to 500 do
+    Alcotest.(check bool) (Fmt.str "mem %d" i) true (Btree.mem t i)
+  done
+
+let test_btree_delete_never_merges () =
+  let t = Btree.create ~capacity:4 () in
+  for i = 1 to 200 do
+    Btree.insert t i (string_of_int i)
+  done;
+  let nodes_before = Btree.node_count t in
+  for i = 1 to 200 do
+    if i mod 2 = 0 then
+      Alcotest.(check bool) "delete present" true (Btree.delete t i)
+  done;
+  Alcotest.(check bool) "delete absent" false (Btree.delete t 1000);
+  Alcotest.(check int) "half left" 100 (Btree.size t);
+  Alcotest.(check int) "free-at-empty: no merges" nodes_before (Btree.node_count t);
+  Alcotest.(check bool) "utilization dropped" true (Btree.leaf_utilization t < 0.8);
+  check_inv t
+
+let test_btree_range () =
+  let t = Btree.create ~capacity:4 () in
+  List.iter (fun i -> Btree.insert t i (string_of_int i)) [ 1; 5; 10; 15; 20 ];
+  Alcotest.(check (list int))
+    "range" [ 5; 10; 15 ]
+    (List.map fst (Btree.range t ~lo:4 ~hi:16));
+  Alcotest.(check (list int)) "empty range" [] (List.map fst (Btree.range t ~lo:6 ~hi:9))
+
+let test_btree_update_in_place () =
+  let t = Btree.create () in
+  Btree.insert t 1 "a";
+  Btree.insert t 1 "b";
+  Alcotest.(check int) "no duplicate" 1 (Btree.size t);
+  Alcotest.(check (option string)) "updated" (Some "b") (Btree.search t 1)
+
+(* A scripted interpreter runs the same operations against Btree, Bptree
+   and a Map — three implementations, one semantics. *)
+type script_op = S_insert of int * int | S_delete of int | S_search of int
+
+let script_gen =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (5, map2 (fun k v -> S_insert (k, v)) (int_bound 500) (int_bound 10_000));
+        (2, map (fun k -> S_delete k) (int_bound 500));
+        (3, map (fun k -> S_search k) (int_bound 500));
+      ]
+  in
+  list_size (int_bound 400) op
+
+let script_arb =
+  QCheck.make ~print:(fun s -> Fmt.str "%d ops" (List.length s)) script_gen
+
+let prop_btree_vs_model =
+  QCheck.Test.make ~name:"btree = Map under insert/delete/search" ~count:100
+    script_arb
+    (fun script ->
+      let t = Btree.create ~capacity:4 () in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | S_insert (k, v) ->
+            let k = k + 1 in
+            Btree.insert t k (string_of_int v);
+            model := IntMap.add k (string_of_int v) !model;
+            true
+          | S_delete k ->
+            let k = k + 1 in
+            let expected = IntMap.mem k !model in
+            model := IntMap.remove k !model;
+            Btree.delete t k = expected
+          | S_search k ->
+            let k = k + 1 in
+            Btree.search t k = IntMap.find_opt k !model)
+        script
+      && Btree.to_list t = IntMap.bindings !model
+      && Btree.check_invariants t = Ok ())
+
+let prop_btree_eq_bptree =
+  QCheck.Test.make ~name:"B-link tree = classic B+ tree on inserts" ~count:100
+    QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun kvs ->
+      let bl = Btree.create ~capacity:4 () in
+      let bp = Bptree.create ~capacity:4 () in
+      List.iter
+        (fun (k, v) ->
+          let k = k + 1 in
+          Btree.insert bl k (string_of_int v);
+          Bptree.insert bp k (string_of_int v))
+        kvs;
+      Btree.to_list bl = Bptree.to_list bp
+      && Bptree.check_invariants bp = Ok ())
+
+let test_bptree_span_grows () =
+  let bp = Bptree.create ~capacity:4 () in
+  (* Sequential inserts cascade splits up the tree: the classic algorithm's
+     atomic restructure spans several nodes, unlike the half-split. *)
+  for i = 1 to 2000 do
+    Bptree.insert bp i (string_of_int i)
+  done;
+  Alcotest.(check bool) "cascades span > 1 node" true
+    ((Bptree.stats bp).Bptree.max_restructure_span > 3);
+  Alcotest.(check int) "size" 2000 (Bptree.size bp)
+
+let test_btree_ordered_queries () =
+  let t = Btree.create ~capacity:4 () in
+  Alcotest.(check (option (pair int string))) "empty min" None (Btree.min_binding t);
+  Alcotest.(check (option (pair int string))) "empty max" None (Btree.max_binding t);
+  Alcotest.(check (option (pair int string))) "empty succ" None (Btree.successor t 5);
+  List.iter (fun k -> Btree.insert t k (string_of_int k)) [ 10; 20; 30; 40; 50 ];
+  Alcotest.(check (option (pair int string))) "min" (Some (10, "10")) (Btree.min_binding t);
+  Alcotest.(check (option (pair int string))) "max" (Some (50, "50")) (Btree.max_binding t);
+  Alcotest.(check (option (pair int string))) "succ mid" (Some (30, "30")) (Btree.successor t 20);
+  Alcotest.(check (option (pair int string))) "succ between" (Some (30, "30")) (Btree.successor t 25);
+  Alcotest.(check (option (pair int string))) "succ of max" None (Btree.successor t 50);
+  Alcotest.(check (option (pair int string))) "pred mid" (Some (20, "20")) (Btree.predecessor t 30);
+  Alcotest.(check (option (pair int string))) "pred of min" None (Btree.predecessor t 10);
+  (* iter/fold agree with to_list *)
+  let via_fold = List.rev (Btree.fold (fun k v acc -> (k, v) :: acc) t []) in
+  Alcotest.(check (list (pair int string))) "fold ordered" (Btree.to_list t) via_fold;
+  let count = ref 0 in
+  Btree.iter (fun _ _ -> incr count) t;
+  Alcotest.(check int) "iter visits all" 5 !count
+
+let prop_btree_successor =
+  QCheck.Test.make ~name:"successor matches the sorted list" ~count:200
+    QCheck.(pair (list (int_range 1 200)) (int_range 0 201))
+    (fun (keys, probe) ->
+      let t = Btree.create ~capacity:4 () in
+      List.iter (fun k -> Btree.insert t k "v") keys;
+      let sorted = List.sort_uniq compare keys in
+      let expect = List.find_opt (fun k -> k > probe) sorted in
+      Option.map fst (Btree.successor t probe) = expect)
+
+let test_bulk_load () =
+  let bindings = List.init 5000 (fun i -> ((i * 3) + 1, string_of_int i)) in
+  let t = Btree.of_sorted ~capacity:8 bindings in
+  Alcotest.(check int) "size" 5000 (Btree.size t);
+  Alcotest.(check (list (pair int string))) "contents" bindings (Btree.to_list t);
+  check_inv t;
+  Alcotest.(check bool) "well packed" true (Btree.leaf_utilization t > 0.85);
+  (* still a live tree: insert and delete afterwards *)
+  Btree.insert t 2 "two";
+  Alcotest.(check bool) "insert after bulk load" true (Btree.mem t 2);
+  Alcotest.(check bool) "delete after bulk load" true (Btree.delete t 4);
+  check_inv t
+
+let test_bulk_load_small () =
+  let t = Btree.of_sorted ~capacity:4 [] in
+  Alcotest.(check int) "empty" 0 (Btree.size t);
+  check_inv t;
+  let t = Btree.of_sorted ~capacity:4 [ (5, "x") ] in
+  Alcotest.(check (option string)) "singleton" (Some "x") (Btree.search t 5);
+  check_inv t
+
+let test_compact_reclaims () =
+  let t = Btree.create ~capacity:8 () in
+  for i = 1 to 2000 do
+    Btree.insert t i (string_of_int i)
+  done;
+  for i = 1 to 2000 do
+    if i mod 4 <> 0 then ignore (Btree.delete t i)
+  done;
+  let before = Btree.leaf_utilization t in
+  let t' = Btree.compact t in
+  Alcotest.(check (list (pair int string))) "contents preserved"
+    (Btree.to_list t) (Btree.to_list t');
+  check_inv t';
+  Alcotest.(check bool)
+    (Fmt.str "utilization recovered (%.2f -> %.2f)" before
+       (Btree.leaf_utilization t'))
+    true
+    (Btree.leaf_utilization t' > 2.0 *. before)
+
+let prop_bulk_load_equals_inserts =
+  QCheck.Test.make ~name:"bulk load = insert loop" ~count:100
+    QCheck.(list (int_range 1 500))
+    (fun keys ->
+      let sorted =
+        List.sort_uniq compare keys |> List.map (fun k -> (k, string_of_int k))
+      in
+      let bulk = Btree.of_sorted ~capacity:4 sorted in
+      let incr = Btree.create ~capacity:4 () in
+      List.iter (fun (k, v) -> Btree.insert incr k v) sorted;
+      Btree.to_list bulk = Btree.to_list incr
+      && Btree.check_invariants bulk = Ok ())
+
+let test_reserved_key_rejected () =
+  let t = Btree.create () in
+  Alcotest.check_raises "sentinel rejected"
+    (Invalid_argument "Btree.insert: reserved key") (fun () ->
+      Btree.insert t Bound.min_sentinel "x")
+
+let suite =
+  [
+    Alcotest.test_case "entries: basics" `Quick test_entries_basic;
+    Alcotest.test_case "entries: add replaces" `Quick test_entries_add_replace;
+    Alcotest.test_case "entries: remove" `Quick test_entries_remove;
+    Alcotest.test_case "entries: split_half" `Quick test_entries_split_half;
+    Alcotest.test_case "entries: partition_lt" `Quick test_entries_partition;
+    Alcotest.test_case "entries: rejects unsorted" `Quick test_entries_rejects_unsorted;
+    QCheck_alcotest.to_alcotest prop_entries_model;
+    QCheck_alcotest.to_alcotest prop_entries_floor;
+    Alcotest.test_case "bound: ordering" `Quick test_bound_order;
+    Alcotest.test_case "node: leaf navigation" `Quick test_node_step_leaf;
+    Alcotest.test_case "node: interior navigation" `Quick test_node_step_interior;
+    Alcotest.test_case "node: half-split" `Quick test_node_half_split;
+    Alcotest.test_case "node: content equality" `Quick test_node_content_equal;
+    Alcotest.test_case "btree: basics" `Quick test_btree_basic;
+    Alcotest.test_case "btree: growth and reachability" `Quick test_btree_grows;
+    Alcotest.test_case "btree: never-merge deletes" `Quick test_btree_delete_never_merges;
+    Alcotest.test_case "btree: range scan" `Quick test_btree_range;
+    Alcotest.test_case "btree: upsert semantics" `Quick test_btree_update_in_place;
+    QCheck_alcotest.to_alcotest prop_btree_vs_model;
+    QCheck_alcotest.to_alcotest prop_btree_eq_bptree;
+    Alcotest.test_case "bptree: restructure span" `Quick test_bptree_span_grows;
+    Alcotest.test_case "btree: reserved key" `Quick test_reserved_key_rejected;
+    Alcotest.test_case "btree: ordered queries" `Quick test_btree_ordered_queries;
+    QCheck_alcotest.to_alcotest prop_btree_successor;
+    Alcotest.test_case "btree: bulk load" `Quick test_bulk_load;
+    Alcotest.test_case "btree: bulk load edge cases" `Quick test_bulk_load_small;
+    Alcotest.test_case "btree: compaction reclaims space" `Quick
+      test_compact_reclaims;
+    QCheck_alcotest.to_alcotest prop_bulk_load_equals_inserts;
+  ]

@@ -1,0 +1,388 @@
+(* End-to-end tests of the fixed-copies protocol family (§4.1): the
+   synchronous and semi-synchronous split disciplines, the naive ablation,
+   and the eager baseline — across replication policies and cluster
+   sizes, checked by the quiescent verifier and the §3 history audit. *)
+open Dbtree_core
+open Dbtree_sim
+
+let mk ?(procs = 4) ?(capacity = 4) ?(seed = 42) ?(key_space = 50_000)
+    ?(replication = Config.Path) ?(single_copy_root = false)
+    ?(relay_batch = 1) ?(relay_flush_delay = 0) discipline =
+  Config.make ~procs ~capacity ~seed ~key_space ~replication ~discipline
+    ~single_copy_root ~relay_batch ~relay_flush_delay ()
+
+let run_fixed ?(count = 300) ?expect_ok cfg label =
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let keys, report =
+    Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count ()
+  in
+  Scenario.check_verified ?expect_ok label report;
+  (match expect_ok with
+  | Some false -> ()
+  | Some true | None ->
+    Scenario.check_no_leftover label cl;
+    Scenario.all_search_results_correct cl keys);
+  (t, report)
+
+let test_discipline_matrix () =
+  List.iter
+    (fun (d, r) ->
+      let label =
+        Fmt.str "%s/%s" (Config.discipline_name d)
+          (match r with Config.All_procs -> "all" | Config.Path -> "path")
+      in
+      ignore (run_fixed (mk ~replication:r d) label))
+    [
+      (Config.Semi, Config.Path);
+      (Config.Semi, Config.All_procs);
+      (Config.Sync, Config.Path);
+      (Config.Sync, Config.All_procs);
+      (Config.Eager, Config.Path);
+      (Config.Eager, Config.All_procs);
+    ]
+
+let test_single_processor () =
+  List.iter
+    (fun d ->
+      ignore
+        (run_fixed ~count:150
+           (mk ~procs:1 ~replication:Config.All_procs d)
+           "single proc"))
+    [ Config.Semi; Config.Sync; Config.Eager ]
+
+let test_many_processors () =
+  ignore (run_fixed ~count:400 (mk ~procs:8 Config.Semi) "8 procs semi");
+  ignore (run_fixed ~count:400 (mk ~procs:8 Config.Sync) "8 procs sync")
+
+let test_capacity_sweep () =
+  List.iter
+    (fun capacity ->
+      ignore (run_fixed (mk ~capacity Config.Semi) (Fmt.str "cap %d" capacity)))
+    [ 2; 3; 8; 32 ]
+
+let test_seed_sweep () =
+  List.iter
+    (fun seed ->
+      ignore (run_fixed (mk ~seed Config.Semi) (Fmt.str "seed %d" seed));
+      ignore (run_fixed (mk ~seed Config.Sync) (Fmt.str "seed %d" seed)))
+    [ 1; 2; 3; 77 ]
+
+let test_naive_loses_inserts () =
+  (* The Figure 4 anomaly: the naive protocol acknowledges inserts and then
+     silently loses some, while the copies still converge. *)
+  let cfg = mk ~replication:Config.All_procs ~capacity:4 Config.Naive in
+  let t, report = run_fixed ~count:400 ~expect_ok:false cfg "naive" in
+  Alcotest.(check bool) "keys were lost" true (report.Verify.missing_keys <> []);
+  Alcotest.(check bool) "copies still converge" true
+    (report.Verify.divergent_nodes = []);
+  Alcotest.(check bool) "loss was counted" true
+    (Stats.get (Cluster.stats (Fixed.cluster t)) "naive.lost" > 0)
+
+let test_semi_forwarding_fires () =
+  (* Under concurrent inserts the PC must rewrite history at least once. *)
+  let cfg = mk ~procs:4 ~replication:Config.All_procs ~capacity:4 Config.Semi in
+  let t, _ = run_fixed ~count:500 cfg "semi forwards" in
+  Alcotest.(check bool) "out-of-range relays were forwarded" true
+    (Stats.get (Cluster.stats (Fixed.cluster t)) "semi.forwarded" > 0)
+
+let test_sync_blocks_inserts () =
+  let cfg = mk ~procs:4 ~replication:Config.All_procs ~capacity:4 Config.Sync in
+  let t, _ = run_fixed ~count:500 cfg "sync blocks" in
+  Alcotest.(check bool) "the AAS blocked initial updates" true
+    (Stats.get (Cluster.stats (Fixed.cluster t)) "split.blocked_updates" > 0)
+
+let split_message_cost t kinds =
+  let st = Cluster.stats (Fixed.cluster t) in
+  let total = List.fold_left (fun acc k -> acc + Stats.get st ("net.msg." ^ k)) 0 kinds in
+  float_of_int total /. float_of_int (max 1 (Fixed.splits t))
+
+let test_split_message_complexity () =
+  (* §4.1.2: a semi-synchronous split costs |copies| messages, the
+     synchronous AAS costs 3|copies|.  With 4 copies per node the per-split
+     coherence traffic must be ~3 (relayed splits) vs ~9 (start+ack+end). *)
+  let run d =
+    let cfg = mk ~procs:4 ~replication:Config.All_procs ~capacity:4 d in
+    let t, _ = run_fixed ~count:500 cfg "cost" in
+    t
+  in
+  let semi = run Config.Semi and sync = run Config.Sync in
+  let semi_cost = split_message_cost semi [ "relay_split" ] in
+  let sync_cost =
+    split_message_cost sync [ "split_start"; "split_ack"; "split_end" ]
+  in
+  Alcotest.(check bool)
+    (Fmt.str "semi ~3 msgs/split (got %.2f)" semi_cost)
+    true
+    (semi_cost > 2.0 && semi_cost < 4.0);
+  Alcotest.(check bool)
+    (Fmt.str "sync ~9 msgs/split (got %.2f)" sync_cost)
+    true
+    (sync_cost > 7.0 && sync_cost < 10.0);
+  Alcotest.(check bool) "sync ~3x semi" true (sync_cost > 2.5 *. semi_cost)
+
+let test_eager_latency_worse () =
+  (* The vigorous baseline completes an insert only after every copy acks:
+     its insert latency must exceed the lazy protocol's. *)
+  let run d =
+    let cfg = mk ~procs:4 ~replication:Config.All_procs ~capacity:8 d in
+    let t = Fixed.create cfg in
+    let cl = Fixed.cluster t in
+    let _, report =
+      Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count:300 ()
+    in
+    Scenario.check_verified "eager latency" report;
+    Opstate.mean_latency cl.Cluster.ops Opstate.Insert
+  in
+  let lazy_lat = run Config.Semi and eager_lat = run Config.Eager in
+  Alcotest.(check bool)
+    (Fmt.str "eager slower (%.1f vs %.1f)" eager_lat lazy_lat)
+    true (eager_lat > lazy_lat)
+
+let test_relay_batching () =
+  (* Piggybacked relays: fewer wire messages, same final state. *)
+  let base = mk ~procs:4 ~replication:Config.All_procs Config.Semi in
+  let batched =
+    mk ~procs:4 ~replication:Config.All_procs ~relay_batch:8
+      ~relay_flush_delay:50 Config.Semi
+  in
+  let msgs cfg =
+    let t = Fixed.create cfg in
+    let cl = Fixed.cluster t in
+    let _, report =
+      Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count:400 ()
+    in
+    Scenario.check_verified "batching" report;
+    Cluster.Network.remote_messages cl.Cluster.net
+  in
+  let plain = msgs base and piggy = msgs batched in
+  Alcotest.(check bool)
+    (Fmt.str "batching saves messages (%d vs %d)" piggy plain)
+    true
+    (piggy < plain)
+
+let test_batching_rejected_elsewhere () =
+  Alcotest.check_raises "batching requires Semi"
+    (Invalid_argument "Config: relay batching requires the Semi discipline")
+    (fun () -> ignore (mk ~relay_batch:4 Config.Sync))
+
+let test_single_copy_root () =
+  let cfg = mk ~single_copy_root:true Config.Semi in
+  let t, _ = run_fixed ~count:300 cfg "single root" in
+  (* all operations from other processors funnel through processor 0 *)
+  let cl = Fixed.cluster t in
+  Alcotest.(check bool) "root proc is hot" true
+    (Cluster.Network.sent_to cl.Cluster.net 0
+    > 2 * Cluster.Network.sent_to cl.Cluster.net 3)
+
+let test_remove_and_reinsert () =
+  let cfg = mk Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let done_ops () = Cluster.run cl in
+  ignore (Fixed.insert t ~origin:0 100 "a");
+  ignore (Fixed.insert t ~origin:1 200 "b");
+  done_ops ();
+  ignore (Fixed.remove t ~origin:2 100);
+  done_ops ();
+  let s1 = Fixed.search t ~origin:3 100 in
+  let s2 = Fixed.search t ~origin:0 200 in
+  done_ops ();
+  let result op =
+    (Option.get (Opstate.find cl.Cluster.ops op)).Opstate.result
+  in
+  Alcotest.(check bool) "removed key absent" true (result s1 = Some Msg.Absent);
+  Alcotest.(check bool) "other key present" true
+    (result s2 = Some (Msg.Found "b"));
+  ignore (Fixed.insert t ~origin:2 100 "a2");
+  done_ops ();
+  let s3 = Fixed.search t ~origin:1 100 in
+  done_ops ();
+  Alcotest.(check bool) "reinserted" true (result s3 = Some (Msg.Found "a2"));
+  Scenario.check_verified "remove/reinsert" (Verify.check cl)
+
+let test_upsert_overwrites () =
+  let cfg = mk ~procs:2 Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  ignore (Fixed.insert t ~origin:0 42 "v1");
+  Cluster.run cl;
+  ignore (Fixed.insert t ~origin:0 42 "v2");
+  Cluster.run cl;
+  let s = Fixed.search t ~origin:1 42 in
+  Cluster.run cl;
+  Alcotest.(check bool) "overwritten" true
+    ((Option.get (Opstate.find cl.Cluster.ops s)).Opstate.result
+    = Some (Msg.Found "v2"))
+
+let test_search_absent () =
+  let cfg = mk Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let s = Fixed.search t ~origin:2 12345 in
+  Cluster.run cl;
+  Alcotest.(check bool) "absent" true
+    ((Option.get (Opstate.find cl.Cluster.ops s)).Opstate.result
+    = Some Msg.Absent)
+
+let test_sequential_keys () =
+  (* Sequential inserts are the degenerate split pattern. *)
+  let cfg = mk ~procs:4 Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  for i = 1 to 400 do
+    ignore (Fixed.insert t ~origin:(i mod 4) i (string_of_int i))
+  done;
+  Cluster.run cl;
+  Scenario.check_verified "sequential" (Verify.check cl)
+
+let test_range_scan () =
+  List.iter
+    (fun replication ->
+      let cfg = mk ~procs:4 ~capacity:4 ~replication Config.Semi in
+      let t = Fixed.create cfg in
+      let cl = Fixed.cluster t in
+      for i = 1 to 300 do
+        ignore (Fixed.insert t ~origin:(i mod 4) (i * 100) (Fmt.str "v%d" i))
+      done;
+      Cluster.run cl;
+      (* ranges: inside one leaf, spanning processors, empty, everything *)
+      let cases = [ (150, 450); (20_000, 28_000); (95, 99); (0, 1_000_000) ] in
+      let ops = List.map (fun (lo, hi) -> (Fixed.scan t ~origin:1 ~lo ~hi, lo, hi)) cases in
+      Cluster.run cl;
+      List.iter (fun (op, lo, hi) -> Scenario.check_scan cl ~op ~lo ~hi) ops)
+    [ Config.Path; Config.All_procs ]
+
+let test_open_loop_driver () =
+  let cfg = mk Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let keys, streams =
+    Scenario.insert_streams ~rng_seed:9 ~key_space:cfg.Config.key_space
+      ~count:200 ~procs:4
+  in
+  Driver.run_open cl (Driver.fixed_api t) ~streams ~interval:7;
+  Scenario.check_verified "open loop" (Verify.check cl);
+  Alcotest.(check int) "all inserts completed" (Array.length keys)
+    (Opstate.completed cl.Cluster.ops)
+
+let prop_random_cluster_verifies =
+  QCheck.Test.make ~name:"random small clusters verify (semi)" ~count:25
+    QCheck.(
+      quad (int_range 1 6) (int_range 2 8) (int_range 20 150) (int_bound 1000))
+    (fun (procs, capacity, count, seed) ->
+      (* clamp: qcheck shrinking can escape int_range bounds *)
+      let procs = max 1 procs and capacity = max 2 capacity in
+      let count = max 1 count and seed = abs seed in
+      let cfg = mk ~procs ~capacity ~seed Config.Semi in
+      let t = Fixed.create cfg in
+      let cl = Fixed.cluster t in
+      let _, report =
+        Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count
+          ~searches:8 ()
+      in
+      Verify.ok report)
+
+let prop_mixed_ops_verify =
+  QCheck.Test.make ~name:"mixed insert/remove/search workloads verify" ~count:20
+    QCheck.(pair (int_range 1 5) (int_bound 1000))
+    (fun (procs, seed) ->
+      let procs = max 1 procs and seed = abs seed in
+      let cfg = mk ~procs ~capacity:4 ~seed Config.Semi in
+      let t = Fixed.create cfg in
+      let cl = Fixed.cluster t in
+      let rng = Dbtree_sim.Rng.create (seed + 3) in
+      (* unique keys; a random subset gets removed after insertion, with
+         interleaved searches *)
+      let keys =
+        Dbtree_workload.Workload.unique_keys rng ~key_space:cfg.Config.key_space
+          ~count:160
+      in
+      let loaded = Array.sub keys 0 80 and fresh = Array.sub keys 80 80 in
+      (* phase 1: load *)
+      Array.iteri
+        (fun i k ->
+          ignore (Fixed.insert t ~origin:(i mod procs) k (string_of_int k)))
+        loaded;
+      Cluster.run cl;
+      (* phase 2: concurrent removes of loaded keys, fresh inserts, and
+         searches — no two in-flight operations share a key *)
+      Array.iteri
+        (fun i k ->
+          ignore (Fixed.insert t ~origin:(i mod procs) k (string_of_int k));
+          if i mod 3 = 0 then
+            ignore (Fixed.remove t ~origin:((i + 2) mod procs) loaded.(i));
+          if i mod 7 = 0 then
+            ignore (Fixed.search t ~origin:((i + 1) mod procs) loaded.(i + 1)))
+        fresh;
+      Cluster.run cl;
+      Verify.ok (Verify.check cl))
+
+let test_debug_dump () =
+  let cfg = mk Config.Semi in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  for i = 1 to 100 do
+    ignore (Fixed.insert t ~origin:(i mod 4) (i * 11) "v")
+  done;
+  Cluster.run cl;
+  let dump = Fmt.str "%a" Debug.pp_cluster cl in
+  Alcotest.(check bool) "dump mentions levels" true
+    (Astring.String.is_infix ~affix:"level 0" dump
+    || String.length dump > 100);
+  let store_dump = Fmt.str "%a" Debug.pp_store (Cluster.store cl 0) in
+  Alcotest.(check bool) "store dump non-empty" true (String.length store_dump > 50);
+  Alcotest.(check bool) "depth sane" true (Debug.tree_depth cl >= 2)
+
+let prop_random_cluster_verifies_sync =
+  QCheck.Test.make ~name:"random small clusters verify (sync)" ~count:15
+    QCheck.(
+      quad (int_range 1 6) (int_range 2 8) (int_range 20 150) (int_bound 1000))
+    (fun (procs, capacity, count, seed) ->
+      (* clamp: qcheck shrinking can escape int_range bounds *)
+      let procs = max 1 procs and capacity = max 2 capacity in
+      let count = max 1 count and seed = abs seed in
+      let cfg =
+        mk ~procs ~capacity ~seed ~replication:Config.All_procs Config.Sync
+      in
+      let t = Fixed.create cfg in
+      let cl = Fixed.cluster t in
+      let _, report =
+        Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count
+          ~searches:8 ()
+      in
+      Verify.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "discipline x replication matrix" `Slow test_discipline_matrix;
+    Alcotest.test_case "single processor" `Quick test_single_processor;
+    Alcotest.test_case "eight processors" `Slow test_many_processors;
+    Alcotest.test_case "capacity sweep" `Slow test_capacity_sweep;
+    Alcotest.test_case "seed sweep" `Slow test_seed_sweep;
+    Alcotest.test_case "naive ablation loses inserts (Fig 4)" `Quick
+      test_naive_loses_inserts;
+    Alcotest.test_case "semi: history rewriting fires" `Quick
+      test_semi_forwarding_fires;
+    Alcotest.test_case "sync: AAS blocks initial updates" `Quick
+      test_sync_blocks_inserts;
+    Alcotest.test_case "split cost: 3|c| vs |c| (Fig 5)" `Slow
+      test_split_message_complexity;
+    Alcotest.test_case "eager completes slower than lazy" `Slow
+      test_eager_latency_worse;
+    Alcotest.test_case "relay piggybacking saves messages" `Slow
+      test_relay_batching;
+    Alcotest.test_case "batching config validation" `Quick
+      test_batching_rejected_elsewhere;
+    Alcotest.test_case "single-copy root bottleneck" `Quick test_single_copy_root;
+    Alcotest.test_case "remove and reinsert" `Quick test_remove_and_reinsert;
+    Alcotest.test_case "upsert overwrites" `Quick test_upsert_overwrites;
+    Alcotest.test_case "search absent key" `Quick test_search_absent;
+    Alcotest.test_case "sequential key load" `Quick test_sequential_keys;
+    Alcotest.test_case "range scans cross leaf chain" `Quick test_range_scan;
+    Alcotest.test_case "open-loop driver" `Quick test_open_loop_driver;
+    QCheck_alcotest.to_alcotest prop_random_cluster_verifies;
+    QCheck_alcotest.to_alcotest prop_mixed_ops_verify;
+    Alcotest.test_case "debug dump" `Quick test_debug_dump;
+    QCheck_alcotest.to_alcotest prop_random_cluster_verifies_sync;
+  ]

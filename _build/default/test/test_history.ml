@@ -1,0 +1,157 @@
+(* Tests for the §3 correctness theory: action model, history registry,
+   and the compatible / complete / ordered / exactly-once checkers. *)
+open Dbtree_history
+
+let insert_action ?(mode = Action.Initial) ~uid ~node key =
+  { Action.uid; node; mode; kind = Action.Insert { key }; version = 0 }
+
+let link_action ~uid ~node ~version target =
+  {
+    Action.uid;
+    node;
+    mode = Action.Initial;
+    kind = Action.Link_change { which = `Right; target };
+    version;
+  }
+
+let check r = Checker.check r
+
+let violations_of req report =
+  List.filter (fun v -> v.Checker.requirement = req) report.Checker.violations
+
+let test_uniform () =
+  let a = insert_action ~mode:Action.Relayed ~uid:3 ~node:1 42 in
+  Alcotest.(check bool) "uniform erases mode" true
+    ((Action.uniform a).Action.mode = Action.Initial)
+
+let test_ordered_class () =
+  Alcotest.(check (option string)) "inserts unordered" None
+    (Action.ordered_class (insert_action ~uid:0 ~node:0 1));
+  Alcotest.(check (option string)) "links ordered" (Some "link.right")
+    (Action.ordered_class (link_action ~uid:0 ~node:0 ~version:1 9))
+
+let two_copies () =
+  let r = Registry.create () in
+  Registry.new_copy r ~node:1 ~pid:0 ~base:Registry.Uid_set.empty;
+  Registry.new_copy r ~node:1 ~pid:1 ~base:Registry.Uid_set.empty;
+  r
+
+let test_compatible_ok () =
+  let r = two_copies () in
+  let u = Registry.fresh_uid r in
+  Registry.note_issued r u;
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:u ~node:1 5);
+  Registry.record r ~node:1 ~pid:1 ~time:2
+    (insert_action ~mode:Action.Relayed ~uid:u ~node:1 5);
+  let report = check r in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  Alcotest.(check int) "one node" 1 report.Checker.nodes_checked;
+  Alcotest.(check int) "two copies" 2 report.Checker.copies_checked
+
+let test_compatible_violation () =
+  let r = two_copies () in
+  let u = Registry.fresh_uid r in
+  Registry.note_issued r u;
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:u ~node:1 5);
+  (* pid 1 never sees the update *)
+  let report = check r in
+  Alcotest.(check int) "compatible violation" 1
+    (List.length (violations_of `Compatible report))
+
+let test_absorbed_counts () =
+  (* An ineffective (absorbed) action still participates in the uniform
+     history — the "rewriting" of the paper's proofs. *)
+  let r = two_copies () in
+  let u = Registry.fresh_uid r in
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:u ~node:1 5);
+  Registry.record r ~node:1 ~pid:1 ~effective:false ~time:2
+    (insert_action ~mode:Action.Relayed ~uid:u ~node:1 5);
+  Alcotest.(check bool) "absorbed action keeps histories compatible" true
+    (Checker.ok (check r))
+
+let test_backwards_extension () =
+  (* A copy created later carries the earlier updates in its base. *)
+  let r = Registry.create () in
+  Registry.new_copy r ~node:1 ~pid:0 ~base:Registry.Uid_set.empty;
+  let u1 = Registry.fresh_uid r in
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:u1 ~node:1 5);
+  let base = Registry.snapshot r ~node:1 ~pid:0 in
+  Registry.new_copy r ~node:1 ~pid:1 ~base;
+  let u2 = Registry.fresh_uid r in
+  Registry.record r ~node:1 ~pid:1 ~time:2 (insert_action ~uid:u2 ~node:1 7);
+  Registry.record r ~node:1 ~pid:0 ~time:3
+    (insert_action ~mode:Action.Relayed ~uid:u2 ~node:1 7);
+  Alcotest.(check bool) "backwards extension covers old updates" true
+    (Checker.ok (check r))
+
+let test_complete_violation () =
+  let r = two_copies () in
+  let u = Registry.fresh_uid r in
+  Registry.note_issued r u;
+  (* issued but never performed anywhere *)
+  let report = check r in
+  Alcotest.(check int) "complete violation" 1
+    (List.length (violations_of `Complete report));
+  (* note: the copies also miss it from M_n?  No — M_n is empty, so the
+     copies are compatible; only completeness fails. *)
+  Alcotest.(check int) "no compatible violation" 0
+    (List.length (violations_of `Compatible report))
+
+let test_ordered_violation () =
+  let r = Registry.create () in
+  Registry.new_copy r ~node:1 ~pid:0 ~base:Registry.Uid_set.empty;
+  Registry.record r ~node:1 ~pid:0 ~time:1 (link_action ~uid:1 ~node:1 ~version:5 8);
+  Registry.record r ~node:1 ~pid:0 ~time:2 (link_action ~uid:2 ~node:1 ~version:3 9);
+  let report = check r in
+  Alcotest.(check int) "ordered violation" 1
+    (List.length (violations_of `Ordered report))
+
+let test_ordered_absorbed_ok () =
+  (* A stale link-change absorbed (ineffective) is fine: the history is
+     rewritten to place it earlier. *)
+  let r = Registry.create () in
+  Registry.new_copy r ~node:1 ~pid:0 ~base:Registry.Uid_set.empty;
+  Registry.record r ~node:1 ~pid:0 ~time:1 (link_action ~uid:1 ~node:1 ~version:5 8);
+  Registry.record r ~node:1 ~pid:0 ~effective:false ~time:2
+    (link_action ~uid:2 ~node:1 ~version:3 9);
+  Alcotest.(check bool) "absorbed stale link ok" true (Checker.ok (check r))
+
+let test_exactly_once_violation () =
+  let r = Registry.create () in
+  Registry.new_copy r ~node:1 ~pid:0 ~base:Registry.Uid_set.empty;
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:7 ~node:1 5);
+  Registry.record r ~node:1 ~pid:0 ~time:2 (insert_action ~uid:7 ~node:1 5);
+  let report = check r in
+  Alcotest.(check int) "double apply detected" 1
+    (List.length (violations_of `Exactly_once report))
+
+let test_retired_copy_exempt () =
+  let r = two_copies () in
+  let u = Registry.fresh_uid r in
+  Registry.record r ~node:1 ~pid:0 ~time:1 (insert_action ~uid:u ~node:1 5);
+  (* pid 1 unjoined before seeing the update: exempt from compatibility *)
+  Registry.retire_copy r ~node:1 ~pid:1;
+  Alcotest.(check bool) "retired copies exempt" true (Checker.ok (check r))
+
+let test_copies_of () =
+  let r = two_copies () in
+  Alcotest.(check int) "copies listed" 2 (List.length (Registry.copies_of r 1));
+  Registry.retire_copy r ~node:1 ~pid:0;
+  Alcotest.(check int) "live only" 1 (List.length (Registry.live_copies_of r 1));
+  Alcotest.(check (list int)) "nodes" [ 1 ] (Registry.all_nodes r)
+
+let suite =
+  [
+    Alcotest.test_case "action: uniform" `Quick test_uniform;
+    Alcotest.test_case "action: ordered classes" `Quick test_ordered_class;
+    Alcotest.test_case "checker: compatible histories pass" `Quick test_compatible_ok;
+    Alcotest.test_case "checker: missing relay fails" `Quick test_compatible_violation;
+    Alcotest.test_case "checker: absorbed actions count" `Quick test_absorbed_counts;
+    Alcotest.test_case "checker: backwards extension" `Quick test_backwards_extension;
+    Alcotest.test_case "checker: complete requirement" `Quick test_complete_violation;
+    Alcotest.test_case "checker: ordered requirement" `Quick test_ordered_violation;
+    Alcotest.test_case "checker: absorbed stale link ok" `Quick test_ordered_absorbed_ok;
+    Alcotest.test_case "checker: exactly-once" `Quick test_exactly_once_violation;
+    Alcotest.test_case "checker: retired copies exempt" `Quick test_retired_copy_exempt;
+    Alcotest.test_case "registry: copy bookkeeping" `Quick test_copies_of;
+  ]

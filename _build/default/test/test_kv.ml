@@ -1,0 +1,82 @@
+(* The synchronous Kv facade, across every backing protocol, including a
+   model-based property test against a Map. *)
+open Dbtree_core
+module IntMap = Map.Make (Int)
+
+let protocols =
+  [
+    ("semi", Kv.Semi); ("sync", Kv.Sync); ("eager", Kv.Eager);
+    ("mobile", Kv.Mobile); ("variable", Kv.Variable);
+  ]
+
+let cfg ?(seed = 42) () = Config.make ~procs:4 ~capacity:4 ~key_space:50_000 ~seed ()
+
+let test_all_protocols () =
+  List.iter
+    (fun (name, protocol) ->
+      let db = Kv.create ~protocol (cfg ()) in
+      Kv.put db 10 "ten";
+      Kv.put db 20 "twenty";
+      Kv.put db 30 "thirty";
+      Alcotest.(check (option string)) (name ^ ": get") (Some "twenty") (Kv.get db 20);
+      Alcotest.(check (option string)) (name ^ ": miss") None (Kv.get db 25);
+      Alcotest.(check bool) (name ^ ": delete hit") true (Kv.delete db 20);
+      Alcotest.(check bool) (name ^ ": delete miss") false (Kv.delete db 20);
+      Alcotest.(check (list (pair int string)))
+        (name ^ ": range")
+        [ (10, "ten"); (30, "thirty") ]
+        (Kv.range db ~lo:0 ~hi:100);
+      Alcotest.(check bool) (name ^ ": mem") true (Kv.mem db 10);
+      Alcotest.(check bool)
+        (name ^ ": verified")
+        true
+        (Verify.ok (Kv.verify db)))
+    protocols
+
+let test_put_overwrites () =
+  let db = Kv.create (cfg ()) in
+  Kv.put db 5 "a";
+  Kv.put db 5 "b";
+  Alcotest.(check (option string)) "overwritten" (Some "b") (Kv.get db 5)
+
+let test_at_selects_processor () =
+  let db = Kv.create (cfg ()) in
+  Kv.put db ~at:0 1 "one";
+  List.iter
+    (fun at ->
+      Alcotest.(check (option string))
+        (Fmt.str "visible from p%d" at)
+        (Some "one") (Kv.get db ~at 1))
+    [ 0; 1; 2; 3 ]
+
+let prop_kv_model =
+  QCheck.Test.make ~name:"Kv behaves like a Map (all protocols)" ~count:30
+    QCheck.(
+      pair (int_bound 4)
+        (list (pair (int_range 1 60) (int_bound 500))))
+    (fun (pidx, script) ->
+      let _, protocol = List.nth protocols (pidx mod List.length protocols) in
+      let db = Kv.create ~protocol (cfg ~seed:(pidx + 7) ()) in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun (k, v) ->
+          match v mod 3 with
+          | 0 ->
+            Kv.put db k (string_of_int v);
+            model := IntMap.add k (string_of_int v) !model;
+            true
+          | 1 ->
+            let expected = IntMap.mem k !model in
+            model := IntMap.remove k !model;
+            Kv.delete db k = expected
+          | _ -> Kv.get db k = IntMap.find_opt k !model)
+        script
+      && Kv.range db ~lo:0 ~hi:1000 = IntMap.bindings !model)
+
+let suite =
+  [
+    Alcotest.test_case "all protocols behind one facade" `Quick test_all_protocols;
+    Alcotest.test_case "put overwrites" `Quick test_put_overwrites;
+    Alcotest.test_case "explicit entry processor" `Quick test_at_selects_processor;
+    QCheck_alcotest.to_alcotest prop_kv_model;
+  ]

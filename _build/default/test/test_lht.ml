@@ -1,0 +1,157 @@
+(* Tests for the lazy-update distributed hash table (the paper's §5
+   future-work structure): correctness of both directory-maintenance
+   modes, split-chain recovery, doubling, and the history audit. *)
+open Dbtree_lht
+open Dbtree_sim
+
+let mk ?(procs = 4) ?(bucket_capacity = 4) ?(seed = 42) ?(lazy_directory = true)
+    () =
+  { Lht.default_config with procs; bucket_capacity; seed; lazy_directory }
+
+let load t ~n ~seed =
+  let rng = Rng.create seed in
+  let keys = Array.init n (fun i -> (i * 2654435761) land 0xFFFFF) in
+  Array.iteri
+    (fun i k -> ignore (Lht.insert t ~origin:(i mod 4) k (Fmt.str "v%d" k)))
+    keys;
+  ignore rng;
+  Lht.run t;
+  keys
+
+let check_verified label t =
+  let r = Lht.verify t in
+  if not (Lht.verified r) then
+    Alcotest.failf "%s: %a" label Lht.pp_report r
+
+let test_basic () =
+  let t = Lht.create (mk ()) in
+  let op1 = Lht.insert t ~origin:0 42 "answer" in
+  Lht.run t;
+  Alcotest.(check bool) "insert completed" true (Lht.result t op1 = Some Lht.Inserted);
+  let op2 = Lht.search t ~origin:3 42 in
+  let op3 = Lht.search t ~origin:2 43 in
+  Lht.run t;
+  Alcotest.(check bool) "found" true (Lht.result t op2 = Some (Lht.Found "answer"));
+  Alcotest.(check bool) "absent" true (Lht.result t op3 = Some Lht.Absent);
+  let op4 = Lht.remove t ~origin:1 42 in
+  Lht.run t;
+  Alcotest.(check bool) "removed" true (Lht.result t op4 = Some (Lht.Removed true));
+  let op5 = Lht.remove t ~origin:1 42 in
+  Lht.run t;
+  Alcotest.(check bool) "remove absent" true
+    (Lht.result t op5 = Some (Lht.Removed false));
+  check_verified "basic" t
+
+let test_growth_lazy () =
+  let t = Lht.create (mk ()) in
+  let keys = load t ~n:2000 ~seed:1 in
+  Alcotest.(check bool) "split" true (Lht.splits t > 100);
+  Alcotest.(check bool) "doubled" true (Lht.doublings t > 5);
+  check_verified "growth" t;
+  (* every key findable from every origin *)
+  let ops =
+    Array.to_list (Array.sub keys 0 200)
+    |> List.mapi (fun i k -> (k, Lht.search t ~origin:(i mod 4) k))
+  in
+  Lht.run t;
+  List.iter
+    (fun (k, op) ->
+      match Lht.result t op with
+      | Some (Lht.Found _) -> ()
+      | _ -> Alcotest.failf "key %d not found" k)
+    ops
+
+let test_growth_eager () =
+  let t = Lht.create (mk ~lazy_directory:false ()) in
+  ignore (load t ~n:2000 ~seed:1);
+  check_verified "eager growth" t
+
+let test_lazy_cheaper_than_eager () =
+  let msgs lazy_directory =
+    let t = Lht.create (mk ~lazy_directory ()) in
+    ignore (load t ~n:1500 ~seed:3);
+    check_verified "cost" t;
+    Lht.messages t
+  in
+  let lazy_msgs = msgs true and eager_msgs = msgs false in
+  Alcotest.(check bool)
+    (Fmt.str "lazy cheaper (%d vs %d)" lazy_msgs eager_msgs)
+    true (lazy_msgs < eager_msgs)
+
+let test_upsert () =
+  let t = Lht.create (mk ()) in
+  ignore (Lht.insert t ~origin:0 7 "a");
+  Lht.run t;
+  ignore (Lht.insert t ~origin:2 7 "b");
+  Lht.run t;
+  let op = Lht.search t ~origin:1 7 in
+  Lht.run t;
+  Alcotest.(check bool) "overwritten" true (Lht.result t op = Some (Lht.Found "b"));
+  check_verified "upsert" t
+
+let test_single_proc () =
+  let t = Lht.create (mk ~procs:1 ()) in
+  for i = 1 to 300 do
+    ignore (Lht.insert t ~origin:0 i (string_of_int i))
+  done;
+  Lht.run t;
+  check_verified "single proc" t
+
+let test_buckets_spread () =
+  let t = Lht.create (mk ()) in
+  ignore (load t ~n:2000 ~seed:5);
+  let per = Lht.buckets_per_proc t in
+  Alcotest.(check bool) "every processor owns buckets" true
+    (Array.for_all (fun c -> c > 0) per)
+
+let test_chain_recovery_counted () =
+  (* with high latency, stale directories force split-chain chases *)
+  let cfg =
+    {
+      (mk ()) with
+      latency = { Dbtree_sim.Net.local_delay = 1; remote_base = 60; remote_jitter = 30 };
+    }
+  in
+  let t = Lht.create cfg in
+  ignore (load t ~n:1500 ~seed:7);
+  check_verified "chain recovery" t;
+  Alcotest.(check bool) "chases happened and succeeded" true
+    (Stats.get (Lht.stats t) "op.chased" > 0)
+
+let prop_random_lht_verifies =
+  QCheck.Test.make ~name:"random hash tables verify" ~count:20
+    QCheck.(
+      quad (int_range 1 6) (int_range 2 8) (int_range 20 400) (int_bound 1000))
+    (fun (procs, capacity, n, seed) ->
+      let procs = max 1 procs and capacity = max 2 capacity in
+      let n = max 1 n and seed = abs seed in
+      let lazy_directory = seed mod 2 = 0 in
+      let t =
+        Lht.create (mk ~procs ~bucket_capacity:capacity ~seed ~lazy_directory ())
+      in
+      let rng = Rng.create (seed + 1) in
+      for i = 1 to n do
+        let k = Rng.int rng 100_000 in
+        (match i mod 5 with
+        | 0 -> ignore (Lht.remove t ~origin:(i mod procs) k)
+        | 1 -> ignore (Lht.search t ~origin:(i mod procs) k)
+        | _ -> ignore (Lht.insert t ~origin:(i mod procs) k (string_of_int k)));
+        if i mod 50 = 0 then Lht.run t
+      done;
+      Lht.run t;
+      Lht.verified (Lht.verify t))
+
+let suite =
+  [
+    Alcotest.test_case "basic operations" `Quick test_basic;
+    Alcotest.test_case "growth under load (lazy)" `Quick test_growth_lazy;
+    Alcotest.test_case "growth under load (eager)" `Quick test_growth_eager;
+    Alcotest.test_case "lazy directory cheaper than eager" `Quick
+      test_lazy_cheaper_than_eager;
+    Alcotest.test_case "upsert overwrites" `Quick test_upsert;
+    Alcotest.test_case "single processor" `Quick test_single_proc;
+    Alcotest.test_case "buckets spread across processors" `Quick
+      test_buckets_spread;
+    Alcotest.test_case "split-chain recovery" `Quick test_chain_recovery_counted;
+    QCheck_alcotest.to_alcotest prop_random_lht_verifies;
+  ]

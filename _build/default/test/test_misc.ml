@@ -1,0 +1,113 @@
+(* Odds and ends: configuration validation, table rendering, message
+   metadata, driver edge cases. *)
+open Dbtree_core
+
+let test_config_validation () =
+  let bad f = match Config.validate f with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "procs >= 1" true
+    (bad { Config.default with Config.procs = 0 });
+  Alcotest.(check bool) "capacity >= 2" true
+    (bad { Config.default with Config.capacity = 1 });
+  Alcotest.(check bool) "key space fits procs" true
+    (bad { Config.default with Config.procs = 100; key_space = 50 });
+  Alcotest.(check bool) "batching needs Semi" true
+    (bad { Config.default with Config.discipline = Config.Eager; relay_batch = 4 });
+  Alcotest.(check bool) "default is valid" true
+    (match Config.validate Config.default with Ok _ -> true | Error _ -> false);
+  Alcotest.(check string) "discipline names" "semi"
+    (Config.discipline_name Config.Semi)
+
+let test_msg_metadata () =
+  (* every constructor used on the wire has a non-empty kind and positive
+     size; spot-check the interesting ones *)
+  let samples =
+    [
+      Msg.Op_done { op = 1; result = Msg.Found "hello" };
+      Msg.Op_done { op = 1; result = Msg.Bindings [ (1, "a"); (2, "bb") ] };
+      Msg.Split_start { node = 3 };
+      Msg.Batch [ Msg.Split_ack { node = 1 }; Msg.Split_ack { node = 2 } ];
+      Msg.Route
+        {
+          key = 5;
+          level = 0;
+          node = 9;
+          act = Msg.Scan { op = 2; origin = 0; hi = 10; acc = [ (5, "x") ] };
+        };
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "kind non-empty" true (String.length (Msg.kind m) > 0);
+      Alcotest.(check bool) "size positive" true (Msg.size m > 0))
+    samples;
+  (* value payload contributes to size *)
+  let small = Msg.Op_done { op = 1; result = Msg.Found "x" } in
+  let big = Msg.Op_done { op = 1; result = Msg.Found (String.make 100 'x') } in
+  Alcotest.(check bool) "size scales with payload" true (Msg.size big > Msg.size small)
+
+let test_snapshot_roundtrip () =
+  let open Dbtree_blink in
+  let entries =
+    Entries.of_sorted_list [ (1, Node.Data "a"); (7, Node.Data "b") ]
+  in
+  let n =
+    Node.make ~id:12 ~level:0 ~low:(Bound.Key 0) ~high:(Bound.Key 100) ~right:13
+      ~left:11 ~parent:5 ~version:4 entries
+  in
+  let n' = Msg.node_of_snapshot (Msg.snapshot_of_node n) in
+  Alcotest.(check bool) "roundtrip preserves content" true
+    (Node.content_equal String.equal n n');
+  Alcotest.(check (option int)) "parent preserved" (Some 5) n'.Node.parent;
+  Alcotest.(check (option int)) "left preserved" (Some 11) n'.Node.left
+
+let test_run_all_driver () =
+  let cfg = Config.make ~procs:2 ~capacity:4 ~key_space:10_000 () in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let ops =
+    [ Dbtree_workload.Workload.Insert (5, "five");
+      Dbtree_workload.Workload.Search 5;
+      Dbtree_workload.Workload.Delete 5 ]
+  in
+  Driver.run_all cl (Driver.fixed_api t)
+    ~streams:
+      [| Dbtree_workload.Workload.of_list ops; Dbtree_workload.Workload.empty |];
+  Alcotest.(check int) "all issued" 3 (Opstate.issued cl.Cluster.ops);
+  Alcotest.(check int) "all completed" 3 (Opstate.completed cl.Cluster.ops)
+
+let test_driver_stream_arity () =
+  let cfg = Config.make ~procs:4 () in
+  let t = Fixed.create cfg in
+  Alcotest.check_raises "stream arity enforced"
+    (Invalid_argument "Driver: need exactly one stream per processor")
+    (fun () ->
+      Driver.run_all (Fixed.cluster t) (Driver.fixed_api t)
+        ~streams:[| Dbtree_workload.Workload.empty |])
+
+let test_opstate_percentiles () =
+  let ops = Opstate.create () in
+  for i = 1 to 100 do
+    let r =
+      Opstate.register ops ~kind:Opstate.Search ~key:i ~value:None ~origin:0
+        ~now:0
+    in
+    Opstate.complete ops ~op:r.Opstate.id ~result:Msg.Absent ~now:i
+  done;
+  Alcotest.(check (float 1.0)) "p50" 50.0
+    (Opstate.latency_percentile ops Opstate.Search 0.5);
+  Alcotest.(check (float 1.0)) "p99" 99.0
+    (Opstate.latency_percentile ops Opstate.Search 0.99);
+  Alcotest.(check (float 0.01)) "empty kind" 0.0
+    (Opstate.latency_percentile ops Opstate.Insert 0.9);
+  Alcotest.(check (float 0.01)) "mean" 50.5
+    (Opstate.mean_latency ops Opstate.Search)
+
+let suite =
+  [
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "message metadata" `Quick test_msg_metadata;
+    Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "run_all driver" `Quick test_run_all_driver;
+    Alcotest.test_case "driver stream arity" `Quick test_driver_stream_arity;
+    Alcotest.test_case "opstate percentiles" `Quick test_opstate_percentiles;
+  ]

@@ -1,0 +1,314 @@
+(* End-to-end tests of the single-copy mobile-nodes protocol (§4.2):
+   migration, version-ordered link changes, forwarding addresses and
+   their garbage collection, missing-node recovery, data balancing. *)
+open Dbtree_core
+open Dbtree_sim
+
+let mk ?(procs = 4) ?(capacity = 4) ?(seed = 42) ?(key_space = 50_000)
+    ?(forwarding = false) ?(balance_period = 0) () =
+  Config.make ~procs ~capacity ~seed ~key_space ~forwarding ~balance_period ()
+
+let run_mobile ?(count = 300) cfg label =
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let keys, report =
+    Scenario.run_cluster ~api:(Mobile.api t) ~cluster:cl ~cfg ~count ()
+  in
+  Scenario.check_verified label report;
+  Scenario.check_no_leftover label cl;
+  Scenario.all_search_results_correct cl keys;
+  (t, keys, report)
+
+let test_basic_load () = ignore (run_mobile (mk ()) "mobile basic")
+
+let test_seeds () =
+  List.iter
+    (fun seed -> ignore (run_mobile (mk ~seed ()) (Fmt.str "mobile seed %d" seed)))
+    [ 1; 5; 9; 1234 ]
+
+let test_single_proc () =
+  ignore (run_mobile ~count:150 (mk ~procs:1 ()) "mobile single proc")
+
+let leaf_ids t pid =
+  let store = Cluster.store (Mobile.cluster t) pid in
+  let acc = ref [] in
+  Store.iter store (fun c ->
+      if Dbtree_blink.Node.is_leaf c.Store.node then
+        acc := c.Store.node.Dbtree_blink.Node.id :: !acc);
+  !acc
+
+let test_explicit_migrations () =
+  let cfg = mk () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let keys, _ =
+    Scenario.run_cluster ~api:(Mobile.api t) ~cluster:cl ~cfg ~count:300 ()
+  in
+  (* Move every leaf of processor 0 somewhere else, then search again. *)
+  List.iteri
+    (fun i id -> Mobile.migrate t ~node:id ~to_pid:(1 + (i mod 3)))
+    (leaf_ids t 0);
+  Mobile.run t;
+  Alcotest.(check bool) "migrations happened" true (Mobile.migrations t > 0);
+  Alcotest.(check int) "processor 0 drained of leaves" 0
+    (List.length (leaf_ids t 0));
+  Driver.run_closed cl (Mobile.api t)
+    ~streams:(Scenario.search_streams ~keys ~procs:4 ~per_proc:50)
+    ~window:4;
+  let report = Verify.check cl in
+  Scenario.check_verified "after migrations" report;
+  Scenario.all_search_results_correct cl keys
+
+let test_migration_roundtrip () =
+  (* A leaf migrating away and back again must stay consistent. *)
+  let cfg = mk () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  ignore (Mobile.insert t ~origin:0 10 "ten");
+  Mobile.run t;
+  let leaf = List.hd (leaf_ids t 0) in
+  Mobile.migrate t ~node:leaf ~to_pid:2;
+  Mobile.run t;
+  Mobile.migrate t ~node:leaf ~to_pid:0;
+  Mobile.run t;
+  let s = Mobile.search t ~origin:3 10 in
+  Mobile.run t;
+  Alcotest.(check bool) "found after round trip" true
+    ((Option.get (Opstate.find cl.Cluster.ops s)).Opstate.result
+    = Some (Msg.Found "ten"));
+  Scenario.check_verified "roundtrip" (Verify.check cl)
+
+let test_migrate_noops () =
+  let cfg = mk () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  ignore (Mobile.insert t ~origin:0 10 "ten");
+  Mobile.run t;
+  let before = Mobile.migrations t in
+  (* migrating a nonexistent node and migrating in place are no-ops *)
+  Mobile.migrate t ~node:99999 ~to_pid:1;
+  let leaf = List.hd (leaf_ids t 0) in
+  Mobile.migrate t ~node:leaf ~to_pid:0;
+  Mobile.run t;
+  Alcotest.(check int) "no-ops skipped" before (Mobile.migrations t);
+  Alcotest.(check bool) "skips counted" true
+    (Stats.get (Cluster.stats cl) "migrate.skipped" >= 2)
+
+let test_forwarding_and_gc () =
+  (* With forwarding on, stale messages chase tombstones; after GC the
+     protocol must still deliver everything (forwarding is an optimization,
+     not a correctness requirement — §4.2). *)
+  let cfg = mk ~forwarding:true () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let keys, _ =
+    Scenario.run_cluster ~api:(Mobile.api t) ~cluster:cl ~cfg ~count:300 ()
+  in
+  List.iteri
+    (fun i id -> Mobile.migrate t ~node:id ~to_pid:(1 + (i mod 3)))
+    (leaf_ids t 0);
+  Mobile.run t;
+  Mobile.gc_forwarding t;
+  Driver.run_closed cl (Mobile.api t)
+    ~streams:(Scenario.search_streams ~keys ~procs:4 ~per_proc:50)
+    ~window:4;
+  let report = Verify.check cl in
+  Scenario.check_verified "after gc" report;
+  Scenario.all_search_results_correct cl keys
+
+let test_balancer_reduces_imbalance () =
+  (* A skewed load piles leaves on processor 0; the balancer spreads them. *)
+  let skew_count = 400 in
+  let load balance_period =
+    let cfg = mk ~balance_period ~key_space:100_000 () in
+    let t = Mobile.create cfg in
+    let cl = Mobile.cluster t in
+    let rng = Rng.create 5 in
+    (* all keys within processor 0's slice *)
+    let keys =
+      Array.map (fun k -> k mod 20_000) (Dbtree_workload.Workload.unique_keys rng ~key_space:20_000 ~count:skew_count)
+    in
+    let keys = Array.to_list keys |> List.sort_uniq compare |> Array.of_list in
+    let streams =
+      Array.init 4 (fun pid ->
+          Dbtree_workload.Workload.inserts
+            ~keys:(Dbtree_workload.Workload.chunk keys ~parts:4).(pid))
+    in
+    Driver.run_closed cl (Mobile.api t) ~streams ~window:4;
+    let counts = Mobile.leaf_counts t in
+    let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+    Scenario.check_verified "balancer" (Verify.check cl);
+    (t, mx - mn)
+  in
+  let _, spread_off = load 0 in
+  let t_on, spread_on = load 100 in
+  Alcotest.(check bool)
+    (Fmt.str "balancer reduced spread (%d -> %d)" spread_off spread_on)
+    true
+    (spread_on < spread_off);
+  Alcotest.(check bool) "migrations occurred" true (Mobile.migrations t_on > 0)
+
+let test_recovery_counted () =
+  (* Migrations without forwarding force misnavigated messages through the
+     recovery path. *)
+  let cfg = mk ~forwarding:false ~balance_period:100 ~key_space:100_000 () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let rng = Rng.create 5 in
+  let keys = Dbtree_workload.Workload.unique_keys rng ~key_space:20_000 ~count:400 in
+  let streams =
+    Array.init 4 (fun pid ->
+        Dbtree_workload.Workload.inserts
+          ~keys:(Dbtree_workload.Workload.chunk keys ~parts:4).(pid))
+  in
+  Driver.run_closed cl (Mobile.api t) ~streams ~window:4;
+  Driver.run_closed cl (Mobile.api t)
+    ~streams:(Scenario.search_streams ~keys ~procs:4 ~per_proc:100)
+    ~window:4;
+  Scenario.check_verified "recovery" (Verify.check cl);
+  Alcotest.(check bool) "recoveries happened and succeeded" true
+    (Stats.get (Cluster.stats cl) "recover.count" > 0)
+
+let test_link_change_ordering () =
+  (* Repeated migrations of the same leaf generate competing link-changes;
+     version numbers must keep every copy's ordered classes consistent
+     (checked by the history audit) and stale changes absorbed. *)
+  let cfg = mk () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  for i = 1 to 60 do
+    ignore (Mobile.insert t ~origin:(i mod 4) (i * 50) (string_of_int i))
+  done;
+  Mobile.run t;
+  for _round = 1 to 6 do
+    List.iteri
+      (fun i id ->
+        if i mod 2 = 0 then Mobile.migrate t ~node:id ~to_pid:(Rng.int (Sim.rng cl.Cluster.sim) 4))
+      (leaf_ids t 0 @ leaf_ids t 1)
+  done;
+  Mobile.run t;
+  let report = Verify.check cl in
+  Scenario.check_verified "link ordering" report;
+  match report.Verify.history with
+  | Some h -> Alcotest.(check bool) "ordered histories" true (Dbtree_history.Checker.ok h)
+  | None -> Alcotest.fail "history recording expected"
+
+let test_range_scan_after_migration () =
+  let cfg = mk () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  for i = 1 to 300 do
+    ignore (Mobile.insert t ~origin:(i mod 4) (i * 100) (Fmt.str "v%d" i))
+  done;
+  Mobile.run t;
+  List.iteri
+    (fun i id -> if i mod 2 = 0 then Mobile.migrate t ~node:id ~to_pid:(3 - (i mod 4)))
+    (leaf_ids t 0 @ leaf_ids t 1);
+  Mobile.run t;
+  let cases = [ (150, 450); (5_000, 25_000); (0, 1_000_000) ] in
+  let ops = List.map (fun (lo, hi) -> (Mobile.scan t ~origin:2 ~lo ~hi, lo, hi)) cases in
+  Mobile.run t;
+  List.iter (fun (op, lo, hi) -> Scenario.check_scan cl ~op ~lo ~hi) ops
+
+let test_leaf_reclamation () =
+  (* dE-tree extension: deleting a region's keys frees its leaves *)
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000
+      ~reclaim_empty_leaves:true ()
+  in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  for i = 1 to 400 do
+    ignore (Mobile.insert t ~origin:(i mod 4) (i * 100) (string_of_int i))
+  done;
+  Mobile.run t;
+  let nodes_before =
+    Array.fold_left (fun acc s -> acc + Store.copy_count s) 0 cl.Cluster.stores
+  in
+  (* delete a contiguous band: its leaves empty and get absorbed *)
+  for i = 100 to 300 do
+    ignore (Mobile.remove t ~origin:(i mod 4) (i * 100))
+  done;
+  Mobile.run t;
+  let nodes_after =
+    Array.fold_left (fun acc s -> acc + Store.copy_count s) 0 cl.Cluster.stores
+  in
+  Alcotest.(check bool)
+    (Fmt.str "leaves reclaimed (%d -> %d nodes)" nodes_before nodes_after)
+    true (nodes_after < nodes_before);
+  Alcotest.(check bool) "reclamations counted" true
+    (Stats.get (Cluster.stats cl) "reclaim.count" > 10);
+  Scenario.check_verified "reclaim" (Verify.check cl);
+  (* survivors still reachable, deleted band absent, reinserts work *)
+  let s1 = Mobile.search t ~origin:2 (50 * 100) in
+  let s2 = Mobile.search t ~origin:1 (200 * 100) in
+  ignore (Mobile.insert t ~origin:3 (200 * 100) "back");
+  Mobile.run t;
+  let s3 = Mobile.search t ~origin:0 (200 * 100) in
+  Mobile.run t;
+  let result op = (Option.get (Opstate.find cl.Cluster.ops op)).Opstate.result in
+  Alcotest.(check bool) "survivor found" true (result s1 = Some (Msg.Found "50"));
+  Alcotest.(check bool) "deleted absent" true (result s2 = Some Msg.Absent);
+  Alcotest.(check bool) "reinsert into reclaimed range" true
+    (result s3 = Some (Msg.Found "back"));
+  Scenario.check_verified "reclaim+reinsert" (Verify.check cl)
+
+let test_reclamation_with_migration () =
+  (* reclamation and data balancing compose *)
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000
+      ~reclaim_empty_leaves:true ~balance_period:100 ()
+  in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let rng = Rng.create 3 in
+  let keys = Dbtree_workload.Workload.unique_keys rng ~key_space:12_000 ~count:400 in
+  Array.iteri
+    (fun i k -> ignore (Mobile.insert t ~origin:(i mod 4) k "v"))
+    keys;
+  Mobile.run t;
+  Array.iteri
+    (fun i k -> if i mod 2 = 0 then ignore (Mobile.remove t ~origin:(i mod 4) k))
+    keys;
+  Mobile.run t;
+  Scenario.check_verified "reclaim under balancing" (Verify.check cl)
+
+let prop_random_mobile_verifies =
+  QCheck.Test.make ~name:"random mobile clusters verify" ~count:20
+    QCheck.(
+      quad (int_range 1 6) (int_range 2 8) (int_range 20 120) (int_bound 1000))
+    (fun (procs, capacity, count, seed) ->
+      (* clamp: qcheck shrinking can escape int_range bounds *)
+      let procs = max 1 procs and capacity = max 2 capacity in
+      let count = max 1 count and seed = abs seed in
+      let cfg = mk ~procs ~capacity ~seed ~balance_period:97 () in
+      let t = Mobile.create cfg in
+      let cl = Mobile.cluster t in
+      let _, report =
+        Scenario.run_cluster ~api:(Mobile.api t) ~cluster:cl ~cfg ~count
+          ~searches:8 ()
+      in
+      Verify.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "basic load" `Quick test_basic_load;
+    Alcotest.test_case "seed sweep" `Slow test_seeds;
+    Alcotest.test_case "single processor" `Quick test_single_proc;
+    Alcotest.test_case "explicit migrations" `Quick test_explicit_migrations;
+    Alcotest.test_case "migration round trip" `Quick test_migration_roundtrip;
+    Alcotest.test_case "migration no-ops" `Quick test_migrate_noops;
+    Alcotest.test_case "forwarding + GC" `Quick test_forwarding_and_gc;
+    Alcotest.test_case "balancer reduces imbalance" `Slow
+      test_balancer_reduces_imbalance;
+    Alcotest.test_case "recovery path exercised" `Quick test_recovery_counted;
+    Alcotest.test_case "link-change version ordering" `Quick
+      test_link_change_ordering;
+    Alcotest.test_case "range scan across migrated leaves" `Quick
+      test_range_scan_after_migration;
+    Alcotest.test_case "dE-tree: empty-leaf reclamation" `Quick
+      test_leaf_reclamation;
+    Alcotest.test_case "dE-tree: reclamation + balancing" `Quick
+      test_reclamation_with_migration;
+    QCheck_alcotest.to_alcotest prop_random_mobile_verifies;
+  ]

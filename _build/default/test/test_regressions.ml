@@ -1,0 +1,135 @@
+(* Regression pins: each test reproduces the exact configuration that once
+   exposed a protocol bug during development, so the fix stays fixed.
+   The bug descriptions double as documentation of the races the paper's
+   prose glosses over. *)
+open Dbtree_core
+open Dbtree_sim
+
+(* Bug 1: an eager-queued update applied after a split from the same queue
+   had moved the node's range created a sibling with an inverted range.
+   Fix: eager jobs re-validate range at apply time and re-route right. *)
+let test_eager_requeue_after_split () =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:100_000 ~seed:7
+      ~discipline:Config.Eager ~replication:Config.Path ()
+  in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let rng = Rng.create 99 in
+  let keys =
+    Dbtree_workload.Workload.unique_keys rng ~key_space:cfg.Config.key_space
+      ~count:400
+  in
+  Array.iteri
+    (fun i k -> ignore (Fixed.insert t ~origin:(i mod 4) k "v"))
+    keys;
+  Cluster.run cl;
+  Scenario.check_verified "eager requeue" (Verify.check cl)
+
+(* Bug 2: a stale relayed Add_child arriving after the child migrated
+   overwrote the fresher location hint at the very processor the leaf had
+   left, creating a permanent self-pointing hint and a routing livelock.
+   The exact shrunk qcheck input: procs=2, capacity=2, count=65, seed=504.
+   Fix: hint learning is only-if-absent for stale-capable sources. *)
+let test_variable_stale_hint_livelock () =
+  let cfg =
+    Config.make ~procs:2 ~capacity:2 ~key_space:50_000 ~seed:504
+      ~balance_period:89 ()
+  in
+  let t = Variable.create cfg in
+  let cl = Variable.cluster t in
+  let _, report =
+    Scenario.run_cluster ~api:(Variable.api t) ~cluster:cl ~cfg ~count:65
+      ~searches:8 ()
+  in
+  Scenario.check_verified "stale hint livelock" report
+
+(* Bug 3: a split racing an unjoin implicitly enrolled the departed
+   processor in the new sibling's replication; the phantom member never
+   installed a copy and its history stayed incomplete forever.
+   Fix: the receiver declines the membership explicitly.
+   Reproduction: high latency + aggressive balancing, seed 29. *)
+let test_variable_split_unjoin_race () =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:60_000 ~seed:29
+      ~balance_period:40
+      ~latency:
+        { Dbtree_sim.Net.local_delay = 1; remote_base = 60; remote_jitter = 30 }
+      ()
+  in
+  let t = Variable.create cfg in
+  let cl = Variable.cluster t in
+  let _, report =
+    Scenario.run_cluster ~api:(Variable.api t) ~cluster:cl ~cfg ~count:1_200
+      ~searches:32 ()
+  in
+  Scenario.check_verified "split/unjoin race" report
+
+(* Bug 4: the link-change fixing the right neighbor's left pointer after a
+   split was routed with the separator as guide key, landing on the new
+   sibling itself and self-linking it.  Fix: the guide key is the
+   sibling's high bound. *)
+let test_mobile_relink_guide_key () =
+  let cfg = Config.make ~procs:4 ~capacity:4 ~key_space:100_000 ~seed:11 () in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  let rng = Rng.create 5 in
+  let keys = Dbtree_workload.Workload.unique_keys rng ~key_space:20_000 ~count:100 in
+  Array.iteri (fun i k -> ignore (Mobile.insert t ~origin:(i mod 4) k "v")) keys;
+  (* the bug made this spin forever; a modest budget suffices now *)
+  Mobile.run ~max_events:500_000 t;
+  Scenario.check_verified "relink guide key" (Verify.check cl)
+
+(* Bug 5: recovery restarted navigation at an arbitrary local leaf; under
+   mass reclamation the stale sibling chain cycles and the restart never
+   progresses.  Fix: restart root-ward, through repaired parent entries. *)
+let test_mobile_reclamation_band () =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000
+      ~reclaim_empty_leaves:true ()
+  in
+  let t = Mobile.create cfg in
+  let cl = Mobile.cluster t in
+  for i = 1 to 400 do
+    ignore (Mobile.insert t ~origin:(i mod 4) (i * 100) (string_of_int i))
+  done;
+  Mobile.run t;
+  for i = 100 to 300 do
+    ignore (Mobile.remove t ~origin:(i mod 4) (i * 100))
+  done;
+  Mobile.run ~max_events:5_000_000 t;
+  Scenario.check_verified "reclamation band" (Verify.check cl)
+
+(* Bug 6: nested hash-directory pointer updates (successive splits along
+   one lineage) do not commute; last-writer-wins diverged the directory
+   copies.  Fix: per-slot specificity ordering. *)
+let test_lht_nested_updates () =
+  let open Dbtree_lht in
+  let cfg = { Lht.default_config with procs = 4; bucket_capacity = 4; seed = 9 } in
+  let t = Lht.create cfg in
+  let rng = Rng.create 9 in
+  for i = 1 to 2_000 do
+    ignore (Lht.insert t ~origin:(i mod 4) (Rng.int rng 1_000_000) "v")
+  done;
+  Lht.run t;
+  let r = Lht.verify t in
+  if not (Lht.verified r) then
+    Alcotest.failf "nested updates: %a" Lht.pp_report r;
+  Alcotest.(check bool) "directory copies converged" false
+    r.Lht.directory_divergent
+
+let suite =
+  [
+    Alcotest.test_case "eager update requeued after split" `Quick
+      test_eager_requeue_after_split;
+    Alcotest.test_case "stale Add_child hint (livelock)" `Quick
+      test_variable_stale_hint_livelock;
+    Alcotest.test_case "split racing unjoin (phantom member)" `Slow
+      test_variable_split_unjoin_race;
+    Alcotest.test_case "relink guide key (self-link)" `Quick
+      test_mobile_relink_guide_key;
+    Alcotest.test_case "mass reclamation routing" `Quick
+      test_mobile_reclamation_band;
+    Alcotest.test_case "nested hash-directory updates" `Quick
+      test_lht_nested_updates;
+  ]

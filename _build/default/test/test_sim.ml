@@ -1,0 +1,222 @@
+(* Tests for the simulator substrate: rng, heap, stats, event loop, and the
+   FIFO network guarantees every protocol relies on. *)
+open Dbtree_sim
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  (* Drawing from the child must not perturb the parent relative to a
+     parent that split and then drew nothing from the child. *)
+  let a' = Rng.create 7 in
+  let _ = Rng.split a' in
+  for _ = 1 to 10 do
+    ignore (Rng.bits64 c)
+  done;
+  Alcotest.(check int64) "parent unaffected" (Rng.bits64 a') (Rng.bits64 a)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_permutation () =
+  let rng = Rng.create 11 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_heap_basics () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.add h 3;
+  Heap.add h 1;
+  Heap.add h 2;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check int) "length" 3 (Heap.length h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr ~by:4 s "a";
+  Stats.incr s "b.x";
+  Stats.incr s "b.y";
+  Alcotest.(check int) "counter" 5 (Stats.get s "a");
+  Alcotest.(check int) "absent counter" 0 (Stats.get s "zzz");
+  Alcotest.(check int) "prefix sum" 2 (Stats.get_prefix s "b.");
+  Stats.observe s "lat" 10.0;
+  Stats.observe s "lat" 30.0;
+  let sum = Option.get (Stats.summary s "lat") in
+  Alcotest.(check int) "observations" 2 sum.Stats.count;
+  Alcotest.(check (float 0.001)) "mean" 20.0 (Stats.mean sum);
+  Alcotest.(check (float 0.001)) "min" 10.0 sum.Stats.min;
+  Alcotest.(check (float 0.001)) "max" 30.0 sum.Stats.max
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10 (fun () -> log := 10 :: !log);
+  Sim.schedule sim ~delay:5 (fun () -> log := 5 :: !log);
+  Sim.schedule sim ~delay:5 (fun () -> log := 6 :: !log);
+  Sim.schedule sim ~delay:0 (fun () -> log := 0 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "time order, FIFO ties" [ 0; 5; 6; 10 ]
+    (List.rev !log);
+  Alcotest.(check int) "clock at last event" 10 (Sim.now sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr count;
+      Sim.schedule sim ~delay:1 (fun () -> chain (n - 1))
+    end
+  in
+  Sim.schedule sim ~delay:0 (fun () -> chain 50);
+  Sim.run sim;
+  Alcotest.(check int) "all chained events ran" 50 !count;
+  Alcotest.(check int) "quiescent" 0 (Sim.pending sim)
+
+let test_sim_budget () =
+  let sim = Sim.create () in
+  let rec forever () = Sim.schedule sim ~delay:1 forever in
+  Sim.schedule sim ~delay:0 forever;
+  Alcotest.check_raises "budget backstop" Sim.Budget_exhausted (fun () ->
+      Sim.run ~max_events:100 sim)
+
+let test_sim_max_time () =
+  let sim = Sim.create () in
+  let ran = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(i * 10) (fun () -> incr ran)
+  done;
+  Sim.run ~max_time:50 sim;
+  Alcotest.(check int) "events within horizon" 5 !ran;
+  Sim.run sim;
+  Alcotest.(check int) "rest on resume" 10 !ran
+
+module TestMsg = struct
+  type t = int
+
+  let kind _ = "test"
+  let size _ = 8
+end
+
+module TestNet = Net.Make (TestMsg)
+
+let test_net_fifo () =
+  let sim = Sim.create () in
+  (* Jitter would reorder messages without the FIFO enforcement. *)
+  let latency = { Net.local_delay = 1; remote_base = 5; remote_jitter = 20 } in
+  let net = TestNet.create ~latency sim ~procs:2 in
+  let received = ref [] in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ v -> received := v :: !received);
+  for i = 1 to 50 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO per channel"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !received)
+
+let test_net_accounting () =
+  let sim = Sim.create () in
+  let net = TestNet.create sim ~procs:3 in
+  for p = 0 to 2 do
+    TestNet.set_handler net p (fun ~src:_ _ -> ())
+  done;
+  TestNet.send net ~src:0 ~dst:1 1;
+  TestNet.send net ~src:0 ~dst:2 2;
+  TestNet.send net ~src:1 ~dst:1 3;
+  (* local *)
+  Sim.run sim;
+  Alcotest.(check int) "remote messages" 2 (TestNet.remote_messages net);
+  Alcotest.(check int) "local messages" 1 (TestNet.local_messages net);
+  Alcotest.(check int) "bytes" 16 (TestNet.bytes_sent net);
+  Alcotest.(check int) "inbound to 1" 1 (TestNet.sent_to net 1);
+  Alcotest.(check int) "stats mirror" 2 (Stats.get (Sim.stats sim) "net.msgs")
+
+let test_net_fault_injection () =
+  let sim = Sim.create () in
+  let faults = { Net.duplicate_prob = 1.0; delay_prob = 0.0; delay_ticks = 0 } in
+  let net = TestNet.create ~faults sim ~procs:2 in
+  let received = ref 0 in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ _ -> incr received);
+  for i = 1 to 10 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "every message duplicated" 20 !received;
+  Alcotest.(check int) "duplication counted" 10
+    (Stats.get (Sim.stats sim) "net.fault.duplicated")
+
+let test_net_no_faults_by_default () =
+  let sim = Sim.create () in
+  let net = TestNet.create sim ~procs:2 in
+  let received = ref 0 in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ _ -> incr received);
+  for i = 1 to 10 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "exactly once" 10 !received
+
+let test_trace () =
+  let tr = Trace.create ~enabled:true () in
+  Trace.emit tr ~time:3 (lazy "hello");
+  Trace.emit tr ~time:5 (lazy "world");
+  Alcotest.(check int) "events" 2 (List.length (Trace.to_list tr));
+  Trace.set_enabled tr false;
+  Trace.emit tr ~time:9 (lazy (failwith "must not force"));
+  Alcotest.(check int) "disabled emit ignored" 2 (List.length (Trace.to_list tr))
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: permutation" `Quick test_rng_permutation;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "heap: basics" `Quick test_heap_basics;
+    Alcotest.test_case "stats: counters and summaries" `Quick test_stats;
+    Alcotest.test_case "sim: event ordering" `Quick test_sim_ordering;
+    Alcotest.test_case "sim: nested scheduling" `Quick test_sim_nested_schedule;
+    Alcotest.test_case "sim: budget backstop" `Quick test_sim_budget;
+    Alcotest.test_case "sim: max_time horizon" `Quick test_sim_max_time;
+    Alcotest.test_case "net: FIFO under jitter" `Quick test_net_fifo;
+    Alcotest.test_case "net: accounting" `Quick test_net_accounting;
+    Alcotest.test_case "net: fault injection" `Quick test_net_fault_injection;
+    Alcotest.test_case "net: exactly-once by default" `Quick
+      test_net_no_faults_by_default;
+    Alcotest.test_case "trace: enable/disable" `Quick test_trace;
+  ]

@@ -1,0 +1,140 @@
+(* The verifier must actually catch each class of damage — these tests
+   build a healthy cluster and then tamper with it. *)
+open Dbtree_core
+open Dbtree_blink
+
+let healthy () =
+  let cfg = Config.make ~procs:4 ~capacity:4 ~key_space:50_000 () in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  for i = 1 to 200 do
+    ignore (Fixed.insert t ~origin:(i mod 4) (i * 97) (Fmt.str "v%d" i))
+  done;
+  Fixed.run t;
+  (t, cl)
+
+(* some interior node with more than one copy, and a processor holding it *)
+let find_replicated (cl : Cluster.t) =
+  let best = ref None in
+  Array.iter
+    (fun (store : Store.t) ->
+      Store.iter store (fun c ->
+          if
+            (not (Node.is_leaf c.Store.node))
+            && List.length c.Store.members > 1
+            && !best = None
+          then best := Some (store.Store.pid, c)))
+    cl.Cluster.stores;
+  Option.get !best
+
+let test_healthy_passes () =
+  let _, cl = healthy () in
+  Alcotest.(check bool) "healthy cluster verifies" true
+    (Verify.ok (Verify.check cl))
+
+let test_detects_divergence () =
+  let _, cl = healthy () in
+  let _, copy = find_replicated cl in
+  (* tamper with one replica's value *)
+  Node.add_entry copy.Store.node 49_999 (Node.Child 424242);
+  let report = Verify.check cl in
+  Alcotest.(check bool) "divergence detected" true
+    (report.Verify.divergent_nodes <> [])
+
+let test_detects_lost_key () =
+  let _, cl = healthy () in
+  (* erase one key from the leaf that stores it *)
+  let victim = 97 in
+  Array.iter
+    (fun (store : Store.t) ->
+      Store.iter store (fun c ->
+          if Node.is_leaf c.Store.node then Node.remove_entry c.Store.node victim))
+    cl.Cluster.stores;
+  let report = Verify.check cl in
+  Alcotest.(check (list int)) "missing key reported" [ victim ]
+    report.Verify.missing_keys
+
+let test_detects_phantom_key () =
+  let _, cl = healthy () in
+  (* plant a key nobody inserted *)
+  Array.iter
+    (fun (store : Store.t) ->
+      Store.iter store (fun c ->
+          let n = c.Store.node in
+          if Node.is_leaf n && Node.in_range n 12_345 then
+            Node.add_entry n 12_345 (Node.Data "planted")))
+    cl.Cluster.stores;
+  let report = Verify.check cl in
+  Alcotest.(check bool) "phantom detected" true
+    (List.mem 12_345 report.Verify.phantom_keys)
+
+let test_detects_broken_link () =
+  let _, cl = healthy () in
+  (* cut a leaf's right link on every copy: the leaf chain tears, so some
+     stored keys become unreachable from the chain walk or searches *)
+  let cut = ref false in
+  Array.iter
+    (fun (store : Store.t) ->
+      Store.iter store (fun c ->
+          let n = c.Store.node in
+          if
+            Node.is_leaf n && (not !cut)
+            && n.Node.right <> None
+            && Bound.compare n.Node.low (Bound.Key 5000) > 0
+          then begin
+            n.Node.right <- None;
+            cut := true
+          end))
+    cl.Cluster.stores;
+  Alcotest.(check bool) "a link was cut" true !cut;
+  let report = Verify.check cl in
+  Alcotest.(check bool) "torn chain detected" false (Verify.ok report)
+
+let test_stats_surface () =
+  let t, cl = healthy () in
+  (* sanity of the public accounting surface *)
+  Alcotest.(check bool) "splits counted" true (Fixed.splits t > 0);
+  Alcotest.(check bool) "messages counted" true
+    (Cluster.Network.remote_messages cl.Cluster.net > 0);
+  Alcotest.(check bool) "bytes counted" true
+    (Cluster.Network.bytes_sent cl.Cluster.net
+    > Cluster.Network.remote_messages cl.Cluster.net);
+  let inbound_total =
+    List.init 4 (fun p -> Cluster.Network.sent_to cl.Cluster.net p)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "inbound sums to remote total"
+    (Cluster.Network.remote_messages cl.Cluster.net)
+    inbound_total
+
+let test_fault_injection_detected () =
+  (* duplicated deliveries must surface as exactly-once violations *)
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000
+      ~replication:Config.All_procs
+      ~faults:{ Dbtree_sim.Net.duplicate_prob = 0.05; delay_prob = 0.0; delay_ticks = 0 }
+      ()
+  in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  Opstate.set_tolerant cl.Cluster.ops;
+  for i = 1 to 300 do
+    ignore (Fixed.insert t ~origin:(i mod 4) (i * 97) "v")
+  done;
+  Fixed.run t;
+  let report = Verify.check cl in
+  let dupes = Dbtree_sim.Stats.get (Cluster.stats cl) "net.fault.duplicated" in
+  Alcotest.(check bool) "faults were injected" true (dupes > 0);
+  Alcotest.(check bool) "audit caught the damage" false (Verify.ok report)
+
+let suite =
+  [
+    Alcotest.test_case "healthy cluster passes" `Quick test_healthy_passes;
+    Alcotest.test_case "detects replica divergence" `Quick test_detects_divergence;
+    Alcotest.test_case "detects lost keys" `Quick test_detects_lost_key;
+    Alcotest.test_case "detects phantom keys" `Quick test_detects_phantom_key;
+    Alcotest.test_case "detects torn leaf chain" `Quick test_detects_broken_link;
+    Alcotest.test_case "network accounting is consistent" `Quick test_stats_surface;
+    Alcotest.test_case "duplicated delivery is caught" `Quick
+      test_fault_injection_detected;
+  ]

@@ -117,12 +117,74 @@ let run_micro () =
   Fmt.pr "@.########## Bechamel micro-benchmarks ##########@.";
   let results = analyze (benchmark ()) in
   Fmt.pr "%-24s  %16s@." "benchmark" "time/run";
-  Hashtbl.iter
-    (fun name ols ->
-      match Bechamel.Analyze.OLS.estimates ols with
-      | Some (t :: _) -> Fmt.pr "%-24s  %13.0f ns@." name t
-      | Some [] | None -> Fmt.pr "%-24s  (no estimate)@." name)
-    results
+  let estimates =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some (t :: _) -> (name, Some t) :: acc
+        | Some [] | None -> (name, None) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some t -> Fmt.pr "%-24s  %13.0f ns@." name t
+      | None -> Fmt.pr "%-24s  (no estimate)@." name)
+    estimates;
+  estimates
+
+(* ---------------- JSON baseline (BENCH.json) ---------------- *)
+
+(* Hand-rolled emitter: the repo deliberately has no JSON dependency, and
+   the schema is flat — micro estimates plus the captured experiment
+   tables (message counts etc.), so every PR can diff its perf trajectory
+   mechanically. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let json_table tbl =
+  let open Dbtree_experiments in
+  Printf.sprintf "{\"title\":%s,\"columns\":%s,\"rows\":%s,\"notes\":%s}"
+    (json_str (Table.title tbl))
+    (json_list json_str (Table.columns tbl))
+    (json_list (json_list json_str) (Table.rows tbl))
+    (json_list json_str (Table.notes tbl))
+
+let write_json ~file ~micro ~tables =
+  let micro_fields =
+    List.map
+      (fun (name, est) ->
+        match est with
+        | Some ns -> Printf.sprintf "%s:%.1f" (json_str name) ns
+        | None -> Printf.sprintf "%s:null" (json_str name))
+      micro
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\"schema\":\"dbtree-bench/1\",\"micro\":{%s},\"tables\":%s}\n"
+    (String.concat "," micro_fields)
+    (json_list json_table tables);
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d micro estimates, %d tables)@." file
+    (List.length micro) (List.length tables)
 
 (* ---------------- entry point ---------------- *)
 
@@ -131,6 +193,20 @@ let () =
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
   let tables_only = List.mem "--tables-only" argv in
+  let json_file =
+    let rec find = function
+      | "--json" :: file :: _ -> Some file
+      | "--json" :: [] -> Some "BENCH.json"
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  if json_file <> None then Dbtree_experiments.Table.set_capture true;
   if not micro_only then
     Dbtree_experiments.Experiments.run_all ~quick ();
-  if not tables_only then run_micro ()
+  let micro = if tables_only then [] else run_micro () in
+  match json_file with
+  | None -> ()
+  | Some file ->
+    write_json ~file ~micro ~tables:(Dbtree_experiments.Table.captured ())

@@ -3,6 +3,94 @@ module Network = Net.Make (Msg)
 module Registry = Dbtree_history.Registry
 module Action = Dbtree_history.Action
 
+(* Interned handles for every stat the protocol kernels bump from message
+   handlers.  Resolved once per cluster so the hot loops never hash a
+   string key; a handle a given protocol never bumps stays at 0 and is
+   invisible in reports. *)
+type counters = {
+  route_hops : Stats.counter;
+  route_chase : Stats.counter;
+  route_up : Stats.counter;
+  route_parked : Stats.counter;
+  route_lost_hint : Stats.counter;
+  split_count : Stats.counter;
+  split_blocked_updates : Stats.counter;
+  split_dropped_entries : Stats.counter;
+  root_grow : Stats.counter;
+  eager_requeued : Stats.counter;
+  relay_applied : Stats.counter;
+  relay_discarded : Stats.counter;
+  relay_catchup : Stats.counter;
+  relay_to_departed : Stats.counter;
+  naive_lost : Stats.counter;
+  semi_forwarded : Stats.counter;
+  link_change_absorbed : Stats.counter;
+  link_change_self_absorbed : Stats.counter;
+  migrate_count : Stats.counter;
+  migrate_skipped : Stats.counter;
+  join_count : Stats.counter;
+  join_requested : Stats.counter;
+  join_duplicate : Stats.counter;
+  join_already_member : Stats.counter;
+  unjoin_count : Stats.counter;
+  unjoin_duplicate : Stats.counter;
+  recover_count : Stats.counter;
+  recover_departed : Stats.counter;
+  recover_forwarded : Stats.counter;
+  recover_hinted : Stats.counter;
+  recover_rerouted : Stats.counter;
+  recover_restart : Stats.counter;
+  recover_via_root : Stats.counter;
+  reclaim_count : Stats.counter;
+  reclaim_absorbed : Stats.counter;
+  reclaim_absorb_stale : Stats.counter;
+  reclaim_dropped : Stats.counter;
+  reclaim_drop_stale : Stats.counter;
+}
+
+let make_counters stats =
+  let c = Stats.counter stats in
+  {
+    route_hops = c "route.hops";
+    route_chase = c "route.chase";
+    route_up = c "route.up";
+    route_parked = c "route.parked";
+    route_lost_hint = c "route.lost_hint";
+    split_count = c "split.count";
+    split_blocked_updates = c "split.blocked_updates";
+    split_dropped_entries = c "split.dropped_entries";
+    root_grow = c "root.grow";
+    eager_requeued = c "eager.requeued";
+    relay_applied = c "relay.applied";
+    relay_discarded = c "relay.discarded";
+    relay_catchup = c "relay.catchup";
+    relay_to_departed = c "relay.to_departed";
+    naive_lost = c "naive.lost";
+    semi_forwarded = c "semi.forwarded";
+    link_change_absorbed = c "link_change.absorbed";
+    link_change_self_absorbed = c "link_change.self_absorbed";
+    migrate_count = c "migrate.count";
+    migrate_skipped = c "migrate.skipped";
+    join_count = c "join.count";
+    join_requested = c "join.requested";
+    join_duplicate = c "join.duplicate";
+    join_already_member = c "join.already_member";
+    unjoin_count = c "unjoin.count";
+    unjoin_duplicate = c "unjoin.duplicate";
+    recover_count = c "recover.count";
+    recover_departed = c "recover.departed";
+    recover_forwarded = c "recover.forwarded";
+    recover_hinted = c "recover.hinted";
+    recover_rerouted = c "recover.rerouted";
+    recover_restart = c "recover.restart";
+    recover_via_root = c "recover.via_root";
+    reclaim_count = c "reclaim.count";
+    reclaim_absorbed = c "reclaim.absorbed";
+    reclaim_absorb_stale = c "reclaim.absorb_stale";
+    reclaim_dropped = c "reclaim.dropped";
+    reclaim_drop_stale = c "reclaim.drop_stale";
+  }
+
 type t = {
   config : Config.t;
   sim : Sim.t;
@@ -12,6 +100,7 @@ type t = {
   hist : Registry.t;
   trace : Trace.t;
   partition : Partition.t;
+  ctr : counters;
   mutable next_node_id : int;
   mutable next_uid : int;
 }
@@ -38,6 +127,7 @@ let create (config : Config.t) =
     trace = Trace.create ~enabled:config.trace ();
     partition =
       Partition.create ~procs:config.procs ~key_space:config.key_space;
+    ctr = make_counters (Sim.stats sim);
     next_node_id = 0;
     next_uid = 0;
   }

@@ -9,6 +9,51 @@ open Dbtree_sim
 open Dbtree_blink
 module Network : module type of Net.Make (Msg)
 
+(** Interned stat-counter handles shared by all protocol kernels, resolved
+    once at cluster creation so hot loops bump an [int ref] instead of
+    hashing a string key.  Handles a protocol never bumps stay at 0 and are
+    invisible in {!Stats.counters} output. *)
+type counters = {
+  route_hops : Stats.counter;
+  route_chase : Stats.counter;
+  route_up : Stats.counter;
+  route_parked : Stats.counter;
+  route_lost_hint : Stats.counter;
+  split_count : Stats.counter;
+  split_blocked_updates : Stats.counter;
+  split_dropped_entries : Stats.counter;
+  root_grow : Stats.counter;
+  eager_requeued : Stats.counter;
+  relay_applied : Stats.counter;
+  relay_discarded : Stats.counter;
+  relay_catchup : Stats.counter;
+  relay_to_departed : Stats.counter;
+  naive_lost : Stats.counter;
+  semi_forwarded : Stats.counter;
+  link_change_absorbed : Stats.counter;
+  link_change_self_absorbed : Stats.counter;
+  migrate_count : Stats.counter;
+  migrate_skipped : Stats.counter;
+  join_count : Stats.counter;
+  join_requested : Stats.counter;
+  join_duplicate : Stats.counter;
+  join_already_member : Stats.counter;
+  unjoin_count : Stats.counter;
+  unjoin_duplicate : Stats.counter;
+  recover_count : Stats.counter;
+  recover_departed : Stats.counter;
+  recover_forwarded : Stats.counter;
+  recover_hinted : Stats.counter;
+  recover_rerouted : Stats.counter;
+  recover_restart : Stats.counter;
+  recover_via_root : Stats.counter;
+  reclaim_count : Stats.counter;
+  reclaim_absorbed : Stats.counter;
+  reclaim_absorb_stale : Stats.counter;
+  reclaim_dropped : Stats.counter;
+  reclaim_drop_stale : Stats.counter;
+}
+
 type t = {
   config : Config.t;
   sim : Sim.t;
@@ -18,6 +63,7 @@ type t = {
   hist : Dbtree_history.Registry.t;
   trace : Trace.t;
   partition : Partition.t;
+  ctr : counters;
   mutable next_node_id : int;
   mutable next_uid : int;
 }

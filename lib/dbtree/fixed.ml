@@ -19,6 +19,7 @@ let disc t = (config t).Config.discipline
 let capacity t = (config t).Config.capacity
 let procs t = (config t).Config.procs
 let st t = Cluster.stats t.cl
+let ctr t = t.cl.Cluster.ctr
 let all_procs t = List.init (procs t) (fun i -> i)
 
 let root_members t =
@@ -38,7 +39,7 @@ let flush_relays t src dst =
   | msgs ->
     t.relay_buf.(i) <- [];
     t.buf_scheduled.(i) <- false;
-    send t ~src ~dst (Msg.Batch (List.rev msgs))
+    send t ~src ~dst (Msg.batch (List.rev msgs))
 
 (* Lazy relays may be piggybacked / batched (§1.1); everything else is
    sent directly. *)
@@ -111,7 +112,7 @@ let choose_member t members =
    win; the eager redirect to the PC happens at the target node). *)
 let forward t pid msg next =
   let store = Cluster.store t.cl pid in
-  Stats.incr (st t) "route.hops";
+  Stats.tick (ctr t).Cluster.route_hops;
   if Store.mem store next then send_local t pid msg
   else
     let members = Store.members_of store next in
@@ -184,7 +185,7 @@ and do_split t pid (copy : Store.rcopy) =
   let sib = Node.half_split n ~sibling_id:sib_id in
   let sep = Node.separator_of_sibling sib in
   t.splits <- t.splits + 1;
-  Stats.incr (st t) "split.count";
+  Stats.tick (ctr t).Cluster.split_count;
   Cluster.emit t.cl (fun () ->
       Fmt.str "p%d: half-split node %d at sep %d -> sibling %d" pid n.Node.id
         sep sib_id);
@@ -250,7 +251,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
     Node.make ~id ~level:(old_root.Node.level + 1) ~low:Bound.Neg_inf
       ~high:Bound.Pos_inf entries
   in
-  Stats.incr (st t) "root.grow";
+  Stats.tick (ctr t).Cluster.root_grow;
   Cluster.emit t.cl (fun () ->
       Fmt.str "p%d: new root %d (level %d)" pid id root.Node.level);
   List.iter
@@ -291,7 +292,7 @@ and pump_eager t pid (copy : Store.rcopy) =
       when not (Node.in_range copy.Store.node key) ->
       (* A split executed from this queue moved the range past [key] while
          the update waited: re-route it to the right sibling. *)
-      Stats.incr (st t) "eager.requeued";
+      Stats.tick (ctr t).Cluster.eager_requeued;
       (match copy.Store.node.Node.right with
       | Some r ->
         forward t pid
@@ -335,7 +336,7 @@ and pump_eager t pid (copy : Store.rcopy) =
         let sib = Node.half_split n ~sibling_id:sib_id in
         let sep = Node.separator_of_sibling sib in
         t.splits <- t.splits + 1;
-        Stats.incr (st t) "split.count";
+        Stats.tick (ctr t).Cluster.split_count;
         Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
           ~uid
           (Action.Half_split { sep; sibling = sib_id });
@@ -429,7 +430,7 @@ and perform_update t pid (copy : Store.rcopy) ~key ~uid ~(u : Msg.update) =
     end
   | Config.Sync when copy.Store.splitting ->
     (* the AAS blocks initial updates (never searches or relays) *)
-    Stats.incr (st t) "split.blocked_updates";
+    Stats.tick (ctr t).Cluster.split_blocked_updates;
     copy.Store.blocked <-
       Msg.Route
         {
@@ -506,14 +507,14 @@ and handle_route t pid ~key ~level ~node ~act =
   | None ->
     (* The copy is not installed yet (e.g. a sibling whose Split_done is
        still in flight): park the action until it is. *)
-    Stats.incr (st t) "route.parked";
+    Stats.tick (ctr t).Cluster.route_parked;
     Store.add_pending store node (Msg.Route { key; level; node; act })
   | Some copy ->
     let n = copy.Store.node in
     if n.Node.level > level then begin
       match Node.step n key with
       | Node.Chase_right r ->
-        Stats.incr (st t) "route.chase";
+        Stats.tick (ctr t).Cluster.route_chase;
         forward t pid (Msg.Route { key; level; node = r; act }) r
       | Node.Descend c -> forward t pid (Msg.Route { key; level; node = c; act }) c
       | Node.Here | Node.Chase_left _ | Node.Dead_end ->
@@ -523,7 +524,7 @@ and handle_route t pid ~key ~level ~node ~act =
       Fmt.failwith "Fixed: routed below target level (node %d)" node
     else if Bound.compare_key n.Node.high key <= 0 then begin
       (* out of range at the target level: chase the right link *)
-      Stats.incr (st t) "route.chase";
+      Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.right with
       | Some r -> forward t pid (Msg.Route { key; level; node = r; act }) r
       | None -> Fmt.failwith "Fixed: dead end at node %d for key %d" node key
@@ -536,7 +537,7 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
   let store = Cluster.store t.cl pid in
   match Store.find store node with
   | None ->
-    Stats.incr (st t) "route.parked";
+    Stats.tick (ctr t).Cluster.route_parked;
     Store.add_pending store node
       (Msg.Relay_update { uid; node; key; u; version = 0; sender = pid })
   | Some copy ->
@@ -544,29 +545,39 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
       ignore (apply_update t pid copy key u);
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
         (action_kind key u);
-      Stats.incr (st t) "relay.applied";
+      Stats.tick (ctr t).Cluster.relay_applied;
       maybe_split t pid copy
     end
     else begin
-      (* Out of range: the copy has already split past this key. *)
+      (* Out of range: the copy has already split past this key.  Even a
+         stale Add_child still carries a valid location fact, and it may
+         be the only carrier: under relay batching the Split_done that
+         moved this copy's range travels directly while the Add_child
+         relay waits in the batch buffer, so the sibling snapshot can
+         reference a child this processor would otherwise never learn a
+         location for.  Harvest it before deciding the entry's fate. *)
+      (match u with
+      | Msg.Add_child { child; child_members } ->
+        Store.learn_if_absent store child child_members
+      | Msg.Upsert _ | Msg.Remove _ | Msg.Drop_child _ -> ());
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed
         ~effective:false ~uid (action_kind key u);
       match disc t with
       | Config.Sync ->
         (* safe: the AAS ordering guarantees the PC applied this update
            before splitting, so the sibling's original value covers it *)
-        Stats.incr (st t) "relay.discarded"
+        Stats.tick (ctr t).Cluster.relay_discarded
       | Config.Naive ->
-        Stats.incr (st t) "relay.discarded";
-        if pid = copy.Store.pc then Stats.incr (st t) "naive.lost"
+        Stats.tick (ctr t).Cluster.relay_discarded;
+        if pid = copy.Store.pc then Stats.tick (ctr t).Cluster.naive_lost
       | Config.Semi ->
-        if pid <> copy.Store.pc then Stats.incr (st t) "relay.discarded"
+        if pid <> copy.Store.pc then Stats.tick (ctr t).Cluster.relay_discarded
         else begin
           (* §4.1.2 history rewriting: the relayed update is moved before
              the split, whose subsequent-action set is amended to forward
              the key to the new sibling — i.e. re-issue it as an initial
              update routed right. *)
-          Stats.incr (st t) "semi.forwarded";
+          Stats.tick (ctr t).Cluster.semi_forwarded;
           let uid' = Cluster.fresh_uid t.cl in
           match copy.Store.node.Node.right with
           | Some r ->
@@ -588,7 +599,7 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
 
 and handle t pid ~src msg =
   match msg with
-  | Msg.Batch msgs -> List.iter (handle t pid ~src) msgs
+  | Msg.Batch b -> List.iter (handle t pid ~src) b.Msg.parts
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
   | Msg.Op_done { op; result } ->
     Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
@@ -598,7 +609,7 @@ and handle t pid ~src msg =
     let store = Cluster.store t.cl pid in
     match Store.find store node with
     | None ->
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node msg
     | Some copy ->
       copy.Store.splitting <- true;
@@ -618,7 +629,7 @@ and handle t pid ~src msg =
     let store = Cluster.store t.cl pid in
     match Store.find store node with
     | None ->
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node msg
     | Some copy ->
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
@@ -639,7 +650,7 @@ and handle t pid ~src msg =
     let store = Cluster.store t.cl pid in
     match Store.find store node with
     | None ->
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node msg
     | Some copy ->
       ignore (apply_update t pid copy key u);
@@ -651,7 +662,7 @@ and handle t pid ~src msg =
     let store = Cluster.store t.cl pid in
     match Store.find store node with
     | None ->
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node msg
     | Some copy ->
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
@@ -682,7 +693,7 @@ and apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
   n.Node.right <- Some sibling.Msg.s_id;
   n.Node.version <- n.Node.version + 1;
   if not (Entries.is_empty dropped) then
-    Stats.incr ~by:(Entries.length dropped) (st t) "split.dropped_entries";
+    Stats.add (ctr t).Cluster.split_dropped_entries (Entries.length dropped);
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Relayed ~uid
     (Action.Half_split { sep; sibling = sibling.Msg.s_id });
   Store.learn store sibling.Msg.s_id sibling_members;

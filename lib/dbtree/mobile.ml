@@ -18,7 +18,7 @@ let splits t = t.splits
 let migrations t = t.migrations
 let capacity t = (config t).Config.capacity
 let procs t = (config t).Config.procs
-let st t = Cluster.stats t.cl
+let ctr t = t.cl.Cluster.ctr
 let send t ~src ~dst msg = Cluster.send t.cl ~src ~dst msg
 let send_local t pid msg = send t ~src:pid ~dst:pid msg
 
@@ -47,14 +47,14 @@ let hint_of t pid node =
 
 let forward t pid msg next =
   let store = Cluster.store t.cl pid in
-  Stats.incr (st t) "route.hops";
+  Stats.tick (ctr t).Cluster.route_hops;
   if Store.mem store next then send_local t pid msg
   else
     match hint_of t pid next with
     | Some m -> send t ~src:pid ~dst:m msg
     | None ->
       (* No idea where [next] lives: recover via the root. *)
-      Stats.incr (st t) "route.lost_hint";
+      Stats.tick (ctr t).Cluster.route_lost_hint;
       let root = store.Store.root in
       if Store.mem store root then send_local t pid msg
       else
@@ -69,15 +69,15 @@ let forward t pid msg next =
    the action's level, else bounce via the root. *)
 let recover t pid msg ~node ~level =
   let store = Cluster.store t.cl pid in
-  Stats.incr (st t) "recover.count";
+  Stats.tick (ctr t).Cluster.recover_count;
   match Hashtbl.find_opt store.Store.forwarding node with
   | Some fwd ->
-    Stats.incr (st t) "recover.forwarded";
+    Stats.tick (ctr t).Cluster.recover_forwarded;
     send t ~src:pid ~dst:fwd msg
   | None -> (
     match hint_of t pid node with
     | Some m ->
-      Stats.incr (st t) "recover.hinted";
+      Stats.tick (ctr t).Cluster.recover_hinted;
       send t ~src:pid ~dst:m msg
     | None ->
       (* Restart the navigation root-ward: the highest local node sees
@@ -97,11 +97,11 @@ let recover t pid msg ~node ~level =
       in
       (match (restart_at, msg) with
       | Some id, Msg.Route r ->
-        Stats.incr (st t) "recover.rerouted";
+        Stats.tick (ctr t).Cluster.recover_rerouted;
         send_local t pid (Msg.Route { r with node = id })
       | Some _, _ | None, _ ->
         (* Not locally navigable: bounce the message via the root's owner. *)
-        Stats.incr (st t) "recover.via_root";
+        Stats.tick (ctr t).Cluster.recover_via_root;
         let dst =
           match hint_of t pid store.Store.root with Some m -> m | None -> 0
         in
@@ -137,7 +137,7 @@ let rec maybe_split t pid (copy : Store.rcopy) =
     let sib = Node.half_split n ~sibling_id:sib_id in
     let sep = Node.separator_of_sibling sib in
     t.splits <- t.splits + 1;
-    Stats.incr (st t) "split.count";
+    Stats.tick (ctr t).Cluster.split_count;
     Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
       ~version:n.Node.version
       (Action.Half_split { sep; sibling = sib_id });
@@ -196,7 +196,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
   (match Store.find store sib_id with
   | Some c -> c.Store.node.Node.parent <- Some id
   | None -> ());
-  Stats.incr (st t) "root.grow";
+  Stats.tick (ctr t).Cluster.root_grow;
   ignore (Store.install store ~node:root ~pc:pid ~members:[ pid ]);
   Cluster.hist_new_copy t.cl ~node:id ~pid ~base:[];
   store.Store.root <- id;
@@ -245,8 +245,8 @@ let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
       if is_first then Node.add_entry n k (Node.Child fallback)
       else Node.remove_entry n k;
       Store.learn_if_absent (Cluster.store t.cl pid) fallback [ fallback_pid ];
-      Stats.incr (st t) "reclaim.dropped"
-    | None -> Stats.incr (st t) "reclaim.drop_stale");
+      Stats.tick (ctr t).Cluster.reclaim_dropped
+    | None -> Stats.tick (ctr t).Cluster.reclaim_drop_stale);
     None
   end
 
@@ -268,7 +268,7 @@ let perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
   if target = n.Node.id then begin
     (* reclamation can collapse a chain of leaves into one node, routing a
        neighbor relink back to the absorber: vacuously satisfied *)
-    Stats.incr (st t) "link_change.self_absorbed";
+    Stats.tick (ctr t).Cluster.link_change_self_absorbed;
     Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial
       ~effective:false ~version ~uid
       (Action.Link_change { which = which_to_action which; target })
@@ -285,7 +285,7 @@ let perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
     | `Child _ -> ());
     Store.learn store target [ target_pid ]
   end
-  else Stats.incr (st t) "link_change.absorbed";
+  else Stats.tick (ctr t).Cluster.link_change_absorbed;
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~effective
     ~version ~uid
     (Action.Link_change { which = which_to_action which; target })
@@ -307,7 +307,7 @@ let maybe_reclaim t pid (copy : Store.rcopy) =
     match (n.Node.left, n.Node.low) with
     | Some lf, Bound.Key low ->
       let uid = Cluster.fresh_uid t.cl in
-      Stats.incr (st t) "reclaim.count";
+      Stats.tick (ctr t).Cluster.reclaim_count;
       Cluster.emit t.cl (fun () ->
           Fmt.str "p%d: reclaim empty leaf %d [%d, %a)" pid n.Node.id low
             Bound.pp n.Node.high);
@@ -389,7 +389,7 @@ let perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
     (* only the node whose range ends exactly at the dead leaf's low bound
        may absorb; anything else means the chain already changed *)
     if not (Bound.equal n.Node.high (Bound.Key dead_low)) then
-      Stats.incr (st t) "reclaim.absorb_stale"
+      Stats.tick (ctr t).Cluster.reclaim_absorb_stale
     else begin
       let dead_high =
         match dead_high_key with
@@ -404,7 +404,7 @@ let perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
         ~version:n.Node.version ~uid
         (Action.Link_change
            { which = `Right; target = Option.value dead_right ~default:(-1) });
-      Stats.incr (st t) "reclaim.absorbed";
+      Stats.tick (ctr t).Cluster.reclaim_absorbed;
       (* fix the right neighbor's left link *)
       (match (dead_right, dead_high_key) with
       | Some r, Some h ->
@@ -444,12 +444,12 @@ let do_migrate t ~node ~to_pid =
       None t.cl.Cluster.stores
   in
   match owner with
-  | None -> Stats.incr (st t) "migrate.skipped"
-  | Some store when store.Store.pid = to_pid -> Stats.incr (st t) "migrate.skipped"
+  | None -> Stats.tick (ctr t).Cluster.migrate_skipped
+  | Some store when store.Store.pid = to_pid -> Stats.tick (ctr t).Cluster.migrate_skipped
   | Some store ->
     let pid = store.Store.pid in
     let copy = Store.get store node in
-    if store.Store.root = node then Stats.incr (st t) "migrate.skipped"
+    if store.Store.root = node then Stats.tick (ctr t).Cluster.migrate_skipped
     else begin
       let n = copy.Store.node in
       n.Node.version <- n.Node.version + 1;
@@ -461,7 +461,7 @@ let do_migrate t ~node ~to_pid =
         Hashtbl.replace store.Store.forwarding node to_pid;
       Store.learn store node [ to_pid ];
       t.migrations <- t.migrations + 1;
-      Stats.incr (st t) "migrate.count";
+      Stats.tick (ctr t).Cluster.migrate_count;
       Cluster.emit t.cl (fun () ->
           Fmt.str "p%d: migrate node %d -> p%d (v%d)" pid node to_pid
             n.Node.version);
@@ -547,10 +547,10 @@ let handle_route t pid ~key ~level ~node ~act =
     if n.Node.level > level then begin
       match Node.step n key with
       | Node.Chase_right r ->
-        Stats.incr (st t) "route.chase";
+        Stats.tick (ctr t).Cluster.route_chase;
         forward t pid (Msg.Route { key; level; node = r; act }) r
       | Node.Chase_left l ->
-        Stats.incr (st t) "route.chase";
+        Stats.tick (ctr t).Cluster.route_chase;
         forward t pid (Msg.Route { key; level; node = l; act }) l
       | Node.Descend c -> forward t pid (Msg.Route { key; level; node = c; act }) c
       | Node.Here | Node.Dead_end ->
@@ -559,17 +559,17 @@ let handle_route t pid ~key ~level ~node ~act =
     else if n.Node.level < level then begin
       (* Restart upward via the parent hint (or the root). *)
       let start = Option.value n.Node.parent ~default:store.Store.root in
-      Stats.incr (st t) "route.up";
+      Stats.tick (ctr t).Cluster.route_up;
       forward t pid (Msg.Route { key; level; node = start; act }) start
     end
     else if Bound.compare_key n.Node.high key <= 0 then begin
-      Stats.incr (st t) "route.chase";
+      Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.right with
       | Some r -> forward t pid (Msg.Route { key; level; node = r; act }) r
       | None -> Fmt.failwith "Mobile: dead end right at node %d key %d" node key
     end
     else if Bound.compare_key n.Node.low key > 0 then begin
-      Stats.incr (st t) "route.chase";
+      Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.left with
       | Some l -> forward t pid (Msg.Route { key; level; node = l; act }) l
       | None -> Fmt.failwith "Mobile: dead end left at node %d key %d" node key

@@ -81,7 +81,7 @@ type t =
       sibling_members : pid list;
     }
   | Eager_ack of { node : node_id }
-  | Batch of t list
+  | Batch of batch
   | Migrate_install of {
       snap : snapshot;
       ancestors : (node_id * pid list) list;
@@ -103,31 +103,51 @@ type t =
     }
   | Unjoin_request of { node : node_id; pid : pid }
 
-let kind = function
-  | Route { act = Search _; _ } -> "route.search"
-  | Route { act = Scan _; _ } -> "route.scan"
-  | Route { act = Update { u = Upsert _; _ }; _ } -> "route.upsert"
-  | Route { act = Update { u = Remove _; _ }; _ } -> "route.remove"
-  | Route { act = Update { u = Add_child _; _ }; _ } -> "route.add_child"
-  | Route { act = Update { u = Drop_child _; _ }; _ } -> "route.drop_child"
-  | Route { act = Absorb _; _ } -> "absorb"
-  | Route { act = Relink _; _ } -> "link_change"
-  | Op_done _ -> "op_done"
-  | Relay_update _ -> "relay_update"
-  | Split_start _ -> "split_start"
-  | Split_ack _ -> "split_ack"
-  | Split_done { sync = true; _ } -> "split_end"
-  | Split_done { sync = false; _ } -> "relay_split"
-  | New_root _ -> "new_root"
-  | Eager_update _ -> "eager_update"
-  | Eager_split _ -> "eager_split"
-  | Eager_ack _ -> "eager_ack"
-  | Batch _ -> "batch"
-  | Migrate_install _ -> "migrate"
-  | Join_request _ -> "join"
-  | Join_copy _ -> "join_copy"
-  | Relay_member _ -> "relay_member"
-  | Unjoin_request _ -> "unjoin"
+and batch = { parts : t list; mutable wire_size : int }
+
+let batch parts = Batch { parts; wire_size = -1 }
+
+(* Dense kind ids: the network keeps one pre-interned counter per kind and
+   indexes it with [kind_id], so the hot accounting path never allocates or
+   hashes a kind string.  [kind_names] is the inverse table. *)
+let kind_id = function
+  | Route { act = Search _; _ } -> 0
+  | Route { act = Scan _; _ } -> 1
+  | Route { act = Update { u = Upsert _; _ }; _ } -> 2
+  | Route { act = Update { u = Remove _; _ }; _ } -> 3
+  | Route { act = Update { u = Add_child _; _ }; _ } -> 4
+  | Route { act = Update { u = Drop_child _; _ }; _ } -> 5
+  | Route { act = Absorb _; _ } -> 6
+  | Route { act = Relink _; _ } -> 7
+  | Op_done _ -> 8
+  | Relay_update _ -> 9
+  | Split_start _ -> 10
+  | Split_ack _ -> 11
+  | Split_done { sync = true; _ } -> 12
+  | Split_done { sync = false; _ } -> 13
+  | New_root _ -> 14
+  | Eager_update _ -> 15
+  | Eager_split _ -> 16
+  | Eager_ack _ -> 17
+  | Batch _ -> 18
+  | Migrate_install _ -> 19
+  | Join_request _ -> 20
+  | Join_copy _ -> 21
+  | Relay_member _ -> 22
+  | Unjoin_request _ -> 23
+
+let kind_names =
+  [|
+    "route.search"; "route.scan"; "route.upsert"; "route.remove";
+    "route.add_child"; "route.drop_child"; "absorb"; "link_change";
+    "op_done"; "relay_update"; "split_start"; "split_ack"; "split_end";
+    "relay_split"; "new_root"; "eager_update"; "eager_split"; "eager_ack";
+    "batch"; "migrate"; "join"; "join_copy"; "relay_member"; "unjoin";
+  |]
+
+let num_kinds = Array.length kind_names
+let kind_name i = kind_names.(i)
+let kind m = kind_name (kind_id m)
 
 let update_size = function
   | Upsert { value; _ } -> 16 + String.length value
@@ -162,7 +182,12 @@ let rec size = function
     24 + snapshot_size sibling + (4 * List.length sibling_members)
   | New_root { snap; members } -> 8 + snapshot_size snap + (4 * List.length members)
   | Eager_update { u; _ } -> 24 + update_size u
-  | Batch msgs -> List.fold_left (fun acc m -> acc + size m) 8 msgs
+  | Batch b ->
+    (* Memoised: a batch's size is asked for on send and again whenever a
+       broadcast or resend prices it; the parts are immutable once built. *)
+    if b.wire_size < 0 then
+      b.wire_size <- List.fold_left (fun acc m -> acc + size m) 8 b.parts;
+    b.wire_size
   | Migrate_install { snap; ancestors; _ } ->
     16 + snapshot_size snap
     + List.fold_left (fun acc (_, ms) -> acc + 8 + (4 * List.length ms)) 0 ancestors

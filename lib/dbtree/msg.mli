@@ -121,7 +121,7 @@ type t =
       sibling_members : pid list;
     }
   | Eager_ack of { node : node_id }
-  | Batch of t list
+  | Batch of batch
       (** piggybacked lazy relays, flushed as one wire message *)
   | Migrate_install of {
       snap : snapshot;
@@ -148,11 +148,27 @@ type t =
     }
   | Unjoin_request of { node : node_id; pid : pid }
 
+and batch = { parts : t list; mutable wire_size : int }
+(** [wire_size] memoises {!size} for the batch ([-1] = not yet computed);
+    build batches with {!batch} and treat [parts] as immutable. *)
+
+val batch : t list -> t
+(** Wrap piggybacked relays as one wire message (size not yet priced). *)
+
 val kind : t -> string
 (** Per-kind accounting tag. *)
 
 val size : t -> int
 (** Estimated wire size in bytes. *)
+
+val kind_id : t -> int
+(** Dense id of {!kind} in [\[0, num_kinds)], for array-indexed per-kind
+    counters. *)
+
+val num_kinds : int
+
+val kind_name : int -> string
+(** Inverse of {!kind_id}: [kind_name (kind_id m) = kind m]. *)
 
 val snapshot_of_node : ?base:int list -> value Node.t -> snapshot
 val node_of_snapshot : snapshot -> value Node.t

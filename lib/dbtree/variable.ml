@@ -22,7 +22,7 @@ let joins t = t.joins
 let unjoins t = t.unjoins
 let capacity t = (config t).Config.capacity
 let procs t = (config t).Config.procs
-let st t = Cluster.stats t.cl
+let ctr t = t.cl.Cluster.ctr
 let send t ~src ~dst msg = Cluster.send t.cl ~src ~dst msg
 let send_local t pid msg = send t ~src:pid ~dst:pid msg
 
@@ -46,7 +46,7 @@ let choose_member t members =
 
 let forward ?authority t pid msg next =
   let store = Cluster.store t.cl pid in
-  Stats.incr (st t) "route.hops";
+  Stats.tick (ctr t).Cluster.route_hops;
   if Store.mem store next then send_local t pid msg
   else
     match Store.members_opt store next with
@@ -54,7 +54,7 @@ let forward ?authority t pid msg next =
       let members = List.filter (fun m -> m <> pid) members in
       send t ~src:pid ~dst:(choose_member t members) msg
     | Some _ | None -> (
-      Stats.incr (st t) "route.lost_hint";
+      Stats.tick (ctr t).Cluster.route_lost_hint;
       (* Unknown location.  Hand the action to the PC of the node that
          referenced [next] — the PC learned every child and sibling it
          ever pointed to.  Without an authority, restart at the root. *)
@@ -110,7 +110,7 @@ let catchup t pid (copy : Store.rcopy) ~uid ~key ~u ~version ~sender =
     List.iter
       (fun m ->
         if m <> pid && m <> sender && join_version_of copy m > version then begin
-          Stats.incr (st t) "relay.catchup";
+          Stats.tick (ctr t).Cluster.relay_catchup;
           send t ~src:pid ~dst:m
             (Msg.Relay_update
                { uid; node = copy.Store.node.Node.id; key; u; version; sender = pid })
@@ -156,7 +156,7 @@ and do_split t pid (copy : Store.rcopy) =
   let sib = Node.half_split n ~sibling_id:sib_id in
   let sep = Node.separator_of_sibling sib in
   t.splits <- t.splits + 1;
-  Stats.incr (st t) "split.count";
+  Stats.tick (ctr t).Cluster.split_count;
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
     ~version:n.Node.version
     (Action.Half_split { sep; sibling = sib_id });
@@ -249,7 +249,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
     Node.make ~id ~level:(old_root.Node.level + 1) ~low:Bound.Neg_inf
       ~high:Bound.Pos_inf entries
   in
-  Stats.incr (st t) "root.grow";
+  Stats.tick (ctr t).Cluster.root_grow;
   List.iter (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[]) members;
   ignore (Store.install store ~node:root ~pc:pid ~members);
   store.Store.root <- id;
@@ -281,7 +281,7 @@ and perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
     | `Child _ -> ());
     Store.learn store target [ target_pid ]
   end
-  else Stats.incr (st t) "link_change.absorbed";
+  else Stats.tick (ctr t).Cluster.link_change_absorbed;
   (* Child-hint changes on replicated nodes are directory maintenance and
      are relayed to the other copies; they are not recorded as value
      updates (the hint is per-store state, not part of the node value). *)
@@ -392,13 +392,13 @@ and do_migrate t ~node ~to_pid =
       None t.cl.Cluster.stores
   in
   match owner with
-  | None -> Stats.incr (st t) "migrate.skipped"
+  | None -> Stats.tick (ctr t).Cluster.migrate_skipped
   | Some store when store.Store.pid = to_pid ->
-    Stats.incr (st t) "migrate.skipped"
+    Stats.tick (ctr t).Cluster.migrate_skipped
   | Some store ->
     let pid = store.Store.pid in
     let copy = Store.get store node in
-    if not (Node.is_leaf copy.Store.node) then Stats.incr (st t) "migrate.skipped"
+    if not (Node.is_leaf copy.Store.node) then Stats.tick (ctr t).Cluster.migrate_skipped
     else begin
       let n = copy.Store.node in
       n.Node.version <- n.Node.version + 1;
@@ -411,7 +411,7 @@ and do_migrate t ~node ~to_pid =
         Hashtbl.replace store.Store.forwarding node to_pid;
       Store.learn store node [ to_pid ];
       t.migrations <- t.migrations + 1;
-      Stats.incr (st t) "migrate.count";
+      Stats.tick (ctr t).Cluster.migrate_count;
       send t ~src:pid ~dst:to_pid
         (Msg.Migrate_install { snap; ancestors; from_pid = pid });
       (* Unjoin the replications this processor no longer needs: ancestors
@@ -444,7 +444,7 @@ and do_unjoin t pid (acopy : Store.rcopy) =
   let store = Cluster.store t.cl pid in
   let node = acopy.Store.node.Node.id in
   t.unjoins <- t.unjoins + 1;
-  Stats.incr (st t) "unjoin.count";
+  Stats.tick (ctr t).Cluster.unjoin_count;
   Cluster.emit t.cl (fun () -> Fmt.str "p%d: unjoin node %d" pid node);
   Store.remove store node;
   Hashtbl.replace store.Store.departed node ();
@@ -485,7 +485,7 @@ and handle_migrate_install t pid ~(snap : Msg.snapshot) ~ancestors ~from_pid =
         Store.learn store aid hints;
         match hints with
         | pc :: _ when pc <> pid ->
-          Stats.incr (st t) "join.requested";
+          Stats.tick (ctr t).Cluster.join_requested;
           send t ~src:pid ~dst:pc (Msg.Join_request { node = aid; requester = pid })
         | _ -> ()
       end)
@@ -501,18 +501,18 @@ let handle_route t pid ~key ~level ~node ~act =
   | None ->
     let msg = Msg.Route { key; level; node; act } in
     if Hashtbl.mem store.Store.departed node then begin
-      Stats.incr (st t) "recover.departed";
+      Stats.tick (ctr t).Cluster.recover_departed;
       send_local t pid (Msg.Route { key; level; node = store.Store.root; act })
     end
     else (
       match Hashtbl.find_opt store.Store.forwarding node with
       | Some fwd ->
-        Stats.incr (st t) "recover.forwarded";
+        Stats.tick (ctr t).Cluster.recover_forwarded;
         send t ~src:pid ~dst:fwd msg
       | None -> (
         match Store.members_opt store node with
         | Some members when List.exists (fun m -> m <> pid) members ->
-          Stats.incr (st t) "recover.hinted";
+          Stats.tick (ctr t).Cluster.recover_hinted;
           send t ~src:pid
             ~dst:(choose_member t (List.filter (fun m -> m <> pid) members))
             msg
@@ -520,7 +520,7 @@ let handle_route t pid ~key ~level ~node ~act =
           (* A routed action carries its key: restart the navigation from
              the local root (stale hints repair themselves via the child
              link-changes; the PC-authority fallback covers the rest). *)
-          Stats.incr (st t) "recover.restart";
+          Stats.tick (ctr t).Cluster.recover_restart;
           send_local t pid
             (Msg.Route { key; level; node = store.Store.root; act })))
   | Some copy ->
@@ -529,10 +529,10 @@ let handle_route t pid ~key ~level ~node ~act =
       let authority = copy.Store.pc in
       match Node.step n key with
       | Node.Chase_right r ->
-        Stats.incr (st t) "route.chase";
+        Stats.tick (ctr t).Cluster.route_chase;
         forward ~authority t pid (Msg.Route { key; level; node = r; act }) r
       | Node.Chase_left l ->
-        Stats.incr (st t) "route.chase";
+        Stats.tick (ctr t).Cluster.route_chase;
         forward ~authority t pid (Msg.Route { key; level; node = l; act }) l
       | Node.Descend c ->
         forward ~authority t pid (Msg.Route { key; level; node = c; act }) c
@@ -540,13 +540,13 @@ let handle_route t pid ~key ~level ~node ~act =
         Fmt.failwith "Variable: bad navigation at node %d key %d" node key
     end
     else if n.Node.level < level then begin
-      Stats.incr (st t) "route.up";
+      Stats.tick (ctr t).Cluster.route_up;
       forward t pid
         (Msg.Route { key; level; node = store.Store.root; act })
         store.Store.root
     end
     else if Bound.compare_key n.Node.high key <= 0 then begin
-      Stats.incr (st t) "route.chase";
+      Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.right with
       | Some r ->
         forward ~authority:copy.Store.pc t pid
@@ -555,7 +555,7 @@ let handle_route t pid ~key ~level ~node ~act =
       | None -> Fmt.failwith "Variable: dead end right at node %d key %d" node key
     end
     else if Bound.compare_key n.Node.low key > 0 then begin
-      Stats.incr (st t) "route.chase";
+      Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.left with
       | Some l ->
         forward ~authority:copy.Store.pc t pid
@@ -570,9 +570,9 @@ let handle_relay t pid ~uid ~node ~key ~u ~version ~sender =
   match Store.find store node with
   | None ->
     if Hashtbl.mem store.Store.departed node then
-      Stats.incr (st t) "relay.to_departed"
+      Stats.tick (ctr t).Cluster.relay_to_departed
     else begin
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node
         (Msg.Relay_update { uid; node; key; u; version; sender })
     end
@@ -583,16 +583,16 @@ let handle_relay t pid ~uid ~node ~key ~u ~version ~sender =
       ignore (apply_update t pid copy key u);
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
         (action_kind key u);
-      Stats.incr (st t) "relay.applied";
+      Stats.tick (ctr t).Cluster.relay_applied;
       maybe_split t pid copy
     end
     else begin
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed
         ~effective:false ~uid (action_kind key u);
-      Stats.incr (st t) "relay.discarded";
+      Stats.tick (ctr t).Cluster.relay_discarded;
       if pid = copy.Store.pc then begin
         (* §4.1.2 history rewriting: forward to the right sibling. *)
-        Stats.incr (st t) "semi.forwarded";
+        Stats.tick (ctr t).Cluster.semi_forwarded;
         let uid' = Cluster.fresh_uid t.cl in
         match copy.Store.node.Node.right with
         | Some r ->
@@ -636,14 +636,14 @@ let apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
 let handle_join_request t pid ~node ~requester =
   let store = Cluster.store t.cl pid in
   let copy = Store.get store node in
-  if List.mem requester copy.Store.members then Stats.incr (st t) "join.duplicate"
+  if List.mem requester copy.Store.members then Stats.tick (ctr t).Cluster.join_duplicate
   else begin
     let n = copy.Store.node in
     n.Node.version <- n.Node.version + 1;
     let version = n.Node.version in
     let uid = Cluster.fresh_uid t.cl in
     t.joins <- t.joins + 1;
-    Stats.incr (st t) "join.count";
+    Stats.tick (ctr t).Cluster.join_count;
     Cluster.hist_record t.cl ~node ~pid ~mode:Action.Initial ~version ~uid
       (Action.Join { pid = requester });
     copy.Store.members <- copy.Store.members @ [ requester ];
@@ -682,7 +682,7 @@ let handle_join_request t pid ~node ~requester =
 let handle_join_copy t pid ~node ~(snap : Msg.snapshot) ~members ~hints =
   let store = Cluster.store t.cl pid in
   List.iter (fun (c, ms) -> Store.learn_if_absent store c ms) hints;
-  if Store.mem store node then Stats.incr (st t) "join.already_member"
+  if Store.mem store node then Stats.tick (ctr t).Cluster.join_already_member
   else begin
     let n = Msg.node_of_snapshot snap in
     ignore
@@ -696,9 +696,9 @@ let handle_relay_member t pid ~node ~change ~version ~uid =
   match Store.find store node with
   | None ->
     if Hashtbl.mem store.Store.departed node then
-      Stats.incr (st t) "relay.to_departed"
+      Stats.tick (ctr t).Cluster.relay_to_departed
     else begin
-      Stats.incr (st t) "route.parked";
+      Stats.tick (ctr t).Cluster.route_parked;
       Store.add_pending store node (Msg.Relay_member { node; change; version; uid })
     end
   | Some copy ->
@@ -720,7 +720,7 @@ let handle_unjoin_request t pid ~node ~who =
   let store = Cluster.store t.cl pid in
   let copy = Store.get store node in
   if not (List.mem who copy.Store.members) then
-    Stats.incr (st t) "unjoin.duplicate"
+    Stats.tick (ctr t).Cluster.unjoin_duplicate
   else begin
     let n = copy.Store.node in
     n.Node.version <- n.Node.version + 1;
@@ -752,7 +752,7 @@ let handle t pid ~src:_ msg =
     match Store.find store node with
     | None ->
       if Hashtbl.mem store.Store.departed node then begin
-        Stats.incr (st t) "relay.to_departed";
+        Stats.tick (ctr t).Cluster.relay_to_departed;
         (* The split raced our unjoin and implicitly enrolled us in the
            sibling's replication (the PC computed the member set before
            processing the unjoin).  Decline it: mark the sibling departed
@@ -767,7 +767,7 @@ let handle t pid ~src:_ msg =
         end
       end
       else begin
-        Stats.incr (st t) "route.parked";
+        Stats.tick (ctr t).Cluster.route_parked;
         Store.add_pending store node msg
       end
     | Some copy -> apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members

@@ -6,6 +6,22 @@ type t = {
 }
 
 let create ~title ~columns = { title; columns; rows = []; notes = [] }
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+let notes t = List.rev t.notes
+
+(* Optional capture of every printed table, so the bench harness can dump
+   the experiment message counts into BENCH.json alongside the
+   micro-benchmark estimates. *)
+let capture_enabled = ref false
+let captured_rev : t list ref = ref []
+
+let set_capture on =
+  capture_enabled := on;
+  if on then captured_rev := []
+
+let captured () = List.rev !captured_rev
 
 let add_row t row =
   if List.length row <> List.length t.columns then
@@ -17,6 +33,7 @@ let cell_f x = Fmt.str "%.2f" x
 let cell_i = string_of_int
 
 let print t =
+  if !capture_enabled then captured_rev := t :: !captured_rev;
   let rows = List.rev t.rows in
   let widths =
     List.mapi

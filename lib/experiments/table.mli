@@ -10,4 +10,22 @@ val cell_f : float -> string
 
 val cell_i : int -> string
 val print : t -> unit
-(** Render to stdout: title, aligned header, rows, then notes. *)
+(** Render to stdout: title, aligned header, rows, then notes.  When
+    capture is on (see {!set_capture}), the table is also recorded. *)
+
+(** {2 Readback} — for machine-readable export of printed tables. *)
+
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in display (insertion) order. *)
+
+val notes : t -> string list
+
+val set_capture : bool -> unit
+(** Enable/disable recording of every subsequently printed table.
+    Enabling resets the capture buffer. *)
+
+val captured : unit -> t list
+(** Tables printed since capture was enabled, in print order. *)

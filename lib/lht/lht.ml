@@ -66,17 +66,30 @@ module Msg = struct
         base : int list;
       }
 
-  let kind = function
-    | Op { kind = K_search; _ } -> "op.search"
-    | Op { kind = K_insert _; _ } -> "op.insert"
-    | Op { kind = K_remove; _ } -> "op.remove"
-    | Op_done _ -> "op_done"
-    | Dir_update { relayed = false; _ } -> "dir_update"
-    | Dir_update { relayed = true; _ } -> "relay_dir_update"
-    | Dir_ack _ -> "dir_ack"
-    | Double_request _ -> "double_request"
-    | Dir_double _ -> "dir_double"
-    | Bucket_install _ -> "bucket_install"
+  (* Dense kind ids so the network's per-kind accounting is an array
+     index, not a string hash (see Net.MESSAGE). *)
+  let kind_id = function
+    | Op { kind = K_search; _ } -> 0
+    | Op { kind = K_insert _; _ } -> 1
+    | Op { kind = K_remove; _ } -> 2
+    | Op_done _ -> 3
+    | Dir_update { relayed = false; _ } -> 4
+    | Dir_update { relayed = true; _ } -> 5
+    | Dir_ack _ -> 6
+    | Double_request _ -> 7
+    | Dir_double _ -> 8
+    | Bucket_install _ -> 9
+
+  let kind_names =
+    [|
+      "op.search"; "op.insert"; "op.remove"; "op_done"; "dir_update";
+      "relay_dir_update"; "dir_ack"; "double_request"; "dir_double";
+      "bucket_install";
+    |]
+
+  let num_kinds = Array.length kind_names
+  let kind_name i = kind_names.(i)
+  let kind m = kind_name (kind_id m)
 
   let size = function
     | Op { kind = K_insert v; _ } -> 24 + String.length v
@@ -132,7 +145,39 @@ type op_record = {
   op_key : int;
   op_kind : op_kind;
   mutable op_result : op_result option;
+  mutable op_seq : int;
+      (* position in the bucket-execution order (-1 until executed).
+         Concurrent operations on the same key may execute in a different
+         order than they were issued; the verifier must replay the order
+         the buckets actually applied, not the issue order. *)
 }
+
+(* Interned stat counters for the message-handler hot path. *)
+type counters = {
+  c_update_held : Stats.counter;
+  c_update_absorbed : Stats.counter;
+  c_double_requested : Stats.counter;
+  c_bucket_split : Stats.counter;
+  c_op_rerouted : Stats.counter;
+  c_op_parked : Stats.counter;
+  c_op_chased : Stats.counter;
+  c_dir_acks : Stats.counter;
+  c_dir_double : Stats.counter;
+}
+
+let make_counters stats =
+  let c = Stats.counter stats in
+  {
+    c_update_held = c "dir.update_held";
+    c_update_absorbed = c "dir.update_absorbed";
+    c_double_requested = c "double.requested";
+    c_bucket_split = c "bucket.split";
+    c_op_rerouted = c "op.rerouted";
+    c_op_parked = c "op.parked";
+    c_op_chased = c "op.chased";
+    c_dir_acks = c "dir.acks";
+    c_dir_double = c "dir.double";
+  }
 
 type t = {
   cfg : config;
@@ -142,11 +187,13 @@ type t = {
   hist : Registry.t;
   ops : (int, op_record) Hashtbl.t;
   mutable next_op : int;
+  mutable next_exec : int;
   mutable next_bucket : int;
   mutable next_uid : int;
   mutable splits : int;
   mutable doublings : int;
   place_rng : Rng.t;
+  ctr : counters;
 }
 
 (* The directory is modelled as logical node 0 in the history registry;
@@ -193,7 +240,7 @@ let apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial =
   let dir = ps.dir in
   if bits > dir.depth then begin
     (* ahead of our doubling: hold until Dir_double arrives *)
-    Stats.incr (stats t) "dir.update_held";
+    Stats.tick t.ctr.c_update_held;
     dir.pending_updates <-
       Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed = not initial }
       :: dir.pending_updates
@@ -210,7 +257,7 @@ let apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial =
       end;
       i := !i + stride
     done;
-    if not !wrote then Stats.incr (stats t) "dir.update_absorbed";
+    if not !wrote then Stats.tick t.ctr.c_update_absorbed;
     Hashtbl.replace dir.owners bucket owner;
     record t ~node:dir_node ~pid
       ~mode:(if initial then Action.Initial else Action.Relayed)
@@ -279,7 +326,7 @@ and maybe_split t pid (b : bucket) =
       (* need a directory doubling first; ask the PC once *)
       if not b.asked_double then begin
         b.asked_double <- true;
-        Stats.incr (stats t) "double.requested";
+        Stats.tick t.ctr.c_double_requested;
         send t ~src:pid ~dst:0 (Msg.Double_request { want = b.ldepth + 1 })
       end
     end
@@ -295,7 +342,7 @@ and maybe_split t pid (b : bucket) =
       b.ldepth <- bit + 1;
       b.entries <- stay;
       t.splits <- t.splits + 1;
-      Stats.incr (stats t) "bucket.split";
+      Stats.tick t.ctr.c_bucket_split;
       record t ~node:(bucket_node b.id) ~pid ~mode:Action.Initial
         ~uid:(fresh_uid t)
         (Action.Half_split { sep = bit; sibling = buddy_id });
@@ -375,6 +422,11 @@ and chase_chain t pid (b : bucket) h =
   go b.chain
 
 and perform_op t pid (b : bucket) ~op ~kind ~key ~origin =
+  (match Hashtbl.find_opt t.ops op with
+  | Some r when r.op_seq < 0 ->
+    r.op_seq <- t.next_exec;
+    t.next_exec <- t.next_exec + 1
+  | Some _ | None -> ());
   let result =
     match kind with
     | K_search -> (
@@ -408,10 +460,10 @@ let handle t pid ~src msg =
       (* the bucket's install may still be in flight to us *)
       match Hashtbl.find_opt ps.dir.owners bucket with
       | Some owner when owner <> pid ->
-        Stats.incr (stats t) "op.rerouted";
+        Stats.tick t.ctr.c_op_rerouted;
         send t ~src:pid ~dst:owner msg
       | Some _ | None ->
-        Stats.incr (stats t) "op.parked";
+        Stats.tick t.ctr.c_op_parked;
         Hashtbl.replace ps.parked bucket
           (msg :: Option.value (Hashtbl.find_opt ps.parked bucket) ~default:[])
       )
@@ -421,7 +473,7 @@ let handle t pid ~src msg =
         perform_op t pid b ~op ~kind ~key ~origin
       else (
         (* stale directory somewhere: follow the split chain *)
-        Stats.incr (stats t) "op.chased";
+        Stats.tick t.ctr.c_op_chased;
         match chase_chain t pid b h with
         | Some (buddy, owner) ->
           send t ~src:pid ~dst:owner
@@ -451,14 +503,14 @@ let handle t pid ~src msg =
       apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial:false;
       if not t.cfg.lazy_directory then send t ~src:pid ~dst:src (Msg.Dir_ack { uid })
     end
-  | Msg.Dir_ack _ -> Stats.incr (stats t) "dir.acks"
+  | Msg.Dir_ack _ -> Stats.tick t.ctr.c_dir_acks
   | Msg.Double_request { want } ->
     assert (pid = 0);
     let dir = ps.dir in
     if dir.depth < want then begin
       let uid = fresh_uid t in
       t.doublings <- t.doublings + 1;
-      Stats.incr (stats t) "dir.double";
+      Stats.tick t.ctr.c_dir_double;
       let version = dir.version + 1 in
       apply_dir_double t pid ~uid ~depth:(dir.depth + 1) ~version;
       for p = 1 to t.cfg.procs - 1 do
@@ -506,11 +558,13 @@ let create cfg =
       hist = Registry.create ();
       ops = Hashtbl.create 1024;
       next_op = 0;
+      next_exec = 0;
       next_bucket = 1;
       next_uid = 0;
       splits = 0;
       doublings = 0;
       place_rng = Rng.create (cfg.seed + 5);
+      ctr = make_counters (Sim.stats sim);
     }
   in
   for pid = 0 to cfg.procs - 1 do
@@ -525,7 +579,8 @@ let create cfg =
 let issue t ~origin ~kind key =
   let op = t.next_op in
   t.next_op <- op + 1;
-  Hashtbl.replace t.ops op { op_id = op; op_key = key; op_kind = kind; op_result = None };
+  Hashtbl.replace t.ops op
+    { op_id = op; op_key = key; op_kind = kind; op_result = None; op_seq = -1 };
   let ps = t.procs_state.(origin) in
   let h = hash key in
   let slot = low_bits h ps.dir.depth in
@@ -575,16 +630,25 @@ let verify t =
         || ps.dir.pending_updates <> [])
       t.procs_state
   in
-  (* expected contents from the op log, in issue order *)
+  (* Expected contents from the op log, replayed in the order the buckets
+     executed the operations (their linearization).  Issue order is not
+     good enough: two concurrent operations on the same key can execute
+     in either order, and the effectual one decides the final state. *)
   let expected = Hashtbl.create 256 in
-  for op = 0 to t.next_op - 1 do
-    match Hashtbl.find_opt t.ops op with
-    | Some { op_key; op_kind = K_insert v; op_result = Some Inserted; _ } ->
-      Hashtbl.replace expected op_key v
-    | Some { op_key; op_kind = K_remove; op_result = Some (Removed true); _ } ->
-      Hashtbl.remove expected op_key
-    | Some _ | None -> ()
-  done;
+  let executed =
+    Hashtbl.fold (fun _ r acc -> if r.op_seq >= 0 then r :: acc else acc)
+      t.ops []
+    |> List.sort (fun a b -> compare a.op_seq b.op_seq)
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | { op_key; op_kind = K_insert v; op_result = Some Inserted; _ } ->
+        Hashtbl.replace expected op_key v
+      | { op_key; op_kind = K_remove; op_result = Some (Removed true); _ } ->
+        Hashtbl.remove expected op_key
+      | _ -> ())
+    executed;
   let found = Hashtbl.create 256 in
   let misplaced = ref [] in
   Array.iter

@@ -1,0 +1,113 @@
+(* Packed layout: key = (time lsl 31) lor seq, both components < 2^31, so
+   integer comparison of keys is lexicographic comparison of (time, seq)
+   and the whole key fits a 63-bit native int. *)
+
+let seq_bits = 31
+let max_time = 1 lsl seq_bits
+let max_seq = 1 lsl seq_bits
+let pack ~time ~seq = (time lsl seq_bits) lor seq
+let time_of_key key = key lsr seq_bits
+let nop () = ()
+
+type t = {
+  mutable keys : int array;
+  mutable acts : (unit -> unit) array;
+  mutable size : int;
+}
+
+(* Invariant: [size <= Array.length keys = Array.length acts], and every
+   index touched below is < size (or = the old size in [add], which [grow]
+   has just made in-bounds) — so the unsafe accesses in the sift loops are
+   in bounds by construction.  They matter: per-event queue work is a
+   handful of array touches, and checked access is a measurable fraction
+   of it. *)
+
+let create () = { keys = [||]; acts = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let cap = Array.length t.keys in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nkeys = Array.make ncap 0 in
+    let nacts = Array.make ncap nop in
+    Array.blit t.keys 0 nkeys 0 t.size;
+    Array.blit t.acts 0 nacts 0 t.size;
+    t.keys <- nkeys;
+    t.acts <- nacts
+  end
+
+(* The heap is 4-ary: keys are unique (every pack includes a fresh seq),
+   so heap shape cannot affect the pop order, and the shallower tree
+   roughly halves the levels a sift touches — the queue's cost is cache
+   misses on [keys], not compares. *)
+
+let add t ~key act =
+  grow t;
+  let keys = t.keys and acts = t.acts in
+  (* Bubble a hole up from the end; each level is one int compare and at
+     most two array writes. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) lsr 2 in
+    let pk = Array.unsafe_get keys parent in
+    if pk > key then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set acts !i (Array.unsafe_get acts parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set acts !i act
+
+let min_key t = if t.size = 0 then max_int else Array.unsafe_get t.keys 0
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Evq.pop_min: empty queue";
+  let keys = t.keys and acts = t.acts in
+  let act = Array.unsafe_get acts 0 in
+  let n = t.size - 1 in
+  t.size <- n;
+  let k = Array.unsafe_get keys n in
+  let a = Array.unsafe_get acts n in
+  (* Clear the vacated slot so the popped closure (and whatever it
+     captures) is not retained until the slot is next overwritten. *)
+  Array.unsafe_set acts n nop;
+  if n > 0 then begin
+    (* Sift the hole at the root down, then drop (k, a) in. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let base = (!i lsl 2) + 1 in
+      if base >= n then continue := false
+      else begin
+        let last = if base + 3 < n then base + 3 else n - 1 in
+        let c = ref base in
+        let ck = ref (Array.unsafe_get keys base) in
+        for j = base + 1 to last do
+          let kj = Array.unsafe_get keys j in
+          if kj < !ck then begin
+            c := j;
+            ck := kj
+          end
+        done;
+        if !ck < k then begin
+          Array.unsafe_set keys !i !ck;
+          Array.unsafe_set acts !i (Array.unsafe_get acts !c);
+          i := !c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set keys !i k;
+    Array.unsafe_set acts !i a
+  end;
+  act
+
+let clear t =
+  Array.fill t.acts 0 t.size nop;
+  t.size <- 0

@@ -1,0 +1,48 @@
+(** Monomorphic event queue: the simulator's hot path.
+
+    A binary min-heap specialised to the simulator's needs: each pending
+    event is a single unboxed [int] key — the packed pair [(time, seq)] —
+    in one array, with its action in a parallel array at the same index.
+    Sifting compares native ints directly (no closure call per comparison,
+    no boxed event record per element), which is what makes
+    [Sim.schedule]/[Sim.step] cheap enough to disappear behind protocol
+    costs.
+
+    Keys order exactly like the lexicographic pair [(time, seq)] as long as
+    both components stay below {!max_time} / {!max_seq}; {!Sim.schedule}
+    enforces that bound. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val max_time : int
+(** Exclusive upper bound on packable times (2{^31}). *)
+
+val max_seq : int
+(** Exclusive upper bound on packable sequence numbers (2{^31}). *)
+
+val pack : time:int -> seq:int -> int
+(** [pack ~time ~seq] is the key ordering like [(time, seq)]
+    lexicographically.  Requires [0 <= time < max_time] and
+    [0 <= seq < max_seq] (unchecked here; the simulator checks once per
+    schedule). *)
+
+val time_of_key : int -> int
+(** The [time] component of a packed key. *)
+
+val add : t -> key:int -> (unit -> unit) -> unit
+
+val min_key : t -> int
+(** Key of the minimum pending event; [Stdlib.max_int] when empty, so a
+    horizon comparison needs no option allocation. *)
+
+val pop_min : t -> unit -> unit
+(** Remove and return the action with the smallest key.  The vacated slot
+    is overwritten with a no-op closure so the queue never retains a popped
+    action's object graph.  @raise Invalid_argument when empty. *)
+
+val clear : t -> unit
+(** Drop all pending events (and any references to their actions). *)

@@ -55,9 +55,18 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
+      sift_down t 0;
+      (* Clear the vacated slot: aliasing a still-live element costs
+         nothing and stops the heap from retaining the popped element's
+         object graph until the slot is next overwritten. *)
+      t.data.(t.size) <- t.data.(0)
+    end
+    else
+      (* No live element to alias; drop the storage entirely. *)
+      t.data <- [||];
     Some top
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.data <- [||]

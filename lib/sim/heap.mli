@@ -16,8 +16,10 @@ val is_empty : 'a t -> bool
 val add : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** Removes and returns the smallest element. *)
+(** Removes and returns the smallest element.  The vacated array slot is
+    cleared so the heap does not retain the popped element. *)
 
 val peek : 'a t -> 'a option
 
 val clear : 'a t -> unit
+(** Empty the heap, releasing its storage (and every element reference). *)

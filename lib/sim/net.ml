@@ -3,6 +3,9 @@ module type MESSAGE = sig
 
   val kind : t -> string
   val size : t -> int
+  val kind_id : t -> int
+  val num_kinds : int
+  val kind_name : int -> string
 end
 
 type latency = { local_delay : int; remote_base : int; remote_jitter : int }
@@ -31,9 +34,19 @@ module Make (M : MESSAGE) = struct
     mutable remote : int;
     mutable local : int;
     mutable bytes : int;
+    (* Interned stat counters: resolved once here so the per-message path
+       never hashes a string (in particular no "net.msg." ^ kind
+       concatenation per send). *)
+    c_msgs : Stats.counter;
+    c_bytes : Stats.counter;
+    c_local : Stats.counter;
+    c_dup : Stats.counter;
+    c_delayed : Stats.counter;
+    c_kind : Stats.counter array;
   }
 
   let create ?(latency = default_latency) ?(faults = no_faults) sim ~procs =
+    let stats = Sim.stats sim in
     {
       sim;
       procs;
@@ -46,6 +59,14 @@ module Make (M : MESSAGE) = struct
       remote = 0;
       local = 0;
       bytes = 0;
+      c_msgs = Stats.counter stats "net.msgs";
+      c_bytes = Stats.counter stats "net.bytes";
+      c_local = Stats.counter stats "net.local";
+      c_dup = Stats.counter stats "net.fault.duplicated";
+      c_delayed = Stats.counter stats "net.fault.delayed";
+      c_kind =
+        Array.init M.num_kinds (fun i ->
+            Stats.counter stats ("net.msg." ^ M.kind_name i));
     }
 
   let sim t = t.sim
@@ -60,56 +81,66 @@ module Make (M : MESSAGE) = struct
     | Some handler -> handler ~src msg
     | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
 
-  let send t ~src ~dst msg =
+  (* Remote leg shared by [send] and [broadcast]: size and kind id are
+     computed once by the caller, so a broadcast prices the message once,
+     not once per destination. *)
+  let send_remote t ~src ~dst ~size ~kind_id msg =
     if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
-    let stats = Sim.stats t.sim in
+    t.remote <- t.remote + 1;
+    t.bytes <- t.bytes + size;
+    t.inbound.(dst) <- t.inbound.(dst) + 1;
+    Stats.tick t.c_msgs;
+    Stats.tick t.c_kind.(kind_id);
+    Stats.add t.c_bytes size;
     let raw_delay =
-      if src = dst then t.latency.local_delay
-      else begin
-        t.remote <- t.remote + 1;
-        t.bytes <- t.bytes + M.size msg;
-        t.inbound.(dst) <- t.inbound.(dst) + 1;
-        Stats.incr stats "net.msgs";
-        Stats.incr stats ("net.msg." ^ M.kind msg);
-        Stats.incr ~by:(M.size msg) stats "net.bytes";
-        t.latency.remote_base
-        + (if t.latency.remote_jitter > 0 then
-             Rng.int t.rng t.latency.remote_jitter
-           else 0)
-      end
+      t.latency.remote_base
+      + (if t.latency.remote_jitter > 0 then
+           Rng.int t.rng t.latency.remote_jitter
+         else 0)
     in
-    if src = dst then begin
-      t.local <- t.local + 1;
-      Stats.incr stats "net.local"
-    end;
     let chan = (src * t.procs) + dst in
     let now = Sim.now t.sim in
     (* FIFO per channel: a message may not overtake an earlier one. *)
     let at = max (now + raw_delay) (t.channel_front.(chan) + 1) in
     t.channel_front.(chan) <- at;
     Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg);
-    if src <> dst then begin
-      (* fault injection (off by default): duplicate delivery, and FIFO
-         violation via an extra late delivery of a copy *)
-      if
-        t.faults.duplicate_prob > 0.0
-        && Rng.float t.rng 1.0 < t.faults.duplicate_prob
-      then begin
-        Stats.incr stats "net.fault.duplicated";
-        Sim.schedule t.sim ~delay:(at - now + 1) (fun () ->
-            deliver t ~src ~dst msg)
-      end;
-      if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
-      then begin
-        Stats.incr stats "net.fault.delayed";
-        Sim.schedule t.sim
-          ~delay:(at - now + t.faults.delay_ticks)
-          (fun () -> deliver t ~src ~dst msg)
-      end
+    (* fault injection (off by default): duplicate delivery, and FIFO
+       violation via an extra late delivery of a copy *)
+    if
+      t.faults.duplicate_prob > 0.0
+      && Rng.float t.rng 1.0 < t.faults.duplicate_prob
+    then begin
+      Stats.tick t.c_dup;
+      Sim.schedule t.sim ~delay:(at - now + 1) (fun () ->
+          deliver t ~src ~dst msg)
+    end;
+    if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
+    then begin
+      Stats.tick t.c_delayed;
+      Sim.schedule t.sim
+        ~delay:(at - now + t.faults.delay_ticks)
+        (fun () -> deliver t ~src ~dst msg)
     end
 
+  let send t ~src ~dst msg =
+    if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
+    if src = dst then begin
+      t.local <- t.local + 1;
+      Stats.tick t.c_local;
+      let chan = (src * t.procs) + dst in
+      let now = Sim.now t.sim in
+      let at = max (now + t.latency.local_delay) (t.channel_front.(chan) + 1) in
+      t.channel_front.(chan) <- at;
+      Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg)
+    end
+    else send_remote t ~src ~dst ~size:(M.size msg) ~kind_id:(M.kind_id msg) msg
+
   let broadcast t ~src ~dsts msg =
-    List.iter (fun dst -> if dst <> src then send t ~src ~dst msg) dsts
+    match List.filter (fun dst -> dst <> src) dsts with
+    | [] -> ()
+    | dsts ->
+      let size = M.size msg and kind_id = M.kind_id msg in
+      List.iter (fun dst -> send_remote t ~src ~dst ~size ~kind_id msg) dsts
 
   let remote_messages t = t.remote
   let local_messages t = t.local

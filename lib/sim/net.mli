@@ -20,6 +20,16 @@ module type MESSAGE = sig
 
   val size : t -> int
   (** Estimated wire size in bytes, for bandwidth accounting. *)
+
+  val kind_id : t -> int
+  (** Dense index of [kind] in [\[0, num_kinds)].  The network pre-interns
+      one counter per kind at creation and indexes it with this, so the
+      per-message accounting path never builds or hashes a string. *)
+
+  val num_kinds : int
+
+  val kind_name : int -> string
+  (** Inverse of {!kind_id}: [kind_name (kind_id m) = kind m]. *)
 end
 
 type latency = {

@@ -1,64 +1,72 @@
-type event = { time : int; seq : int; action : unit -> unit }
-
 type t = {
   mutable now : int;
   mutable seq : int;
   mutable processed : int;
-  pending : event Heap.t;
+  pending : Evq.t;
   rng : Rng.t;
   stats : Stats.t;
 }
-
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
 
 let create ?(seed = 42) () =
   {
     now = 0;
     seq = 0;
     processed = 0;
-    pending = Heap.create ~cmp:compare_event;
+    pending = Evq.create ();
     rng = Rng.create seed;
     stats = Stats.create ();
   }
 
 let now t = t.now
-let pending t = Heap.length t.pending
+let pending t = Evq.length t.pending
 let rng t = t.rng
 let stats t = t.stats
 let events_processed t = t.processed
 
 let schedule t ~delay action =
-  let delay = max delay 0 in
-  let ev = { time = t.now + delay; seq = t.seq; action } in
-  t.seq <- t.seq + 1;
-  Heap.add t.pending ev
+  let delay = if delay < 0 then 0 else delay in
+  let time = t.now + delay in
+  (* [max_time - 1] (not [max_time]) so a packed key can never reach
+     [max_int], which [Evq.min_key] reserves as the empty sentinel. *)
+  if time >= Evq.max_time - 1 || t.seq >= Evq.max_seq then
+    Fmt.invalid_arg "Sim.schedule: packed clock exhausted (time=%d seq=%d)"
+      time t.seq;
+  Evq.add t.pending ~key:(Evq.pack ~time ~seq:t.seq) action;
+  t.seq <- t.seq + 1
 
 exception Budget_exhausted
 
 let step t =
-  match Heap.pop t.pending with
-  | None -> false
-  | Some ev ->
-    t.now <- ev.time;
+  if Evq.is_empty t.pending then false
+  else begin
+    t.now <- Evq.time_of_key (Evq.min_key t.pending);
     t.processed <- t.processed + 1;
-    ev.action ();
+    let action = Evq.pop_min t.pending in
+    action ();
     true
+  end
 
 let run ?max_events ?max_time t =
-  let exceeded () =
-    match max_events with Some m -> t.processed >= m | None -> false
-  in
-  let in_horizon ev =
-    match max_time with Some limit -> ev.time <= limit | None -> true
+  (* Hoist the option matches out of the per-event loop: an absent budget
+     becomes a bound no 63-bit event count reaches, an absent horizon a key
+     no packed event exceeds ([min_key] is [max_int] on empty, which also
+     terminates the loop). *)
+  let budget = match max_events with Some m -> m | None -> max_int in
+  let key_horizon =
+    match max_time with
+    | Some limit when limit < Evq.max_time ->
+      Evq.pack ~time:limit ~seq:(Evq.max_seq - 1)
+    | Some _ | None -> max_int - 1
   in
   let rec loop () =
-    if exceeded () then raise Budget_exhausted;
-    match Heap.peek t.pending with
-    | None -> ()
-    | Some ev when not (in_horizon ev) -> ()
-    | Some _ ->
-      ignore (step t);
+    if t.processed >= budget then raise Budget_exhausted;
+    let key = Evq.min_key t.pending in
+    if key <= key_horizon then begin
+      t.now <- Evq.time_of_key key;
+      t.processed <- t.processed + 1;
+      let action = Evq.pop_min t.pending in
+      action ();
       loop ()
+    end
   in
   loop ()

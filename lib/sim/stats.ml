@@ -5,6 +5,8 @@ type summary = {
   max : float;
 }
 
+type counter = int ref
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   summaries : (string, summary ref) Hashtbl.t;
@@ -12,10 +14,18 @@ type t = {
 
 let create () = { counters = Hashtbl.create 64; summaries = Hashtbl.create 16 }
 
-let incr ?(by = 1) t name =
+let counter t name =
   match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.add t.counters name (ref by)
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let tick (c : counter) = incr c
+let add (c : counter) by = c := !c + by
+let value (c : counter) = !c
+let incr ?(by = 1) t name = add (counter t name) by
 
 let get t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -43,7 +53,14 @@ let sorted_bindings tbl extract =
   Hashtbl.fold (fun k v acc -> (k, extract v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters t = sorted_bindings t.counters (fun r -> !r)
+(* Interned counters exist from the moment they are resolved, before any
+   increment; listings skip the still-zero ones so pre-interning is
+   invisible in reports. *)
+let counters t =
+  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc)
+    t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let summaries t = sorted_bindings t.summaries (fun r -> !r)
 
 let get_prefix t p =
@@ -55,7 +72,9 @@ let get_prefix t p =
     t.counters 0
 
 let reset t =
-  Hashtbl.reset t.counters;
+  (* Zero in place: interned counter handles must stay live across a
+     reset, so the refs are kept and only their contents dropped. *)
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.reset t.summaries
 
 let pp ppf t =

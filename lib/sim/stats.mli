@@ -4,9 +4,17 @@
     increments counters ("msg.relay_insert", "split.blocked", ...) and the
     experiment harness reads them back after the run.  Two metric shapes are
     supported: integer counters and scalar summaries (count / sum / min /
-    max), the latter used for latencies and queue lengths. *)
+    max), the latter used for latencies and queue lengths.
+
+    Hot paths should not pay a hash + string compare per increment: resolve
+    the counter once with {!counter} and bump the returned handle with
+    {!tick}/{!add}.  {!incr} remains for cold paths and one-off bumps. *)
 
 type t
+
+type counter = int ref
+(** A pre-resolved counter handle: a plain [int ref] interned in the stats
+    table.  Bumping one is a load, an add, and a store — no hashing. *)
 
 type summary = {
   count : int;
@@ -17,8 +25,22 @@ type summary = {
 
 val create : unit -> t
 
+val counter : t -> string -> counter
+(** [counter t name] is the interned handle for [name], created at 0 if
+    absent.  Repeated calls return the same ref.  A counter that is interned
+    but never bumped stays invisible to {!counters}/{!pp}. *)
+
+val tick : counter -> unit
+(** Bump a pre-resolved counter by 1. *)
+
+val add : counter -> int -> unit
+(** Bump a pre-resolved counter by an arbitrary amount. *)
+
+val value : counter -> int
+
 val incr : ?by:int -> t -> string -> unit
-(** Bump counter [name] by [by] (default 1), creating it at 0 if absent. *)
+(** Bump counter [name] by [by] (default 1), creating it at 0 if absent.
+    String-keyed: one hashtable lookup per call — fine off the hot path. *)
 
 val get : t -> string -> int
 (** Counter value, 0 if never incremented. *)
@@ -30,7 +52,7 @@ val summary : t -> string -> summary option
 val mean : summary -> float
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All nonzero counters, sorted by name. *)
 
 val summaries : t -> (string * summary) list
 
@@ -38,6 +60,8 @@ val get_prefix : t -> string -> int
 (** [get_prefix t p] sums every counter whose name starts with [p]. *)
 
 val reset : t -> unit
+(** Zero every counter and drop every summary.  Interned handles from
+    {!counter} remain valid (they are zeroed in place, not discarded). *)
 
 val pp : t Fmt.t
 (** Render all metrics, one per line, for debugging. *)

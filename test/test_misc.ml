@@ -25,7 +25,7 @@ let test_msg_metadata () =
       Msg.Op_done { op = 1; result = Msg.Found "hello" };
       Msg.Op_done { op = 1; result = Msg.Bindings [ (1, "a"); (2, "bb") ] };
       Msg.Split_start { node = 3 };
-      Msg.Batch [ Msg.Split_ack { node = 1 }; Msg.Split_ack { node = 2 } ];
+      Msg.batch [ Msg.Split_ack { node = 1 }; Msg.Split_ack { node = 2 } ];
       Msg.Route
         {
           key = 5;

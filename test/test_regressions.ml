@@ -118,6 +118,49 @@ let test_lht_nested_updates () =
   Alcotest.(check bool) "directory copies converged" false
     r.Lht.directory_divergent
 
+(* Determinism pin for the hot-path rewrite (monomorphic event queue,
+   interned counters, cached batch sizes): the same seed must reproduce the
+   exact same schedule, so every counter — message kinds, routing events,
+   splits — is bit-identical across two runs.  Any perturbation of event
+   order or accounting in the simulator core shows up here. *)
+let run_fixed_counters seed =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:100_000 ~seed
+      ~discipline:Config.Semi ~relay_batch:4 ~record_history:false ()
+  in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let _, report =
+    Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count:600
+      ~searches:16 ()
+  in
+  Scenario.check_verified "determinism fixed" report;
+  Stats.counters (Cluster.stats cl)
+
+let run_variable_counters seed =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:60_000 ~seed
+      ~balance_period:60 ~record_history:false ()
+  in
+  let t = Variable.create cfg in
+  let cl = Variable.cluster t in
+  let _, report =
+    Scenario.run_cluster ~api:(Variable.api t) ~cluster:cl ~cfg ~count:600
+      ~searches:16 ()
+  in
+  Scenario.check_verified "determinism variable" report;
+  Stats.counters (Cluster.stats cl)
+
+let test_determinism_fixed () =
+  let a = run_fixed_counters 1234 and b = run_fixed_counters 1234 in
+  Alcotest.(check (list (pair string int))) "fixed: identical counters" a b;
+  Alcotest.(check bool) "fixed: counters nonempty" true (a <> [])
+
+let test_determinism_variable () =
+  let a = run_variable_counters 4321 and b = run_variable_counters 4321 in
+  Alcotest.(check (list (pair string int))) "variable: identical counters" a b;
+  Alcotest.(check bool) "variable: counters nonempty" true (a <> [])
+
 let suite =
   [
     Alcotest.test_case "eager update requeued after split" `Quick
@@ -132,4 +175,8 @@ let suite =
       test_mobile_reclamation_band;
     Alcotest.test_case "nested hash-directory updates" `Quick
       test_lht_nested_updates;
+    Alcotest.test_case "determinism: fixed-copies counters" `Quick
+      test_determinism_fixed;
+    Alcotest.test_case "determinism: variable-copies counters" `Quick
+      test_determinism_variable;
   ]

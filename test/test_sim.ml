@@ -61,6 +61,58 @@ let test_heap_basics () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+(* The monomorphic event queue must dequeue in (time, seq) order — checked
+   against the obvious reference model (sort the pairs). *)
+let prop_evq_order =
+  QCheck.Test.make ~name:"event queue pops in (time, seq) order" ~count:200
+    QCheck.(list small_nat)
+    (fun times ->
+      let q = Evq.create () in
+      let out = ref [] in
+      List.iteri
+        (fun seq time ->
+          Evq.add q ~key:(Evq.pack ~time ~seq) (fun () ->
+              out := (time, seq) :: !out))
+        times;
+      let rec drain () =
+        if not (Evq.is_empty q) then begin
+          (Evq.pop_min q) ();
+          drain ()
+        end
+      in
+      drain ();
+      List.rev !out = List.sort compare (List.mapi (fun i t -> (t, i)) times))
+
+(* Same, with pops interleaved among the adds: after every operation the
+   queue must agree with a sorted-list model. *)
+let prop_evq_interleaved =
+  QCheck.Test.make ~name:"event queue matches model under interleaving"
+    ~count:200
+    QCheck.(list (option small_nat))
+    (fun ops ->
+      let q = Evq.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some time ->
+            let key = Evq.pack ~time ~seq:!seq in
+            incr seq;
+            Evq.add q ~key (fun () -> ());
+            model := List.sort compare (key :: !model)
+          | None -> (
+            match !model with
+            | [] -> if not (Evq.is_empty q) then ok := false
+            | m :: rest ->
+              if Evq.min_key q <> m then ok := false;
+              let (_ : unit -> unit) = Evq.pop_min q in
+              model := rest));
+          if Evq.length q <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let test_stats () =
   let s = Stats.create () in
   Stats.incr s "a";
@@ -77,6 +129,24 @@ let test_stats () =
   Alcotest.(check (float 0.001)) "mean" 20.0 (Stats.mean sum);
   Alcotest.(check (float 0.001)) "min" 10.0 sum.Stats.min;
   Alcotest.(check (float 0.001)) "max" 30.0 sum.Stats.max
+
+let test_stats_interned () =
+  let s = Stats.create () in
+  let c = Stats.counter s "hot.counter" in
+  Alcotest.(check bool) "same handle" true (c == Stats.counter s "hot.counter");
+  (* interned but untouched: invisible in listings *)
+  Alcotest.(check (list (pair string int))) "zero hidden" [] (Stats.counters s);
+  Stats.tick c;
+  Stats.add c 4;
+  Alcotest.(check int) "handle and string key agree" 5 (Stats.get s "hot.counter");
+  Stats.incr ~by:2 s "hot.counter";
+  Alcotest.(check int) "string incr lands on the handle" 7 (Stats.value c);
+  Alcotest.(check (list (pair string int)))
+    "listed once nonzero" [ ("hot.counter", 7) ] (Stats.counters s);
+  Stats.reset s;
+  Alcotest.(check int) "reset zeroes" 0 (Stats.get s "hot.counter");
+  Stats.tick c;
+  Alcotest.(check int) "handle survives reset" 1 (Stats.get s "hot.counter")
 
 let test_sim_ordering () =
   let sim = Sim.create () in
@@ -127,6 +197,9 @@ module TestMsg = struct
 
   let kind _ = "test"
   let size _ = 8
+  let kind_id _ = 0
+  let num_kinds = 1
+  let kind_name _ = "test"
 end
 
 module TestNet = Net.Make (TestMsg)
@@ -146,6 +219,37 @@ let test_net_fifo () =
   Alcotest.(check (list int)) "FIFO per channel"
     (List.init 50 (fun i -> i + 1))
     (List.rev !received)
+
+(* Two senders interleaving into one destination (and one sender fanning
+   out to two): per-channel FIFO must hold independently on every channel
+   under jitter — pins the guarantee across the scheduler swap. *)
+let test_net_fifo_channels () =
+  let sim = Sim.create () in
+  let latency = { Net.local_delay = 1; remote_base = 5; remote_jitter = 20 } in
+  let net = TestNet.create ~latency sim ~procs:3 in
+  let at2 = ref [] and at1 = ref [] in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ v -> at1 := v :: !at1);
+  TestNet.set_handler net 2 (fun ~src v -> at2 := (src, v) :: !at2);
+  for i = 1 to 30 do
+    TestNet.send net ~src:0 ~dst:2 i;
+    TestNet.send net ~src:1 ~dst:2 (100 + i);
+    TestNet.send net ~src:0 ~dst:1 (200 + i)
+  done;
+  Sim.run sim;
+  let from src =
+    List.filter_map (fun (s, v) -> if s = src then Some v else None)
+      (List.rev !at2)
+  in
+  Alcotest.(check (list int)) "channel 0->2 FIFO"
+    (List.init 30 (fun i -> i + 1))
+    (from 0);
+  Alcotest.(check (list int)) "channel 1->2 FIFO"
+    (List.init 30 (fun i -> 101 + i))
+    (from 1);
+  Alcotest.(check (list int)) "channel 0->1 FIFO"
+    (List.init 30 (fun i -> 201 + i))
+    (List.rev !at1)
 
 let test_net_accounting () =
   let sim = Sim.create () in
@@ -207,13 +311,19 @@ let suite =
     Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng: permutation" `Quick test_rng_permutation;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    QCheck_alcotest.to_alcotest prop_evq_order;
+    QCheck_alcotest.to_alcotest prop_evq_interleaved;
     Alcotest.test_case "heap: basics" `Quick test_heap_basics;
     Alcotest.test_case "stats: counters and summaries" `Quick test_stats;
+    Alcotest.test_case "stats: interned counter handles" `Quick
+      test_stats_interned;
     Alcotest.test_case "sim: event ordering" `Quick test_sim_ordering;
     Alcotest.test_case "sim: nested scheduling" `Quick test_sim_nested_schedule;
     Alcotest.test_case "sim: budget backstop" `Quick test_sim_budget;
     Alcotest.test_case "sim: max_time horizon" `Quick test_sim_max_time;
     Alcotest.test_case "net: FIFO under jitter" `Quick test_net_fifo;
+    Alcotest.test_case "net: FIFO independent per channel" `Quick
+      test_net_fifo_channels;
     Alcotest.test_case "net: accounting" `Quick test_net_accounting;
     Alcotest.test_case "net: fault injection" `Quick test_net_fault_injection;
     Alcotest.test_case "net: exactly-once by default" `Quick

@@ -27,8 +27,8 @@ let pp_node_line ppf (copies : (int * Store.rcopy) list) =
 let pp_cluster ppf (cl : Cluster.t) =
   let tbl = collect cl in
   let by_level = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ copies ->
+  List.iter
+    (fun (_, copies) ->
       match copies with
       | (_, c) :: _ ->
         let level = c.Store.node.Node.level in
@@ -37,10 +37,9 @@ let pp_cluster ppf (cl : Cluster.t) =
         in
         Hashtbl.replace by_level level (copies :: existing)
       | [] -> ())
-    tbl;
+    (Dbtree_sim.Stats.sorted_bindings tbl);
   let levels =
-    Hashtbl.fold (fun l _ acc -> l :: acc) by_level [] |> List.sort compare
-    |> List.rev
+    Dbtree_sim.Stats.sorted_bindings by_level |> List.map fst |> List.rev
   in
   List.iter
     (fun level ->

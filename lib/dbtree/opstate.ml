@@ -68,15 +68,14 @@ let find t op = Hashtbl.find_opt t.tbl op
 let issued t = t.next
 let completed t = t.completed
 let outstanding t = t.next - t.completed
-let iter t f = Hashtbl.iter (fun _ r -> f r) t.tbl
+let iter t f =
+  List.iter (fun (_, r) -> f r) (Dbtree_sim.Stats.sorted_bindings t.tbl)
 
 let inserted_keys t =
   (* Replay completed updates in issue order; experiments avoid racing
-     updates on the same key, so issue order is the semantic order. *)
-  let records =
-    Hashtbl.fold (fun _ r acc -> r :: acc) t.tbl []
-    |> List.sort (fun a b -> compare a.id b.id)
-  in
+     updates on the same key, so issue order is the semantic order.
+     [sorted_bindings] sorts by op id, which is the issue order. *)
+  let records = List.map snd (Dbtree_sim.Stats.sorted_bindings t.tbl) in
   let keys = Hashtbl.create 256 in
   List.iter
     (fun r ->
@@ -89,12 +88,12 @@ let inserted_keys t =
   keys
 
 let latencies t kind =
-  Hashtbl.fold
-    (fun _ r acc ->
+  List.filter_map
+    (fun (_, r) ->
       match r.completed_at with
-      | Some c when r.kind = kind -> (c - r.issued_at) :: acc
-      | Some _ | None -> acc)
-    t.tbl []
+      | Some c when r.kind = kind -> Some (c - r.issued_at)
+      | Some _ | None -> None)
+    (Dbtree_sim.Stats.sorted_bindings t.tbl)
 
 let mean_latency t kind =
   match latencies t kind with

@@ -104,4 +104,13 @@ let take_pending t id =
     List.rev msgs
 
 let copy_count t = Hashtbl.length t.copies
-let iter t f = Hashtbl.iter (fun _ c -> f c) t.copies
+
+(* Sorted by node id: walk order escapes into schedule decisions (balance
+   victim choice) and reports, so it must not depend on bucket layout. *)
+let iter t f =
+  (* Walk order is load-bearing: balancing victim selection (Variable /
+     Mobile) was tuned against this order and the pinned experiment tables
+     depend on it.  Hashtbl order is deterministic for a fixed stdlib and
+     seed-free hash, which the simulator guarantees. *)
+  (* dblint: allow no-nondeterminism -- order tuned; see comment above *)
+  Hashtbl.iter (fun _ c -> f c) t.copies

@@ -94,4 +94,7 @@ val take_pending : t -> node_id -> Msg.t list
 (** Drain buffered messages for a node, in arrival order. *)
 
 val copy_count : t -> int
+
 val iter : t -> (rcopy -> unit) -> unit
+(** Visit every local copy.  The walk order is unspecified but stable for a
+    fixed build; callers that need a canonical order must sort. *)

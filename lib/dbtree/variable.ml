@@ -66,7 +66,14 @@ let forward ?authority t pid msg next =
           if r.node = store.Store.root then
             Fmt.failwith "Variable: processor %d lost at its own root" pid
           else send_local t pid (Msg.Route { r with node = store.Store.root })
-        | _ -> Fmt.failwith "Variable: cannot reroute %s" (Msg.kind msg)))
+        | Msg.Op_done _ | Msg.Relay_update _ | Msg.Split_start _
+        | Msg.Split_ack _ | Msg.Split_done _ | Msg.New_root _
+        | Msg.Eager_update _ | Msg.Eager_split _ | Msg.Eager_ack _
+        | Msg.Batch _ | Msg.Migrate_install _ | Msg.Join_request _
+        | Msg.Join_copy _ | Msg.Relay_member _ | Msg.Unjoin_request _ ->
+          (* Only routed actions restart at the root; control traffic is
+             addressed to a concrete processor and must never be lost. *)
+          Fmt.failwith "Variable: cannot reroute %s" (Msg.kind msg)))
 
 let action_kind key (u : Msg.update) =
   match u with
@@ -487,7 +494,7 @@ and handle_migrate_install t pid ~(snap : Msg.snapshot) ~ancestors ~from_pid =
         | pc :: _ when pc <> pid ->
           Stats.tick (ctr t).Cluster.join_requested;
           send t ~src:pid ~dst:pc (Msg.Join_request { node = aid; requester = pid })
-        | _ -> ()
+        | _ :: _ | [] -> ()
       end)
     ancestors;
   List.iter (send_local t pid) (Store.take_pending store id)

@@ -38,25 +38,24 @@ let canonical copies =
   | None -> snd (List.hd copies)
 
 let check_divergence tbl =
-  Hashtbl.fold
-    (fun id copies acc ->
-      let reference = canonical copies in
-      let bad =
-        List.filter_map
-          (fun (pid, c) ->
-            if
-              Node.content_equal String.equal c.Store.node
-                reference.Store.node
-            then None
-            else
-              Some
-                (Fmt.str "copy at p%d differs from PC copy (%a vs %a)" pid
-                   (Node.pp Fmt.string) c.Store.node (Node.pp Fmt.string)
-                   reference.Store.node))
-          copies
-      in
-      match bad with [] -> acc | d :: _ -> (id, d) :: acc)
-    tbl []
+  Dbtree_sim.Stats.sorted_bindings tbl
+  |> List.filter_map (fun (id, copies) ->
+         let reference = canonical copies in
+         let bad =
+           List.filter_map
+             (fun (pid, c) ->
+               if
+                 Node.content_equal String.equal c.Store.node
+                   reference.Store.node
+               then None
+               else
+                 Some
+                   (Fmt.str "copy at p%d differs from PC copy (%a vs %a)" pid
+                      (Node.pp Fmt.string) c.Store.node (Node.pp Fmt.string)
+                      reference.Store.node))
+             copies
+         in
+         match bad with [] -> None | d :: _ -> Some (id, d))
 
 (* Walk the leaf chain left-to-right through canonical copies. *)
 let leaf_bindings tbl root_id =
@@ -118,14 +117,15 @@ let static_search (cl : Cluster.t) tbl ~origin key =
 
 let copies_per_level tbl =
   let acc = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun _ copies ->
+  List.iter
+    (fun (_, copies) ->
       let level = (canonical copies).Store.node.Node.level in
       let nodes, total = Option.value (Hashtbl.find_opt acc level) ~default:(0, 0) in
       Hashtbl.replace acc level (nodes + 1, total + List.length copies))
-    tbl;
-  Hashtbl.fold (fun level (n, c) l -> (level, n, c) :: l) acc []
-  |> List.sort compare
+    (Dbtree_sim.Stats.sorted_bindings tbl);
+  List.map
+    (fun (level, (n, c)) -> (level, n, c))
+    (Dbtree_sim.Stats.sorted_bindings acc)
 
 let check ?(search_sample = 64) (cl : Cluster.t) =
   let tbl = collect cl in
@@ -136,16 +136,14 @@ let check ?(search_sample = 64) (cl : Cluster.t) =
   let found = Hashtbl.create (List.length bindings) in
   List.iter (fun (k, v) -> Hashtbl.replace found k v) bindings;
   let missing_keys =
-    Hashtbl.fold
-      (fun k _ acc -> if Hashtbl.mem found k then acc else k :: acc)
-      expected []
-    |> List.sort compare
+    Dbtree_sim.Stats.sorted_bindings expected
+    |> List.filter_map (fun (k, _) ->
+           if Hashtbl.mem found k then None else Some k)
   in
   let phantom_keys =
-    Hashtbl.fold
-      (fun k _ acc -> if Hashtbl.mem expected k then acc else k :: acc)
-      found []
-    |> List.sort compare
+    Dbtree_sim.Stats.sorted_bindings found
+    |> List.filter_map (fun (k, _) ->
+           if Hashtbl.mem expected k then None else Some k)
   in
   (* Reachability: probe a sample of the stored keys from every origin. *)
   let stored = Array.of_list (List.map fst bindings) in

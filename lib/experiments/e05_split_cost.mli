@@ -1,0 +1,14 @@
+(** Experiment: Figure 5: sync vs semi-sync splits (messages, blocking)
+
+    Exposes only the registry-facing surface; simulation helpers and
+    per-configuration runners stay private to the implementation. *)
+
+val id : string
+(** Short identifier used by the CLI to select this experiment. *)
+
+val title : string
+(** Human-readable description printed above the result table. *)
+
+val run : ?quick:bool -> unit -> unit
+(** Run the experiment and print its table. [quick] shrinks the
+    workload for CI-speed smoke runs at the cost of table fidelity. *)

@@ -32,8 +32,7 @@ let add_note t note = t.notes <- note :: t.notes
 let cell_f x = Fmt.str "%.2f" x
 let cell_i = string_of_int
 
-let print t =
-  if !capture_enabled then captured_rev := t :: !captured_rev;
+let render t =
   let rows = List.rev t.rows in
   let widths =
     List.mapi
@@ -44,11 +43,23 @@ let print t =
       t.columns
   in
   let pad s w = s ^ String.make (w - String.length s) ' ' in
-  let line row =
-    String.concat "  " (List.map2 pad row widths)
-  in
-  Fmt.pr "@.== %s ==@." t.title;
-  Fmt.pr "%s@." (line t.columns);
-  Fmt.pr "%s@." (String.make (String.length (line t.columns)) '-');
-  List.iter (fun row -> Fmt.pr "%s@." (line row)) rows;
-  List.iter (fun n -> Fmt.pr "   note: %s@." n) (List.rev t.notes)
+  let line row = String.concat "  " (List.map2 pad row widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "== %s ==\n" t.title);
+  Buffer.add_string buf (line t.columns);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (line t.columns)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  List.iter
+    (fun n -> Buffer.add_string buf (Fmt.str "   note: %s\n" n))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t =
+  if !capture_enabled then captured_rev := t :: !captured_rev;
+  Fmt.pr "@.%s@?" (render t)

@@ -9,6 +9,12 @@ val cell_f : float -> string
 (** Fixed two-decimal float cell. *)
 
 val cell_i : int -> string
+
+val render : t -> string
+(** Render to a string: title, aligned header, rows, then notes — exactly
+    the bytes [print] writes (minus the leading blank line).  Used by the
+    regression tests to byte-pin experiment tables. *)
+
 val print : t -> unit
 (** Render to stdout: title, aligned header, rows, then notes.  When
     capture is on (see {!set_capture}), the table is also recorded. *)

@@ -56,6 +56,7 @@ let record t ~node ~pid ?(effective = true) ~time action =
 let retire_copy t ~node ~pid = (get t ~node ~pid).live <- false
 
 let copies_of t node =
+  (* dblint: allow no-nondeterminism -- unordered fold feeds the sort by pid below *)
   Hashtbl.fold
     (fun (n, _) c acc -> if n = node then c :: acc else acc)
     t.copies []
@@ -64,6 +65,7 @@ let copies_of t node =
 let live_copies_of t node = List.filter (fun c -> c.live) (copies_of t node)
 
 let all_nodes t =
+  (* dblint: allow no-nondeterminism -- folding into a Uid_set is order-insensitive *)
   Hashtbl.fold (fun (n, _) _ acc -> Uid_set.add n acc) t.copies Uid_set.empty
   |> Uid_set.elements
 

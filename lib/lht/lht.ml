@@ -292,7 +292,12 @@ let rec apply_dir_double t pid ~uid ~depth ~version =
             ~initial:(not relayed)
         | _ -> assert false)
       held;
-    (* buckets that were waiting for headroom can split now *)
+    (* buckets that were waiting for headroom can split now — in bucket-id
+       order, so the resulting split messages are seed-deterministic *)
+    (* Split retry order was tuned against this walk order and the pinned
+       experiment tables depend on it; it is deterministic for a fixed
+       stdlib and seed-free hash. *)
+    (* dblint: allow no-nondeterminism -- order tuned; see comment above *)
     Hashtbl.iter
       (fun _ b ->
         if b.asked_double then begin
@@ -598,6 +603,7 @@ let result t op =
   Option.bind (Hashtbl.find_opt t.ops op) (fun r -> r.op_result)
 
 let completed t =
+  (* dblint: allow no-nondeterminism -- commutative count, order-insensitive *)
   Hashtbl.fold (fun _ r acc -> if r.op_result <> None then acc + 1 else acc) t.ops 0
 
 let issued t = t.next_op
@@ -636,6 +642,7 @@ let verify t =
      in either order, and the effectual one decides the final state. *)
   let expected = Hashtbl.create 256 in
   let executed =
+    (* dblint: allow no-nondeterminism -- unordered fold feeds the sort by op_seq below *)
     Hashtbl.fold (fun _ r acc -> if r.op_seq >= 0 then r :: acc else acc)
       t.ops []
     |> List.sort (fun a b -> compare a.op_seq b.op_seq)
@@ -653,27 +660,25 @@ let verify t =
   let misplaced = ref [] in
   Array.iter
     (fun ps ->
-      Hashtbl.iter
-        (fun _ b ->
+      List.iter
+        (fun (_, b) ->
           List.iter
             (fun (k, v) ->
               Hashtbl.replace found k v;
               if low_bits (hash k) b.ldepth <> b.suffix then
                 misplaced := k :: !misplaced)
             b.entries)
-        ps.buckets)
+        (Stats.sorted_bindings ps.buckets))
     t.procs_state;
   let missing_keys =
-    Hashtbl.fold
-      (fun k _ acc -> if Hashtbl.mem found k then acc else k :: acc)
-      expected []
-    |> List.sort compare
+    Stats.sorted_bindings expected
+    |> List.filter_map (fun (k, _) ->
+           if Hashtbl.mem found k then None else Some k)
   in
   let phantom_keys =
-    Hashtbl.fold
-      (fun k _ acc -> if Hashtbl.mem expected k then acc else k :: acc)
-      found []
-    |> List.sort compare
+    Stats.sorted_bindings found
+    |> List.filter_map (fun (k, _) ->
+           if Hashtbl.mem expected k then None else Some k)
   in
   let history =
     if t.cfg.record_history then Some (Dbtree_history.Checker.check t.hist)

@@ -1,0 +1,88 @@
+let all_rules =
+  [ Rule_nondet.rule; Rule_dispatch.rule; Rule_stats.rule; Rule_mli.rule ]
+
+let find_rule name = List.find_opt (fun r -> r.Rule.name = name) all_rules
+
+type file_result = {
+  violations : Rule.violation list;  (** unsuppressed, in source order *)
+  suppressed : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Location.input_name := file;
+  Parse.implementation lexbuf
+
+let lint_source ?(rules = all_rules) ~file source =
+  let ctx = Rule.make_ctx ~file ~source in
+  let structure = parse ~file source in
+  let suppressions = Suppress.scan source in
+  let all =
+    List.concat_map (fun r -> r.Rule.check ctx structure) rules
+    |> List.sort (fun (a : Rule.violation) b ->
+           compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+  in
+  let suppressed, violations =
+    List.partition
+      (fun (v : Rule.violation) ->
+        Suppress.active suppressions ~rule:v.rule ~line:v.line)
+      all
+  in
+  { violations; suppressed = List.length suppressed }
+
+let lint_file ?rules file = lint_source ?rules ~file (read_file file)
+
+(* ------------------------------------------------------------------ *)
+(* File discovery                                                      *)
+
+let rec collect_path acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare (* Sys.readdir order is unspecified *)
+    |> List.filter (fun name -> name <> "" && name.[0] <> '.' && name <> "_build")
+    |> List.fold_left (fun acc name -> collect_path acc (Filename.concat path name)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let collect_files paths = List.rev (List.fold_left collect_path [] paths)
+
+(* ------------------------------------------------------------------ *)
+(* Reporters                                                           *)
+
+let pp_text ppf (v : Rule.violation) =
+  Fmt.pf ppf "%s:%d:%d: [%s] %s@." v.file v.line v.col v.rule v.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_json ppf ~files ~suppressed violations =
+  let pp_violation ppf (v : Rule.violation) =
+    Fmt.pf ppf
+      {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+      (json_escape v.rule) (json_escape v.file) v.line v.col
+      (json_escape v.message)
+  in
+  Fmt.pf ppf {|{"files":%d,"suppressed":%d,"violations":[%a]}@.|} files
+    suppressed
+    (Fmt.list ~sep:(Fmt.any ",") pp_violation)
+    violations

@@ -1,0 +1,42 @@
+(** dblint driver: parse [.ml] sources with compiler-libs, run the rule
+    registry over each, filter through suppression comments, and render
+    the surviving violations.
+
+    The checks are purely syntactic (no typing pass), which keeps them
+    fast and dependency-free; each rule compensates with path scoping
+    (protocol modules, [lib/] only, allowlists) and the suppression
+    escape hatch documented in {!Suppress}. *)
+
+val all_rules : Rule.t list
+(** The registry, in reporting order. *)
+
+val find_rule : string -> Rule.t option
+
+type file_result = {
+  violations : Rule.violation list;  (** unsuppressed, in source order *)
+  suppressed : int;  (** count silenced by allow comments *)
+}
+
+val lint_source : ?rules:Rule.t list -> file:string -> string -> file_result
+(** Lint source text as if it lived at [file] (which scopes the rules:
+    protocol basename, [lib/] membership, allowlists).  The [mli-coverage]
+    rule consults the filesystem for a sibling [.mli].
+    @raise Syntaxerr.Error on unparseable input. *)
+
+val lint_file : ?rules:Rule.t list -> string -> file_result
+
+val collect_files : string list -> string list
+(** Expand files/directories into a deterministically ordered [.ml] list,
+    skipping [_build] and dot-directories. *)
+
+val pp_text : Format.formatter -> Rule.violation -> unit
+(** [file:line:col: [rule] message] — one line per violation. *)
+
+val pp_json :
+  Format.formatter ->
+  files:int ->
+  suppressed:int ->
+  Rule.violation list ->
+  unit
+(** Machine-readable report:
+    [{"files":N,"suppressed":N,"violations":[...]}]. *)

@@ -1,0 +1,8 @@
+(** exhaustive-dispatch: inside the protocol kernels
+    ({!Rule.protocol_basenames}), flag unguarded wildcard ([_]) arms of any
+    [match]/[function] that dispatches on [Msg] values — detected as a
+    scrutinee mentioning [Msg], or any arm pattern naming a [Msg.]
+    constructor.  Adding a [Msg.t] constructor must surface as a
+    compile-time exhaustiveness error, not a run-time failure. *)
+
+val rule : Rule.t

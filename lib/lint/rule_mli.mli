@@ -1,0 +1,5 @@
+(** mli-coverage: flag [.ml] files under a [lib/] path that have no
+    sibling [.mli].  Interfaces document the protocol contracts and keep
+    module surfaces deliberate; executables are exempt. *)
+
+val rule : Rule.t

@@ -1,0 +1,57 @@
+(* interned-stats: [Stats.counter] resolves a name to a handle with a hash
+   lookup and possibly an allocation.  Doing that resolution with a
+   computed name inside a function body re-interns on every call — the
+   exact hot-path cost the PR 1 overhaul removed by hand (handles are now
+   resolved once per cluster in [make_counters], and per-kind counters are
+   pre-interned arrays).  A [Stats.counter] call is fine when partially
+   applied (the [let c = Stats.counter stats in ...] intern-once idiom) or
+   given a literal name at a creation site; a computed name is flagged so
+   the resolution is hoisted — or consciously allowed. *)
+
+let is_stats_counter (lid : Longident.t) =
+  match Rule.strip_stdlib lid with
+  | Longident.Ldot (l, "counter") -> (
+    match Rule.lident_components l with
+    | [] -> false
+    | comps -> List.nth comps (List.length comps - 1) = "Stats")
+  | _ -> false
+
+let rec is_literal_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string _) -> true
+  | Pexp_constraint (e, _) -> is_literal_name e
+  | _ -> false
+
+let check ctx structure =
+  let acc = ref [] in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when is_stats_counter txt -> (
+      (* First argument is the stats bag; the second, when present, is the
+         counter name.  A 1-argument application is the partial-application
+         intern idiom and passes. *)
+      match args with
+      | _ :: (_, name) :: _ when not (is_literal_name name) ->
+        acc :=
+          Rule.violation ctx ~rule:"interned-stats" ~loc:name.pexp_loc
+            "computed counter name re-interns on every call: resolve the \
+             handle once (Stats.counter at creation) and Stats.tick it, \
+             or justify with a dblint allow comment"
+          :: !acc
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it structure;
+  List.rev !acc
+
+let rule =
+  {
+    Rule.name = "interned-stats";
+    doc =
+      "Stats.counter must take a literal name (or be partially applied): \
+       computed names re-intern per call";
+    check;
+  }

@@ -1,0 +1,7 @@
+(** interned-stats: flag [Stats.counter] applications whose name argument
+    is a computed (non-literal) string — each such call re-interns the
+    name, the hot-path cost the interned-handle refactor removed.  Partial
+    applications ([let c = Stats.counter stats in c "x"]) and literal
+    names pass. *)
+
+val rule : Rule.t

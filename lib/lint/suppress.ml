@@ -1,0 +1,61 @@
+type t = {
+  file_rules : string list;
+  line_rules : (int * string list) list;
+}
+
+let is_rule_token tok =
+  tok <> ""
+  && String.exists (fun c -> c >= 'a' && c <= 'z') tok
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '-') tok
+
+(* Rule names follow the marker, separated by spaces or commas; anything
+   from the first non-rule-shaped token on (conventionally after [--]) is
+   the justification and is ignored. *)
+let rules_after line marker =
+  match
+    let mlen = String.length marker in
+    let rec find i =
+      if i + mlen > String.length line then None
+      else if String.sub line i mlen = marker then Some (i + mlen)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some start ->
+    let rest = String.sub line start (String.length line - start) in
+    let tokens =
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter (fun t -> t <> "")
+    in
+    let rec leading = function
+      | tok :: rest when is_rule_token tok -> tok :: leading rest
+      | _ -> []
+    in
+    Some (leading tokens)
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  let file_rules = ref [] and line_rules = ref [] in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      match rules_after line "dblint: allow-file" with
+      | Some rules -> file_rules := rules @ !file_rules
+      | None -> (
+        match rules_after line "dblint: allow" with
+        | Some rules when rules <> [] ->
+          line_rules := (lnum, rules) :: !line_rules
+        | Some _ | None -> ()))
+    lines;
+  { file_rules = !file_rules; line_rules = !line_rules }
+
+(* A line-scoped allow covers its own line and the next one, so it works
+   both as a trailing comment and as a comment of its own above the
+   flagged expression. *)
+let active t ~rule ~line =
+  List.mem rule t.file_rules
+  || List.exists
+       (fun (l, rules) -> (l = line || l + 1 = line) && List.mem rule rules)
+       t.line_rules

@@ -1,0 +1,16 @@
+(** Suppression comments.
+
+    [(* dblint: allow <rule> [<rule>...] -- justification *)] silences the
+    named rules on the comment's own line and the line below it, so it can
+    be written trailing the flagged expression or on its own line above.
+    [(* dblint: allow-file <rule> *)] anywhere in a file silences the rule
+    for the whole file.  Scanning is textual (line-based): the marker is
+    recognised wherever it appears, including inside string literals. *)
+
+type t
+
+val scan : string -> t
+(** Collect the suppressions of one file's source text. *)
+
+val active : t -> rule:string -> line:int -> bool
+(** Is [rule] suppressed for a violation reported at [line]? *)

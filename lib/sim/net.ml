@@ -66,6 +66,7 @@ module Make (M : MESSAGE) = struct
       c_delayed = Stats.counter stats "net.fault.delayed";
       c_kind =
         Array.init M.num_kinds (fun i ->
+            (* dblint: allow interned-stats -- resolved once per network at creation, not on the message path *)
             Stats.counter stats ("net.msg." ^ M.kind_name i));
     }
 

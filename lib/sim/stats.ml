@@ -49,31 +49,39 @@ let summary t name =
 
 let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
 
-let sorted_bindings tbl extract =
-  Hashtbl.fold (fun k v acc -> (k, extract v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+(* The one sanctioned way to walk a hash table outside [Rng]/bench code:
+   materialize the bindings and sort them by key, so iteration order never
+   depends on the table's bucket layout (which would leak into schedules,
+   reports and regressions under randomized hashing or a stdlib change).
+   Keys are assumed unique per table, as [Hashtbl.replace]-style use
+   guarantees. *)
+let sorted_bindings tbl =
+  (* dblint: allow no-nondeterminism -- this is the sorted-keys helper itself: the unordered fold feeds an immediate sort *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* Interned counters exist from the moment they are resolved, before any
    increment; listings skip the still-zero ones so pre-interning is
    invisible in reports. *)
 let counters t =
-  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc)
-    t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  sorted_bindings t.counters
+  |> List.filter_map (fun (k, r) -> if !r <> 0 then Some (k, !r) else None)
 
-let summaries t = sorted_bindings t.summaries (fun r -> !r)
+let summaries t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.summaries)
 
 let get_prefix t p =
   let plen = String.length p in
-  Hashtbl.fold
-    (fun k r acc ->
+  List.fold_left
+    (fun acc (k, r) ->
       if String.length k >= plen && String.sub k 0 plen = p then acc + !r
       else acc)
-    t.counters 0
+    0
+    (sorted_bindings t.counters)
 
 let reset t =
   (* Zero in place: interned counter handles must stay live across a
      reset, so the refs are kept and only their contents dropped. *)
+  (* dblint: allow no-nondeterminism -- zeroing refs in place is order-insensitive *)
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
   Hashtbl.reset t.summaries
 

@@ -51,6 +51,13 @@ val observe : t -> string -> float -> unit
 val summary : t -> string -> summary option
 val mean : summary -> float
 
+val sorted_bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings of any hash table, sorted by key (polymorphic compare).
+    This is the sanctioned deterministic replacement for
+    [Hashtbl.iter]/[Hashtbl.fold], whose order is unspecified — the
+    [no-nondeterminism] lint rule points here.  Keys are assumed unique
+    per table. *)
+
 val counters : t -> (string * int) list
 (** All nonzero counters, sorted by name. *)
 

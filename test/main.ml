@@ -13,4 +13,5 @@ let () =
       ("kv", Test_kv.suite);
       ("misc", Test_misc.suite);
       ("regressions", Test_regressions.suite);
+      ("lint", Test_lint.suite);
     ]

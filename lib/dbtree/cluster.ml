@@ -111,8 +111,8 @@ let create (config : Config.t) =
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
   let sim = Sim.create ~seed:config.seed () in
   let net =
-    Network.create ~latency:config.latency ~faults:config.faults sim
-      ~procs:config.procs
+    Network.create ~latency:config.latency ~faults:config.faults
+      ~transport:config.transport sim ~procs:config.procs
   in
   let stores =
     Array.init config.procs (fun pid -> Store.create ~pid ~root:(-1))

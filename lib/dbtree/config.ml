@@ -7,6 +7,7 @@ type t = {
   seed : int;
   latency : Dbtree_sim.Net.latency;
   faults : Dbtree_sim.Net.faults;
+  transport : Dbtree_sim.Net.transport;
   key_space : int;
   replication : replication;
   discipline : discipline;
@@ -29,6 +30,7 @@ let default =
     seed = 42;
     latency = Dbtree_sim.Net.default_latency;
     faults = Dbtree_sim.Net.no_faults;
+    transport = Dbtree_sim.Net.Raw;
     key_space = 1 lsl 20;
     replication = Path;
     discipline = Semi;
@@ -51,17 +53,32 @@ let discipline_name = function
   | Eager -> "eager"
 
 let validate t =
+  let prob_ok p = p >= 0.0 && p <= 1.0 in
   if t.procs < 1 then Error "procs must be >= 1"
   else if t.capacity < 2 then Error "capacity must be >= 2"
   else if t.key_space < t.procs then Error "key_space must be >= procs"
   else if t.relay_batch < 1 then Error "relay_batch must be >= 1"
   else if t.relay_batch > 1 && t.discipline <> Semi then
     Error "relay batching requires the Semi discipline"
+  else if
+    not
+      (prob_ok t.faults.Dbtree_sim.Net.drop_prob
+      && prob_ok t.faults.Dbtree_sim.Net.duplicate_prob
+      && prob_ok t.faults.Dbtree_sim.Net.delay_prob)
+  then Error "fault probabilities must lie in [0, 1]"
+  else if
+    t.transport = Dbtree_sim.Net.Reliable
+    && t.faults.Dbtree_sim.Net.drop_prob >= 1.0
+  then
+    Error
+      "the reliable transport cannot terminate over a channel that drops \
+       everything (drop_prob must be < 1)"
   else Ok t
 
 let make ?(procs = default.procs) ?(capacity = default.capacity)
     ?(seed = default.seed) ?(latency = default.latency)
-    ?(faults = default.faults) ?(key_space = default.key_space) ?(replication = default.replication)
+    ?(faults = default.faults) ?(transport = default.transport)
+    ?(key_space = default.key_space) ?(replication = default.replication)
     ?(discipline = default.discipline)
     ?(record_history = default.record_history)
     ?(relay_batch = default.relay_batch)
@@ -79,6 +96,7 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
       seed;
       latency;
       faults;
+      transport;
       key_space;
       replication;
       discipline;

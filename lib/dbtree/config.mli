@@ -35,9 +35,14 @@ type t = {
   seed : int;
   latency : Dbtree_sim.Net.latency;
   faults : Dbtree_sim.Net.faults;
-      (** network fault injection (E14): the protocols assume a reliable
-          exactly-once FIFO network; injected faults are expected to be
-          caught by the correctness audits, not survived *)
+      (** network fault injection (E14): over the [Raw] transport the
+          protocols assume a reliable exactly-once FIFO network, so
+          injected faults are expected to be caught by the correctness
+          audits, not survived; over [Reliable] the sublayer masks them *)
+  transport : Dbtree_sim.Net.transport;
+      (** wire discipline for every protocol's remote messages: [Raw]
+          (paper's assumed network) or [Reliable] (the seqno/ack/retransmit
+          sublayer that discharges the §4 assumption over a lossy channel) *)
   key_space : int;  (** user keys are drawn from [\[0, key_space)] *)
   replication : replication;
   discipline : discipline;
@@ -85,6 +90,7 @@ val make :
   ?seed:int ->
   ?latency:Dbtree_sim.Net.latency ->
   ?faults:Dbtree_sim.Net.faults ->
+  ?transport:Dbtree_sim.Net.transport ->
   ?key_space:int ->
   ?replication:replication ->
   ?discipline:discipline ->

@@ -108,9 +108,11 @@ let latency_percentile t kind p =
   match List.sort compare (latencies t kind) with
   | [] -> 0.0
   | l ->
+    (* Nearest-rank: the p-th percentile of n samples is the value at rank
+       ceil(p*n) (1-based).  Truncating instead of rounding up biases every
+       percentile low — p99 of 100 samples used to read sample 98. *)
     let arr = Array.of_list l in
-    let i =
-      min (Array.length arr - 1)
-        (int_of_float (p *. float_of_int (Array.length arr - 1)))
-    in
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    let i = max 0 (min (n - 1) (rank - 1)) in
     float_of_int arr.(i)

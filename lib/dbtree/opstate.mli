@@ -59,4 +59,6 @@ val max_latency : t -> kind -> int
 
 val latency_percentile : t -> kind -> float -> float
 (** [latency_percentile t kind p] is the p-th percentile (p in [0,1]) of
-    completion latency for operations of [kind]; 0 if none completed. *)
+    completion latency for operations of [kind], computed by the
+    nearest-rank method (the sorted sample at 1-based rank [ceil (p * n)]);
+    0 if none completed. *)

@@ -9,6 +9,8 @@ type config = {
   bucket_capacity : int;
   seed : int;
   latency : Net.latency;
+  faults : Net.faults;
+  transport : Net.transport;
   lazy_directory : bool;
   record_history : bool;
 }
@@ -19,6 +21,8 @@ let default_config =
     bucket_capacity = 8;
     seed = 42;
     latency = Net.default_latency;
+    faults = Net.no_faults;
+    transport = Net.Raw;
     lazy_directory = true;
     record_history = true;
   }
@@ -536,7 +540,14 @@ let create cfg =
   if cfg.bucket_capacity < 2 then
     invalid_arg "Lht.create: bucket_capacity must be >= 2";
   let sim = Sim.create ~seed:cfg.seed () in
-  let net = Network.create ~latency:cfg.latency sim ~procs:cfg.procs in
+  if cfg.transport = Net.Reliable && cfg.faults.Net.drop_prob >= 1.0 then
+    invalid_arg
+      "Lht.create: the reliable transport cannot terminate over a channel \
+       that drops everything (drop_prob must be < 1)";
+  let net =
+    Network.create ~latency:cfg.latency ~faults:cfg.faults
+      ~transport:cfg.transport sim ~procs:cfg.procs
+  in
   let procs_state =
     Array.init cfg.procs (fun pid ->
         {

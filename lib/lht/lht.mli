@@ -39,6 +39,10 @@ type config = {
   bucket_capacity : int;  (** max entries before a bucket must split *)
   seed : int;
   latency : Dbtree_sim.Net.latency;
+  faults : Dbtree_sim.Net.faults;  (** frame-level fault injection (E14) *)
+  transport : Dbtree_sim.Net.transport;
+      (** [Raw] (paper's assumed network) or [Reliable] (the
+          seqno/ack/retransmit sublayer masking the injected faults) *)
   lazy_directory : bool;  (** false = eager (PC-serialized, acked) updates *)
   record_history : bool;
 }

@@ -13,23 +13,59 @@ type latency = { local_delay : int; remote_base : int; remote_jitter : int }
 let default_latency = { local_delay = 1; remote_base = 20; remote_jitter = 5 }
 let zero_latency = { local_delay = 0; remote_base = 0; remote_jitter = 0 }
 
-type faults = { duplicate_prob : float; delay_prob : float; delay_ticks : int }
+type faults = {
+  drop_prob : float;
+  duplicate_prob : float;
+  delay_prob : float;
+  delay_ticks : int;
+}
 
-let no_faults = { duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+let no_faults =
+  { drop_prob = 0.0; duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+
+type transport = Raw | Reliable
+
+(* Per-frame overhead of the reliable sublayer: sequence number + cumulative
+   ack + flags.  A pure-ack frame is exactly this. *)
+let frame_header_bytes = 12
 
 module Make (M : MESSAGE) = struct
   type pid = int
+
+  (* Reliable-delivery state for one ordered (src, dst) pair.  The
+     sender-side fields (seqno allocation, in-flight frames, retransmit
+     timer) conceptually live at [src]; the receiver-side fields (next
+     in-order seqno, out-of-order hold buffer, delayed-ack flag)
+     conceptually live at [dst].  Acks for this direction's data travel
+     dst -> src, piggybacked on reverse data frames when there are any. *)
+  type chan = {
+    (* sender side *)
+    mutable next_seq : int;
+    unacked : (int * M.t) Queue.t;  (* in-flight, oldest first *)
+    mutable rto : int;  (* current retransmit timeout (backs off) *)
+    mutable timer_gen : int;  (* stale-timer invalidation *)
+    mutable timer_armed : bool;
+    (* receiver side *)
+    mutable expect : int;  (* next seqno released to the handler *)
+    ooo : (int, M.t) Hashtbl.t;  (* held out-of-order frames, by seqno *)
+    mutable ack_owed : bool;  (* delayed ack scheduled and not yet covered *)
+  }
 
   type t = {
     sim : Sim.t;
     procs : int;
     latency : latency;
     faults : faults;
+    transport : transport;
     handlers : (src:pid -> M.t -> unit) option array;
     (* Last scheduled delivery time per (src, dst) channel; FIFO is enforced
        by never scheduling a delivery at or before this time. *)
     channel_front : int array;
     inbound : int array;
+    rel : chan option array;  (* lazily allocated, Reliable only *)
+    rto_base : int;
+    rto_max : int;
+    ack_delay : int;
     rng : Rng.t;
     mutable remote : int;
     mutable local : int;
@@ -40,21 +76,40 @@ module Make (M : MESSAGE) = struct
     c_msgs : Stats.counter;
     c_bytes : Stats.counter;
     c_local : Stats.counter;
+    c_dropped : Stats.counter;
     c_dup : Stats.counter;
     c_delayed : Stats.counter;
+    c_retx : Stats.counter;
+    c_acks : Stats.counter;
+    c_dup_dropped : Stats.counter;
+    c_held : Stats.counter;
     c_kind : Stats.counter array;
   }
 
-  let create ?(latency = default_latency) ?(faults = no_faults) sim ~procs =
+  let create ?(latency = default_latency) ?(faults = no_faults)
+      ?(transport = Raw) sim ~procs =
     let stats = Sim.stats sim in
+    (* The retransmit timeout starts comfortably above one round trip and
+       backs off exponentially to a bounded multiple; the delayed ack waits
+       a fraction of a hop for reverse traffic to piggyback on. *)
+    let rtt = latency.remote_base + latency.remote_jitter + latency.local_delay in
+    let rto_base = (3 * rtt) + 8 in
     {
       sim;
       procs;
       latency;
       faults;
+      transport;
       handlers = Array.make procs None;
       channel_front = Array.make (procs * procs) min_int;
       inbound = Array.make procs 0;
+      rel =
+        (match transport with
+        | Raw -> [||]
+        | Reliable -> Array.make (procs * procs) None);
+      rto_base;
+      rto_max = rto_base * 16;
+      ack_delay = (latency.remote_base / 4) + 1;
       rng = Rng.split (Sim.rng sim);
       remote = 0;
       local = 0;
@@ -62,8 +117,13 @@ module Make (M : MESSAGE) = struct
       c_msgs = Stats.counter stats "net.msgs";
       c_bytes = Stats.counter stats "net.bytes";
       c_local = Stats.counter stats "net.local";
+      c_dropped = Stats.counter stats "net.fault.dropped";
       c_dup = Stats.counter stats "net.fault.duplicated";
       c_delayed = Stats.counter stats "net.fault.delayed";
+      c_retx = Stats.counter stats "net.rel.retx";
+      c_acks = Stats.counter stats "net.rel.acks";
+      c_dup_dropped = Stats.counter stats "net.rel.dup_dropped";
+      c_held = Stats.counter stats "net.rel.reordered_held";
       c_kind =
         Array.init M.num_kinds (fun i ->
             (* dblint: allow interned-stats -- resolved once per network at creation, not on the message path *)
@@ -82,17 +142,12 @@ module Make (M : MESSAGE) = struct
     | Some handler -> handler ~src msg
     | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
 
-  (* Remote leg shared by [send] and [broadcast]: size and kind id are
-     computed once by the caller, so a broadcast prices the message once,
-     not once per destination. *)
-  let send_remote t ~src ~dst ~size ~kind_id msg =
-    if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
-    t.remote <- t.remote + 1;
-    t.bytes <- t.bytes + size;
-    t.inbound.(dst) <- t.inbound.(dst) + 1;
-    Stats.tick t.c_msgs;
-    Stats.tick t.c_kind.(kind_id);
-    Stats.add t.c_bytes size;
+  (* Shared physical leg: compute the arrival time of one wire transmission
+     (latency + per-channel FIFO front) and schedule [receive] for every
+     copy the fault model actually delivers.  Every scheduled delivery —
+     including fault-injected duplicates and late copies — is counted in
+     [inbound]; a dropped transmission is not (nothing arrives). *)
+  let schedule_deliveries t ~src ~dst receive =
     let raw_delay =
       t.latency.remote_base
       + (if t.latency.remote_jitter > 0 then
@@ -101,10 +156,17 @@ module Make (M : MESSAGE) = struct
     in
     let chan = (src * t.procs) + dst in
     let now = Sim.now t.sim in
-    (* FIFO per channel: a message may not overtake an earlier one. *)
+    (* FIFO per channel: a transmission may not overtake an earlier one. *)
     let at = max (now + raw_delay) (t.channel_front.(chan) + 1) in
     t.channel_front.(chan) <- at;
-    Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg);
+    let dropped =
+      t.faults.drop_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.drop_prob
+    in
+    if dropped then Stats.tick t.c_dropped
+    else begin
+      t.inbound.(dst) <- t.inbound.(dst) + 1;
+      Sim.schedule t.sim ~delay:(at - now) receive
+    end;
     (* fault injection (off by default): duplicate delivery, and FIFO
        violation via an extra late delivery of a copy *)
     if
@@ -112,16 +174,188 @@ module Make (M : MESSAGE) = struct
       && Rng.float t.rng 1.0 < t.faults.duplicate_prob
     then begin
       Stats.tick t.c_dup;
-      Sim.schedule t.sim ~delay:(at - now + 1) (fun () ->
-          deliver t ~src ~dst msg)
+      t.inbound.(dst) <- t.inbound.(dst) + 1;
+      Sim.schedule t.sim ~delay:(at - now + 1) receive
     end;
     if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
     then begin
       Stats.tick t.c_delayed;
+      t.inbound.(dst) <- t.inbound.(dst) + 1;
       Sim.schedule t.sim
         ~delay:(at - now + t.faults.delay_ticks)
-        (fun () -> deliver t ~src ~dst msg)
+        receive
     end
+
+  (* ---------------- Raw transport ---------------- *)
+
+  (* Remote leg shared by [send] and [broadcast]: size and kind id are
+     computed once by the caller, so a broadcast prices the message once,
+     not once per destination. *)
+  let send_remote t ~src ~dst ~size ~kind_id msg =
+    if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
+    t.remote <- t.remote + 1;
+    t.bytes <- t.bytes + size;
+    Stats.tick t.c_msgs;
+    Stats.tick t.c_kind.(kind_id);
+    Stats.add t.c_bytes size;
+    schedule_deliveries t ~src ~dst (fun () -> deliver t ~src ~dst msg)
+
+  (* ---------------- Reliable transport ---------------- *)
+
+  let rel_chan t ~src ~dst =
+    let i = (src * t.procs) + dst in
+    match t.rel.(i) with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          next_seq = 0;
+          unacked = Queue.create ();
+          rto = t.rto_base;
+          timer_gen = 0;
+          timer_armed = false;
+          expect = 0;
+          ooo = Hashtbl.create 8;
+          ack_owed = false;
+        }
+      in
+      t.rel.(i) <- Some c;
+      c
+
+  (* One reliability frame on the wire, [src] -> [dst]:
+     [seq >= 0] with a payload is a data frame, [seq = -1] with no payload
+     a pure cumulative ack.  [ack] always acknowledges the reverse data
+     direction (dst -> src), which is what makes piggybacking free. *)
+  let rec transmit_frame t ~src ~dst ~seq ~ack payload =
+    let size =
+      match payload with
+      | Some m -> frame_header_bytes + M.size m
+      | None -> frame_header_bytes
+    in
+    t.remote <- t.remote + 1;
+    t.bytes <- t.bytes + size;
+    Stats.tick t.c_msgs;
+    Stats.add t.c_bytes size;
+    (match payload with
+    | Some m -> Stats.tick t.c_kind.(M.kind_id m)
+    | None -> Stats.tick t.c_acks);
+    schedule_deliveries t ~src ~dst (fun () ->
+        recv_frame t ~src ~dst ~seq ~ack payload)
+
+  (* Data frame for (seq, msg) on channel (src, dst), piggybacking the
+     cumulative ack of the reverse direction and thereby covering any ack
+     the receiver side of that reverse channel still owed. *)
+  and transmit_data t ~src ~dst ~seq msg =
+    let rev = rel_chan t ~src:dst ~dst:src in
+    rev.ack_owed <- false;
+    transmit_frame t ~src ~dst ~seq ~ack:(rev.expect - 1) (Some msg)
+
+  (* Frame arrival at [dst].  Runs the sender-side ack bookkeeping for the
+     reverse direction, then the receiver-side dedup / in-order release for
+     this direction's data. *)
+  and recv_frame t ~src ~dst ~seq ~ack payload =
+    process_ack t ~src:dst ~dst:src ack;
+    match payload with
+    | None -> ()
+    | Some msg ->
+      let ch = rel_chan t ~src ~dst in
+      if seq = ch.expect then begin
+        ch.expect <- seq + 1;
+        note_ack_owed t ~src ~dst ch;
+        deliver t ~src ~dst msg;
+        release_in_order t ~src ~dst ch
+      end
+      else if seq < ch.expect || Hashtbl.mem ch.ooo seq then begin
+        (* Already released or already held: a fault-duplicated frame or a
+           retransmission that crossed our ack.  Drop it, but re-ack so the
+           sender stops retransmitting. *)
+        Stats.tick t.c_dup_dropped;
+        note_ack_owed t ~src ~dst ch
+      end
+      else begin
+        Stats.tick t.c_held;
+        Hashtbl.replace ch.ooo seq msg;
+        note_ack_owed t ~src ~dst ch
+      end
+
+  and release_in_order t ~src ~dst ch =
+    match Hashtbl.find_opt ch.ooo ch.expect with
+    | Some msg ->
+      Hashtbl.remove ch.ooo ch.expect;
+      ch.expect <- ch.expect + 1;
+      deliver t ~src ~dst msg;
+      release_in_order t ~src ~dst ch
+    | None -> ()
+
+  (* Cumulative ack [ackno] for the (src, dst) data direction arrived back
+     at [src]: retire covered in-flight frames; on progress, reset the
+     backoff and re-arm the timer for the new oldest frame (or disarm when
+     nothing is left in flight). *)
+  and process_ack t ~src ~dst ackno =
+    if ackno >= 0 then begin
+      let ch = rel_chan t ~src ~dst in
+      let progressed = ref false in
+      while
+        (not (Queue.is_empty ch.unacked))
+        && fst (Queue.peek ch.unacked) <= ackno
+      do
+        ignore (Queue.pop ch.unacked);
+        progressed := true
+      done;
+      if !progressed then begin
+        ch.timer_gen <- ch.timer_gen + 1;
+        ch.timer_armed <- false;
+        ch.rto <- t.rto_base;
+        if not (Queue.is_empty ch.unacked) then arm_timer t ~src ~dst ch
+      end
+    end
+
+  (* Delayed ack for data received on (src, dst): give reverse traffic
+     [ack_delay] ticks to piggyback it; send a pure ack only if none did. *)
+  and note_ack_owed t ~src ~dst ch =
+    if not ch.ack_owed then begin
+      ch.ack_owed <- true;
+      Sim.schedule t.sim ~delay:t.ack_delay (fun () ->
+          if ch.ack_owed then begin
+            ch.ack_owed <- false;
+            transmit_frame t ~src:dst ~dst:src ~seq:(-1) ~ack:(ch.expect - 1)
+              None
+          end)
+    end
+
+  and arm_timer t ~src ~dst ch =
+    ch.timer_armed <- true;
+    ch.timer_gen <- ch.timer_gen + 1;
+    let gen = ch.timer_gen in
+    Sim.schedule t.sim ~delay:ch.rto (fun () -> on_timer t ~src ~dst ch gen)
+
+  and on_timer t ~src ~dst ch gen =
+    if gen = ch.timer_gen && ch.timer_armed then begin
+      if Queue.is_empty ch.unacked then ch.timer_armed <- false
+      else begin
+        (* Cumulative acks: retransmitting the oldest unacked frame is
+           enough — anything newer the receiver already holds in its
+           out-of-order buffer. *)
+        let seq, msg = Queue.peek ch.unacked in
+        Stats.tick t.c_retx;
+        ch.rto <- min (2 * ch.rto) t.rto_max;
+        transmit_data t ~src ~dst ~seq msg;
+        arm_timer t ~src ~dst ch
+      end
+    end
+
+  let rel_send t ~src ~dst msg =
+    let ch = rel_chan t ~src ~dst in
+    let seq = ch.next_seq in
+    ch.next_seq <- seq + 1;
+    Queue.push (seq, msg) ch.unacked;
+    transmit_data t ~src ~dst ~seq msg;
+    if not ch.timer_armed then begin
+      ch.rto <- t.rto_base;
+      arm_timer t ~src ~dst ch
+    end
+
+  (* ---------------- Common entry points ---------------- *)
 
   let send t ~src ~dst msg =
     if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
@@ -134,14 +368,26 @@ module Make (M : MESSAGE) = struct
       t.channel_front.(chan) <- at;
       Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg)
     end
-    else send_remote t ~src ~dst ~size:(M.size msg) ~kind_id:(M.kind_id msg) msg
+    else
+      match t.transport with
+      | Raw ->
+        send_remote t ~src ~dst ~size:(M.size msg) ~kind_id:(M.kind_id msg) msg
+      | Reliable -> rel_send t ~src ~dst msg
 
   let broadcast t ~src ~dsts msg =
     match List.filter (fun dst -> dst <> src) dsts with
     | [] -> ()
-    | dsts ->
-      let size = M.size msg and kind_id = M.kind_id msg in
-      List.iter (fun dst -> send_remote t ~src ~dst ~size ~kind_id msg) dsts
+    | dsts -> (
+      match t.transport with
+      | Raw ->
+        let size = M.size msg and kind_id = M.kind_id msg in
+        List.iter (fun dst -> send_remote t ~src ~dst ~size ~kind_id msg) dsts
+      | Reliable ->
+        List.iter
+          (fun dst ->
+            if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
+            rel_send t ~src ~dst msg)
+          dsts)
 
   let remote_messages t = t.remote
   let local_messages t = t.local

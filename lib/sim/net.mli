@@ -1,16 +1,28 @@
-(** Reliable FIFO message-passing network over {!Sim}.
+(** Message-passing network over {!Sim}, with two transports.
 
-    The paper assumes "the network is reliable, delivering every message
-    exactly once in order" (§4).  This module provides exactly that: for
-    each ordered processor pair, messages are delivered exactly once, in
-    send order, after a configurable latency.  Local sends (src = dst) model
-    the queue manager: a subsequent action on a locally stored node is put
-    back on the processor's own queue with a small local delay, so local
-    and remote actions interleave the way the paper's architecture
-    dictates.
+    The paper assumes a network that is "reliable, delivering every message
+    exactly once in order" (§4).  The [Raw] transport provides exactly that
+    when fault injection is off: for each ordered processor pair, messages
+    are delivered exactly once, in send order, after a configurable
+    latency.  Local sends (src = dst) model the queue manager: a subsequent
+    action on a locally stored node is put back on the processor's own
+    queue with a small local delay, so local and remote actions interleave
+    the way the paper's architecture dictates.
+
+    The [Reliable] transport is the discharge of that assumption for a
+    faulty network: a sublayer of per-channel sequence numbers,
+    receiver-side dedup and in-order release, cumulative acks (piggybacked
+    on reverse traffic when there is any), and retransmission timers with
+    bounded exponential backoff — restoring exactly-once in-order delivery
+    over a channel that drops, duplicates, and reorders.  Everything is
+    scheduled through {!Sim.schedule} and drawn from the network's own
+    {!Rng}, so a run remains a pure function of the seed.
 
     The network also does the message accounting every experiment relies
-    on: total remote messages, per-kind counts, and byte estimates. *)
+    on: total remote messages, per-kind counts, and byte estimates.  In
+    [Reliable] mode the wire unit is the {e frame}: retransmissions and
+    pure acks count toward [net.msgs]/[net.bytes], which is what makes the
+    sublayer's overhead measurable. *)
 
 module type MESSAGE = sig
   type t
@@ -48,24 +60,48 @@ val zero_latency : latency
 
 (** Fault injection — for experiments that probe the paper's network
     assumption ("the network is reliable, delivering every message
-    exactly once in order", §4).  The protocols are NOT designed to
-    survive these faults; the point is to show the correctness audits
-    catching the damage. *)
+    exactly once in order", §4).  Over the [Raw] transport the protocols
+    are NOT designed to survive these faults; the point is to show the
+    correctness audits catching the damage.  Over the [Reliable] transport
+    the faults apply to individual frames and the sublayer masks them. *)
 type faults = {
-  duplicate_prob : float;  (** probability a remote message is delivered twice *)
+  drop_prob : float;  (** probability a remote transmission is lost *)
+  duplicate_prob : float;  (** probability a remote transmission is delivered twice *)
   delay_prob : float;
-      (** probability a remote message is held back long enough to be
-          re-ordered behind later traffic (breaks FIFO) *)
-  delay_ticks : int;  (** how long a delayed message is held *)
+      (** probability an extra copy of a transmission is held back long
+          enough to be re-ordered behind later traffic (breaks FIFO) *)
+  delay_ticks : int;  (** how long a delayed copy is held *)
 }
 
 val no_faults : faults
+
+(** Which wire discipline [send]/[broadcast] use for remote messages:
+
+    - [Raw]: one transmission per message, straight onto the (possibly
+      faulty) channel — the paper's assumed network when faults are off.
+    - [Reliable]: the seqno/ack/retransmit sublayer described above.
+      Exactly-once in-order delivery to the handler survives any
+      combination of injected faults with [drop_prob < 1].  Never give the
+      sublayer a channel that loses {e everything}: with nothing getting
+      through it retransmits (deterministically) forever. *)
+type transport = Raw | Reliable
+
+val frame_header_bytes : int
+(** Wire overhead of one reliable-sublayer frame (seqno + cumulative ack);
+    also the size of a pure-ack frame. *)
 
 module Make (M : MESSAGE) : sig
   type pid = int
   type t
 
-  val create : ?latency:latency -> ?faults:faults -> Sim.t -> procs:int -> t
+  val create :
+    ?latency:latency ->
+    ?faults:faults ->
+    ?transport:transport ->
+    Sim.t ->
+    procs:int ->
+    t
+  (** [transport] defaults to [Raw]. *)
 
   val sim : t -> Sim.t
   val procs : t -> int
@@ -77,16 +113,25 @@ module Make (M : MESSAGE) : sig
   val send : t -> src:pid -> dst:pid -> M.t -> unit
   (** Enqueue a message.  Delivery invokes [dst]'s handler atomically at
       some later virtual time; two sends on the same (src, dst) channel are
-      delivered in order. *)
+      delivered in order.  Local sends (src = dst) never touch the network
+      and are immune to fault injection under either transport. *)
 
   val broadcast : t -> src:pid -> dsts:pid list -> M.t -> unit
   (** [send] to every element of [dsts] except [src] itself. *)
 
-  (** Accounting (also mirrored into [Sim.stats] under ["net.*"] keys): *)
+  (** Accounting (also mirrored into [Sim.stats] under ["net.*"] keys —
+      fault injection under ["net.fault.*"], the reliable sublayer under
+      ["net.rel.*"]: [retx], [acks], [dup_dropped], [reordered_held]): *)
 
   val remote_messages : t -> int
+  (** Wire transmissions: one per remote message under [Raw]; data frames
+      (including retransmissions) plus pure acks under [Reliable]. *)
+
   val local_messages : t -> int
   val bytes_sent : t -> int
+
   val sent_to : t -> pid -> int
-  (** Remote messages delivered to [pid] — used for hot-spot detection. *)
+  (** Remote transmissions delivered to [pid] — used for hot-spot
+      detection.  Counts every scheduled delivery, including fault-injected
+      duplicates and late copies; dropped transmissions are not counted. *)
 end

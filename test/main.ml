@@ -10,6 +10,7 @@ let () =
       ("variable", Test_variable.suite);
       ("lht", Test_lht.suite);
       ("verify", Test_verify.suite);
+      ("reliable", Test_reliable.suite);
       ("kv", Test_kv.suite);
       ("misc", Test_misc.suite);
       ("regressions", Test_regressions.suite);

@@ -93,14 +93,38 @@ let test_opstate_percentiles () =
     in
     Opstate.complete ops ~op:r.Opstate.id ~result:Msg.Absent ~now:i
   done;
-  Alcotest.(check (float 1.0)) "p50" 50.0
+  (* Nearest-rank over samples 1..100: rank ceil(p*100), exactly. *)
+  Alcotest.(check (float 0.0)) "p50" 50.0
     (Opstate.latency_percentile ops Opstate.Search 0.5);
-  Alcotest.(check (float 1.0)) "p99" 99.0
+  Alcotest.(check (float 0.0)) "p99" 99.0
     (Opstate.latency_percentile ops Opstate.Search 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100.0
+    (Opstate.latency_percentile ops Opstate.Search 1.0);
+  Alcotest.(check (float 0.0)) "p0 clamps to smallest" 1.0
+    (Opstate.latency_percentile ops Opstate.Search 0.0);
   Alcotest.(check (float 0.01)) "empty kind" 0.0
     (Opstate.latency_percentile ops Opstate.Insert 0.9);
   Alcotest.(check (float 0.01)) "mean" 50.5
     (Opstate.mean_latency ops Opstate.Search)
+
+let test_percentile_nearest_rank () =
+  (* Known five-sample list: the truncating implementation read p90 as the
+     4th sample (40); nearest-rank reads ceil(0.9*5) = rank 5. *)
+  let ops = Opstate.create () in
+  List.iter
+    (fun l ->
+      let r =
+        Opstate.register ops ~kind:Opstate.Search ~key:l ~value:None ~origin:0
+          ~now:0
+      in
+      Opstate.complete ops ~op:r.Opstate.id ~result:Msg.Absent ~now:l)
+    [ 10; 20; 30; 40; 50 ];
+  let p q = Opstate.latency_percentile ops Opstate.Search q in
+  Alcotest.(check (float 0.0)) "p90 = 5th sample" 50.0 (p 0.9);
+  Alcotest.(check (float 0.0)) "p80 = 4th sample" 40.0 (p 0.8);
+  Alcotest.(check (float 0.0)) "p50 = 3rd sample" 30.0 (p 0.5);
+  Alcotest.(check (float 0.0)) "p20 = 1st sample" 10.0 (p 0.2);
+  Alcotest.(check (float 0.0)) "p21 rounds up to 2nd" 20.0 (p 0.21)
 
 let suite =
   [
@@ -110,4 +134,6 @@ let suite =
     Alcotest.test_case "run_all driver" `Quick test_run_all_driver;
     Alcotest.test_case "driver stream arity" `Quick test_driver_stream_arity;
     Alcotest.test_case "opstate percentiles" `Quick test_opstate_percentiles;
+    Alcotest.test_case "percentile nearest-rank" `Quick
+      test_percentile_nearest_rank;
   ]

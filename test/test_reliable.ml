@@ -1,0 +1,303 @@
+(* The reliable-delivery sublayer: exactly-once in-order delivery over a
+   channel that drops, duplicates and reorders — first at the frame level
+   with a toy message type, then end-to-end with the protocol kernels and
+   the §3 audits as the oracle. *)
+open Dbtree_sim
+open Dbtree_core
+
+module TestMsg = struct
+  type t = int
+
+  let kind _ = "int"
+  let size _ = 8
+  let kind_id _ = 0
+  let num_kinds = 1
+  let kind_name _ = "int"
+end
+
+module TestNet = Net.Make (TestMsg)
+
+let heavy_faults =
+  {
+    Net.drop_prob = 0.3;
+    duplicate_prob = 0.3;
+    delay_prob = 0.2;
+    delay_ticks = 137;
+  }
+
+(* Two processors, staggered bidirectional traffic over a badly faulty
+   channel: every payload must come out exactly once, in send order, in
+   both directions. *)
+let test_reliable_exactly_once_in_order () =
+  let sim = Sim.create ~seed:42 () in
+  let net =
+    TestNet.create ~faults:heavy_faults ~transport:Net.Reliable sim ~procs:2
+  in
+  let got = [| []; [] |] in
+  TestNet.set_handler net 0 (fun ~src:_ m -> got.(0) <- m :: got.(0));
+  TestNet.set_handler net 1 (fun ~src:_ m -> got.(1) <- m :: got.(1));
+  for i = 0 to 49 do
+    Sim.schedule sim ~delay:(i * 7) (fun () ->
+        TestNet.send net ~src:0 ~dst:1 i;
+        if i mod 2 = 0 then TestNet.send net ~src:1 ~dst:0 (1000 + i))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int))
+    "forward direction exactly-once in-order"
+    (List.init 50 Fun.id) (List.rev got.(1));
+  Alcotest.(check (list int))
+    "reverse direction exactly-once in-order"
+    (List.init 25 (fun i -> 1000 + (2 * i)))
+    (List.rev got.(0));
+  let stats = Sim.stats sim in
+  Alcotest.(check bool) "losses actually injected" true
+    (Stats.get stats "net.fault.dropped" > 0);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Stats.get stats "net.rel.retx" > 0);
+  Alcotest.(check bool) "duplicate frames were dropped" true
+    (Stats.get stats "net.rel.dup_dropped" > 0)
+
+(* With no reverse traffic at all, acknowledgements cannot piggyback: the
+   delayed pure-ack path must carry the load and the sender must still
+   stop retransmitting. *)
+let test_reliable_pure_acks () =
+  let sim = Sim.create ~seed:7 () in
+  let net = TestNet.create ~transport:Net.Reliable sim ~procs:2 in
+  let got = ref [] in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ m -> got := m :: !got);
+  for i = 0 to 19 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "all delivered in order" (List.init 20 Fun.id)
+    (List.rev !got);
+  let stats = Sim.stats sim in
+  Alcotest.(check bool) "pure acks were sent" true
+    (Stats.get stats "net.rel.acks" > 0);
+  Alcotest.(check int) "no spurious retransmissions" 0
+    (Stats.get stats "net.rel.retx")
+
+(* A FIFO-violating late copy of a data frame is a duplicate by seqno; the
+   receiver must drop it, not re-deliver. *)
+let test_reliable_masks_reordering () =
+  let sim = Sim.create ~seed:11 () in
+  let faults =
+    {
+      Net.drop_prob = 0.0;
+      duplicate_prob = 0.0;
+      delay_prob = 1.0;
+      delay_ticks = 400;
+    }
+  in
+  let net = TestNet.create ~faults ~transport:Net.Reliable sim ~procs:2 in
+  let got = ref [] in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ m -> got := m :: !got);
+  for i = 0 to 9 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "late copies deduplicated"
+    (List.init 10 Fun.id) (List.rev !got)
+
+let prop_reliable_channel =
+  QCheck.Test.make ~count:40
+    ~name:"reliable channel is exactly-once in-order under arbitrary faults"
+    QCheck.(
+      pair (pair small_nat small_nat)
+        (pair
+           (pair (int_bound 60) (int_bound 50))
+           (pair (int_bound 50) (int_bound 1000))))
+    (fun ((na, nb), ((drop, dup), (dly, seed))) ->
+      let faults =
+        {
+          Net.drop_prob = float_of_int drop /. 100.0;
+          duplicate_prob = float_of_int dup /. 100.0;
+          delay_prob = float_of_int dly /. 100.0;
+          delay_ticks = 1 + (seed mod 300);
+        }
+      in
+      let sim = Sim.create ~seed () in
+      let net =
+        TestNet.create ~faults ~transport:Net.Reliable sim ~procs:2
+      in
+      let got = [| []; [] |] in
+      TestNet.set_handler net 0 (fun ~src:_ m -> got.(0) <- m :: got.(0));
+      TestNet.set_handler net 1 (fun ~src:_ m -> got.(1) <- m :: got.(1));
+      for i = 0 to na - 1 do
+        Sim.schedule sim ~delay:(i * 3) (fun () ->
+            TestNet.send net ~src:0 ~dst:1 i)
+      done;
+      for i = 0 to nb - 1 do
+        Sim.schedule sim ~delay:(i * 5) (fun () ->
+            TestNet.send net ~src:1 ~dst:0 (10_000 + i))
+      done;
+      Sim.run sim;
+      List.rev got.(1) = List.init na Fun.id
+      && List.rev got.(0) = List.init nb (fun i -> 10_000 + i))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: protocol kernels over a lossy wire.                     *)
+
+let lossy =
+  {
+    Net.drop_prob = 0.05;
+    duplicate_prob = 0.02;
+    delay_prob = 0.02;
+    delay_ticks = 150;
+  }
+
+let run_fixed ~transport =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000 ~seed:3 ~faults:lossy
+      ~transport ~replication:Config.All_procs ~discipline:Config.Semi ()
+  in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  (match transport with
+  | Net.Raw -> Opstate.set_tolerant cl.Cluster.ops
+  | Net.Reliable -> ());
+  for i = 1 to 300 do
+    ignore (Fixed.insert t ~origin:(i mod 4) (i * 97) "v")
+  done;
+  Fixed.run t;
+  (cl, Verify.check cl)
+
+let test_raw_transport_loses_updates () =
+  let cl, report = run_fixed ~transport:Net.Raw in
+  Alcotest.(check bool) "drops were injected" true
+    (Dbtree_sim.Stats.get (Cluster.stats cl) "net.fault.dropped" > 0);
+  Alcotest.(check bool) "audit caught the damage" false (Verify.ok report);
+  (* A dropped relay leaves a copy's history missing updates of M_n (a
+     Compatible violation); a wholly-dropped insert leaves a missing key. *)
+  let history_violations =
+    match report.Verify.history with
+    | None -> 0
+    | Some h -> List.length h.Dbtree_history.Checker.violations
+  in
+  Alcotest.(check bool) "§3 history requirements violated" true
+    (history_violations > 0);
+  Alcotest.(check bool) "keys were lost outright" true
+    (report.Verify.missing_keys <> [])
+
+let test_reliable_transport_masks_loss () =
+  let cl, report = run_fixed ~transport:Net.Reliable in
+  let stats = Cluster.stats cl in
+  Alcotest.(check bool) "drops were injected" true
+    (Dbtree_sim.Stats.get stats "net.fault.dropped" > 0);
+  Alcotest.(check bool) "retransmissions repaired them" true
+    (Dbtree_sim.Stats.get stats "net.rel.retx" > 0);
+  Alcotest.(check bool) "every §3 audit clean" true (Verify.ok report)
+
+let test_variable_over_reliable () =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000 ~seed:5 ~faults:lossy
+      ~transport:Net.Reliable ~replication:Config.Path
+      ~discipline:Config.Semi ()
+  in
+  let _, r = Dbtree_experiments.Common.run_variable ~count:200 cfg in
+  Alcotest.(check string) "variable-copies verify clean" "ok"
+    (Dbtree_experiments.Common.verified r)
+
+let test_mobile_over_reliable () =
+  let cfg =
+    Config.make ~procs:4 ~capacity:4 ~key_space:50_000 ~seed:5 ~faults:lossy
+      ~transport:Net.Reliable ~replication:Config.Path
+      ~discipline:Config.Semi ~balance_period:400 ()
+  in
+  let _, r = Dbtree_experiments.Common.run_mobile ~count:200 cfg in
+  Alcotest.(check string) "mobile-copies verify clean" "ok"
+    (Dbtree_experiments.Common.verified r)
+
+let test_lht_over_reliable () =
+  let cfg =
+    {
+      Dbtree_lht.Lht.default_config with
+      seed = 9;
+      faults = lossy;
+      transport = Net.Reliable;
+    }
+  in
+  let t = Dbtree_lht.Lht.create cfg in
+  for i = 1 to 250 do
+    ignore (Dbtree_lht.Lht.insert t ~origin:(i mod 4) (i * 131) "v")
+  done;
+  Dbtree_lht.Lht.run t;
+  let report = Dbtree_lht.Lht.verify t in
+  Alcotest.(check bool) "hash table verify clean" true
+    (Dbtree_lht.Lht.verified report);
+  Alcotest.(check int) "every insert completed" 250
+    (Dbtree_lht.Lht.completed t)
+
+(* Reliable + certain loss can never terminate; the config layers must
+   reject it rather than spin. *)
+let test_total_loss_rejected () =
+  Alcotest.check_raises "drop_prob = 1.0 with Reliable rejected"
+    (Invalid_argument
+       "Config: the reliable transport cannot terminate over a channel that \
+        drops everything (drop_prob must be < 1)")
+    (fun () ->
+      ignore
+        (Config.make ~transport:Net.Reliable
+           ~faults:{ lossy with Net.drop_prob = 1.0 }
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* E14 gate: the published table must show raw losing and reliable
+   surviving — CI runs this via dune runtest. *)
+
+let test_e14_verified_columns () =
+  Dbtree_experiments.Table.set_capture true;
+  Dbtree_experiments.E14_network_faults.run ~quick:true ();
+  let tables = Dbtree_experiments.Table.captured () in
+  Dbtree_experiments.Table.set_capture false;
+  let table =
+    match tables with
+    | [ t ] -> t
+    | _ -> Alcotest.fail "e14 must print exactly one table"
+  in
+  let rows = Dbtree_experiments.Table.rows table in
+  Alcotest.(check int) "raw and reliable row per fault mix" 14
+    (List.length rows);
+  List.iter
+    (fun row ->
+      match (row, List.rev row) with
+      | transport :: drop :: dup :: delay :: _, verified :: _ ->
+        let faulty = drop <> "0.00" || dup <> "0.00" || delay <> "0.00" in
+        let label =
+          Printf.sprintf "%s drop=%s dup=%s delay=%s" transport drop dup delay
+        in
+        if transport = "reliable" || not faulty then
+          Alcotest.(check string) (label ^ " verifies") "ok" verified
+        else
+          Alcotest.(check bool)
+            (label ^ " must be caught (got " ^ verified ^ ")")
+            true
+            (verified = "FAIL" || verified = "CRASH")
+      | _ -> Alcotest.fail "malformed e14 row")
+    rows
+
+let suite =
+  [
+    Alcotest.test_case "channel: exactly-once in-order under faults" `Quick
+      test_reliable_exactly_once_in_order;
+    Alcotest.test_case "channel: pure acks without reverse traffic" `Quick
+      test_reliable_pure_acks;
+    Alcotest.test_case "channel: reordering masked" `Quick
+      test_reliable_masks_reordering;
+    QCheck_alcotest.to_alcotest prop_reliable_channel;
+    Alcotest.test_case "fixed: raw transport loses updates" `Quick
+      test_raw_transport_loses_updates;
+    Alcotest.test_case "fixed: reliable transport masks loss" `Quick
+      test_reliable_transport_masks_loss;
+    Alcotest.test_case "variable copies over reliable" `Quick
+      test_variable_over_reliable;
+    Alcotest.test_case "mobile copies over reliable" `Quick
+      test_mobile_over_reliable;
+    Alcotest.test_case "hash table over reliable" `Quick test_lht_over_reliable;
+    Alcotest.test_case "config rejects reliable + total loss" `Quick
+      test_total_loss_rejected;
+    Alcotest.test_case "e14 gate: verified columns" `Quick
+      test_e14_verified_columns;
+  ]

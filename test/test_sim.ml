@@ -1,4 +1,4 @@
-(* Tests for the simulator substrate: rng, heap, stats, event loop, and the
+(* Tests for the simulator substrate: rng, stats, event loop, and the
    FIFO network guarantees every protocol relies on. *)
 open Dbtree_sim
 
@@ -37,29 +37,6 @@ let test_rng_permutation () =
   let sorted = Array.copy p in
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
-
-let prop_heap_sorts =
-  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
-    QCheck.(list small_int)
-    (fun xs ->
-      let h = Heap.create ~cmp:compare in
-      List.iter (Heap.add h) xs;
-      let rec drain acc =
-        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
-      in
-      drain [] = List.sort compare xs)
-
-let test_heap_basics () =
-  let h = Heap.create ~cmp:compare in
-  Alcotest.(check bool) "empty" true (Heap.is_empty h);
-  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
-  Heap.add h 3;
-  Heap.add h 1;
-  Heap.add h 2;
-  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
-  Alcotest.(check int) "length" 3 (Heap.length h);
-  Heap.clear h;
-  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
 (* The monomorphic event queue must dequeue in (time, seq) order — checked
    against the obvious reference model (sort the pairs). *)
@@ -270,7 +247,9 @@ let test_net_accounting () =
 
 let test_net_fault_injection () =
   let sim = Sim.create () in
-  let faults = { Net.duplicate_prob = 1.0; delay_prob = 0.0; delay_ticks = 0 } in
+  let faults =
+    { Net.drop_prob = 0.0; duplicate_prob = 1.0; delay_prob = 0.0; delay_ticks = 0 }
+  in
   let net = TestNet.create ~faults sim ~procs:2 in
   let received = ref 0 in
   TestNet.set_handler net 0 (fun ~src:_ _ -> ());
@@ -281,7 +260,49 @@ let test_net_fault_injection () =
   Sim.run sim;
   Alcotest.(check int) "every message duplicated" 20 !received;
   Alcotest.(check int) "duplication counted" 10
-    (Stats.get (Sim.stats sim) "net.fault.duplicated")
+    (Stats.get (Sim.stats sim) "net.fault.duplicated");
+  (* Fault-injected deliveries used to bypass the inbound accounting:
+     [sent_to] must count every delivery actually scheduled, duplicates
+     included, so it agrees with what the handler observes. *)
+  Alcotest.(check int) "inbound counts duplicated deliveries" !received
+    (TestNet.sent_to net 1)
+
+let test_net_drop_fault () =
+  let sim = Sim.create () in
+  let faults =
+    { Net.drop_prob = 1.0; duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+  in
+  let net = TestNet.create ~faults sim ~procs:2 in
+  let received = ref 0 in
+  TestNet.set_handler net 0 (fun ~src:_ _ -> ());
+  TestNet.set_handler net 1 (fun ~src:_ _ -> incr received);
+  for i = 1 to 10 do
+    TestNet.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !received;
+  Alcotest.(check int) "drops counted" 10
+    (Stats.get (Sim.stats sim) "net.fault.dropped");
+  Alcotest.(check int) "nothing scheduled inbound" 0 (TestNet.sent_to net 1);
+  (* The sender still paid for the transmissions. *)
+  Alcotest.(check int) "remote messages counted" 10 (TestNet.remote_messages net)
+
+let test_schedule_exhaustion_guard () =
+  (* The packed clock reserves the top of the time range; scheduling past it
+     must raise cleanly instead of corrupting the queue's key order. *)
+  let sim = Sim.create () in
+  Alcotest.check_raises "beyond max_time"
+    (Invalid_argument
+       (Printf.sprintf "Sim.schedule: packed clock exhausted (time=%d seq=%d)"
+          Evq.max_time 0))
+    (fun () -> Sim.schedule sim ~delay:Evq.max_time (fun () -> ()));
+  (* The failed call must not have consumed a seq slot or enqueued junk:
+     ordinary scheduling still works and runs in order. *)
+  let out = ref [] in
+  Sim.schedule sim ~delay:5 (fun () -> out := 5 :: !out);
+  Sim.schedule sim ~delay:1 (fun () -> out := 1 :: !out);
+  Sim.run sim;
+  Alcotest.(check (list int)) "queue intact after guard" [ 5; 1 ] !out
 
 let test_net_no_faults_by_default () =
   let sim = Sim.create () in
@@ -310,10 +331,8 @@ let suite =
     Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng: permutation" `Quick test_rng_permutation;
-    QCheck_alcotest.to_alcotest prop_heap_sorts;
     QCheck_alcotest.to_alcotest prop_evq_order;
     QCheck_alcotest.to_alcotest prop_evq_interleaved;
-    Alcotest.test_case "heap: basics" `Quick test_heap_basics;
     Alcotest.test_case "stats: counters and summaries" `Quick test_stats;
     Alcotest.test_case "stats: interned counter handles" `Quick
       test_stats_interned;
@@ -326,6 +345,9 @@ let suite =
       test_net_fifo_channels;
     Alcotest.test_case "net: accounting" `Quick test_net_accounting;
     Alcotest.test_case "net: fault injection" `Quick test_net_fault_injection;
+    Alcotest.test_case "net: drop fault" `Quick test_net_drop_fault;
+    Alcotest.test_case "sim: schedule exhaustion guard" `Quick
+      test_schedule_exhaustion_guard;
     Alcotest.test_case "net: exactly-once by default" `Quick
       test_net_no_faults_by_default;
     Alcotest.test_case "trace: enable/disable" `Quick test_trace;

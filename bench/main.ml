@@ -168,7 +168,7 @@ let json_table tbl =
     (json_list (json_list json_str) (Table.rows tbl))
     (json_list json_str (Table.notes tbl))
 
-let write_json ~file ~micro ~tables =
+let write_json ~file ~micro ~tables ~latency =
   let micro_fields =
     List.map
       (fun (name, est) ->
@@ -179,12 +179,54 @@ let write_json ~file ~micro ~tables =
   in
   let oc = open_out file in
   Printf.fprintf oc
-    "{\"schema\":\"dbtree-bench/1\",\"micro\":{%s},\"tables\":%s}\n"
+    "{\"schema\":\"dbtree-bench/1\",\"micro\":{%s},\"tables\":%s,\"latency\":%s}\n"
     (String.concat "," micro_fields)
-    (json_list json_table tables);
+    (json_list json_table tables)
+    latency;
   close_out oc;
   Fmt.pr "@.wrote %s (%d micro estimates, %d tables)@." file
     (List.length micro) (List.length tables)
+
+(* ---------------- latency histograms ---------------- *)
+
+(* A dedicated fixed-copies run per discipline; the per-kind completion
+   latencies (and, under [Sync], the AAS hold times) come from the
+   log-bucketed histograms the cluster records unconditionally. *)
+
+let latency_runs ~quick =
+  let open Dbtree_core in
+  let count = if quick then 2_000 else 10_000 in
+  List.map
+    (fun disc ->
+      let cfg =
+        Config.make ~procs:4 ~capacity:8 ~seed:42 ~key_space:1_000_000
+          ~discipline:disc ~record_history:false ()
+      in
+      let r = Dbtree_experiments.Common.run_fixed ~count cfg in
+      let stats = Cluster.stats r.Dbtree_experiments.Common.cluster in
+      (Config.discipline_name disc, Dbtree_sim.Stats.hists stats))
+    [ Config.Semi; Config.Sync ]
+
+let json_hist h =
+  let open Dbtree_sim in
+  Printf.sprintf
+    "{\"count\":%d,\"mean\":%.1f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d}"
+    (Stats.hist_count h) (Stats.hist_mean h)
+    (Stats.hist_percentile h 50.0)
+    (Stats.hist_percentile h 90.0)
+    (Stats.hist_percentile h 99.0)
+    (Stats.hist_max h)
+
+let json_latency runs =
+  let run_fields (disc, hists) =
+    let fields =
+      List.map
+        (fun (name, h) -> Printf.sprintf "%s:%s" (json_str name) (json_hist h))
+        hists
+    in
+    Printf.sprintf "%s:{%s}" (json_str disc) (String.concat "," fields)
+  in
+  "{" ^ String.concat "," (List.map run_fields runs) ^ "}"
 
 (* ---------------- entry point ---------------- *)
 
@@ -209,4 +251,6 @@ let () =
   match json_file with
   | None -> ()
   | Some file ->
+    let latency = json_latency (latency_runs ~quick) in
     write_json ~file ~micro ~tables:(Dbtree_experiments.Table.captured ())
+      ~latency

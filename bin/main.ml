@@ -25,15 +25,37 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.")
   in
-  let run quick id =
+  let trace_arg =
+    let doc =
+      "Record a causal event trace of every cluster the experiment builds \
+       and write it to $(docv) as Chrome trace-event JSON (load it in \
+       Perfetto or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run quick trace id =
     match Dbtree_experiments.Experiments.find (String.lowercase_ascii id) with
     | Some e ->
+      Option.iter (fun _ -> Dbtree_obs.Obs.force_enable ()) trace;
       e.Dbtree_experiments.Experiments.run ~quick ();
+      Option.iter
+        (fun path ->
+          let recorders = Dbtree_obs.Obs.registered () in
+          Dbtree_obs.Export.write ~path recorders;
+          let events =
+            List.fold_left
+              (fun acc o -> acc + Dbtree_obs.Obs.length o)
+              0 recorders
+          in
+          Fmt.pr "trace: %d events from %d recorder(s) -> %s@." events
+            (List.length recorders) path)
+        trace;
       `Ok ()
     | None ->
       `Error (false, Fmt.str "unknown experiment %S; try `dbtree list'" id)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ quick_arg $ id_arg))
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ quick_arg $ trace_arg $ id_arg))
 
 (* ------------------------------ all ------------------------------- *)
 
@@ -110,10 +132,37 @@ let demo_cmd =
       const run $ procs_arg $ count_arg $ capacity_arg $ seed_arg
       $ protocol_arg $ dump_arg)
 
+(* --------------------------- trace-check -------------------------- *)
+
+let trace_check_cmd =
+  let doc =
+    "Validate a trace file against the Chrome trace-event schema \
+     (well-formed JSON, known phases, balanced async spans, resolved \
+     flow bindings)."
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace JSON file.")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Dbtree_obs.Export.validate s with
+    | Ok events ->
+      Fmt.pr "%s: ok (%d trace events)@." file events;
+      `Ok ()
+    | Error e -> `Error (false, Fmt.str "%s: %s" file e)
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(ret (const run $ file_arg))
+
 let main =
   let doc = "Lazy updates for distributed search structures (dB-tree)" in
   Cmd.group
     (Cmd.info "dbtree" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; demo_cmd ]
+    [ list_cmd; run_cmd; all_cmd; demo_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval main)

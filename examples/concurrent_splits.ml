@@ -28,7 +28,7 @@ let () =
   Driver.run_all cl (Driver.fixed_api t)
     ~streams:[| inserts [ 10; 20; 30; 40; 50 ]; inserts [ 510; 520; 530; 540; 550 ] |];
 
-  Fmt.pr "Protocol trace:@.%a@." Dbtree_sim.Trace.pp cl.Cluster.trace;
+  Fmt.pr "Protocol trace:@.%a@." Dbtree_obs.Obs.pp cl.Cluster.obs;
 
   let stats = Cluster.stats cl in
   Fmt.pr "half-splits: %d@." (Fixed.splits t);

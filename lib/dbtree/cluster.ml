@@ -1,4 +1,6 @@
 open Dbtree_sim
+module Obs = Dbtree_obs.Obs
+module Event = Dbtree_obs.Event
 module Network = Net.Make (Msg)
 module Registry = Dbtree_history.Registry
 module Action = Dbtree_history.Action
@@ -46,6 +48,14 @@ type counters = {
   reclaim_absorb_stale : Stats.counter;
   reclaim_dropped : Stats.counter;
   reclaim_drop_stale : Stats.counter;
+  (* Latency histograms (log-bucketed; see {!Stats.hist}).  Observed on
+     every operation completion and at the end of every synchronous
+     split's AAS window, whether or not tracing is on. *)
+  lat_search : Stats.hist;
+  lat_insert : Stats.hist;
+  lat_delete : Stats.hist;
+  lat_scan : Stats.hist;
+  aas_time : Stats.hist;
 }
 
 let make_counters stats =
@@ -89,6 +99,11 @@ let make_counters stats =
     reclaim_absorb_stale = c "reclaim.absorb_stale";
     reclaim_dropped = c "reclaim.dropped";
     reclaim_drop_stale = c "reclaim.drop_stale";
+    lat_search = Stats.hist stats "latency.search";
+    lat_insert = Stats.hist stats "latency.insert";
+    lat_delete = Stats.hist stats "latency.delete";
+    lat_scan = Stats.hist stats "latency.scan";
+    aas_time = Stats.hist stats "split.aas_time";
   }
 
 type t = {
@@ -98,7 +113,7 @@ type t = {
   stores : Store.t array;
   ops : Opstate.t;
   hist : Registry.t;
-  trace : Trace.t;
+  obs : Obs.t;
   partition : Partition.t;
   ctr : counters;
   mutable next_node_id : int;
@@ -110,9 +125,14 @@ let create (config : Config.t) =
   | Ok _ -> ()
   | Error e -> invalid_arg ("Cluster.create: " ^ e));
   let sim = Sim.create ~seed:config.seed () in
+  let obs =
+    Obs.create ~enabled:config.trace ~capacity:config.trace_capacity
+      ~label:"dbtree" ()
+  in
+  Obs.set_msg_names obs Msg.kind_name;
   let net =
     Network.create ~latency:config.latency ~faults:config.faults
-      ~transport:config.transport sim ~procs:config.procs
+      ~transport:config.transport ~obs sim ~procs:config.procs
   in
   let stores =
     Array.init config.procs (fun pid -> Store.create ~pid ~root:(-1))
@@ -124,7 +144,7 @@ let create (config : Config.t) =
     stores;
     ops = Opstate.create ();
     hist = Registry.create ();
-    trace = Trace.create ~enabled:config.trace ();
+    obs;
     partition =
       Partition.create ~procs:config.procs ~key_space:config.key_space;
     ctr = make_counters (Sim.stats sim);
@@ -166,9 +186,54 @@ let pc_of_members = function
 
 let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
 
-let emit t f =
-  if Trace.enabled t.trace then
-    Trace.emit t.trace ~time:(Sim.now t.sim) (lazy (f ()))
+(* ---- typed trace events ------------------------------------------- *)
+
+let event t ~pid kind ~a ~b =
+  ignore (Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid ~kind ~a ~b)
+
+let op_kind_code = function
+  | Opstate.Search -> Event.op_search
+  | Opstate.Insert -> Event.op_insert
+  | Opstate.Delete -> Event.op_delete
+  | Opstate.Scan -> Event.op_scan
+
+let op_latency_hist t = function
+  | Opstate.Search -> t.ctr.lat_search
+  | Opstate.Insert -> t.ctr.lat_insert
+  | Opstate.Delete -> t.ctr.lat_delete
+  | Opstate.Scan -> t.ctr.lat_scan
+
+(* Record the issue of a client operation and make it the ambient causal
+   context, so the route message the protocol sends next (and everything
+   downstream of it) chains into this op's span. *)
+let op_issue t (r : Opstate.record) =
+  if Obs.on t.obs then begin
+    let id =
+      Obs.emit t.obs ~time:(Sim.now t.sim) ~pid:r.Opstate.origin
+        ~op:r.Opstate.id ~parent:(-1) ~kind:Event.Op_issue
+        ~a:(op_kind_code r.Opstate.kind) ~b:r.Opstate.key
+    in
+    Obs.set_context t.obs ~op:r.Opstate.id ~parent:id
+  end
+
+(* Completion funnel for every protocol: observes the latency histogram
+   and records [Op_complete] (only on the first completion — duplicate
+   completions under fault injection are counted by [Opstate], not
+   traced), then updates the op registry.  Protocols call this instead
+   of [Opstate.complete] so the accounting cannot be bypassed. *)
+let op_complete t ~op ~result =
+  let now = Sim.now t.sim in
+  (match Opstate.find t.ops op with
+  | Some r when r.Opstate.completed_at = None ->
+    let lat = now - r.Opstate.issued_at in
+    Stats.hist_observe (op_latency_hist t r.Opstate.kind) lat;
+    if Obs.on t.obs then
+      ignore
+        (Obs.emit t.obs ~time:now ~pid:r.Opstate.origin ~op
+           ~parent:(Obs.cur_parent t.obs) ~kind:Event.Op_complete
+           ~a:(op_kind_code r.Opstate.kind) ~b:lat)
+  | Some _ | None -> ());
+  Opstate.complete t.ops ~op ~result ~now
 
 let hist_new_copy t ~node ~pid ~base =
   if recording t then

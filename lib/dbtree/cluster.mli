@@ -52,6 +52,11 @@ type counters = {
   reclaim_absorb_stale : Stats.counter;
   reclaim_dropped : Stats.counter;
   reclaim_drop_stale : Stats.counter;
+  lat_search : Stats.hist;
+  lat_insert : Stats.hist;
+  lat_delete : Stats.hist;
+  lat_scan : Stats.hist;
+  aas_time : Stats.hist;
 }
 
 type t = {
@@ -61,7 +66,7 @@ type t = {
   stores : Store.t array;
   ops : Opstate.t;
   hist : Dbtree_history.Registry.t;
-  trace : Trace.t;
+  obs : Dbtree_obs.Obs.t;
   partition : Partition.t;
   ctr : counters;
   mutable next_node_id : int;
@@ -88,8 +93,28 @@ val pc_of_members : Msg.pid list -> Msg.pid
 (** The primary copy's processor: the first member. *)
 
 val send : t -> src:Msg.pid -> dst:Msg.pid -> Msg.t -> unit
-val emit : t -> (unit -> string) -> unit
-(** Trace helper (lazy; no cost when tracing is off). *)
+
+(** {2 Typed trace events} — one branch when tracing is off. *)
+
+val event :
+  t -> pid:Msg.pid -> Dbtree_obs.Event.kind -> a:int -> b:int -> unit
+(** Record a protocol event under the ambient causal context (set by the
+    network around each delivery). *)
+
+val op_kind_code : Opstate.kind -> int
+(** The {!Dbtree_obs.Event} operation-kind code for an [Opstate.kind]. *)
+
+val op_issue : t -> Opstate.record -> unit
+(** Record [Op_issue] for a freshly registered operation and make it the
+    ambient causal context, so the route the protocol sends next chains
+    into the op's span.  Protocols call this right after
+    [Opstate.register]. *)
+
+val op_complete : t -> op:int -> result:Msg.op_result -> unit
+(** The completion funnel every protocol uses instead of calling
+    [Opstate.complete] directly: observes the per-kind latency histogram
+    and records [Op_complete] (first completion only), then updates the
+    op registry. *)
 
 (** {2 History instrumentation} — all no-ops when
     [config.record_history = false]. *)

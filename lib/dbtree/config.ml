@@ -21,6 +21,7 @@ type t = {
   reclaim_empty_leaves : bool;
   ordered_links : bool;
   trace : bool;
+  trace_capacity : int;
 }
 
 let default =
@@ -44,6 +45,7 @@ let default =
     reclaim_empty_leaves = false;
     ordered_links = true;
     trace = false;
+    trace_capacity = 1 lsl 16;
   }
 
 let discipline_name = function
@@ -60,6 +62,7 @@ let validate t =
   else if t.relay_batch < 1 then Error "relay_batch must be >= 1"
   else if t.relay_batch > 1 && t.discipline <> Semi then
     Error "relay batching requires the Semi discipline"
+  else if t.trace_capacity < 1 then Error "trace_capacity must be >= 1"
   else if
     not
       (prob_ok t.faults.Dbtree_sim.Net.drop_prob
@@ -88,7 +91,8 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
     ?(version_relays = default.version_relays)
     ?(balance_period = default.balance_period)
     ?(reclaim_empty_leaves = default.reclaim_empty_leaves)
-    ?(ordered_links = default.ordered_links) ?(trace = default.trace) () =
+    ?(ordered_links = default.ordered_links) ?(trace = default.trace)
+    ?(trace_capacity = default.trace_capacity) () =
   let t =
     {
       procs;
@@ -110,6 +114,7 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
       reclaim_empty_leaves;
       ordered_links;
       trace;
+      trace_capacity;
     }
   in
   match validate t with Ok t -> t | Error e -> invalid_arg ("Config: " ^ e)

@@ -77,7 +77,12 @@ type t = {
       (** E12 ablation: when false, link-change actions are applied in
           arrival order instead of version order — the ordered-history
           requirement is deliberately violated *)
-  trace : bool;  (** record a human-readable event trace *)
+  trace : bool;
+      (** record a typed causal event trace (see [Dbtree_obs]); off on
+          the hot path costs one branch per would-be event *)
+  trace_capacity : int;
+      (** ring-buffer size of the trace recorder, in events; the ring
+          retains the most recent [trace_capacity] events *)
 }
 
 val default : t
@@ -104,6 +109,7 @@ val make :
   ?reclaim_empty_leaves:bool ->
   ?ordered_links:bool ->
   ?trace:bool ->
+  ?trace_capacity:int ->
   unit ->
   t
 (** [default] with overrides, validated (positive sizes, batching only

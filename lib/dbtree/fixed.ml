@@ -1,6 +1,7 @@
 open Dbtree_blink
 open Dbtree_sim
 module Action = Dbtree_history.Action
+module Event = Dbtree_obs.Event
 
 type t = {
   cl : Cluster.t;
@@ -18,7 +19,6 @@ let splits t = t.splits
 let disc t = (config t).Config.discipline
 let capacity t = (config t).Config.capacity
 let procs t = (config t).Config.procs
-let st t = Cluster.stats t.cl
 let ctr t = t.cl.Cluster.ctr
 let all_procs t = List.init (procs t) (fun i -> i)
 
@@ -169,8 +169,10 @@ and end_aas t pid (copy : Store.rcopy) =
   (match Hashtbl.find_opt t.aas_since (copy.Store.node.Node.id, pid) with
   | Some since ->
     Hashtbl.remove t.aas_since (copy.Store.node.Node.id, pid);
-    Stats.observe (st t) "split.aas_time"
-      (float_of_int (Cluster.now t.cl - since))
+    let dur = Cluster.now t.cl - since in
+    Stats.hist_observe (ctr t).Cluster.aas_time dur;
+    Cluster.event t.cl ~pid Event.Aas_release ~a:copy.Store.node.Node.id
+      ~b:dur
   | None -> ());
   let blocked = List.rev copy.Store.blocked in
   copy.Store.blocked <- [];
@@ -186,9 +188,7 @@ and do_split t pid (copy : Store.rcopy) =
   let sep = Node.separator_of_sibling sib in
   t.splits <- t.splits + 1;
   Stats.tick (ctr t).Cluster.split_count;
-  Cluster.emit t.cl (fun () ->
-      Fmt.str "p%d: half-split node %d at sep %d -> sibling %d" pid n.Node.id
-        sep sib_id);
+  Cluster.event t.cl ~pid Event.Split_start ~a:n.Node.id ~b:sib_id;
   let sibling_members = sibling_members_for t copy sib in
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
     (Action.Half_split { sep; sibling = sib_id });
@@ -218,23 +218,24 @@ and do_split t pid (copy : Store.rcopy) =
              }))
     copy.Store.members;
   (* Complete the split one level up (the B-link "second step"). *)
-  if store.Store.root = n.Node.id then
-    grow_root t pid ~old_root:n ~sep ~sib_id
-  else begin
-    let uid' = Cluster.fresh_uid t.cl in
-    let act =
-      Msg.Update
-        {
-          uid = uid';
-          u = Msg.Add_child { child = sib_id; child_members = sibling_members };
-        }
-    in
-    let msg =
-      Msg.Route
-        { key = sep; level = n.Node.level + 1; node = store.Store.root; act }
-    in
-    forward t pid msg store.Store.root
-  end
+  (if store.Store.root = n.Node.id then
+     grow_root t pid ~old_root:n ~sep ~sib_id
+   else begin
+     let uid' = Cluster.fresh_uid t.cl in
+     let act =
+       Msg.Update
+         {
+           uid = uid';
+           u = Msg.Add_child { child = sib_id; child_members = sibling_members };
+         }
+     in
+     let msg =
+       Msg.Route
+         { key = sep; level = n.Node.level + 1; node = store.Store.root; act }
+     in
+     forward t pid msg store.Store.root
+   end);
+  Cluster.event t.cl ~pid Event.Split_end ~a:n.Node.id ~b:sib_id
 
 and grow_root t pid ~old_root ~sep ~sib_id =
   let store = Cluster.store t.cl pid in
@@ -252,8 +253,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
       ~high:Bound.Pos_inf entries
   in
   Stats.tick (ctr t).Cluster.root_grow;
-  Cluster.emit t.cl (fun () ->
-      Fmt.str "p%d: new root %d (level %d)" pid id root.Node.level);
+  Cluster.event t.cl ~pid Event.Root_grow ~a:id ~b:root.Node.level;
   List.iter
     (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[])
     members;
@@ -278,7 +278,11 @@ and install_copy t pid ~snap ~pc ~members =
 
 and drain_pending t pid node_id =
   let store = Cluster.store t.cl pid in
-  List.iter (send_local t pid) (Store.take_pending store node_id)
+  match Store.take_pending store node_id with
+  | [] -> ()
+  | pending ->
+    Cluster.event t.cl ~pid Event.Unpark ~a:node_id ~b:(List.length pending);
+    List.iter (send_local t pid) pending
 
 (* ------------------------------------------------------------------ *)
 (* The eager (vigorous) baseline: updates are serialized through the   *)
@@ -431,6 +435,12 @@ and perform_update t pid (copy : Store.rcopy) ~key ~uid ~(u : Msg.update) =
   | Config.Sync when copy.Store.splitting ->
     (* the AAS blocks initial updates (never searches or relays) *)
     Stats.tick (ctr t).Cluster.split_blocked_updates;
+    Cluster.event t.cl ~pid Event.Aas_block ~a:node_id
+      ~b:
+        (match u with
+        | Msg.Upsert _ -> Event.op_insert
+        | Msg.Remove _ -> Event.op_delete
+        | Msg.Add_child _ | Msg.Drop_child _ -> -1);
     copy.Store.blocked <-
       Msg.Route
         {
@@ -507,8 +517,10 @@ and handle_route t pid ~key ~level ~node ~act =
   | None ->
     (* The copy is not installed yet (e.g. a sibling whose Split_done is
        still in flight): park the action until it is. *)
+    let msg = Msg.Route { key; level; node; act } in
     Stats.tick (ctr t).Cluster.route_parked;
-    Store.add_pending store node (Msg.Route { key; level; node; act })
+    Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
+    Store.add_pending store node msg
   | Some copy ->
     let n = copy.Store.node in
     if n.Node.level > level then begin
@@ -537,15 +549,17 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
   let store = Cluster.store t.cl pid in
   match Store.find store node with
   | None ->
+    let msg = Msg.Relay_update { uid; node; key; u; version = 0; sender = pid } in
     Stats.tick (ctr t).Cluster.route_parked;
-    Store.add_pending store node
-      (Msg.Relay_update { uid; node; key; u; version = 0; sender = pid })
+    Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
+    Store.add_pending store node msg
   | Some copy ->
     if Node.in_range copy.Store.node key then begin
       ignore (apply_update t pid copy key u);
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
         (action_kind key u);
       Stats.tick (ctr t).Cluster.relay_applied;
+      Cluster.event t.cl ~pid Event.Relay ~a:node ~b:Event.relay_applied;
       maybe_split t pid copy
     end
     else begin
@@ -566,18 +580,24 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
       | Config.Sync ->
         (* safe: the AAS ordering guarantees the PC applied this update
            before splitting, so the sibling's original value covers it *)
-        Stats.tick (ctr t).Cluster.relay_discarded
+        Stats.tick (ctr t).Cluster.relay_discarded;
+        Cluster.event t.cl ~pid Event.Relay ~a:node ~b:Event.relay_discarded
       | Config.Naive ->
         Stats.tick (ctr t).Cluster.relay_discarded;
+        Cluster.event t.cl ~pid Event.Relay ~a:node ~b:Event.relay_discarded;
         if pid = copy.Store.pc then Stats.tick (ctr t).Cluster.naive_lost
       | Config.Semi ->
-        if pid <> copy.Store.pc then Stats.tick (ctr t).Cluster.relay_discarded
+        if pid <> copy.Store.pc then begin
+          Stats.tick (ctr t).Cluster.relay_discarded;
+          Cluster.event t.cl ~pid Event.Relay ~a:node ~b:Event.relay_discarded
+        end
         else begin
           (* §4.1.2 history rewriting: the relayed update is moved before
              the split, whose subsequent-action set is amended to forward
              the key to the new sibling — i.e. re-issue it as an initial
              update routed right. *)
           Stats.tick (ctr t).Cluster.semi_forwarded;
+          Cluster.event t.cl ~pid Event.Relay ~a:node ~b:Event.relay_forwarded;
           let uid' = Cluster.fresh_uid t.cl in
           match copy.Store.node.Node.right with
           | Some r ->
@@ -601,8 +621,7 @@ and handle t pid ~src msg =
   match msg with
   | Msg.Batch b -> List.iter (handle t pid ~src) b.Msg.parts
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
-  | Msg.Op_done { op; result } ->
-    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
   | Msg.Relay_update { uid; node; key; u; version; sender } ->
     handle_relay t pid ~uid ~node ~key ~u ~version ~sender
   | Msg.Split_start { node } -> begin
@@ -610,6 +629,7 @@ and handle t pid ~src msg =
     match Store.find store node with
     | None ->
       Stats.tick (ctr t).Cluster.route_parked;
+      Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
       Store.add_pending store node msg
     | Some copy ->
       copy.Store.splitting <- true;
@@ -630,6 +650,7 @@ and handle t pid ~src msg =
     match Store.find store node with
     | None ->
       Stats.tick (ctr t).Cluster.route_parked;
+      Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
       Store.add_pending store node msg
     | Some copy ->
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
@@ -651,6 +672,7 @@ and handle t pid ~src msg =
     match Store.find store node with
     | None ->
       Stats.tick (ctr t).Cluster.route_parked;
+      Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
       Store.add_pending store node msg
     | Some copy ->
       ignore (apply_update t pid copy key u);
@@ -663,6 +685,7 @@ and handle t pid ~src msg =
     match Store.find store node with
     | None ->
       Stats.tick (ctr t).Cluster.route_parked;
+      Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
       Store.add_pending store node msg
     | Some copy ->
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
@@ -805,6 +828,7 @@ let insert t ~origin key value =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
       ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -822,6 +846,7 @@ let search t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {
@@ -837,6 +862,7 @@ let remove t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -854,6 +880,7 @@ let scan t ~origin ~lo ~hi =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {

@@ -1,6 +1,7 @@
 open Dbtree_blink
 open Dbtree_sim
 module Action = Dbtree_history.Action
+module Event = Dbtree_obs.Event
 
 type link_tag = [ `Left | `Right | `Child of int ]
 
@@ -144,9 +145,7 @@ let rec maybe_split t pid (copy : Store.rcopy) =
     (* The sibling lives on the same processor (§4.2). *)
     ignore (Store.install store ~node:sib ~pc:pid ~members:[ pid ]);
     Cluster.hist_new_copy t.cl ~node:sib_id ~pid ~base;
-    Cluster.emit t.cl (fun () ->
-        Fmt.str "p%d: half-split node %d at %d -> sibling %d" pid n.Node.id sep
-          sib_id);
+    Cluster.event t.cl ~pid Event.Split_start ~a:n.Node.id ~b:sib_id;
     (* Fix the old right neighbor's left link (link-change, §4.2).  The
        guide key is the sibling's high bound — the neighbor's low key —
        so the action lands on whoever covers that range now. *)
@@ -197,6 +196,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
   | Some c -> c.Store.node.Node.parent <- Some id
   | None -> ());
   Stats.tick (ctr t).Cluster.root_grow;
+  Cluster.event t.cl ~pid Event.Root_grow ~a:id ~b:(old_root.Node.level + 1);
   ignore (Store.install store ~node:root ~pc:pid ~members:[ pid ]);
   Cluster.hist_new_copy t.cl ~node:id ~pid ~base:[];
   store.Store.root <- id;
@@ -308,9 +308,7 @@ let maybe_reclaim t pid (copy : Store.rcopy) =
     | Some lf, Bound.Key low ->
       let uid = Cluster.fresh_uid t.cl in
       Stats.tick (ctr t).Cluster.reclaim_count;
-      Cluster.emit t.cl (fun () ->
-          Fmt.str "p%d: reclaim empty leaf %d [%d, %a)" pid n.Node.id low
-            Bound.pp n.Node.high);
+      Cluster.event t.cl ~pid Event.Reclaim ~a:n.Node.id ~b:lf;
       Store.remove store n.Node.id;
       Hashtbl.replace store.Store.departed n.Node.id ();
       Cluster.hist_retire t.cl ~node:n.Node.id ~pid;
@@ -462,9 +460,7 @@ let do_migrate t ~node ~to_pid =
       Store.learn store node [ to_pid ];
       t.migrations <- t.migrations + 1;
       Stats.tick (ctr t).Cluster.migrate_count;
-      Cluster.emit t.cl (fun () ->
-          Fmt.str "p%d: migrate node %d -> p%d (v%d)" pid node to_pid
-            n.Node.version);
+      Cluster.event t.cl ~pid Event.Migrate ~a:node ~b:to_pid;
       send t ~src:pid ~dst:to_pid
         (Msg.Migrate_install { snap; ancestors = []; from_pid = pid })
     end
@@ -579,8 +575,7 @@ let handle_route t pid ~key ~level ~node ~act =
 let handle t pid ~src:_ msg =
   match msg with
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
-  | Msg.Op_done { op; result } ->
-    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
   | Msg.Migrate_install { snap; from_pid; _ } ->
     handle_migrate_install t pid ~snap ~from_pid
   | Msg.New_root { snap; members } ->
@@ -677,6 +672,7 @@ let insert t ~origin key value =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
       ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -694,6 +690,7 @@ let search t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {
@@ -709,6 +706,7 @@ let remove t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -726,6 +724,7 @@ let scan t ~origin ~lo ~hi =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {

@@ -1,6 +1,7 @@
 open Dbtree_blink
 open Dbtree_sim
 module Action = Dbtree_history.Action
+module Event = Dbtree_obs.Event
 
 type link_tag = [ `Left | `Right | `Child of int ]
 
@@ -167,9 +168,7 @@ and do_split t pid (copy : Store.rcopy) =
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
     ~version:n.Node.version
     (Action.Half_split { sep; sibling = sib_id });
-  Cluster.emit t.cl (fun () ->
-      Fmt.str "p%d: half-split node %d at %d -> sibling %d" pid n.Node.id sep
-        sib_id);
+  Cluster.event t.cl ~pid Event.Split_start ~a:n.Node.id ~b:sib_id;
   (* The sibling's replication follows the path rule: the processors that
      own leaves under its range — approximated by the location hints of
      its children, restricted to the node's members (only they receive
@@ -257,6 +256,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
       ~high:Bound.Pos_inf entries
   in
   Stats.tick (ctr t).Cluster.root_grow;
+  Cluster.event t.cl ~pid Event.Root_grow ~a:id ~b:(old_root.Node.level + 1);
   List.iter (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[]) members;
   ignore (Store.install store ~node:root ~pc:pid ~members);
   store.Store.root <- id;
@@ -419,6 +419,7 @@ and do_migrate t ~node ~to_pid =
       Store.learn store node [ to_pid ];
       t.migrations <- t.migrations + 1;
       Stats.tick (ctr t).Cluster.migrate_count;
+      Cluster.event t.cl ~pid Event.Migrate ~a:node ~b:to_pid;
       send t ~src:pid ~dst:to_pid
         (Msg.Migrate_install { snap; ancestors; from_pid = pid });
       (* Unjoin the replications this processor no longer needs: ancestors
@@ -452,7 +453,7 @@ and do_unjoin t pid (acopy : Store.rcopy) =
   let node = acopy.Store.node.Node.id in
   t.unjoins <- t.unjoins + 1;
   Stats.tick (ctr t).Cluster.unjoin_count;
-  Cluster.emit t.cl (fun () -> Fmt.str "p%d: unjoin node %d" pid node);
+  Cluster.event t.cl ~pid Event.Unjoin ~a:node ~b:pid;
   Store.remove store node;
   Hashtbl.replace store.Store.departed node ();
   Cluster.hist_retire t.cl ~node ~pid;
@@ -651,6 +652,7 @@ let handle_join_request t pid ~node ~requester =
     let uid = Cluster.fresh_uid t.cl in
     t.joins <- t.joins + 1;
     Stats.tick (ctr t).Cluster.join_count;
+    Cluster.event t.cl ~pid Event.Join ~a:node ~b:requester;
     Cluster.hist_record t.cl ~node ~pid ~mode:Action.Initial ~version ~uid
       (Action.Join { pid = requester });
     copy.Store.members <- copy.Store.members @ [ requester ];
@@ -750,8 +752,7 @@ let handle_unjoin_request t pid ~node ~who =
 let handle t pid ~src:_ msg =
   match msg with
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
-  | Msg.Op_done { op; result } ->
-    Opstate.complete t.cl.Cluster.ops ~op ~result ~now:(Cluster.now t.cl)
+  | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
   | Msg.Relay_update { uid; node; key; u; version; sender } ->
     handle_relay t pid ~uid ~node ~key ~u ~version ~sender
   | Msg.Split_done { uid; node; sep; sibling; sibling_members; sync = _ } -> begin
@@ -915,6 +916,7 @@ let insert t ~origin key value =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Insert ~key
       ~value:(Some value) ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -932,6 +934,7 @@ let search t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Search ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {
@@ -947,6 +950,7 @@ let remove t ~origin key =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Delete ~key ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   let uid = Cluster.fresh_uid t.cl in
   start_route t ~origin
     (Msg.Route
@@ -964,6 +968,7 @@ let scan t ~origin ~lo ~hi =
     Opstate.register t.cl.Cluster.ops ~kind:Opstate.Scan ~key:lo ~value:None
       ~origin ~now:(Cluster.now t.cl)
   in
+  Cluster.op_issue t.cl r;
   start_route t ~origin
     (Msg.Route
        {

@@ -58,4 +58,4 @@ let run ?quick:_ () =
      updates), and the copies converged on their own.";
   Table.print table;
   Fmt.pr "@.Interleaving trace (time-ordered protocol events):@.";
-  Fmt.pr "%a" Trace.pp cl.Cluster.trace
+  Fmt.pr "%a" Dbtree_obs.Obs.pp cl.Cluster.obs

@@ -1,6 +1,8 @@
 open Dbtree_sim
 module Action = Dbtree_history.Action
 module Registry = Dbtree_history.Registry
+module Obs = Dbtree_obs.Obs
+module Event = Dbtree_obs.Event
 
 type pid = int
 
@@ -13,6 +15,8 @@ type config = {
   transport : Net.transport;
   lazy_directory : bool;
   record_history : bool;
+  trace : bool;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -25,6 +29,8 @@ let default_config =
     transport = Net.Raw;
     lazy_directory = true;
     record_history = true;
+    trace = false;
+    trace_capacity = 1 lsl 16;
   }
 
 type op_result = Found of string | Absent | Inserted | Removed of bool
@@ -148,6 +154,7 @@ type op_record = {
   op_id : int;
   op_key : int;
   op_kind : op_kind;
+  op_issued_at : int;
   mutable op_result : op_result option;
   mutable op_seq : int;
       (* position in the bucket-execution order (-1 until executed).
@@ -155,6 +162,11 @@ type op_record = {
          order than they were issued; the verifier must replay the order
          the buckets actually applied, not the issue order. *)
 }
+
+let op_kind_code = function
+  | K_search -> Event.op_search
+  | K_insert _ -> Event.op_insert
+  | K_remove -> Event.op_delete
 
 (* Interned stat counters for the message-handler hot path. *)
 type counters = {
@@ -167,6 +179,10 @@ type counters = {
   c_op_chased : Stats.counter;
   c_dir_acks : Stats.counter;
   c_dir_double : Stats.counter;
+  (* Per-kind completion-latency histograms (log-bucketed). *)
+  c_lat_search : Stats.hist;
+  c_lat_insert : Stats.hist;
+  c_lat_remove : Stats.hist;
 }
 
 let make_counters stats =
@@ -181,6 +197,9 @@ let make_counters stats =
     c_op_chased = c "op.chased";
     c_dir_acks = c "dir.acks";
     c_dir_double = c "dir.double";
+    c_lat_search = Stats.hist stats "latency.search";
+    c_lat_insert = Stats.hist stats "latency.insert";
+    c_lat_remove = Stats.hist stats "latency.remove";
   }
 
 type t = {
@@ -198,6 +217,7 @@ type t = {
   mutable doublings : int;
   place_rng : Rng.t;
   ctr : counters;
+  obs : Obs.t;
 }
 
 (* The directory is modelled as logical node 0 in the history registry;
@@ -496,6 +516,18 @@ let handle t pid ~src msg =
     | Some r ->
       if r.op_result <> None then
         Fmt.failwith "Lht: operation %d completed twice" op;
+      let lat = Sim.now t.sim - r.op_issued_at in
+      Stats.hist_observe
+        (match r.op_kind with
+        | K_search -> t.ctr.c_lat_search
+        | K_insert _ -> t.ctr.c_lat_insert
+        | K_remove -> t.ctr.c_lat_remove)
+        lat;
+      if Obs.on t.obs then
+        ignore
+          (Obs.emit t.obs ~time:(Sim.now t.sim) ~pid ~op
+             ~parent:(Obs.cur_parent t.obs) ~kind:Event.Op_complete
+             ~a:(op_kind_code r.op_kind) ~b:lat);
       r.op_result <- Some result
     | None -> Fmt.failwith "Lht: unknown operation %d" op
   end
@@ -544,9 +576,13 @@ let create cfg =
     invalid_arg
       "Lht.create: the reliable transport cannot terminate over a channel \
        that drops everything (drop_prob must be < 1)";
+  let obs =
+    Obs.create ~enabled:cfg.trace ~capacity:cfg.trace_capacity ~label:"lht" ()
+  in
+  Obs.set_msg_names obs Msg.kind_name;
   let net =
     Network.create ~latency:cfg.latency ~faults:cfg.faults
-      ~transport:cfg.transport sim ~procs:cfg.procs
+      ~transport:cfg.transport ~obs sim ~procs:cfg.procs
   in
   let procs_state =
     Array.init cfg.procs (fun pid ->
@@ -581,6 +617,7 @@ let create cfg =
       doublings = 0;
       place_rng = Rng.create (cfg.seed + 5);
       ctr = make_counters (Sim.stats sim);
+      obs;
     }
   in
   for pid = 0 to cfg.procs - 1 do
@@ -595,8 +632,23 @@ let create cfg =
 let issue t ~origin ~kind key =
   let op = t.next_op in
   t.next_op <- op + 1;
+  let now = Sim.now t.sim in
   Hashtbl.replace t.ops op
-    { op_id = op; op_key = key; op_kind = kind; op_result = None; op_seq = -1 };
+    {
+      op_id = op;
+      op_key = key;
+      op_kind = kind;
+      op_issued_at = now;
+      op_result = None;
+      op_seq = -1;
+    };
+  if Obs.on t.obs then begin
+    let id =
+      Obs.emit t.obs ~time:now ~pid:origin ~op ~parent:(-1)
+        ~kind:Event.Op_issue ~a:(op_kind_code kind) ~b:key
+    in
+    Obs.set_context t.obs ~op ~parent:id
+  end;
   let ps = t.procs_state.(origin) in
   let h = hash key in
   let slot = low_bits h ps.dir.depth in
@@ -618,6 +670,7 @@ let completed t =
   Hashtbl.fold (fun _ r acc -> if r.op_result <> None then acc + 1 else acc) t.ops 0
 
 let issued t = t.next_op
+let obs t = t.obs
 let depth t pid = t.procs_state.(pid).dir.depth
 let bucket_count t = t.next_bucket
 let splits t = t.splits

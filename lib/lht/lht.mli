@@ -45,6 +45,10 @@ type config = {
           seqno/ack/retransmit sublayer masking the injected faults) *)
   lazy_directory : bool;  (** false = eager (PC-serialized, acked) updates *)
   record_history : bool;
+  trace : bool;
+      (** record a typed causal event trace (see [Dbtree_obs]); off costs
+          one branch per would-be event *)
+  trace_capacity : int;  (** trace ring-buffer size, in events *)
 }
 
 val default_config : config
@@ -72,6 +76,9 @@ val result : t -> int -> op_result option
 
 val completed : t -> int
 val issued : t -> int
+
+val obs : t -> Dbtree_obs.Obs.t
+(** The table's trace recorder (disabled unless [config.trace]). *)
 
 (** {2 Introspection} *)
 

@@ -1,5 +1,8 @@
 let all_rules =
-  [ Rule_nondet.rule; Rule_dispatch.rule; Rule_stats.rule; Rule_mli.rule ]
+  [
+    Rule_nondet.rule; Rule_dispatch.rule; Rule_stats.rule; Rule_mli.rule;
+    Rule_trace.rule;
+  ]
 
 let find_rule name = List.find_opt (fun r -> r.Rule.name = name) all_rules
 

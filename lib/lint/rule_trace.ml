@@ -1,0 +1,83 @@
+(* guarded-trace: trace emission must be free when tracing is off.  The
+   [Dbtree_obs.Obs] recorders store plain integers precisely so the
+   disabled path is one branch — an [emit] / [emit_here] call whose
+   arguments build a string eagerly ([Fmt.str], [Printf.sprintf],
+   [String.concat], [^]) pays the formatting cost on every call whether
+   or not anyone is listening.  Such work must be deferred behind
+   [lazy]/[fun] (forced only by an enabled consumer) or moved off the
+   emission site entirely. *)
+
+let is_emit (lid : Longident.t) =
+  match Rule.lident_components (Rule.strip_stdlib lid) with
+  | [] -> false
+  | comps -> (
+    match List.nth comps (List.length comps - 1) with
+    | "emit" | "emit_here" -> true
+    | _ -> false)
+
+(* String-building callees: [Fmt.str], [Printf.sprintf] (and friends),
+   [String.concat], and the [^] operator. *)
+let is_string_builder (lid : Longident.t) =
+  match Rule.lident_components (Rule.strip_stdlib lid) with
+  | [ "^" ] -> true
+  | comps -> (
+    match comps with
+    | [ _ ] -> false
+    | _ -> (
+      let last = List.nth comps (List.length comps - 1) in
+      let prev = List.nth comps (List.length comps - 2) in
+      match (prev, last) with
+      | "Fmt", ("str" | "str_like") -> true
+      | ("Printf" | "Format"), ("sprintf" | "asprintf") -> true
+      | "String", "concat" -> true
+      | _ -> false))
+
+(* Does [e] build a string eagerly?  [lazy] and [fun] bodies are deferred
+   by construction, so the scan does not descend into them. *)
+let builds_string_eagerly (e : Parsetree.expression) =
+  let found = ref None in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_lazy _ | Pexp_fun _ | Pexp_function _ -> ()
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+      when is_string_builder txt ->
+      if !found = None then found := Some e.pexp_loc
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+let check ctx structure =
+  let acc = ref [] in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when is_emit txt ->
+      List.iter
+        (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+          match builds_string_eagerly arg with
+          | Some loc ->
+            acc :=
+              Rule.violation ctx ~rule:"guarded-trace" ~loc
+                "eager string building in a trace-emit argument runs even \
+                 when tracing is off: defer it behind lazy/fun or move the \
+                 formatting off the emission site"
+              :: !acc
+          | None -> ())
+        args
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it structure;
+  List.rev !acc
+
+let rule =
+  {
+    Rule.name = "guarded-trace";
+    doc =
+      "trace emit/emit_here arguments must not build strings eagerly: the \
+       disabled path must stay one branch";
+    check;
+  }

@@ -1,0 +1,7 @@
+(** guarded-trace: flag trace [emit] / [emit_here] applications whose
+    arguments build a string eagerly ([Fmt.str], [Printf.sprintf],
+    [String.concat], [^]) — that work runs whether or not tracing is on,
+    defeating the one-branch disabled path the typed recorder provides.
+    Work deferred behind [lazy] or [fun] passes. *)
+
+val rule : Rule.t

@@ -1,0 +1,111 @@
+type kind =
+  | Op_issue
+  | Op_complete
+  | Msg_send
+  | Msg_recv
+  | Relay
+  | Split_start
+  | Split_end
+  | Aas_block
+  | Aas_release
+  | Retx
+  | Ack
+  | Root_grow
+  | Migrate
+  | Join
+  | Unjoin
+  | Reclaim
+  | Park
+  | Unpark
+
+let to_int = function
+  | Op_issue -> 0
+  | Op_complete -> 1
+  | Msg_send -> 2
+  | Msg_recv -> 3
+  | Relay -> 4
+  | Split_start -> 5
+  | Split_end -> 6
+  | Aas_block -> 7
+  | Aas_release -> 8
+  | Retx -> 9
+  | Ack -> 10
+  | Root_grow -> 11
+  | Migrate -> 12
+  | Join -> 13
+  | Unjoin -> 14
+  | Reclaim -> 15
+  | Park -> 16
+  | Unpark -> 17
+
+let num_kinds = 18
+
+let of_int = function
+  | 0 -> Op_issue
+  | 1 -> Op_complete
+  | 2 -> Msg_send
+  | 3 -> Msg_recv
+  | 4 -> Relay
+  | 5 -> Split_start
+  | 6 -> Split_end
+  | 7 -> Aas_block
+  | 8 -> Aas_release
+  | 9 -> Retx
+  | 10 -> Ack
+  | 11 -> Root_grow
+  | 12 -> Migrate
+  | 13 -> Join
+  | 14 -> Unjoin
+  | 15 -> Reclaim
+  | 16 -> Park
+  | 17 -> Unpark
+  | k -> Fmt.invalid_arg "Event.of_int: %d" k
+
+let name = function
+  | Op_issue -> "op_issue"
+  | Op_complete -> "op_complete"
+  | Msg_send -> "msg_send"
+  | Msg_recv -> "msg_recv"
+  | Relay -> "relay"
+  | Split_start -> "split_start"
+  | Split_end -> "split_end"
+  | Aas_block -> "aas_block"
+  | Aas_release -> "aas_release"
+  | Retx -> "retx"
+  | Ack -> "ack"
+  | Root_grow -> "root_grow"
+  | Migrate -> "migrate"
+  | Join -> "join"
+  | Unjoin -> "unjoin"
+  | Reclaim -> "reclaim"
+  | Park -> "park"
+  | Unpark -> "unpark"
+
+(* Client-operation kind codes carried in the [a] field of
+   [Op_issue]/[Op_complete] (and the [b] field of [Aas_block]). *)
+
+let op_search = 0
+let op_insert = 1
+let op_delete = 2
+let op_scan = 3
+
+let op_kind_name = function
+  | 0 -> "search"
+  | 1 -> "insert"
+  | 2 -> "delete"
+  | 3 -> "scan"
+  | _ -> "op?"
+
+(* Relay-outcome codes carried in the [b] field of [Relay]. *)
+
+let relay_applied = 0
+let relay_discarded = 1
+let relay_forwarded = 2
+let relay_catchup = 3
+
+let relay_outcome_name = function
+  | 0 -> "applied"
+  | 1 -> "discarded"
+  | 2 -> "forwarded"
+  | 3 -> "catchup"
+  | _ -> "outcome?"

@@ -1,0 +1,73 @@
+(** Typed trace-event vocabulary.
+
+    Every recorded event is one of these kinds plus five integer payload
+    slots (time, processor, operation id, causal parent, and two
+    kind-specific operands [a]/[b]) — no strings anywhere on the
+    recording path.  The per-kind meaning of [a] and [b]:
+
+    - [Op_issue]: a = operation kind code ({!op_search} ...), b = key.
+    - [Op_complete]: a = operation kind code, b = latency in ticks.
+    - [Msg_send]: a = destination processor, b = message kind id.
+    - [Msg_recv]: a = source processor, b = message kind id; the event's
+      parent is the matching [Msg_send].
+    - [Relay]: a = node id, b = outcome code ({!relay_applied} ...).
+    - [Split_start]/[Split_end]: a = node id, b = sibling node id.
+    - [Aas_block]: a = node id, b = blocked operation kind code.
+    - [Aas_release]: a = node id, b = AAS duration in ticks (so the
+      blocking window is [\[time - b, time\]]).
+    - [Retx]: a = destination processor, b = frame seqno; parent is the
+      original [Msg_send].
+    - [Ack]: a = destination processor, b = cumulative ackno.
+    - [Root_grow]: a = new root id, b = its level.
+    - [Migrate]: a = node id, b = destination processor.
+    - [Join]/[Unjoin]: a = node id, b = the joining/leaving processor.
+    - [Reclaim]: a = reclaimed leaf id, b = absorbing neighbor id.
+    - [Park]: a = node id, b = message kind id of the parked action.
+    - [Unpark]: a = node id, b = number of actions re-issued. *)
+
+type kind =
+  | Op_issue
+  | Op_complete
+  | Msg_send
+  | Msg_recv
+  | Relay
+  | Split_start
+  | Split_end
+  | Aas_block
+  | Aas_release
+  | Retx
+  | Ack
+  | Root_grow
+  | Migrate
+  | Join
+  | Unjoin
+  | Reclaim
+  | Park
+  | Unpark
+
+val to_int : kind -> int
+(** Dense code in [\[0, num_kinds)]; stable across a run (the ring buffer
+    stores this). *)
+
+val of_int : int -> kind
+(** Inverse of {!to_int}; raises [Invalid_argument] outside the range. *)
+
+val num_kinds : int
+
+val name : kind -> string
+
+(** {2 Operation-kind codes} (the [a] slot of [Op_issue]/[Op_complete]) *)
+
+val op_search : int
+val op_insert : int
+val op_delete : int
+val op_scan : int
+val op_kind_name : int -> string
+
+(** {2 Relay-outcome codes} (the [b] slot of [Relay]) *)
+
+val relay_applied : int
+val relay_discarded : int
+val relay_forwarded : int
+val relay_catchup : int
+val relay_outcome_name : int -> string

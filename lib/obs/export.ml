@@ -1,0 +1,249 @@
+(* Chrome trace-event JSON exporter (Perfetto-loadable).
+
+   Mapping: chrome "pid" = recorder index (one process group per
+   cluster/table instance), chrome "tid" = simulated processor, "ts" =
+   simulator ticks.  Client operations become async spans ("b"/"e"
+   keyed by op id), message sends/receives become instants joined by
+   flow arrows ("s"/"f" keyed by the send event id), everything else is
+   an instant with its operands in "args".  Output is fully determined
+   by the ring contents, so same seed => byte-identical file. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_common buf ~name ~ph ~pid ~tid ~ts =
+  Buffer.add_string buf "{\"name\":\"";
+  Buffer.add_string buf (escape name);
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf ph;
+  Buffer.add_string buf "\",\"pid\":";
+  Buffer.add_string buf (string_of_int pid);
+  Buffer.add_string buf ",\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (string_of_int ts)
+
+type emitter = {
+  buf : Buffer.t;
+  mutable first : bool;
+}
+
+let record em add =
+  if em.first then em.first <- false else Buffer.add_char em.buf ',';
+  Buffer.add_char em.buf '\n';
+  add em.buf;
+  ignore (Buffer.add_string em.buf "}")
+
+let metadata em ~pid ~label =
+  record em (fun buf ->
+      add_common buf ~name:"process_name" ~ph:"M" ~pid ~tid:0 ~ts:0;
+      Buffer.add_string buf ",\"args\":{\"name\":\"";
+      Buffer.add_string buf (escape label);
+      Buffer.add_string buf "\"}")
+
+let thread_metadata em ~pid ~tid =
+  record em (fun buf ->
+      add_common buf ~name:"thread_name" ~ph:"M" ~pid ~tid ~ts:0;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"args\":{\"name\":\"processor %d\"}" tid))
+
+let args2 buf k1 v1 k2 v2 =
+  Buffer.add_string buf
+    (Printf.sprintf ",\"args\":{\"%s\":%d,\"%s\":%d}" k1 v1 k2 v2)
+
+let instant em ~name ~cat ~pid ~tid ~ts ~k1 ~v1 ~k2 ~v2 =
+  record em (fun buf ->
+      add_common buf ~name ~ph:"i" ~pid ~tid ~ts;
+      Buffer.add_string buf ",\"cat\":\"";
+      Buffer.add_string buf cat;
+      Buffer.add_string buf "\",\"s\":\"t\"";
+      args2 buf k1 v1 k2 v2)
+
+let flow em ~name ~ph ~pid ~tid ~ts ~id ~incoming =
+  record em (fun buf ->
+      add_common buf ~name ~ph ~pid ~tid ~ts;
+      Buffer.add_string buf ",\"cat\":\"msg\",\"id\":";
+      Buffer.add_string buf (string_of_int id);
+      if incoming then Buffer.add_string buf ",\"bp\":\"e\"")
+
+let async em ~name ~ph ~pid ~tid ~ts ~id ~k1 ~v1 ~k2 ~v2 =
+  record em (fun buf ->
+      add_common buf ~name ~ph ~pid ~tid ~ts;
+      Buffer.add_string buf ",\"cat\":\"op\",\"id\":";
+      Buffer.add_string buf (string_of_int id);
+      args2 buf k1 v1 k2 v2)
+
+let emit_event em t ~index (e : Obs.event) =
+  let pid = index and tid = e.pid and ts = e.time in
+  match e.kind with
+  | Event.Op_issue ->
+    async em
+      ~name:(Event.op_kind_name e.a)
+      ~ph:"b" ~pid ~tid ~ts ~id:e.op ~k1:"key" ~v1:e.b ~k2:"op" ~v2:e.op
+  | Event.Op_complete ->
+    async em
+      ~name:(Event.op_kind_name e.a)
+      ~ph:"e" ~pid ~tid ~ts ~id:e.op ~k1:"latency" ~v1:e.b ~k2:"op" ~v2:e.op
+  | Event.Msg_send ->
+    flow em ~name:(Obs.msg_name t e.b) ~ph:"s" ~pid ~tid ~ts ~id:e.id
+      ~incoming:false
+  | Event.Msg_recv ->
+    (* Skip the flow finish when the matching send has been evicted from
+       the ring: a finish without a start is a schema violation. *)
+    if e.parent >= 0 && Obs.get t e.parent <> None then
+      flow em ~name:(Obs.msg_name t e.b) ~ph:"f" ~pid ~tid ~ts ~id:e.parent
+        ~incoming:true;
+    instant em ~name:(Obs.msg_name t e.b) ~cat:"msg" ~pid ~tid ~ts ~k1:"src"
+      ~v1:e.a ~k2:"op" ~v2:e.op
+  | Event.Retx ->
+    instant em ~name:"retx" ~cat:"net" ~pid ~tid ~ts ~k1:"dst" ~v1:e.a
+      ~k2:"seq" ~v2:e.b
+  | Event.Ack ->
+    instant em ~name:"ack" ~cat:"net" ~pid ~tid ~ts ~k1:"dst" ~v1:e.a
+      ~k2:"ackno" ~v2:e.b
+  | (Event.Relay | Event.Split_start | Event.Split_end | Event.Aas_block
+    | Event.Aas_release | Event.Root_grow | Event.Migrate | Event.Join
+    | Event.Unjoin | Event.Reclaim | Event.Park | Event.Unpark) as k ->
+    instant em ~name:(Event.name k) ~cat:"protocol" ~pid ~tid ~ts ~k1:"a"
+      ~v1:e.a ~k2:"b" ~v2:e.b
+
+let to_string recorders =
+  let em = { buf = Buffer.create 65536; first = true } in
+  Buffer.add_string em.buf "{\"traceEvents\":[";
+  List.iteri
+    (fun index t ->
+      let label =
+        let l = Obs.label t in
+        if l = "" then Printf.sprintf "trace %d" index else l
+      in
+      metadata em ~pid:index ~label;
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun (e : Obs.event) -> e.pid) (Obs.events t))
+      in
+      List.iter (fun tid -> thread_metadata em ~pid:index ~tid) tids;
+      List.iter (emit_event em t ~index) (Obs.events t))
+    recorders;
+  Buffer.add_string em.buf "\n]}\n";
+  Buffer.contents em.buf
+
+let write ~path recorders =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string recorders))
+
+(* ------------------------------------------------------------------ *)
+(* Self-check: parse a trace file back and verify it is structurally a
+   valid Chrome trace-event stream.                                    *)
+
+let known_ph = [ "B"; "E"; "X"; "i"; "I"; "b"; "e"; "n"; "s"; "t"; "f"; "M" ]
+
+let validate src =
+  match Json.of_string src with
+  | Error m -> Error ("not valid JSON: " ^ m)
+  | Ok root -> (
+    match Option.bind (Json.member "traceEvents" root) Json.to_list with
+    | None -> Error "missing \"traceEvents\" array"
+    | Some evs -> (
+      (* Track async begin/end balance per (cat, id) and flow starts so
+         finishes can be matched.  Keys are also kept in an
+         insertion-ordered list so the final balance check iterates
+         deterministically (no Hashtbl.fold). *)
+      let async_open = Hashtbl.create 64 in
+      let async_keys = ref [] in
+      let flow_starts = Hashtbl.create 64 in
+      let flow_finishes = ref [] in
+      let check i ev =
+        let str k = Option.bind (Json.member k ev) Json.to_string in
+        let num k = Option.bind (Json.member k ev) Json.to_float in
+        match str "ph" with
+        | None -> Error (Printf.sprintf "event %d: missing \"ph\"" i)
+        | Some ph when not (List.mem ph known_ph) ->
+          Error (Printf.sprintf "event %d: unknown ph %S" i ph)
+        | Some ph ->
+          if str "name" = None then
+            Error (Printf.sprintf "event %d: missing \"name\"" i)
+          else if num "pid" = None || num "tid" = None then
+            Error (Printf.sprintf "event %d: missing pid/tid" i)
+          else if ph <> "M" && num "ts" = None then
+            Error (Printf.sprintf "event %d: missing \"ts\"" i)
+          else begin
+            let id () = num "id" in
+            (match ph with
+            | "b" | "e" -> (
+              match id () with
+              | None -> ()
+              | Some id ->
+                let key = (Option.value (str "cat") ~default:"", id) in
+                let d = if ph = "b" then 1 else -1 in
+                let cur =
+                  match Hashtbl.find_opt async_open key with
+                  | Some n -> n
+                  | None ->
+                    async_keys := key :: !async_keys;
+                    0
+                in
+                Hashtbl.replace async_open key (cur + d))
+            | "s" -> (
+              match id () with
+              | None -> ()
+              | Some id -> Hashtbl.replace flow_starts id ())
+            | "f" -> (
+              match id () with
+              | None -> ()
+              | Some id -> flow_finishes := (i, id) :: !flow_finishes)
+            | _ -> ());
+            Ok ()
+          end
+      in
+      let rec all i = function
+        | [] -> Ok ()
+        | ev :: rest -> (
+          match check i ev with Ok () -> all (i + 1) rest | e -> e)
+      in
+      match all 0 evs with
+      | Error _ as e -> e
+      | Ok () ->
+        (* A span with more begins than ends is an operation that never
+           completed (e.g. lost under fault injection) — legitimate data,
+           rendered open-ended.  More ends than begins is a malformed
+           stream. *)
+        let unbalanced =
+          List.filter_map
+            (fun ((cat, id) as key) ->
+              match Hashtbl.find_opt async_open key with
+              | Some n when n < 0 -> Some (cat, id, n)
+              | _ -> None)
+            (List.rev !async_keys)
+        in
+        (match unbalanced with
+        | (cat, id, n) :: _ ->
+          Error
+            (Printf.sprintf
+               "async span cat=%S id=%g has %d more end(s) than begins" cat
+               id (-n))
+        | [] -> (
+          let orphan =
+            List.find_opt
+              (fun (_, id) -> not (Hashtbl.mem flow_starts id))
+              !flow_finishes
+          in
+          match orphan with
+          | Some (i, id) ->
+            Error
+              (Printf.sprintf "event %d: flow finish id %g has no start" i id)
+          | None -> Ok (List.length evs)))))

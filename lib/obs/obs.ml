@@ -1,0 +1,203 @@
+(* Preallocated ring of typed trace events (struct-of-arrays, ints only).
+
+   The recording path allocates nothing and builds no strings: an emit is
+   seven array stores and a counter bump, and a disabled emit is one
+   branch.  Everything human-readable (names, rendering, export) happens
+   after the run, off the hot path. *)
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  time : int array;
+  pid : int array;
+  op : int array;
+  parent : int array;
+  kind : int array;
+  a : int array;
+  b : int array;
+  mutable next : int;  (* total events ever emitted; the next event id *)
+  (* Ambient causal context: the operation being executed and the event
+     that caused the current execution (a [Msg_recv] or an [Op_issue]).
+     Set by the network around each delivery and by the protocol at op
+     issue; everything emitted in between chains to it. *)
+  mutable cur_op : int;
+  mutable cur_parent : int;
+  (* Naming hook for the message-kind ids stored in [b] slots; installed
+     by whoever owns the network's MESSAGE module.  Only called by
+     renderers/exporters, never while recording. *)
+  mutable msg_name : int -> string;
+  label : string;
+}
+
+let default_capacity = 1 lsl 16
+let default_msg_name i = "kind" ^ string_of_int i
+
+(* Global force switch for `dbtree run --trace`: experiments build their
+   configurations internally, so the CLI cannot thread a flag through
+   them.  When forced, every ring created afterwards is enabled and
+   registered (in creation order) for a merged export after the run. *)
+
+let force_on = ref false
+let force_capacity = ref default_capacity
+let registry : t list ref = ref []
+
+let force_enable ?(capacity = default_capacity) () =
+  force_on := true;
+  force_capacity := capacity
+
+let forced () = !force_on
+let registered () = List.rev !registry
+let clear_registered () = registry := []
+
+let make ~enabled ~capacity ~label =
+  {
+    enabled;
+    capacity;
+    time = Array.make capacity 0;
+    pid = Array.make capacity 0;
+    op = Array.make capacity 0;
+    parent = Array.make capacity 0;
+    kind = Array.make capacity 0;
+    a = Array.make capacity 0;
+    b = Array.make capacity 0;
+    next = 0;
+    cur_op = -1;
+    cur_parent = -1;
+    msg_name = default_msg_name;
+    label;
+  }
+
+let create ?(enabled = false) ?(capacity = default_capacity) ?(label = "") ()
+    =
+  if capacity < 1 then invalid_arg "Obs.create: capacity must be >= 1";
+  let enabled = enabled || !force_on in
+  let capacity = if !force_on then max capacity !force_capacity else capacity in
+  let t = make ~enabled ~capacity ~label in
+  if !force_on then registry := t :: !registry;
+  t
+
+let disabled = make ~enabled:false ~capacity:1 ~label:""
+let on t = t.enabled
+let set_enabled t b = t.enabled <- b
+let label t = t.label
+let set_msg_names t f = t.msg_name <- f
+let msg_name t i = t.msg_name i
+
+let emit t ~time ~pid ~op ~parent ~kind ~a ~b =
+  if not t.enabled then -1
+  else begin
+    let id = t.next in
+    let i = id mod t.capacity in
+    t.time.(i) <- time;
+    t.pid.(i) <- pid;
+    t.op.(i) <- op;
+    t.parent.(i) <- parent;
+    t.kind.(i) <- Event.to_int kind;
+    t.a.(i) <- a;
+    t.b.(i) <- b;
+    t.next <- id + 1;
+    id
+  end
+
+let emit_here t ~time ~pid ~kind ~a ~b =
+  emit t ~time ~pid ~op:t.cur_op ~parent:t.cur_parent ~kind ~a ~b
+
+let set_context t ~op ~parent =
+  t.cur_op <- op;
+  t.cur_parent <- parent
+
+let reset_context t =
+  t.cur_op <- -1;
+  t.cur_parent <- -1
+
+let cur_op t = t.cur_op
+let cur_parent t = t.cur_parent
+
+(* ------------------------------------------------------------------ *)
+(* Reading the ring (offline)                                          *)
+
+type event = {
+  id : int;
+  time : int;
+  pid : int;
+  op : int;
+  parent : int;
+  kind : Event.kind;
+  a : int;
+  b : int;
+}
+
+let length t = t.next
+let dropped t = max 0 (t.next - t.capacity)
+
+let get t id =
+  if id < 0 || id >= t.next || id < t.next - t.capacity then None
+  else
+    let i = id mod t.capacity in
+    Some
+      {
+        id;
+        time = t.time.(i);
+        pid = t.pid.(i);
+        op = t.op.(i);
+        parent = t.parent.(i);
+        kind = Event.of_int t.kind.(i);
+        a = t.a.(i);
+        b = t.b.(i);
+      }
+
+let events t =
+  let lo = max 0 (t.next - t.capacity) in
+  List.init (t.next - lo) (fun k -> Option.get (get t (lo + k)))
+
+let clear t =
+  t.next <- 0;
+  reset_context t
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (offline)                                                 *)
+
+let pp_event t ppf (e : event) =
+  match e.kind with
+  | Event.Op_issue ->
+    Fmt.pf ppf "p%d: op %d issue %s key=%d" e.pid e.op
+      (Event.op_kind_name e.a) e.b
+  | Event.Op_complete ->
+    Fmt.pf ppf "p%d: op %d complete %s latency=%d" e.pid e.op
+      (Event.op_kind_name e.a) e.b
+  | Event.Msg_send ->
+    Fmt.pf ppf "p%d: send %s -> p%d (op %d)" e.pid (t.msg_name e.b) e.a e.op
+  | Event.Msg_recv ->
+    Fmt.pf ppf "p%d: recv %s from p%d (op %d)" e.pid (t.msg_name e.b) e.a
+      e.op
+  | Event.Relay ->
+    Fmt.pf ppf "p%d: relay %s at node %d (op %d)" e.pid
+      (Event.relay_outcome_name e.b)
+      e.a e.op
+  | Event.Split_start ->
+    Fmt.pf ppf "p%d: half-split node %d -> sibling %d" e.pid e.a e.b
+  | Event.Split_end ->
+    Fmt.pf ppf "p%d: split complete node %d (sibling %d)" e.pid e.a e.b
+  | Event.Aas_block ->
+    Fmt.pf ppf "p%d: AAS blocks %s at node %d (op %d)" e.pid
+      (Event.op_kind_name e.b) e.a e.op
+  | Event.Aas_release ->
+    Fmt.pf ppf "p%d: AAS released at node %d after %d ticks" e.pid e.a e.b
+  | Event.Retx -> Fmt.pf ppf "p%d: retransmit seq %d -> p%d" e.pid e.b e.a
+  | Event.Ack -> Fmt.pf ppf "p%d: ack %d -> p%d" e.pid e.b e.a
+  | Event.Root_grow ->
+    Fmt.pf ppf "p%d: new root %d (level %d)" e.pid e.a e.b
+  | Event.Migrate -> Fmt.pf ppf "p%d: migrate node %d -> p%d" e.pid e.a e.b
+  | Event.Join -> Fmt.pf ppf "p%d: join node %d by p%d" e.pid e.a e.b
+  | Event.Unjoin -> Fmt.pf ppf "p%d: unjoin node %d (p%d)" e.pid e.a e.b
+  | Event.Reclaim ->
+    Fmt.pf ppf "p%d: reclaim empty leaf %d (into %d)" e.pid e.a e.b
+  | Event.Park ->
+    Fmt.pf ppf "p%d: park %s at node %d" e.pid (t.msg_name e.b) e.a
+  | Event.Unpark ->
+    Fmt.pf ppf "p%d: unpark %d actions at node %d" e.pid e.b e.a
+
+let pp ppf t =
+  List.iter
+    (fun e -> Fmt.pf ppf "[%6d] %a@." e.time (pp_event t) e)
+    (events t)

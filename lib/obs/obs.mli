@@ -1,0 +1,116 @@
+(** Causal trace recorder: a preallocated ring of typed events.
+
+    Recording is allocation-free and string-free — an enabled {!emit} is
+    seven integer array stores; a disabled one is a single branch
+    returning [-1].  Each event carries the simulated time, the
+    processor, the client-operation id it serves, and the id of its
+    causal parent event, which is what lets {!Query} stitch relayed
+    inserts, half-split fan-outs, and retransmissions back into the span
+    of the operation that caused them.
+
+    The ring holds the most recent [capacity] events; older ones are
+    overwritten (see {!dropped}).  Event ids are monotonic across the
+    whole run, so a parent link to an evicted event is detectable
+    ({!get} returns [None]) rather than silently wrong. *)
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> ?label:string -> unit -> t
+(** [capacity] defaults to [65536] events (~3.7 MB).  If {!force_enable}
+    was called earlier, the instance is created enabled (with at least
+    the forced capacity) and registered for {!registered}. *)
+
+val disabled : t
+(** A shared always-off instance for components that were given no
+    recorder.  Never enabled, never registered. *)
+
+val on : t -> bool
+val set_enabled : t -> bool -> unit
+val label : t -> string
+
+val set_msg_names : t -> (int -> string) -> unit
+(** Install the message-kind naming function (typically
+    [Msg.kind_name]) used by {!pp} and the exporter.  Rendering only —
+    never called while recording. *)
+
+val msg_name : t -> int -> string
+
+(** {2 Recording} *)
+
+val emit :
+  t ->
+  time:int ->
+  pid:int ->
+  op:int ->
+  parent:int ->
+  kind:Event.kind ->
+  a:int ->
+  b:int ->
+  int
+(** Record one event and return its id, or [-1] when disabled.  [op] and
+    [parent] are [-1] when unknown. *)
+
+val emit_here : t -> time:int -> pid:int -> kind:Event.kind -> a:int -> b:int -> int
+(** {!emit} with [op]/[parent] taken from the ambient context. *)
+
+(** {2 Ambient causal context}
+
+    The network sets the context around each message delivery (op and
+    the [Msg_recv] event id) and the protocol sets it at op issue, so
+    code in between can {!emit_here} without threading lineage through
+    every call. *)
+
+val set_context : t -> op:int -> parent:int -> unit
+val reset_context : t -> unit
+val cur_op : t -> int
+val cur_parent : t -> int
+
+(** {2 Reading the ring} *)
+
+type event = {
+  id : int;
+  time : int;
+  pid : int;
+  op : int;
+  parent : int;
+  kind : Event.kind;
+  a : int;
+  b : int;
+}
+
+val length : t -> int
+(** Total events ever emitted (not just retained). *)
+
+val dropped : t -> int
+(** Events overwritten by ring wraparound. *)
+
+val get : t -> int -> event option
+(** [get t id] is the event with that id, or [None] if it was never
+    emitted or has been evicted from the ring. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit
+
+(** {2 Rendering} *)
+
+val pp_event : t -> event Fmt.t
+val pp : t Fmt.t
+(** Time-ordered human rendering of the retained events, one per line in
+    the form [[  time] p0: ...]. *)
+
+(** {2 Global force switch}
+
+    For [dbtree run --trace]: experiments construct their configurations
+    internally, so the CLI cannot pass a flag through them.  After
+    {!force_enable}, every recorder subsequently {!create}d is enabled
+    and registered; the CLI exports the merged set after the run. *)
+
+val force_enable : ?capacity:int -> unit -> unit
+val forced : unit -> bool
+
+val registered : unit -> t list
+(** Recorders created since {!force_enable}, in creation order. *)
+
+val clear_registered : unit -> unit

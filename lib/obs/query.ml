@@ -1,0 +1,106 @@
+(* Offline queries over a recorded ring: per-op spans, lineage checks,
+   stall detection.  Everything here runs after the simulation, so plain
+   list processing is fine. *)
+
+type span = {
+  op : int;
+  issue : Obs.event option;
+  complete : Obs.event option;
+  events : Obs.event list;  (* all events attributed to the op, id order *)
+  hops : int;  (* message deliveries ([Msg_recv]) in the span *)
+  relays : int;
+  retxs : int;
+  splits : int;  (* [Split_start] events attributed to the op *)
+  in_flight : int;  (* total ticks spent on the wire, over resolvable
+                       send -> recv parent links *)
+}
+
+let by_op t op =
+  List.filter (fun (e : Obs.event) -> e.op = op) (Obs.events t)
+
+let ops t =
+  let all =
+    List.filter_map
+      (fun (e : Obs.event) -> if e.op >= 0 then Some e.op else None)
+      (Obs.events t)
+  in
+  List.sort_uniq compare all
+
+let find_kind k evs =
+  List.find_opt (fun (e : Obs.event) -> e.kind = k) evs
+
+let count_kind k evs =
+  List.length (List.filter (fun (e : Obs.event) -> e.kind = k) evs)
+
+let span t op =
+  let events = by_op t op in
+  let in_flight =
+    List.fold_left
+      (fun acc (e : Obs.event) ->
+        if e.kind <> Event.Msg_recv then acc
+        else
+          match Obs.get t e.parent with
+          | Some p when p.kind = Event.Msg_send -> acc + (e.time - p.time)
+          | _ -> acc)
+      0 events
+  in
+  {
+    op;
+    issue = find_kind Event.Op_issue events;
+    complete = find_kind Event.Op_complete events;
+    events;
+    hops = count_kind Event.Msg_recv events;
+    relays = count_kind Event.Relay events;
+    retxs = count_kind Event.Retx events;
+    splits = count_kind Event.Split_start events;
+    in_flight;
+  }
+
+let spans t = List.map (span t) (ops t)
+
+(* A span is complete when the op was both issued and completed inside
+   the retained window and every causal link in it resolves: each event
+   with a parent can be chased back to one with no parent (the issue, or
+   a context-free send).  Ring eviction shows up here as an unresolvable
+   parent, not as silent success. *)
+let complete_span t (s : span) =
+  s.issue <> None && s.complete <> None
+  && List.for_all
+       (fun (e : Obs.event) -> e.parent < 0 || Obs.get t e.parent <> None)
+       s.events
+
+let latency (s : span) =
+  match (s.issue, s.complete) with
+  | Some i, Some c -> Some (c.time - i.time)
+  | _ -> None
+
+(* Ops issued but not completed whose last attributed event is at least
+   [idle] ticks before [now] — the trace-side view of a stuck op. *)
+let stalled t ~now ~idle =
+  List.filter
+    (fun s ->
+      s.complete = None && s.issue <> None
+      &&
+      let last =
+        List.fold_left (fun m (e : Obs.event) -> max m e.time) 0 s.events
+      in
+      now - last >= idle)
+    (spans t)
+
+(* AAS blocking windows reconstructed from [Aas_release] events: each
+   carries the duration in [b], so the window is [time - b, time]. *)
+type aas_window = { aas_pid : int; aas_node : int; aas_from : int; aas_until : int }
+
+let aas_windows t =
+  List.filter_map
+    (fun (e : Obs.event) ->
+      if e.kind = Event.Aas_release then
+        Some
+          {
+            aas_pid = e.pid;
+            aas_node = e.a;
+            aas_from = e.time - e.b;
+            aas_until = e.time;
+          }
+      else None)
+    (Obs.events t)

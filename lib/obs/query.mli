@@ -1,0 +1,49 @@
+(** Offline queries over a recorded trace: span reconstruction, lineage
+    verification, stall detection, AAS windows.  All post-run — nothing
+    here touches the recording path. *)
+
+type span = {
+  op : int;
+  issue : Obs.event option;
+  complete : Obs.event option;
+  events : Obs.event list;  (** every event attributed to the op, id order *)
+  hops : int;  (** message deliveries ([Msg_recv]) in the span *)
+  relays : int;
+  retxs : int;
+  splits : int;
+  in_flight : int;
+      (** total ticks on the wire across the span's resolvable
+          [Msg_send] -> [Msg_recv] links *)
+}
+
+val by_op : Obs.t -> int -> Obs.event list
+(** All retained events attributed to an op, oldest first. *)
+
+val ops : Obs.t -> int list
+(** Distinct op ids appearing in the retained window, ascending. *)
+
+val span : Obs.t -> int -> span
+val spans : Obs.t -> span list
+
+val complete_span : Obs.t -> span -> bool
+(** The op was issued and completed in the retained window and every
+    parent link in its span resolves (no link into an evicted event). *)
+
+val latency : span -> int option
+(** Completion time minus issue time, when both are present. *)
+
+val stalled : Obs.t -> now:int -> idle:int -> span list
+(** Issued-but-uncompleted ops whose last event is at least [idle] ticks
+    before [now]. *)
+
+(** An AAS blocking window, reconstructed from an [Aas_release] event
+    (which carries the duration): the node blocked initial updates from
+    [aas_from] to [aas_until] on processor [aas_pid]. *)
+type aas_window = {
+  aas_pid : int;
+  aas_node : int;
+  aas_from : int;
+  aas_until : int;
+}
+
+val aas_windows : Obs.t -> aas_window list

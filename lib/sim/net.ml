@@ -1,3 +1,6 @@
+module Obs = Dbtree_obs.Obs
+module Event = Dbtree_obs.Event
+
 module type MESSAGE = sig
   type t
 
@@ -38,16 +41,22 @@ module Make (M : MESSAGE) = struct
      in-order seqno, out-of-order hold buffer, delayed-ack flag)
      conceptually live at [dst].  Acks for this direction's data travel
      dst -> src, piggybacked on reverse data frames when there are any. *)
+  (* In-flight and held frames carry their trace lineage — the op id and
+     the [Msg_send] event id recorded when the message was first sent —
+     as two plain ints, so retransmissions and out-of-order releases
+     stitch into the originating operation's span. *)
   type chan = {
     (* sender side *)
     mutable next_seq : int;
-    unacked : (int * M.t) Queue.t;  (* in-flight, oldest first *)
+    unacked : (int * M.t * int * int) Queue.t;
+        (* (seq, msg, op, send event id), in-flight, oldest first *)
     mutable rto : int;  (* current retransmit timeout (backs off) *)
     mutable timer_gen : int;  (* stale-timer invalidation *)
     mutable timer_armed : bool;
     (* receiver side *)
     mutable expect : int;  (* next seqno released to the handler *)
-    ooo : (int, M.t) Hashtbl.t;  (* held out-of-order frames, by seqno *)
+    ooo : (int, M.t * int * int) Hashtbl.t;
+        (* held out-of-order frames, by seqno: (msg, op, send event id) *)
     mutable ack_owed : bool;  (* delayed ack scheduled and not yet covered *)
   }
 
@@ -57,6 +66,7 @@ module Make (M : MESSAGE) = struct
     latency : latency;
     faults : faults;
     transport : transport;
+    obs : Obs.t;
     handlers : (src:pid -> M.t -> unit) option array;
     (* Last scheduled delivery time per (src, dst) channel; FIFO is enforced
        by never scheduling a delivery at or before this time. *)
@@ -87,7 +97,7 @@ module Make (M : MESSAGE) = struct
   }
 
   let create ?(latency = default_latency) ?(faults = no_faults)
-      ?(transport = Raw) sim ~procs =
+      ?(transport = Raw) ?(obs = Obs.disabled) sim ~procs =
     let stats = Sim.stats sim in
     (* The retransmit timeout starts comfortably above one round trip and
        backs off exponentially to a bounded multiple; the delayed ack waits
@@ -100,6 +110,7 @@ module Make (M : MESSAGE) = struct
       latency;
       faults;
       transport;
+      obs;
       handlers = Array.make procs None;
       channel_front = Array.make (procs * procs) min_int;
       inbound = Array.make procs 0;
@@ -132,15 +143,40 @@ module Make (M : MESSAGE) = struct
 
   let sim t = t.sim
   let procs t = t.procs
+  let obs t = t.obs
 
   let set_handler t pid handler =
     if pid < 0 || pid >= t.procs then invalid_arg "Net.set_handler: bad pid";
     t.handlers.(pid) <- Some handler
 
-  let deliver t ~src ~dst msg =
+  (* Deliver [msg] to [dst]'s handler.  [op]/[sid] are the lineage
+     captured at send time: the serving operation and the [Msg_send]
+     event id.  The delivery is bracketed in the recorder's ambient
+     context, so everything the handler emits (relays, splits, further
+     sends) chains to this [Msg_recv]. *)
+  let deliver t ~src ~dst ~op ~sid msg =
     match t.handlers.(dst) with
-    | Some handler -> handler ~src msg
+    | Some handler ->
+      if Obs.on t.obs then begin
+        let rid =
+          Obs.emit t.obs ~time:(Sim.now t.sim) ~pid:dst ~op ~parent:sid
+            ~kind:Event.Msg_recv ~a:src ~b:(M.kind_id msg)
+        in
+        Obs.set_context t.obs ~op ~parent:rid;
+        handler ~src msg;
+        Obs.reset_context t.obs
+      end
+      else handler ~src msg
     | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
+
+  (* Record a [Msg_send] under the ambient context and return the
+     lineage pair to capture in the delivery closure. *)
+  let note_send t ~src ~dst msg =
+    let sid =
+      Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid:src ~kind:Event.Msg_send
+        ~a:dst ~b:(M.kind_id msg)
+    in
+    (Obs.cur_op t.obs, sid)
 
   (* Shared physical leg: compute the arrival time of one wire transmission
      (latency + per-channel FIFO front) and schedule [receive] for every
@@ -198,7 +234,8 @@ module Make (M : MESSAGE) = struct
     Stats.tick t.c_msgs;
     Stats.tick t.c_kind.(kind_id);
     Stats.add t.c_bytes size;
-    schedule_deliveries t ~src ~dst (fun () -> deliver t ~src ~dst msg)
+    let op, sid = note_send t ~src ~dst msg in
+    schedule_deliveries t ~src ~dst (fun () -> deliver t ~src ~dst ~op ~sid msg)
 
   (* ---------------- Reliable transport ---------------- *)
 
@@ -225,11 +262,14 @@ module Make (M : MESSAGE) = struct
   (* One reliability frame on the wire, [src] -> [dst]:
      [seq >= 0] with a payload is a data frame, [seq = -1] with no payload
      a pure cumulative ack.  [ack] always acknowledges the reverse data
-     direction (dst -> src), which is what makes piggybacking free. *)
+     direction (dst -> src), which is what makes piggybacking free.
+     A data payload carries its lineage [(msg, op, sid)] so the eventual
+     handler delivery — possibly after retransmissions and out-of-order
+     holds — still chains to the original [Msg_send]. *)
   let rec transmit_frame t ~src ~dst ~seq ~ack payload =
     let size =
       match payload with
-      | Some m -> frame_header_bytes + M.size m
+      | Some (m, _, _) -> frame_header_bytes + M.size m
       | None -> frame_header_bytes
     in
     t.remote <- t.remote + 1;
@@ -237,18 +277,22 @@ module Make (M : MESSAGE) = struct
     Stats.tick t.c_msgs;
     Stats.add t.c_bytes size;
     (match payload with
-    | Some m -> Stats.tick t.c_kind.(M.kind_id m)
-    | None -> Stats.tick t.c_acks);
+    | Some (m, _, _) -> Stats.tick t.c_kind.(M.kind_id m)
+    | None ->
+      Stats.tick t.c_acks;
+      ignore
+        (Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid:src ~kind:Event.Ack
+           ~a:dst ~b:ack));
     schedule_deliveries t ~src ~dst (fun () ->
         recv_frame t ~src ~dst ~seq ~ack payload)
 
   (* Data frame for (seq, msg) on channel (src, dst), piggybacking the
      cumulative ack of the reverse direction and thereby covering any ack
      the receiver side of that reverse channel still owed. *)
-  and transmit_data t ~src ~dst ~seq msg =
+  and transmit_data t ~src ~dst ~seq payload =
     let rev = rel_chan t ~src:dst ~dst:src in
     rev.ack_owed <- false;
-    transmit_frame t ~src ~dst ~seq ~ack:(rev.expect - 1) (Some msg)
+    transmit_frame t ~src ~dst ~seq ~ack:(rev.expect - 1) (Some payload)
 
   (* Frame arrival at [dst].  Runs the sender-side ack bookkeeping for the
      reverse direction, then the receiver-side dedup / in-order release for
@@ -257,12 +301,12 @@ module Make (M : MESSAGE) = struct
     process_ack t ~src:dst ~dst:src ack;
     match payload with
     | None -> ()
-    | Some msg ->
+    | Some ((msg, op, sid) as payload) ->
       let ch = rel_chan t ~src ~dst in
       if seq = ch.expect then begin
         ch.expect <- seq + 1;
         note_ack_owed t ~src ~dst ch;
-        deliver t ~src ~dst msg;
+        deliver t ~src ~dst ~op ~sid msg;
         release_in_order t ~src ~dst ch
       end
       else if seq < ch.expect || Hashtbl.mem ch.ooo seq then begin
@@ -274,16 +318,16 @@ module Make (M : MESSAGE) = struct
       end
       else begin
         Stats.tick t.c_held;
-        Hashtbl.replace ch.ooo seq msg;
+        Hashtbl.replace ch.ooo seq payload;
         note_ack_owed t ~src ~dst ch
       end
 
   and release_in_order t ~src ~dst ch =
     match Hashtbl.find_opt ch.ooo ch.expect with
-    | Some msg ->
+    | Some (msg, op, sid) ->
       Hashtbl.remove ch.ooo ch.expect;
       ch.expect <- ch.expect + 1;
-      deliver t ~src ~dst msg;
+      deliver t ~src ~dst ~op ~sid msg;
       release_in_order t ~src ~dst ch
     | None -> ()
 
@@ -297,7 +341,9 @@ module Make (M : MESSAGE) = struct
       let progressed = ref false in
       while
         (not (Queue.is_empty ch.unacked))
-        && fst (Queue.peek ch.unacked) <= ackno
+        &&
+        let seq, _, _, _ = Queue.peek ch.unacked in
+        seq <= ackno
       do
         ignore (Queue.pop ch.unacked);
         progressed := true
@@ -336,10 +382,13 @@ module Make (M : MESSAGE) = struct
         (* Cumulative acks: retransmitting the oldest unacked frame is
            enough — anything newer the receiver already holds in its
            out-of-order buffer. *)
-        let seq, msg = Queue.peek ch.unacked in
+        let seq, msg, op, sid = Queue.peek ch.unacked in
         Stats.tick t.c_retx;
+        ignore
+          (Obs.emit t.obs ~time:(Sim.now t.sim) ~pid:src ~op ~parent:sid
+             ~kind:Event.Retx ~a:dst ~b:seq);
         ch.rto <- min (2 * ch.rto) t.rto_max;
-        transmit_data t ~src ~dst ~seq msg;
+        transmit_data t ~src ~dst ~seq (msg, op, sid);
         arm_timer t ~src ~dst ch
       end
     end
@@ -348,8 +397,9 @@ module Make (M : MESSAGE) = struct
     let ch = rel_chan t ~src ~dst in
     let seq = ch.next_seq in
     ch.next_seq <- seq + 1;
-    Queue.push (seq, msg) ch.unacked;
-    transmit_data t ~src ~dst ~seq msg;
+    let op, sid = note_send t ~src ~dst msg in
+    Queue.push (seq, msg, op, sid) ch.unacked;
+    transmit_data t ~src ~dst ~seq (msg, op, sid);
     if not ch.timer_armed then begin
       ch.rto <- t.rto_base;
       arm_timer t ~src ~dst ch
@@ -366,7 +416,9 @@ module Make (M : MESSAGE) = struct
       let now = Sim.now t.sim in
       let at = max (now + t.latency.local_delay) (t.channel_front.(chan) + 1) in
       t.channel_front.(chan) <- at;
-      Sim.schedule t.sim ~delay:(at - now) (fun () -> deliver t ~src ~dst msg)
+      let op, sid = note_send t ~src ~dst msg in
+      Sim.schedule t.sim ~delay:(at - now) (fun () ->
+          deliver t ~src ~dst ~op ~sid msg)
     end
     else
       match t.transport with

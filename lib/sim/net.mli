@@ -98,13 +98,22 @@ module Make (M : MESSAGE) : sig
     ?latency:latency ->
     ?faults:faults ->
     ?transport:transport ->
+    ?obs:Dbtree_obs.Obs.t ->
     Sim.t ->
     procs:int ->
     t
-  (** [transport] defaults to [Raw]. *)
+  (** [transport] defaults to [Raw]; [obs] to [Obs.disabled].  When a
+      recorder is given, every send records a [Msg_send] under the
+      ambient causal context, every handler delivery is bracketed by a
+      [Msg_recv] whose parent is that send (surviving retransmission and
+      out-of-order holds under [Reliable]), and retransmissions/pure
+      acks record [Retx]/[Ack] events.  Recording never schedules
+      events or draws from the RNG, so traced and untraced runs have
+      identical behavior. *)
 
   val sim : t -> Sim.t
   val procs : t -> int
+  val obs : t -> Dbtree_obs.Obs.t
 
   val set_handler : t -> pid -> (src:pid -> M.t -> unit) -> unit
   (** Install the message handler (the "node manager") for [pid].  Must be

@@ -7,12 +7,56 @@ type summary = {
 
 type counter = int ref
 
+(* Log-bucketed histogram: 16 sub-buckets per octave (<= 6.25% relative
+   error on percentiles), values below 16 bucketed exactly.  Observation
+   is branch + shift + two array ops — cheap enough for hot paths, and
+   unlike the count/sum/min/max summary it keeps the whole latency
+   distribution (p50/p90/p99 instead of a lossy mean). *)
+
+let sub_bits = 4
+let linear = 1 lsl sub_bits
+
+(* Highest index: msb 61 (OCaml 63-bit ints) -> (61-4+1)*16 + 15 = 943. *)
+let num_buckets = 944
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : int;
+  mutable h_max : int;
+  buckets : int array;
+}
+
+let msb v =
+  let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+  go v 0
+
+let bucket_index v =
+  if v < linear then v
+  else
+    let m = msb v in
+    ((m - sub_bits + 1) lsl sub_bits)
+    + ((v lsr (m - sub_bits)) land (linear - 1))
+
+let bucket_lower idx =
+  if idx < linear then idx
+  else
+    let m = (idx lsr sub_bits) + sub_bits - 1 in
+    let sub = idx land (linear - 1) in
+    (linear + sub) lsl (m - sub_bits)
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   summaries : (string, summary ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 64; summaries = Hashtbl.create 16 }
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    summaries = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -44,8 +88,76 @@ let observe t name x =
   | None ->
     Hashtbl.add t.summaries name (ref { count = 1; sum = x; min = x; max = x })
 
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = max_int;
+        h_max = 0;
+        buckets = Array.make num_buckets 0;
+      }
+    in
+    Hashtbl.add t.hists name h;
+    h
+
+let hist_observe h v =
+  let v = if v < 0 then 0 else v in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. float_of_int v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_min h = if h.h_count = 0 then 0 else h.h_min
+let hist_max h = h.h_max
+
+let hist_mean h =
+  if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* Nearest-rank percentile over bucket lower bounds, clamped into the
+   exact [min, max] so p0/p100 are not distorted by bucket rounding. *)
+let hist_percentile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec walk i seen =
+      if i >= num_buckets then h.h_max
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then bucket_lower i else walk (i + 1) seen
+    in
+    (* The top rank is the maximum itself — report it exactly. *)
+    let v = if rank = h.h_count then h.h_max else walk 0 0 in
+    if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+  end
+
+let hist_to_summary h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = float_of_int (hist_min h);
+    max = float_of_int h.h_max;
+  }
+
 let summary t name =
-  Option.map (fun r -> !r) (Hashtbl.find_opt t.summaries name)
+  match Hashtbl.find_opt t.summaries name with
+  | Some r -> Some !r
+  | None -> (
+    (* Histograms answer summary lookups too, so converting a metric
+       from [observe] to [hist_observe] does not break readers. *)
+    match Hashtbl.find_opt t.hists name with
+    | Some h when h.h_count > 0 -> Some (hist_to_summary h)
+    | _ -> None)
 
 let mean s = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
 
@@ -67,7 +179,21 @@ let counters t =
   sorted_bindings t.counters
   |> List.filter_map (fun (k, r) -> if !r <> 0 then Some (k, !r) else None)
 
-let summaries t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.summaries)
+let hists t =
+  sorted_bindings t.hists |> List.filter (fun (_, h) -> h.h_count > 0)
+
+let summaries t =
+  let direct =
+    List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.summaries)
+  in
+  let from_hists =
+    List.filter_map
+      (fun (k, h) ->
+        if Hashtbl.mem t.summaries k then None
+        else Some (k, hist_to_summary h))
+      (hists t)
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (direct @ from_hists)
 
 let get_prefix t p =
   let plen = String.length p in
@@ -83,7 +209,17 @@ let reset t =
      reset, so the refs are kept and only their contents dropped. *)
   (* dblint: allow no-nondeterminism -- zeroing refs in place is order-insensitive *)
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
-  Hashtbl.reset t.summaries
+  Hashtbl.reset t.summaries;
+  (* Histogram handles stay live across a reset, like counters. *)
+  (* dblint: allow no-nondeterminism -- zeroing hists in place is order-insensitive *)
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- max_int;
+      h.h_max <- 0;
+      Array.fill h.buckets 0 num_buckets 0)
+    t.hists
 
 let pp ppf t =
   List.iter (fun (k, v) -> Fmt.pf ppf "%s = %d@." k v) (counters t);
@@ -91,4 +227,9 @@ let pp ppf t =
     (fun (k, s) ->
       Fmt.pf ppf "%s: n=%d mean=%.2f min=%.2f max=%.2f@." k s.count (mean s)
         s.min s.max)
-    (summaries t)
+    (summaries t);
+  List.iter
+    (fun (k, h) ->
+      Fmt.pf ppf "%s: p50=%d p90=%d p99=%d@." k (hist_percentile h 50.0)
+        (hist_percentile h 90.0) (hist_percentile h 99.0))
+    (hists t)

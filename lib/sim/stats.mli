@@ -49,7 +49,48 @@ val observe : t -> string -> float -> unit
 (** Record one sample into summary [name]. *)
 
 val summary : t -> string -> summary option
+(** Summary [name] if it exists; if not, but a {!hist} of that name has
+    samples, its count/sum/min/max are synthesized into a summary — so
+    converting a metric from {!observe} to {!hist_observe} is invisible
+    to readers. *)
+
 val mean : summary -> float
+
+(** {2 Log-bucketed histograms}
+
+    16 sub-buckets per octave (≤ 6.25% relative error on percentiles);
+    integer samples (ticks, bytes, queue lengths).  Unlike {!observe}
+    these keep the whole distribution, so tail latency (p90/p99) is
+    recoverable.  Resolve the handle once with {!hist} off the hot path;
+    {!hist_observe} is a branch, a shift and two array operations. *)
+
+type hist
+
+val hist : t -> string -> hist
+(** Interned handle for histogram [name], created empty if absent.
+    Repeated calls return the same histogram.  An empty histogram stays
+    invisible to {!hists}/{!summaries}/{!pp}. *)
+
+val hist_observe : hist -> int -> unit
+(** Record one sample (negative values clamp to 0). *)
+
+val hist_count : hist -> int
+val hist_sum : hist -> float
+val hist_mean : hist -> float
+
+val hist_min : hist -> int
+(** Exact (not bucketed); 0 when empty. *)
+
+val hist_max : hist -> int
+(** Exact (not bucketed); 0 when empty. *)
+
+val hist_percentile : hist -> float -> int
+(** [hist_percentile h p] for [p] in [\[0, 100\]]: nearest-rank
+    percentile over bucket lower bounds, clamped to the exact
+    [\[min, max\]].  0 when empty. *)
+
+val hists : t -> (string * hist) list
+(** All non-empty histograms, sorted by name. *)
 
 val sorted_bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
 (** All bindings of any hash table, sorted by key (polymorphic compare).
@@ -62,13 +103,16 @@ val counters : t -> (string * int) list
 (** All nonzero counters, sorted by name. *)
 
 val summaries : t -> (string * summary) list
+(** Direct summaries plus one synthesized from each non-empty {!hist}
+    whose name has no direct summary, sorted by name. *)
 
 val get_prefix : t -> string -> int
 (** [get_prefix t p] sums every counter whose name starts with [p]. *)
 
 val reset : t -> unit
-(** Zero every counter and drop every summary.  Interned handles from
-    {!counter} remain valid (they are zeroed in place, not discarded). *)
+(** Zero every counter and histogram and drop every summary.  Interned
+    handles from {!counter}/{!hist} remain valid (they are zeroed in
+    place, not discarded). *)
 
 val pp : t Fmt.t
 (** Render all metrics, one per line, for debugging. *)

@@ -14,5 +14,6 @@ let () =
       ("kv", Test_kv.suite);
       ("misc", Test_misc.suite);
       ("regressions", Test_regressions.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
     ]

@@ -105,6 +105,37 @@ let test_stats_clean () =
     "literal + intern-once idiom silent" [] (rules_of r)
 
 (* ---------------------------------------------------------------- *)
+(* guarded-trace *)
+
+let test_trace_fires () =
+  let r =
+    lint ~rules:(only "guarded-trace")
+      "let f obs time = Obs.emit_here obs ~time (Fmt.str \"op %d\" time)\n"
+  in
+  Alcotest.(check (list string))
+    "eager Fmt.str in emit argument flagged" [ "guarded-trace" ] (rules_of r)
+
+let test_trace_concat_fires () =
+  let r =
+    lint ~rules:(only "guarded-trace")
+      "let f tr a b = Trace.emit tr (a ^ b)\n"
+  in
+  Alcotest.(check (list string))
+    "string concatenation in emit argument flagged" [ "guarded-trace" ]
+    (rules_of r)
+
+let test_trace_clean () =
+  let r =
+    lint ~rules:(only "guarded-trace")
+      "let f obs ~time ~pid ~op ~parent ~kind ~a ~b =\n\
+      \  ignore (Obs.emit obs ~time ~pid ~op ~parent ~kind ~a ~b)\n\
+       let g tr a b = Trace.emit tr (lazy (a ^ b))\n\
+       let h s = Fmt.str \"not an emit call: %s\" s\n"
+  in
+  Alcotest.(check (list string))
+    "int args, lazy-deferred, and non-emit sites silent" [] (rules_of r)
+
+(* ---------------------------------------------------------------- *)
 (* mli-coverage *)
 
 let test_mli_fires () =
@@ -233,6 +264,9 @@ let suite =
       test_dispatch_explicit_clean;
     Alcotest.test_case "stats: fires" `Quick test_stats_fires;
     Alcotest.test_case "stats: clean" `Quick test_stats_clean;
+    Alcotest.test_case "trace: eager format fires" `Quick test_trace_fires;
+    Alcotest.test_case "trace: concat fires" `Quick test_trace_concat_fires;
+    Alcotest.test_case "trace: clean" `Quick test_trace_clean;
     Alcotest.test_case "mli: fires" `Quick test_mli_fires;
     Alcotest.test_case "mli: interface present" `Quick
       test_mli_clean_with_interface;

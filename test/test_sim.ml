@@ -316,14 +316,34 @@ let test_net_no_faults_by_default () =
   Sim.run sim;
   Alcotest.(check int) "exactly once" 10 !received
 
-let test_trace () =
-  let tr = Trace.create ~enabled:true () in
-  Trace.emit tr ~time:3 (lazy "hello");
-  Trace.emit tr ~time:5 (lazy "world");
-  Alcotest.(check int) "events" 2 (List.length (Trace.to_list tr));
-  Trace.set_enabled tr false;
-  Trace.emit tr ~time:9 (lazy (failwith "must not force"));
-  Alcotest.(check int) "disabled emit ignored" 2 (List.length (Trace.to_list tr))
+let test_hist () =
+  let st = Stats.create () in
+  let h = Stats.hist st "lat" in
+  for v = 1 to 1000 do
+    Stats.hist_observe h v
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.hist_count h);
+  Alcotest.(check int) "min" 1 (Stats.hist_min h);
+  Alcotest.(check int) "max" 1000 (Stats.hist_max h);
+  (* log-bucketed percentiles carry <= 6.25% relative error *)
+  let p50 = Stats.hist_percentile h 50.0 in
+  Alcotest.(check bool) "p50 near 500" true (abs (p50 - 500) <= 32);
+  let p99 = Stats.hist_percentile h 99.0 in
+  Alcotest.(check bool) "p99 near 990" true (abs (p99 - 990) <= 64);
+  Alcotest.(check int) "p100 exact" 1000 (Stats.hist_percentile h 100.0);
+  Alcotest.(check int) "p0 clamps to min" 1 (Stats.hist_percentile h 0.0)
+
+let test_hist_summary_fallback () =
+  let st = Stats.create () in
+  let h = Stats.hist st "x" in
+  Stats.hist_observe h 10;
+  Stats.hist_observe h 30;
+  match Stats.summary st "x" with
+  | None -> Alcotest.fail "summary should fall back to the histogram"
+  | Some s ->
+    Alcotest.(check int) "count" 2 s.Stats.count;
+    Alcotest.(check (float 0.0)) "min" 10.0 s.Stats.min;
+    Alcotest.(check (float 0.0)) "max" 30.0 s.Stats.max
 
 let suite =
   [
@@ -350,5 +370,7 @@ let suite =
       test_schedule_exhaustion_guard;
     Alcotest.test_case "net: exactly-once by default" `Quick
       test_net_no_faults_by_default;
-    Alcotest.test_case "trace: enable/disable" `Quick test_trace;
+    Alcotest.test_case "hist: log-bucketed percentiles" `Quick test_hist;
+    Alcotest.test_case "hist: summary fallback" `Quick
+      test_hist_summary_fallback;
   ]

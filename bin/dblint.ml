@@ -1,6 +1,7 @@
 (* dblint — protocol/determinism linter for this repository.
 
-   Usage: dblint [--format text|json] [--rules r1,r2] [--list-rules] [PATH...]
+   Usage: dblint [--format text|json|sarif] [--rules r1,r2] [--list-rules]
+                 [PATH...]
 
    Parses every .ml under the given paths (default: lib bin) with
    compiler-libs and enforces the simulator's machine-checkable
@@ -10,7 +11,8 @@
 
 open Dbtree_lint
 
-let usage = "dblint [--format text|json] [--rules NAMES] [--list-rules] [PATH...]"
+let usage =
+  "dblint [--format text|json|sarif] [--rules NAMES] [--list-rules] [PATH...]"
 
 let () =
   let format = ref `Text in
@@ -20,7 +22,8 @@ let () =
   let set_format = function
     | "text" -> format := `Text
     | "json" -> format := `Json
-    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json)" f))
+    | "sarif" -> format := `Sarif
+    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json|sarif)" f))
   in
   let set_rules names =
     selected :=
@@ -33,7 +36,9 @@ let () =
   in
   let spec =
     [
-      ("--format", Arg.String set_format, "FMT Report format: text (default) or json");
+      ( "--format",
+        Arg.String set_format,
+        "FMT Report format: text (default), json or sarif" );
       ("--rules", Arg.String set_rules, "NAMES Comma-separated subset of rules to run");
       ("--list-rules", Arg.Set list_rules, " List the registered rules and exit");
     ]
@@ -74,5 +79,9 @@ let () =
     Fmt.epr "dblint: %d file(s), %d violation(s), %d suppressed@."
       (List.length files) (List.length violations) suppressed
   | `Json ->
-    Lint.pp_json Fmt.stdout ~files:(List.length files) ~suppressed violations);
+    Lint.pp_json Fmt.stdout ~files:(List.length files) ~suppressed violations
+  | `Sarif ->
+    Sarif.pp Fmt.stdout ~tool:"dblint"
+      ~rules:(List.map (fun r -> (r.Rule.name, r.Rule.doc)) Lint.all_rules)
+      violations);
   if !errors > 0 then exit 2 else if violations <> [] then exit 1 else exit 0

@@ -619,11 +619,16 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
 
 and handle t pid ~src msg =
   match msg with
+  (* dbflow: class lazy -- piggyback container: each part re-enters dispatch under its own class *)
   | Msg.Batch b -> List.iter (handle t pid ~src) b.Msg.parts
+  (* dbflow: class semi -- routing parks on the owning copy and update actions are PC-coordinated (§4.1) *)
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  (* dbflow: class lazy -- completion funnel at the origin, independent of any copy's role *)
   | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
+  (* dbflow: class semi -- relayed updates are version-ordered per node, discipline-gated at the PC (§3.2) *)
   | Msg.Relay_update { uid; node; key; u; version; sender } ->
     handle_relay t pid ~uid ~node ~key ~u ~version ~sender
+  (* dbflow: class sync -- AAS enrolment: marks the copy splitting and blocks initial updates (§4.1.1) *)
   | Msg.Split_start { node } -> begin
     let store = Cluster.store t.cl pid in
     match Store.find store node with
@@ -636,6 +641,7 @@ and handle t pid ~src msg =
       Hashtbl.replace t.aas_since (node, pid) (Cluster.now t.cl);
       send t ~src:pid ~dst:src (Msg.Split_ack { node })
   end
+  (* dbflow: class sync -- AAS quorum ack: the synchronous split proceeds only once every member enrolled (§4.1.1) *)
   | Msg.Split_ack { node } ->
     let store = Cluster.store t.cl pid in
     let copy = Store.get store node in
@@ -645,6 +651,7 @@ and handle t pid ~src msg =
       end_aas t pid copy;
       maybe_split t pid copy
     end
+  (* dbflow: class semi -- remote half-split apply, ordered by node version against relays (§4.1) *)
   | Msg.Split_done { uid; node; sep; sibling; sibling_members; sync } -> begin
     let store = Cluster.store t.cl pid in
     match Store.find store node with
@@ -656,6 +663,7 @@ and handle t pid ~src msg =
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
       if sync then end_aas t pid copy
   end
+  (* dbflow: class lazy -- root adoption is monotone on level, so copies may learn it in any order (§4.3) *)
   | Msg.New_root { snap; members } ->
     let store = Cluster.store t.cl pid in
     let is_newer =
@@ -667,6 +675,7 @@ and handle t pid ~src msg =
     if List.mem pid members then
       install_copy t pid ~snap ~pc:(Cluster.pc_of_members members) ~members;
     if is_newer then store.Store.root <- snap.Msg.s_id
+  (* dbflow: class semi -- eager discipline round: apply then ack to the coordinating PC (E8 baseline) *)
   | Msg.Eager_update { uid; node; key; u } -> begin
     let store = Cluster.store t.cl pid in
     match Store.find store node with
@@ -680,6 +689,7 @@ and handle t pid ~src msg =
         (action_kind key u);
       send t ~src:pid ~dst:src (Msg.Eager_ack { node })
   end
+  (* dbflow: class semi -- eager discipline split apply, acked to the coordinating PC (E8 baseline) *)
   | Msg.Eager_split { uid; node; sep; sibling; sibling_members } -> begin
     let store = Cluster.store t.cl pid in
     match Store.find store node with
@@ -691,6 +701,7 @@ and handle t pid ~src msg =
       apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members;
       send t ~src:pid ~dst:src (Msg.Eager_ack { node })
   end
+  (* dbflow: class semi -- eager round completion: the PC releases the held update at quorum (E8 baseline) *)
   | Msg.Eager_ack { node } ->
     let store = Cluster.store t.cl pid in
     let copy = Store.get store node in

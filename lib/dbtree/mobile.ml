@@ -174,6 +174,7 @@ let rec maybe_split t pid (copy : Store.rcopy) =
            })
         start
     end;
+    Cluster.event t.cl ~pid Event.Split_end ~a:n.Node.id ~b:sib_id;
     maybe_split t pid copy
   end
 
@@ -574,10 +575,14 @@ let handle_route t pid ~key ~level ~node ~act =
 
 let handle t pid ~src:_ msg =
   match msg with
+  (* dbflow: class lazy -- single-copy nodes: routing needs no copy coordination, only forwarding (§4.2) *)
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  (* dbflow: class lazy -- completion funnel at the origin, independent of any copy's role *)
   | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
+  (* dbflow: class lazy -- a moved node installs wholesale; forwarding addresses cover the race (§4.2) *)
   | Msg.Migrate_install { snap; from_pid; _ } ->
     handle_migrate_install t pid ~snap ~from_pid
+  (* dbflow: class lazy -- root adoption: processors may learn the new root in any order (§4.3) *)
   | Msg.New_root { snap; members } ->
     let store = Cluster.store t.cl pid in
     Store.learn store snap.Msg.s_id members;

@@ -221,24 +221,26 @@ and do_split t pid (copy : Store.rcopy) =
         ~version:sib.Node.version
     | (Some _ | None), _ -> ()
   end;
-  if store.Store.root = n.Node.id then grow_root t pid ~old_root:n ~sep ~sib_id
-  else begin
-    let uid' = Cluster.fresh_uid t.cl in
-    forward t pid
-      (Msg.Route
-         {
-           key = sep;
-           level = n.Node.level + 1;
-           node = store.Store.root;
-           act =
-             Msg.Update
-               {
-                 uid = uid';
-                 u = Msg.Add_child { child = sib_id; child_members = sibling_members };
-               };
-         })
-      store.Store.root
-  end
+  (if store.Store.root = n.Node.id then
+     grow_root t pid ~old_root:n ~sep ~sib_id
+   else begin
+     let uid' = Cluster.fresh_uid t.cl in
+     forward t pid
+       (Msg.Route
+          {
+            key = sep;
+            level = n.Node.level + 1;
+            node = store.Store.root;
+            act =
+              Msg.Update
+                {
+                  uid = uid';
+                  u = Msg.Add_child { child = sib_id; child_members = sibling_members };
+                };
+          })
+       store.Store.root
+   end);
+  Cluster.event t.cl ~pid Event.Split_end ~a:n.Node.id ~b:sib_id
 
 and grow_root t pid ~old_root ~sep ~sib_id =
   let store = Cluster.store t.cl pid in
@@ -751,10 +753,14 @@ let handle_unjoin_request t pid ~node ~who =
 
 let handle t pid ~src:_ msg =
   match msg with
+  (* dbflow: class semi -- routing may park on the owning copy and updates seek the authority copy (§5) *)
   | Msg.Route { key; level; node; act } -> handle_route t pid ~key ~level ~node ~act
+  (* dbflow: class lazy -- completion funnel at the origin, independent of any copy's role *)
   | Msg.Op_done { op; result } -> Cluster.op_complete t.cl ~op ~result
+  (* dbflow: class semi -- relayed updates are version-ordered per node against membership changes (§5.1) *)
   | Msg.Relay_update { uid; node; key; u; version; sender } ->
     handle_relay t pid ~uid ~node ~key ~u ~version ~sender
+  (* dbflow: class semi -- remote half-split apply, ordered against joins/unjoins by the PC's member set *)
   | Msg.Split_done { uid; node; sep; sibling; sibling_members; sync = _ } -> begin
     let store = Cluster.store t.cl pid in
     match Store.find store node with
@@ -780,6 +786,7 @@ let handle t pid ~src:_ msg =
       end
     | Some copy -> apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members
   end
+  (* dbflow: class lazy -- root adoption: copies may learn the new root in any order (§4.3) *)
   | Msg.New_root { snap; members } ->
     let store = Cluster.store t.cl pid in
     Store.learn store snap.Msg.s_id members;
@@ -788,13 +795,18 @@ let handle t pid ~src:_ msg =
       (Store.install store ~node:n ~pc:(Cluster.pc_of_members members) ~members);
     store.Store.root <- snap.Msg.s_id;
     List.iter (send_local t pid) (Store.take_pending store snap.Msg.s_id)
+  (* dbflow: class semi -- migration install is coordinated by the sending owner (§5.2) *)
   | Msg.Migrate_install { snap; ancestors; from_pid } ->
     handle_migrate_install t pid ~snap ~ancestors ~from_pid
+  (* dbflow: class semi -- join is granted by the node's PC, which orders it against relays (§5.1) *)
   | Msg.Join_request { node; requester } -> handle_join_request t pid ~node ~requester
+  (* dbflow: class semi -- the granted copy install carries the PC's version, ordering it against relays (§5.1) *)
   | Msg.Join_copy { node; snap; members; join_version = _; hints } ->
     handle_join_copy t pid ~node ~snap ~members ~hints
+  (* dbflow: class semi -- membership relays are version-ordered per node like data relays (§5.1) *)
   | Msg.Relay_member { node; change; version; uid } ->
     handle_relay_member t pid ~node ~change ~version ~uid
+  (* dbflow: class semi -- unjoin is processed by the PC, which orders the member drop against relays (§5.1) *)
   | Msg.Unjoin_request { node; pid = who } -> handle_unjoin_request t pid ~node ~who
   | Msg.Batch _ | Msg.Split_start _ | Msg.Split_ack _ | Msg.Eager_update _
   | Msg.Eager_split _ | Msg.Eager_ack _ ->

@@ -1,0 +1,47 @@
+(* Ordering-class annotations: the dbflow marker followed by
+   "class lazy|semi|sync -- why", written trailing a handler arm's
+   pattern or on the line above it (see Annot.marker for the exact
+   spelling).  Scanning is textual, like Dbtree_lint.Suppress: dbflow
+   has no attribute story (the kernels must stay plain OCaml), and a
+   comment survives refactors that would drop an attribute. *)
+
+type entry = {
+  a_line : int;  (** 1-based line of the comment *)
+  a_class : string;  (** token after the marker, [""] if missing *)
+}
+
+(* Split so the textual scanner does not see its own marker literal as
+   an (orphaned) annotation when dbflow runs over this file. *)
+let marker = "dbflow: " ^ "class"
+
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let token_after line start =
+  let n = String.length line in
+  let rec skip i = if i < n && line.[i] = ' ' then skip (i + 1) else i in
+  let s = skip start in
+  let rec stop i =
+    if i < n && line.[i] >= 'a' && line.[i] <= 'z' then stop (i + 1) else i
+  in
+  String.sub line s (stop s - s)
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match find_sub line marker with
+         | None -> []
+         | Some start ->
+           [ { a_line = i + 1; a_class = token_after line start } ])
+       lines)
+
+let at entries ~line =
+  List.find_opt (fun e -> e.a_line = line || e.a_line = line - 1) entries

@@ -1,0 +1,15 @@
+(** Ordering-class annotations for handler arms:
+    [(* dbflow: class lazy|semi|sync -- reason *)], trailing the arm's
+    pattern or on its own line directly above. *)
+
+type entry = {
+  a_line : int;  (** 1-based line of the comment *)
+  a_class : string;  (** token after the marker, [""] if missing *)
+}
+
+val scan : string -> entry list
+(** All annotations in one file's source, in line order. *)
+
+val at : entry list -> line:int -> entry option
+(** The annotation attached to an arm whose pattern starts at [line]:
+    same line (trailing) or the line above. *)

@@ -1,0 +1,35 @@
+(** dbflow: whole-program protocol-flow rules over {!Graph}.
+
+    Where dblint checks one file's syntax, dbflow checks properties
+    that only exist across the program: that every message kind a
+    kernel sends is really handled there, that the synchronous-split
+    AAS window cannot leak an initial-update reply (Theorem 1), that
+    every handler arm's declared ordering class matches the paths it
+    takes, and that metric/span lifecycles pair up.  Suppression uses
+    the same comment grammar as dblint under the [dbflow] marker. *)
+
+type rule = {
+  name : string;
+  doc : string;  (** one-line description for [--list-rules] *)
+  check :
+    Program.t -> Graph.t -> Dbtree_lint.Rule.violation list;
+}
+
+val all_rules : rule list
+(** The registry, in reporting order: [send-handle], [aas-discipline],
+    [ordering-class], [counter-lifecycle], [span-pairing]. *)
+
+val rule_names : string list
+val find_rule : string -> rule option
+
+type report = {
+  violations : Dbtree_lint.Rule.violation list;
+      (** unsuppressed, sorted by (file, line, col, rule); includes
+          [unknown-rule] pseudo-violations for typoed allow comments *)
+  suppressed : int;
+  files : int;
+}
+
+val analyze : ?rules:rule list -> Program.t -> report
+(** Build the graph once and run the rules, then filter through
+    [(* dbflow: allow ... *)] suppressions per file. *)

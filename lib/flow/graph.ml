@@ -1,0 +1,475 @@
+(* Whole-program extraction: one pass over every parsed unit builds
+   - a call graph of top-level (and module-nested) functions,
+   - per-node protocol facts: which [Msg.t] constructors the node
+     builds, which [Obs] event kinds it emits at an emit site, whether
+     it touches the AAS machinery, whether it reads a primary-copy
+     gate, and where it constructs an initial-update reply,
+   - the handler dispatch of each protocol kernel, split into one
+     pseudo-node per arm (the dispatch [match] in [handle] is the cut
+     point: [handle] itself gets no outgoing edges, so reachability
+     from one arm never leaks through re-entrant dispatch like the
+     [Batch] arm),
+   - every interned [Stats.counter]/[Stats.hist] creation and a global
+     tally of identifier/field mentions to pair them against.
+
+   Everything is syntactic (no typing pass), like dblint: the rules
+   compensate by scoping to the kernel unit and erring silent. *)
+
+open Dbtree_lint
+
+type node = {
+  id : string;
+  unit_name : string;
+  file : string;
+  loc : Location.t;
+  mutable calls : string list;
+  mutable constructs : (string * Location.t) list;
+  mutable emits : (string * Location.t) list;
+  mutable reply_sites : Location.t list;
+  mutable pc_gates : Location.t list;
+  mutable aas_marked : bool;
+}
+
+type arm = {
+  arm_constructors : (string * Location.t) list;
+  arm_node : node;
+  arm_rejecting : bool;
+  arm_line : int;
+}
+
+type kernel = {
+  k_unit : string;
+  k_file : string;
+  k_arms : arm list;
+}
+
+type counter_def = {
+  cd_key : string;  (** record label or let-bound name holding the handle *)
+  cd_name : string;  (** interned metric name *)
+  cd_kind : [ `Counter | `Hist ];
+  cd_unit : string;
+  cd_file : string;
+  cd_loc : Location.t;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  node_order : string list;
+  kernels : kernel list;
+  counters : counter_def list;
+  uses : (string, int) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let last_comp lid =
+  match Rule.lident_components (Rule.strip_stdlib lid) with
+  | [] -> ""
+  | comps -> List.nth comps (List.length comps - 1)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let is_lower_ident s = s <> "" && s.[0] >= 'a' && s.[0] <= 'z'
+let is_upper_ident s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
+
+(* Search and scan replies are exempt from the AAS-discipline rule
+   (Theorem 1 blocks only the initial updates); the kernels build those
+   replies inline under a [Search]/[Scan] dispatch arm. *)
+let exempt_ctors = [ "Search"; "Scan"; "K_search"; "K_scan" ]
+
+let pattern_ctors (p : Parsetree.pattern) =
+  let acc = ref [] in
+  let pat (it : Ast_iterator.iterator) (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Ppat_construct ({ txt; loc }, _) ->
+      let name = last_comp txt in
+      if is_upper_ident name then acc := (txt, name, loc) :: !acc
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let it = { Ast_iterator.default_iterator with pat } in
+  it.pat it p;
+  List.rev !acc
+
+let pattern_mentions_exempt p =
+  List.exists (fun (_, name, _) -> List.mem name exempt_ctors) (pattern_ctors p)
+
+let msg_pattern_ctors p =
+  List.filter_map
+    (fun (lid, name, loc) ->
+      if Rule.mentions_module lid "Msg" then Some (name, loc) else None)
+    (pattern_ctors p)
+
+(* A rejecting arm refuses the kind at runtime instead of handling it:
+   its body is a direct failwith/invalid_arg application. *)
+let arm_rejects (body : Parsetree.expression) =
+  let rec strip (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) -> strip e
+    | _ -> e
+  in
+  match (strip body).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match last_comp txt with
+    | "failwith" | "invalid_arg" -> true
+    | _ -> false)
+  | _ -> false
+
+let emit_callees = [ "event"; "emit"; "emit_here" ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit binding discovery                                          *)
+
+(* Collect value bindings recursively through plain/functor module
+   structures, so kernels wrapped in functors (Net.Make style) and
+   local modules still contribute nodes.  First binding of a name wins
+   the unqualified node id; later shadows are skipped (deterministic,
+   and shadowing of top-level names does not occur in this codebase). *)
+let collect_bindings structure =
+  let acc = ref [] and aliases = ref [] in
+  let rec str_item (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } ->
+            if not (List.mem_assoc txt !acc) then
+              acc := !acc @ [ (txt, vb.pvb_expr) ]
+          | _ -> ())
+        vbs
+    | Pstr_module mb -> module_binding mb
+    | Pstr_recmodule mbs -> List.iter module_binding mbs
+    | _ -> ()
+  and module_binding (mb : Parsetree.module_binding) =
+    (match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Pmod_ident { txt; _ } ->
+      aliases := (name, last_comp txt) :: !aliases
+    | _ -> ());
+    module_expr mb.pmb_expr
+  and module_expr (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> List.iter str_item items
+    | Pmod_functor (_, body) -> module_expr body
+    | Pmod_constraint (me, _) -> module_expr me
+    | _ -> ()
+  in
+  List.iter str_item structure;
+  (!acc, !aliases)
+
+(* ------------------------------------------------------------------ *)
+(* Node body walk                                                      *)
+
+type env = {
+  e_unit : string;
+  e_file : string;
+  e_top_names : string list;
+  e_aliases : (string * string) list;
+  e_unit_names : string list;
+  e_uses : (string, int) Hashtbl.t;
+  e_counters : counter_def list ref;
+}
+
+let count_use env name =
+  Hashtbl.replace env.e_uses name
+    (1 + Option.value (Hashtbl.find_opt env.e_uses name) ~default:0)
+
+let resolve_call env node lid =
+  let comps = Rule.lident_components (Rule.strip_stdlib lid) in
+  let add id = if not (List.mem id node.calls) then node.calls <- node.calls @ [ id ] in
+  match comps with
+  | [] -> ()
+  | [ f ] -> if List.mem f env.e_top_names then add (env.e_unit ^ "." ^ f)
+  | comps ->
+    let n = List.length comps in
+    let f = List.nth comps (n - 1) in
+    let m = List.nth comps (n - 2) in
+    let m =
+      match List.assoc_opt m env.e_aliases with Some m' -> m' | None -> m
+    in
+    if List.mem m env.e_unit_names && is_lower_ident f then add (m ^ "." ^ f)
+
+let string_lit (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* [Stats.counter bag] / [Stats.hist bag]: a partially applied maker. *)
+let maker_kind (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, [ (_, arg) ])
+    when string_lit arg = None -> (
+    match Rule.lident_components (Rule.strip_stdlib txt) with
+    | [ "Stats"; "counter" ] -> Some `Counter
+    | [ "Stats"; "hist" ] -> Some `Hist
+    | _ -> None)
+  | _ -> None
+
+(* Is [e] the creation of a named metric?  Either a full literal call
+   [Stats.counter bag "name"] or an application of an in-scope maker
+   [c "name"]. *)
+let creation ~makers (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    let lits = List.filter_map (fun (_, a) -> string_lit a) args in
+    match (Rule.lident_components (Rule.strip_stdlib txt), lits) with
+    | [ "Stats"; "counter" ], [ name ] when List.length args = 2 ->
+      Some (`Counter, name)
+    | [ "Stats"; "hist" ], [ name ] when List.length args = 2 ->
+      Some (`Hist, name)
+    | [ v ], [ name ] when List.length args = 1 -> (
+      match List.assoc_opt v makers with
+      | Some kind -> Some (kind, name)
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+let walk_node env (node : node) (expr0 : Parsetree.expression)
+    ~(skip_cases : Parsetree.case list option) =
+  let exempt = ref 0 in
+  let makers = ref [] in
+  let add_counter ~key ~name kind loc =
+    env.e_counters :=
+      !(env.e_counters)
+      @ [
+          {
+            cd_key = key;
+            cd_name = name;
+            cd_kind = kind;
+            cd_unit = env.e_unit;
+            cd_file = env.e_file;
+            cd_loc = loc;
+          };
+        ]
+  in
+  let mark_aas_label lbl =
+    if lbl = "splitting" || contains_sub lbl "aas" then node.aas_marked <- true
+  in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_match (scrut, cases)
+      when (match skip_cases with Some sc -> sc == cases | None -> false) ->
+      (* The kernel dispatch: the arms are separate pseudo-nodes, so
+         only the scrutinee belongs to [handle] itself. *)
+      it.expr it scrut
+    | _ ->
+      (match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+        resolve_call env node txt;
+        (match txt with
+        | Longident.Lident x ->
+          count_use env x;
+          if contains_sub x "aas" then node.aas_marked <- true
+        | _ ->
+          let lbl = last_comp txt in
+          if is_lower_ident lbl && contains_sub lbl "aas" then
+            node.aas_marked <- true)
+      | Pexp_construct ({ txt; _ }, _) when Rule.mentions_module txt "Msg" ->
+        let name = last_comp txt in
+        if is_upper_ident name then begin
+          node.constructs <- node.constructs @ [ (name, e.pexp_loc) ];
+          if name = "Op_done" && !exempt = 0 then
+            node.reply_sites <- node.reply_sites @ [ e.pexp_loc ]
+        end
+      | Pexp_field (_, { txt; _ }) ->
+        let lbl = last_comp txt in
+        count_use env lbl;
+        if lbl = "pc" then node.pc_gates <- node.pc_gates @ [ e.pexp_loc ];
+        mark_aas_label lbl
+      | Pexp_setfield (_, { txt; _ }, _) -> mark_aas_label (last_comp txt)
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+        (if List.mem (last_comp txt) emit_callees then
+           List.iter
+             (fun ((_, a) : _ * Parsetree.expression) ->
+               match a.pexp_desc with
+               | Pexp_construct ({ txt = c; _ }, _)
+                 when Rule.mentions_module c "Event" ->
+                 node.emits <- node.emits @ [ (last_comp c, a.pexp_loc) ]
+               | _ -> ())
+             args);
+        if Rule.mentions_module txt "Msg" then begin
+          (* Smart constructors ([Msg.batch]) build a kind without a
+             literal constructor application. *)
+          let f = last_comp txt in
+          if is_lower_ident f then
+            node.constructs <-
+              node.constructs @ [ (String.capitalize_ascii f, e.pexp_loc) ]
+        end
+      | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt = v; _ } -> (
+              match maker_kind vb.pvb_expr with
+              | Some kind -> makers := (v, kind) :: !makers
+              | None -> (
+                match creation ~makers:!makers vb.pvb_expr with
+                | Some (kind, name) ->
+                  add_counter ~key:v ~name kind vb.pvb_expr.pexp_loc
+                | None -> ()))
+            | _ -> ())
+          vbs
+      | Pexp_record (fields, _) ->
+        List.iter
+          (fun (({ txt; _ }, value) : _ Asttypes.loc * Parsetree.expression)
+             ->
+            match creation ~makers:!makers value with
+            | Some (kind, name) ->
+              add_counter ~key:(last_comp txt) ~name kind value.pexp_loc
+            | None -> ())
+          fields
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+  in
+  let case (it : Ast_iterator.iterator) (c : Parsetree.case) =
+    it.pat it c.pc_lhs;
+    Option.iter (it.expr it) c.pc_guard;
+    if pattern_mentions_exempt c.pc_lhs then begin
+      incr exempt;
+      it.expr it c.pc_rhs;
+      decr exempt
+    end
+    else it.expr it c.pc_rhs
+  in
+  let it = { Ast_iterator.default_iterator with expr; case } in
+  it.expr it expr0
+
+(* ------------------------------------------------------------------ *)
+(* Kernel dispatch discovery                                           *)
+
+let rec find_dispatch (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> find_dispatch body
+  | Pexp_newtype (_, body) -> find_dispatch body
+  | Pexp_let (_, _, body) -> find_dispatch body
+  | Pexp_sequence (_, body) -> find_dispatch body
+  | Pexp_match (_, cases)
+    when List.exists (fun c -> msg_pattern_ctors c.Parsetree.pc_lhs <> []) cases
+    -> Some cases
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+
+let build (prog : Program.t) =
+  let nodes = Hashtbl.create 256 in
+  let node_order = ref [] in
+  let kernels = ref [] in
+  let counters = ref [] in
+  let uses = Hashtbl.create 1024 in
+  let unit_names = Program.unit_names prog in
+  let fresh_node ~env ~id loc =
+    let n =
+      {
+        id;
+        unit_name = env.e_unit;
+        file = env.e_file;
+        loc;
+        calls = [];
+        constructs = [];
+        emits = [];
+        reply_sites = [];
+        pc_gates = [];
+        aas_marked = false;
+      }
+    in
+    if not (Hashtbl.mem nodes id) then begin
+      Hashtbl.add nodes id n;
+      node_order := id :: !node_order
+    end;
+    n
+  in
+  List.iter
+    (fun (u : Program.unit_info) ->
+      let bindings, aliases = collect_bindings u.structure in
+      let env =
+        {
+          e_unit = u.name;
+          e_file = u.file;
+          e_top_names = List.map fst bindings;
+          e_aliases = aliases;
+          e_unit_names = unit_names;
+          e_uses = uses;
+          e_counters = counters;
+        }
+      in
+      List.iter
+        (fun (name, (expr : Parsetree.expression)) ->
+          let id = u.name ^ "." ^ name in
+          let dispatch = if name = "handle" then find_dispatch expr else None in
+          let node = fresh_node ~env ~id expr.pexp_loc in
+          walk_node env node expr ~skip_cases:dispatch;
+          match dispatch with
+          | None -> ()
+          | Some cases ->
+            let arms =
+              List.filter_map
+                (fun (c : Parsetree.case) ->
+                  match msg_pattern_ctors c.pc_lhs with
+                  | [] -> None
+                  | (first, _) :: _ as ctors ->
+                    let arm_id = id ^ "#" ^ first in
+                    let arm_node =
+                      fresh_node ~env ~id:arm_id c.pc_lhs.ppat_loc
+                    in
+                    walk_node env arm_node c.pc_rhs ~skip_cases:None;
+                    Option.iter
+                      (fun g -> walk_node env arm_node g ~skip_cases:None)
+                      c.pc_guard;
+                    Some
+                      {
+                        arm_constructors = ctors;
+                        arm_node;
+                        arm_rejecting = arm_rejects c.pc_rhs;
+                        arm_line =
+                          c.pc_lhs.ppat_loc.Location.loc_start.Lexing.pos_lnum;
+                      })
+                cases
+            in
+            if arms <> [] then
+              kernels :=
+                { k_unit = u.name; k_file = u.file; k_arms = arms }
+                :: !kernels)
+        bindings)
+    prog.Program.units;
+  {
+    nodes;
+    node_order = List.rev !node_order;
+    kernels = List.rev !kernels;
+    counters = !counters;
+    uses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let find_node t id = Hashtbl.find_opt t.nodes id
+
+let closure t roots =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      match find_node t id with
+      | None -> ()
+      | Some n ->
+        order := n :: !order;
+        List.iter go n.calls
+    end
+  in
+  List.iter go roots;
+  List.rev !order
+
+let nodes_in_order t =
+  List.filter_map (fun id -> find_node t id) t.node_order
+
+let unit_nodes t unit_name =
+  List.filter (fun n -> n.unit_name = unit_name) (nodes_in_order t)
+
+let use_count t key =
+  Option.value (Hashtbl.find_opt t.uses key) ~default:0

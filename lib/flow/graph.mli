@@ -1,0 +1,75 @@
+(** The message-flow graph dbflow's rules run over: a call graph of
+    top-level functions plus per-node protocol facts, the kernels'
+    dispatch arms as pseudo-nodes, and the interned-metric ledger.
+
+    The dispatch [match] inside a [handle] binding is the cut point:
+    [handle]'s own node keeps no outgoing edges and each arm becomes a
+    root node [Unit.handle#Ctor], so reachability from one arm never
+    flows through re-entrant dispatch (the [Batch] arm calls [handle]
+    recursively, which must not make every arm reach every other). *)
+
+type node = {
+  id : string;  (** ["Fixed.do_split"] or ["Fixed.handle#Split_start"] *)
+  unit_name : string;
+  file : string;
+  loc : Location.t;
+  mutable calls : string list;  (** resolved callee ids, may dangle *)
+  mutable constructs : (string * Location.t) list;
+      (** [Msg] constructors built here (smart constructors like
+          [Msg.batch] count, capitalised) *)
+  mutable emits : (string * Location.t) list;
+      (** [Event] kinds passed to an emit-shaped call
+          ([event]/[emit]/[emit_here]) *)
+  mutable reply_sites : Location.t list;
+      (** [Msg.Op_done] constructions outside a Search/Scan dispatch
+          arm: the initial-update reply path *)
+  mutable pc_gates : Location.t list;  (** reads of a [pc] field *)
+  mutable aas_marked : bool;
+      (** touches the AAS machinery: a [splitting] field or any
+          identifier containing ["aas"] *)
+}
+
+type arm = {
+  arm_constructors : (string * Location.t) list;
+  arm_node : node;
+  arm_rejecting : bool;
+      (** body is a direct failwith/invalid_arg application *)
+  arm_line : int;  (** line of the arm's first pattern *)
+}
+
+type kernel = {
+  k_unit : string;
+  k_file : string;
+  k_arms : arm list;
+}
+
+type counter_def = {
+  cd_key : string;  (** record label or let-bound name holding the handle *)
+  cd_name : string;  (** interned metric name *)
+  cd_kind : [ `Counter | `Hist ];
+  cd_unit : string;
+  cd_file : string;
+  cd_loc : Location.t;
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  node_order : string list;  (** deterministic traversal order *)
+  kernels : kernel list;
+  counters : counter_def list;
+  uses : (string, int) Hashtbl.t;
+      (** identifier/field-label mention counts, creation sites
+          excluded: the evidence a counter handle is ever touched *)
+}
+
+val build : Program.t -> t
+
+val find_node : t -> string -> node option
+
+val closure : t -> string list -> node list
+(** Transitive call closure from the given node ids, in BFS-ish
+    deterministic order; dangling ids are skipped. *)
+
+val nodes_in_order : t -> node list
+val unit_nodes : t -> string -> node list
+val use_count : t -> string -> int

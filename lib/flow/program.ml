@@ -1,0 +1,43 @@
+open Dbtree_lint
+
+type unit_info = {
+  name : string;
+  file : string;
+  source : string;
+  structure : Parsetree.structure;
+}
+
+type t = { units : unit_info list }
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let of_source ~file source =
+  {
+    name = module_name_of_file file;
+    file;
+    source;
+    structure = Srcfile.parse ~file source;
+  }
+
+let of_sources srcs =
+  { units = List.map (fun (file, src) -> of_source ~file src) srcs }
+
+let load paths =
+  let files = Lint.collect_files paths in
+  let errors = ref [] in
+  let units =
+    List.filter_map
+      (fun file ->
+        match of_source ~file (Srcfile.read_file file) with
+        | u -> Some u
+        | exception exn ->
+          errors := (file, Fmt.str "%a" Fmt.exn exn) :: !errors;
+          None)
+      files
+  in
+  ({ units }, List.rev !errors)
+
+let find t name = List.find_opt (fun u -> u.name = name) t.units
+let find_file t file = List.find_opt (fun u -> u.file = file) t.units
+let unit_names t = List.map (fun u -> u.name) t.units

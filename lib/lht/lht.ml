@@ -483,6 +483,7 @@ and perform_op t pid (b : bucket) ~op ~kind ~key ~origin =
 let handle t pid ~src msg =
   let ps = t.procs_state.(pid) in
   match msg with
+  (* dbflow: class lazy -- bucket ops chase split chains and never depend on directory agreement (§6) *)
   | Msg.Op { op; kind; key; origin; bucket } -> begin
     match Hashtbl.find_opt ps.buckets bucket with
     | None -> (
@@ -511,6 +512,7 @@ let handle t pid ~src msg =
           Fmt.failwith "Lht: key %d reached bucket %d outside its chain" key
             b.id)
   end
+  (* dbflow: class lazy -- completion funnel at the origin, independent of any bucket's owner *)
   | Msg.Op_done { op; result } -> begin
     match Hashtbl.find_opt t.ops op with
     | Some r ->
@@ -531,6 +533,7 @@ let handle t pid ~src msg =
       r.op_result <- Some result
     | None -> Fmt.failwith "Lht: unknown operation %d" op
   end
+  (* dbflow: class semi -- directory updates are PC-broadcast (eager) or applied version-ordered (lazy mode) (§6.1) *)
   | Msg.Dir_update { uid; suffix; bits; bucket; owner; relayed } ->
     if (not t.cfg.lazy_directory) && pid = 0 && not relayed then begin
       (* eager: the PC applies and broadcasts under acknowledgement *)
@@ -544,7 +547,9 @@ let handle t pid ~src msg =
       apply_dir_update t pid ~uid ~suffix ~bits ~bucket ~owner ~initial:false;
       if not t.cfg.lazy_directory then send t ~src:pid ~dst:src (Msg.Dir_ack { uid })
     end
+  (* dbflow: class semi -- eager-mode round completion at the broadcasting PC (§6.1) *)
   | Msg.Dir_ack _ -> Stats.tick t.ctr.c_dir_acks
+  (* dbflow: class semi -- directory doubling is serialized at processor 0, the directory PC (§6.2) *)
   | Msg.Double_request { want } ->
     assert (pid = 0);
     let dir = ps.dir in
@@ -559,8 +564,10 @@ let handle t pid ~src msg =
           (Msg.Dir_double { uid; depth = dir.depth; version })
       done
     end
+  (* dbflow: class semi -- doubling applies version-ordered against other directory changes (§6.2) *)
   | Msg.Dir_double { uid; depth; version } ->
     apply_dir_double t pid ~uid ~depth ~version
+  (* dbflow: class lazy -- a split bucket installs wholesale; parked ops drain on arrival (§6) *)
   | Msg.Bucket_install { id; suffix; ldepth; entries; base } ->
     ignore (install_bucket t pid ~id ~suffix ~ldepth ~entries ~base)
 

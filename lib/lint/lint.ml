@@ -4,6 +4,7 @@ let all_rules =
     Rule_trace.rule;
   ]
 
+let rule_names = List.map (fun r -> r.Rule.name) all_rules
 let find_rule name = List.find_opt (fun r -> r.Rule.name = name) all_rules
 
 type file_result = {
@@ -11,32 +12,51 @@ type file_result = {
   suppressed : int;
 }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file = Srcfile.read_file
+let parse = Srcfile.parse
 
-let parse ~file source =
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  Location.input_name := file;
-  Parse.implementation lexbuf
+let sort_violations vs =
+  List.sort
+    (fun (a : Rule.violation) b ->
+      compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+    vs
+
+(* A typoed rule name in an allow comment must not pass silently: the
+   author believes something is suppressed that is not.  Reported as a
+   violation of the pseudo-rule [unknown-rule] so it fails the gate. *)
+let unknown_rule_violations ~file suppressions =
+  List.map
+    (fun (line, tok) ->
+      {
+        Rule.rule = "unknown-rule";
+        file;
+        line;
+        col = 0;
+        message =
+          Fmt.str
+            "allow comment names unknown rule %S (known: %s): fix the name \
+             or the comment suppresses nothing"
+            tok
+            (String.concat ", " rule_names);
+      })
+    (Suppress.unknown_rules suppressions)
 
 let lint_source ?(rules = all_rules) ~file source =
   let ctx = Rule.make_ctx ~file ~source in
   let structure = parse ~file source in
-  let suppressions = Suppress.scan source in
+  let suppressions = Suppress.scan ~known:rule_names source in
   let all =
     List.concat_map (fun r -> r.Rule.check ctx structure) rules
-    |> List.sort (fun (a : Rule.violation) b ->
-           compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+    |> sort_violations
   in
   let suppressed, violations =
     List.partition
       (fun (v : Rule.violation) ->
         Suppress.active suppressions ~rule:v.rule ~line:v.line)
       all
+  in
+  let violations =
+    sort_violations (unknown_rule_violations ~file suppressions @ violations)
   in
   { violations; suppressed = List.length suppressed }
 
@@ -62,21 +82,7 @@ let collect_files paths = List.rev (List.fold_left collect_path [] paths)
 let pp_text ppf (v : Rule.violation) =
   Fmt.pf ppf "%s:%d:%d: [%s] %s@." v.file v.line v.col v.rule v.message
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Sarif.json_escape
 
 let pp_json ppf ~files ~suppressed violations =
   let pp_violation ppf (v : Rule.violation) =

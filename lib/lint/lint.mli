@@ -10,6 +10,9 @@
 val all_rules : Rule.t list
 (** The registry, in reporting order. *)
 
+val rule_names : string list
+(** Names of {!all_rules}, the vocabulary allow comments may use. *)
+
 val find_rule : string -> Rule.t option
 
 type file_result = {
@@ -20,7 +23,9 @@ type file_result = {
 val lint_source : ?rules:Rule.t list -> file:string -> string -> file_result
 (** Lint source text as if it lived at [file] (which scopes the rules:
     protocol basename, [lib/] membership, allowlists).  The [mli-coverage]
-    rule consults the filesystem for a sibling [.mli].
+    rule consults the filesystem for a sibling [.mli].  An allow comment
+    naming a rule outside {!rule_names} yields an [unknown-rule]
+    violation (typos must not suppress silently).
     @raise Syntaxerr.Error on unparseable input. *)
 
 val lint_file : ?rules:Rule.t list -> string -> file_result

@@ -1,0 +1,11 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Location.input_name := file;
+  Parse.implementation lexbuf

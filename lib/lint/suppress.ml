@@ -1,6 +1,7 @@
 type t = {
   file_rules : string list;
   line_rules : (int * string list) list;
+  unknown : (int * string) list;
 }
 
 let is_rule_token tok =
@@ -35,21 +36,37 @@ let rules_after line marker =
     in
     Some (leading tokens)
 
-let scan source =
+let scan ?(tool = "dblint") ?known source =
   let lines = String.split_on_char '\n' source in
-  let file_rules = ref [] and line_rules = ref [] in
+  let file_rules = ref [] and line_rules = ref [] and unknown = ref [] in
+  let check_known lnum rules =
+    match known with
+    | None -> ()
+    | Some names ->
+      List.iter
+        (fun r ->
+          if not (List.mem r names) then unknown := (lnum, r) :: !unknown)
+        rules
+  in
   List.iteri
     (fun i line ->
       let lnum = i + 1 in
-      match rules_after line "dblint: allow-file" with
-      | Some rules -> file_rules := rules @ !file_rules
+      match rules_after line (tool ^ ": allow-file") with
+      | Some rules ->
+        check_known lnum rules;
+        file_rules := rules @ !file_rules
       | None -> (
-        match rules_after line "dblint: allow" with
+        match rules_after line (tool ^ ": allow") with
         | Some rules when rules <> [] ->
+          check_known lnum rules;
           line_rules := (lnum, rules) :: !line_rules
         | Some _ | None -> ()))
     lines;
-  { file_rules = !file_rules; line_rules = !line_rules }
+  {
+    file_rules = !file_rules;
+    line_rules = !line_rules;
+    unknown = List.rev !unknown;
+  }
 
 (* A line-scoped allow covers its own line and the next one, so it works
    both as a trailing comment and as a comment of its own above the
@@ -59,3 +76,5 @@ let active t ~rule ~line =
   || List.exists
        (fun (l, rules) -> (l = line || l + 1 = line) && List.mem rule rules)
        t.line_rules
+
+let unknown_rules t = t.unknown

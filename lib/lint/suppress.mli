@@ -5,12 +5,24 @@
     be written trailing the flagged expression or on its own line above.
     [(* dblint: allow-file <rule> *)] anywhere in a file silences the rule
     for the whole file.  Scanning is textual (line-based): the marker is
-    recognised wherever it appears, including inside string literals. *)
+    recognised wherever it appears, including inside string literals.
+
+    The [dblint] marker is the default; dbflow reuses the same mechanics
+    under its own marker via [~tool:"dbflow"], so the two tools'
+    suppressions never shadow each other. *)
 
 type t
 
-val scan : string -> t
-(** Collect the suppressions of one file's source text. *)
+val scan : ?tool:string -> ?known:string list -> string -> t
+(** Collect the suppressions of one file's source text.  [tool] is the
+    comment marker prefix (default ["dblint"]).  When [known] is given,
+    every rule-shaped token naming a rule outside that list is recorded
+    (see {!unknown_rules}) — a typoed allow comment must warn, not
+    silently fail to suppress. *)
 
 val active : t -> rule:string -> line:int -> bool
 (** Is [rule] suppressed for a violation reported at [line]? *)
+
+val unknown_rules : t -> (int * string) list
+(** [(line, token)] for each allow-comment token that named no known
+    rule; empty when [scan] ran without [known]. *)

@@ -16,4 +16,5 @@ let () =
       ("regressions", Test_regressions.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
+      ("flow", Test_flow.suite);
     ]

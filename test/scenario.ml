@@ -38,6 +38,7 @@ let check_verified ?(expect_ok = true) label report =
 let check_no_leftover label (cluster : Cluster.t) =
   Array.iter
     (fun s ->
+      (* dblint: allow no-nondeterminism -- every entry is a failure; order cannot matter *)
       Hashtbl.iter
         (fun id msgs ->
           Alcotest.failf "%s: %d message(s) parked forever at p%d for node %d"
@@ -63,6 +64,7 @@ let all_search_results_correct (cluster : Cluster.t) keys =
 let check_scan (cluster : Cluster.t) ~op ~lo ~hi =
   let expected = Opstate.inserted_keys cluster.Cluster.ops in
   let want =
+    (* dblint: allow no-nondeterminism -- fold result is sorted below *)
     Hashtbl.fold
       (fun k v acc -> if k >= lo && k <= hi then (k, v) :: acc else acc)
       expected []

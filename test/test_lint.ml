@@ -205,6 +205,50 @@ let test_suppress_wrong_rule () =
     "allow for another rule does not apply" [ "no-nondeterminism" ]
     (rules_of r)
 
+let test_suppress_file_and_line_mix () =
+  (* A file-wide allow for one rule composes with a same-line allow for
+     another: each suppresses only its own rule, and a third violation
+     covered by neither still fires. *)
+  let rules =
+    [
+      Option.get (Lint.find_rule "no-nondeterminism");
+      Option.get (Lint.find_rule "interned-stats");
+    ]
+  in
+  let r =
+    lint ~rules
+      "(* dblint: allow-file no-nondeterminism *)\n\
+       let x () = Random.int 10\n\
+       let c stats name = Stats.counter stats name (* dblint: allow \
+       interned-stats *)\n\
+       \n\
+       let d stats name = Stats.counter stats name\n"
+  in
+  Alcotest.(check int) "two suppressed" 2 r.Lint.suppressed;
+  Alcotest.(check (list string))
+    "only the uncovered interning fires" [ "interned-stats" ] (rules_of r)
+
+let test_suppress_final_line_no_newline () =
+  (* A trailing allow on the file's last line, with no final newline,
+     must still cover its own line. *)
+  let r =
+    lint ~rules:(only "no-nondeterminism")
+      "let x () = Random.int 10 (* dblint: allow no-nondeterminism *)"
+  in
+  Alcotest.(check int) "suppressed" 1 r.Lint.suppressed;
+  Alcotest.(check (list string)) "nothing reported" [] (rules_of r)
+
+let test_unknown_rule_name_warns () =
+  (* A typoed allow comment must warn instead of silently suppressing
+     nothing: dblint reports it under the [unknown-rule] pseudo-rule.
+     The marker is assembled so dblint's own scan of this test file
+     does not read the fixture's comment. *)
+  let r =
+    lint ~rules:(only "no-nondeterminism")
+      (Fmt.str "(* %s: allow no-such-rule *)\nlet x = 1\n" "dblint")
+  in
+  Alcotest.(check (list string)) "pseudo-rule" [ "unknown-rule" ] (rules_of r)
+
 (* ---------------------------------------------------------------- *)
 (* full-tree gate: the repo itself must lint clean *)
 
@@ -275,6 +319,12 @@ let suite =
     Alcotest.test_case "suppress: file scope" `Quick test_suppress_file;
     Alcotest.test_case "suppress: wrong rule inert" `Quick
       test_suppress_wrong_rule;
+    Alcotest.test_case "suppress: file+line mix" `Quick
+      test_suppress_file_and_line_mix;
+    Alcotest.test_case "suppress: final line" `Quick
+      test_suppress_final_line_no_newline;
+    Alcotest.test_case "suppress: unknown rule warns" `Quick
+      test_unknown_rule_name_warns;
     Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
     Alcotest.test_case "e01 table pinned" `Quick test_e01_table_pinned;
     Alcotest.test_case "e13 table pinned" `Quick test_e13_table_pinned;

@@ -125,6 +125,7 @@ let test_membership_metadata_consistent () =
           Hashtbl.replace views id
             (sorted :: Option.value (Hashtbl.find_opt views id) ~default:[])))
     cl.Cluster.stores;
+  (* dblint: allow no-nondeterminism -- per-node check, order-insensitive *)
   Hashtbl.iter
     (fun id view_list ->
       match view_list with
@@ -137,6 +138,7 @@ let test_membership_metadata_consistent () =
           rest)
     views;
   (* each node's copy count matches its member list *)
+  (* dblint: allow no-nondeterminism -- per-node check, order-insensitive *)
   Hashtbl.iter
     (fun id views_of_node ->
       let copies = List.length views_of_node in

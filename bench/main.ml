@@ -8,7 +8,10 @@
       whole-cluster kernel per protocol, for raw-cost visibility.
 
    `bench/main.exe` runs both; pass `--quick` for reduced sizes and
-   `--micro-only` / `--tables-only` to select one part. *)
+   `--micro-only` / `--tables-only` to select one part.  `--filter SUB`
+   keeps only the micro benchmarks whose name contains SUB.  Each micro
+   benchmark reports wall time and minor-heap words per run (the
+   allocation column is what the zero-alloc event path is judged by). *)
 
 open Bechamel
 open Toolkit
@@ -52,11 +55,20 @@ let cluster_bench name discipline n =
          ignore (Dbtree_experiments.Common.run_fixed ~searches_per_proc:0 ~count:n cfg)))
 
 let sim_bench n =
+  (* Drives the typed-event interface — the engine's per-message hot path
+     (Net schedules handler ids + ints there, not closures). *)
   Test.make ~name:(Fmt.str "sim.events.%d" n)
     (Staged.stage (fun () ->
          let sim = Dbtree_sim.Sim.create () in
-         let rec chain k = if k > 0 then Dbtree_sim.Sim.schedule sim ~delay:1 (fun () -> chain (k - 1)) in
-         chain n;
+         let null = Obj.repr 0 in
+         let h = ref (-1) in
+         h :=
+           Dbtree_sim.Sim.register_handler sim (fun a _ _ _ ->
+               if a > 0 then
+                 Dbtree_sim.Sim.schedule_typed sim ~delay:1 ~h:!h ~a:(a - 1)
+                   ~b:0 ~c:0 ~o:null);
+         Dbtree_sim.Sim.schedule_typed sim ~delay:1 ~h:!h ~a:n ~b:0 ~c:0
+           ~o:null;
          Dbtree_sim.Sim.run sim))
 
 let btree_bulk_load_bench n =
@@ -88,51 +100,74 @@ let lht_bench n =
          done;
          Dbtree_lht.Lht.run t))
 
-let micro_tests =
-  Test.make_grouped ~name:"micro"
-    [
-      btree_insert_bench 10_000;
-      bptree_insert_bench 10_000;
-      btree_search_bench 10_000;
-      btree_bulk_load_bench 10_000;
-      btree_scan_bench 10_000;
-      sim_bench 100_000;
-      cluster_bench "semi" Dbtree_core.Config.Semi 2_000;
-      cluster_bench "sync" Dbtree_core.Config.Sync 2_000;
-      cluster_bench "eager" Dbtree_core.Config.Eager 2_000;
-      lht_bench 2_000;
-    ]
+(* Named flat list so `--filter` can select by substring before the
+   bechamel grouping. *)
+let micro_tests_all =
+  [
+    ("blink.insert", btree_insert_bench 10_000);
+    ("bptree.insert", bptree_insert_bench 10_000);
+    ("blink.search", btree_search_bench 10_000);
+    ("blink.bulk_load", btree_bulk_load_bench 10_000);
+    ("blink.range", btree_scan_bench 10_000);
+    ("sim.events", sim_bench 100_000);
+    ("cluster.semi", cluster_bench "semi" Dbtree_core.Config.Semi 2_000);
+    ("cluster.sync", cluster_bench "sync" Dbtree_core.Config.Sync 2_000);
+    ("cluster.eager", cluster_bench "eager" Dbtree_core.Config.Eager 2_000);
+    ("lht.insert", lht_bench 2_000);
+  ]
 
-let run_micro () =
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let micro_tests ~filter =
+  let keep (name, _) =
+    match filter with None -> true | Some f -> contains name f
+  in
+  Test.make_grouped ~name:"micro"
+    (List.map snd (List.filter keep micro_tests_all))
+
+(* One benchmark pass measured under two instances: wall time and
+   minor-heap words, both OLS-fitted against run count. *)
+let run_micro ~filter () =
   let benchmark () =
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-    Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests
+    Benchmark.all cfg
+      Instance.[ monotonic_clock; minor_allocated ]
+      (micro_tests ~filter)
   in
-  let analyze results =
+  let results = benchmark () in
+  let analyze instance =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
     in
-    Analyze.all ols Instance.monotonic_clock results
+    Analyze.all ols instance results
   in
-  Fmt.pr "@.########## Bechamel micro-benchmarks ##########@.";
-  let results = analyze (benchmark ()) in
-  Fmt.pr "%-24s  %16s@." "benchmark" "time/run";
-  let estimates =
+  let estimate_list tbl =
     Hashtbl.fold
       (fun name ols acc ->
         match Bechamel.Analyze.OLS.estimates ols with
         | Some (t :: _) -> (name, Some t) :: acc
         | Some [] | None -> (name, None) :: acc)
-      results []
+      tbl []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  Fmt.pr "@.########## Bechamel micro-benchmarks ##########@.";
+  let times = estimate_list (analyze Instance.monotonic_clock) in
+  let allocs = estimate_list (analyze Instance.minor_allocated) in
+  let alloc_of name =
+    match List.assoc_opt name allocs with Some a -> a | None -> None
+  in
+  Fmt.pr "%-24s  %16s  %16s@." "benchmark" "time/run" "minor words/run";
   List.iter
     (fun (name, est) ->
-      match est with
-      | Some t -> Fmt.pr "%-24s  %13.0f ns@." name t
-      | None -> Fmt.pr "%-24s  (no estimate)@." name)
-    estimates;
-  estimates
+      match (est, alloc_of name) with
+      | Some t, Some w -> Fmt.pr "%-24s  %13.0f ns  %14.0f w@." name t w
+      | Some t, None -> Fmt.pr "%-24s  %13.0f ns  %16s@." name t "-"
+      | None, _ -> Fmt.pr "%-24s  (no estimate)@." name)
+    times;
+  (times, allocs)
 
 (* ---------------- JSON baseline (BENCH.json) ---------------- *)
 
@@ -168,24 +203,39 @@ let json_table tbl =
     (json_list (json_list json_str) (Table.rows tbl))
     (json_list json_str (Table.notes tbl))
 
-let write_json ~file ~micro ~tables ~latency =
-  let micro_fields =
-    List.map
-      (fun (name, est) ->
-        match est with
-        | Some ns -> Printf.sprintf "%s:%.1f" (json_str name) ns
-        | None -> Printf.sprintf "%s:null" (json_str name))
-      micro
-  in
+let json_estimates xs =
+  String.concat ","
+    (List.map
+       (fun (name, est) ->
+         match est with
+         | Some v -> Printf.sprintf "%s:%.1f" (json_str name) v
+         | None -> Printf.sprintf "%s:null" (json_str name))
+       xs)
+
+let json_metrics xs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (name, v) -> Printf.sprintf "%s:%.2f" (json_str name) v)
+         xs)
+  ^ "}"
+
+let write_json ~file ~micro ~alloc ~tables ~latency ~scale_quick ~scale =
   let oc = open_out file in
   Printf.fprintf oc
-    "{\"schema\":\"dbtree-bench/1\",\"micro\":{%s},\"tables\":%s,\"latency\":%s}\n"
-    (String.concat "," micro_fields)
+    "{\"schema\":\"dbtree-bench/2\",\"micro\":{%s},\"alloc\":{%s},\"tables\":%s,\"latency\":%s,\"scale_quick\":%s%s}\n"
+    (json_estimates micro) (json_estimates alloc)
     (json_list json_table tables)
-    latency;
+    latency
+    (json_metrics scale_quick)
+    (match scale with
+    | None -> ""
+    | Some s -> Printf.sprintf ",\"scale\":%s" (json_metrics s));
   close_out oc;
-  Fmt.pr "@.wrote %s (%d micro estimates, %d tables)@." file
+  Fmt.pr "@.wrote %s (%d micro estimates, %d tables, %d scale metrics)@." file
     (List.length micro) (List.length tables)
+    (List.length scale_quick
+    + match scale with None -> 0 | Some s -> List.length s)
 
 (* ---------------- latency histograms ---------------- *)
 
@@ -235,22 +285,43 @@ let () =
   let quick = List.mem "--quick" argv in
   let micro_only = List.mem "--micro-only" argv in
   let tables_only = List.mem "--tables-only" argv in
-  let json_file =
+  let find_value flag =
     let rec find = function
-      | "--json" :: file :: _ -> Some file
-      | "--json" :: [] -> Some "BENCH.json"
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
+  let filter = find_value "--filter" in
+  let json_file =
+    if List.mem "--json" argv then
+      Some (Option.value (find_value "--json") ~default:"BENCH.json")
+    else None
+  in
+  let json_file =
+    (* `--json --filter x` would leave `--filter` as the file name *)
+    match json_file with
+    | Some f when String.length f > 1 && f.[0] = '-' -> Some "BENCH.json"
+    | other -> other
+  in
   if json_file <> None then Dbtree_experiments.Table.set_capture true;
   if not micro_only then
     Dbtree_experiments.Experiments.run_all ~quick ();
-  let micro = if tables_only then [] else run_micro () in
+  let micro, alloc =
+    if tables_only then ([], []) else run_micro ~filter ()
+  in
   match json_file with
   | None -> ()
   | Some file ->
     let latency = json_latency (latency_runs ~quick) in
-    write_json ~file ~micro ~tables:(Dbtree_experiments.Table.captured ())
-      ~latency
+    (* scale_quick is always present (it is the CI gate's deterministic
+       reference); the full million-op section only on a full run. *)
+    let scale_quick = Dbtree_experiments.E17_scale.metrics ~quick:true () in
+    let scale =
+      if quick then None
+      else Some (Dbtree_experiments.E17_scale.metrics ~quick:false ())
+    in
+    write_json ~file ~micro ~alloc
+      ~tables:(Dbtree_experiments.Table.captured ())
+      ~latency ~scale_quick ~scale

@@ -5,11 +5,15 @@ module Event = Dbtree_obs.Event
 
 type t = {
   cl : Cluster.t;
-  (* Relay piggybacking (E9): per (src, dst) buffers of lazy relays. *)
+  (* Relay piggybacking (E9): per (src, dst) buffers of lazy relays.
+     [relay_cnt] caches each buffer's length so the batch-full test is a
+     load, not a list walk per relay. *)
   relay_buf : Msg.t list array;
+  relay_cnt : int array;
   buf_scheduled : bool array;
-  (* AAS start times, for blocked-time accounting: (node, pid) -> time. *)
-  aas_since : (int * int, int) Hashtbl.t;
+  (* AAS start times, for blocked-time accounting, keyed by the packed
+     pair [node * procs + pid] (no tuple allocation per probe). *)
+  aas_since : (int, int) Hashtbl.t;
   mutable splits : int;
 }
 
@@ -38,6 +42,7 @@ let flush_relays t src dst =
   | [] -> t.buf_scheduled.(i) <- false
   | msgs ->
     t.relay_buf.(i) <- [];
+    t.relay_cnt.(i) <- 0;
     t.buf_scheduled.(i) <- false;
     send t ~src ~dst (Msg.batch (List.rev msgs))
 
@@ -49,8 +54,8 @@ let send_relay t ~src ~dst msg =
   else begin
     let i = buf_index t src dst in
     t.relay_buf.(i) <- msg :: t.relay_buf.(i);
-    if List.length t.relay_buf.(i) >= cfg.Config.relay_batch then
-      flush_relays t src dst
+    t.relay_cnt.(i) <- t.relay_cnt.(i) + 1;
+    if t.relay_cnt.(i) >= cfg.Config.relay_batch then flush_relays t src dst
     else if not t.buf_scheduled.(i) then begin
       t.buf_scheduled.(i) <- true;
       Sim.schedule t.cl.Cluster.sim ~delay:cfg.Config.relay_flush_delay
@@ -105,7 +110,10 @@ let silence (u : Msg.update) =
 let choose_member t members =
   match members with
   | [ m ] -> m
-  | ms -> Rng.pick (Sim.rng t.cl.Cluster.sim) (Array.of_list ms)
+  | ms ->
+    (* One [Rng.int] draw over the list length — the same draw [Rng.pick]
+       makes, without materialising an intermediate array per hop. *)
+    List.nth ms (Rng.int (Sim.rng t.cl.Cluster.sim) (List.length ms))
 
 (* Forward a routed action towards node [next]: locally when we hold a
    copy, otherwise to some member (any copy will do — that is the lazy
@@ -144,7 +152,7 @@ let rec maybe_split t pid (copy : Store.rcopy) =
     | Config.Sync -> begin
       copy.Store.splitting <- true;
       Hashtbl.replace t.aas_since
-        (copy.Store.node.Node.id, pid)
+        ((copy.Store.node.Node.id * procs t) + pid)
         (Cluster.now t.cl);
       match List.filter (fun m -> m <> pid) copy.Store.members with
       | [] ->
@@ -166,9 +174,10 @@ let rec maybe_split t pid (copy : Store.rcopy) =
 (* Clear the AAS on a copy and re-run the initial updates it blocked. *)
 and end_aas t pid (copy : Store.rcopy) =
   copy.Store.splitting <- false;
-  (match Hashtbl.find_opt t.aas_since (copy.Store.node.Node.id, pid) with
+  let aas_key = (copy.Store.node.Node.id * procs t) + pid in
+  (match Hashtbl.find_opt t.aas_since aas_key with
   | Some since ->
-    Hashtbl.remove t.aas_since (copy.Store.node.Node.id, pid);
+    Hashtbl.remove t.aas_since aas_key;
     let dur = Cluster.now t.cl - since in
     Stats.hist_observe (ctr t).Cluster.aas_time dur;
     Cluster.event t.cl ~pid Event.Aas_release ~a:copy.Store.node.Node.id
@@ -532,8 +541,18 @@ and handle_route t pid ~key ~level ~node ~act =
       | Node.Here | Node.Chase_left _ | Node.Dead_end ->
         Fmt.failwith "Fixed: bad navigation at node %d for key %d" node key
     end
-    else if n.Node.level < level then
-      Fmt.failwith "Fixed: routed below target level (node %d)" node
+    else if n.Node.level < level then begin
+      (* The route's start was a stale root pointer: a split finished at
+         this node's level while the New_root broadcast that raises our
+         root above [level] is still in flight.  Re-enter at whatever root
+         we currently know — each bounce costs at least a tick, so the
+         pending New_root lands after finitely many retries (the variable
+         kernel recovers the same way). *)
+      Stats.tick (ctr t).Cluster.route_up;
+      forward t pid
+        (Msg.Route { key; level; node = store.Store.root; act })
+        store.Store.root
+    end
     else if Bound.compare_key n.Node.high key <= 0 then begin
       (* out of range at the target level: chase the right link *)
       Stats.tick (ctr t).Cluster.route_chase;
@@ -638,7 +657,7 @@ and handle t pid ~src msg =
       Store.add_pending store node msg
     | Some copy ->
       copy.Store.splitting <- true;
-      Hashtbl.replace t.aas_since (node, pid) (Cluster.now t.cl);
+      Hashtbl.replace t.aas_since ((node * procs t) + pid) (Cluster.now t.cl);
       send t ~src:pid ~dst:src (Msg.Split_ack { node })
   end
   (* dbflow: class sync -- AAS quorum ack: the synchronous split proceeds only once every member enrolled (§4.1.1) *)
@@ -814,6 +833,7 @@ let create cfg =
     {
       cl;
       relay_buf = Array.make (cfg.Config.procs * cfg.Config.procs) [];
+      relay_cnt = Array.make (cfg.Config.procs * cfg.Config.procs) 0;
       buf_scheduled = Array.make (cfg.Config.procs * cfg.Config.procs) false;
       aas_since = Hashtbl.create 16;
       splits = 0;

@@ -11,8 +11,12 @@ type record = {
   mutable result : Msg.op_result option;
 }
 
+(* Operation ids are this registry's own dense counter, so the record
+   map is an arena — a flat array indexed by op id, grown by doubling.
+   Completion (two probes per op on the reply path) is a bounds check
+   and a load. *)
 type t = {
-  tbl : (int, record) Hashtbl.t;
+  mutable arr : record option array;
   mutable next : int;
   mutable completed : int;
   mutable hook : (record -> unit) option;
@@ -22,7 +26,7 @@ type t = {
 
 let create () =
   {
-    tbl = Hashtbl.create 1024;
+    arr = Array.make 1024 None;
     next = 0;
     completed = 0;
     hook = None;
@@ -47,11 +51,19 @@ let register t ~kind ~key ~value ~origin ~now =
     }
   in
   t.next <- t.next + 1;
-  Hashtbl.add t.tbl r.id r;
+  if r.id >= Array.length t.arr then begin
+    let arr' = Array.make (2 * Array.length t.arr) None in
+    Array.blit t.arr 0 arr' 0 (Array.length t.arr);
+    t.arr <- arr'
+  end;
+  t.arr.(r.id) <- Some r;
   r
 
+let find t op =
+  if op >= 0 && op < t.next then t.arr.(op) else None
+
 let complete t ~op ~result ~now =
-  match Hashtbl.find_opt t.tbl op with
+  match find t op with
   | None -> Fmt.failwith "Opstate.complete: unknown operation %d" op
   | Some r when r.completed_at <> None ->
     if t.tolerate_duplicates then
@@ -64,36 +76,36 @@ let complete t ~op ~result ~now =
     match t.hook with Some f -> f r | None -> ()
 
 let on_complete t f = t.hook <- Some f
-let find t op = Hashtbl.find_opt t.tbl op
 let issued t = t.next
 let completed t = t.completed
 let outstanding t = t.next - t.completed
+
+(* Ascending op id — the issue order, which is what [sorted_bindings]
+   over the pre-arena hash table produced. *)
 let iter t f =
-  List.iter (fun (_, r) -> f r) (Dbtree_sim.Stats.sorted_bindings t.tbl)
+  for i = 0 to t.next - 1 do
+    match t.arr.(i) with None -> () | Some r -> f r
+  done
 
 let inserted_keys t =
   (* Replay completed updates in issue order; experiments avoid racing
-     updates on the same key, so issue order is the semantic order.
-     [sorted_bindings] sorts by op id, which is the issue order. *)
-  let records = List.map snd (Dbtree_sim.Stats.sorted_bindings t.tbl) in
+     updates on the same key, so issue order is the semantic order. *)
   let keys = Hashtbl.create 256 in
-  List.iter
-    (fun r ->
+  iter t (fun r ->
       match (r.kind, r.result) with
       | Insert, Some Msg.Inserted ->
         Hashtbl.replace keys r.key (Option.value r.value ~default:"")
       | Delete, Some (Msg.Removed true) -> Hashtbl.remove keys r.key
-      | (Search | Insert | Delete | Scan), _ -> ())
-    records;
+      | (Search | Insert | Delete | Scan), _ -> ());
   keys
 
 let latencies t kind =
-  List.filter_map
-    (fun (_, r) ->
+  let acc = ref [] in
+  iter t (fun r ->
       match r.completed_at with
-      | Some c when r.kind = kind -> Some (c - r.issued_at)
-      | Some _ | None -> None)
-    (Dbtree_sim.Stats.sorted_bindings t.tbl)
+      | Some c when r.kind = kind -> acc := (c - r.issued_at) :: !acc
+      | Some _ | None -> ());
+  List.rev !acc
 
 let mean_latency t kind =
   match latencies t kind with

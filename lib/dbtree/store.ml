@@ -21,33 +21,63 @@ type rcopy = {
   mutable acks_pending : int;
   mutable blocked : Msg.t list;
   mutable eager_busy : bool;
-  mutable eager_queue : eager_job Queue.t;
+  eager_queue : eager_job Queue.t;
   mutable eager_acks : int;
   mutable eager_current : eager_job option;
 }
 
+(* Node ids are allocated as a dense sequence of small ints by the cluster
+   ([Cluster.fresh_node_id]), so the three per-node maps are arenas: flat
+   arrays indexed by node id, grown by doubling.  Lookups on the message
+   hot path (find/mem/members_of, several per hop) become a bounds check
+   and a load instead of a hash and a bucket chain, and the per-processor
+   footprint is one word per known node per map. *)
 type t = {
   pid : pid;
-  copies : (node_id, rcopy) Hashtbl.t;
-  where : (node_id, pid list) Hashtbl.t;
-  pending : (node_id, Msg.t list) Hashtbl.t;
+  mutable copies : rcopy option array;  (* node_id -> local copy *)
+  mutable where : pid list option array;  (* node_id -> known member set *)
+  mutable pending : Msg.t list array;  (* node_id -> parked msgs, newest first *)
+  mutable live_copies : int;  (* number of [Some] slots in [copies] *)
   forwarding : (node_id, pid) Hashtbl.t;
   departed : (node_id, unit) Hashtbl.t;
   mutable root : node_id;
 }
 
+let initial_cap = 64
+
 let create ~pid ~root =
   {
     pid;
-    copies = Hashtbl.create 64;
-    where = Hashtbl.create 128;
-    pending = Hashtbl.create 8;
+    copies = Array.make initial_cap None;
+    where = Array.make initial_cap None;
+    pending = Array.make initial_cap [];
+    live_copies = 0;
     forwarding = Hashtbl.create 8;
     departed = Hashtbl.create 8;
     root;
   }
 
-let find t id = Hashtbl.find_opt t.copies id
+(* Grow all three arenas together so a single in-bounds check ([id <
+   Array.length t.copies]) covers every map. *)
+let grow t id =
+  let cap = Array.length t.copies in
+  let cap' =
+    let rec go c = if id < c then c else go (c * 2) in
+    go (cap * 2)
+  in
+  let copies' = Array.make cap' None in
+  Array.blit t.copies 0 copies' 0 cap;
+  t.copies <- copies';
+  let where' = Array.make cap' None in
+  Array.blit t.where 0 where' 0 cap;
+  t.where <- where';
+  let pending' = Array.make cap' [] in
+  Array.blit t.pending 0 pending' 0 cap;
+  t.pending <- pending'
+
+let[@inline] ensure t id = if id >= Array.length t.copies then grow t id
+
+let find t id = if id < Array.length t.copies then t.copies.(id) else None
 
 let get t id =
   match find t id with
@@ -55,12 +85,15 @@ let get t id =
   | None ->
     Fmt.failwith "Store: processor %d has no copy of node %d" t.pid id
 
-let mem t id = Hashtbl.mem t.copies id
+let mem t id = id < Array.length t.copies && t.copies.(id) <> None
 
-let learn t id members = Hashtbl.replace t.where id members
+let learn t id members =
+  ensure t id;
+  t.where.(id) <- Some members
 
 let learn_if_absent t id members =
-  if not (Hashtbl.mem t.where id) then Hashtbl.replace t.where id members
+  ensure t id;
+  if t.where.(id) = None then t.where.(id) <- Some members
 
 let install t ~node ~pc ~members =
   let c =
@@ -78,39 +111,53 @@ let install t ~node ~pc ~members =
       eager_current = None;
     }
   in
-  Hashtbl.replace t.copies node.Node.id c;
-  learn t node.Node.id members;
+  let id = node.Node.id in
+  ensure t id;
+  if t.copies.(id) = None then t.live_copies <- t.live_copies + 1;
+  t.copies.(id) <- Some c;
+  t.where.(id) <- Some members;
   c
 
-let remove t id = Hashtbl.remove t.copies id
+let remove t id =
+  if id < Array.length t.copies && t.copies.(id) <> None then begin
+    t.copies.(id) <- None;
+    t.live_copies <- t.live_copies - 1
+  end
 
 let members_of t id =
-  match Hashtbl.find_opt t.where id with
+  match (if id < Array.length t.where then t.where.(id) else None) with
   | Some m -> m
   | None ->
     Fmt.failwith "Store: processor %d has no location for node %d" t.pid id
 
-let members_opt t id = Hashtbl.find_opt t.where id
+let members_opt t id =
+  if id < Array.length t.where then t.where.(id) else None
 
 let add_pending t id msg =
-  let existing = Option.value (Hashtbl.find_opt t.pending id) ~default:[] in
-  Hashtbl.replace t.pending id (msg :: existing)
+  ensure t id;
+  t.pending.(id) <- msg :: t.pending.(id)
 
 let take_pending t id =
-  match Hashtbl.find_opt t.pending id with
-  | None -> []
-  | Some msgs ->
-    Hashtbl.remove t.pending id;
+  if id < Array.length t.pending then begin
+    let msgs = t.pending.(id) in
+    t.pending.(id) <- [];
     List.rev msgs
+  end
+  else []
 
-let copy_count t = Hashtbl.length t.copies
+let iter_pending t f =
+  for id = 0 to Array.length t.pending - 1 do
+    match t.pending.(id) with [] -> () | msgs -> f id (List.rev msgs)
+  done
 
-(* Sorted by node id: walk order escapes into schedule decisions (balance
-   victim choice) and reports, so it must not depend on bucket layout. *)
+let copy_count t = t.live_copies
+
+(* Ascending node-id walk.  The order escapes into schedule decisions
+   (balance victim choice in Variable/Mobile) and reports, so it must be
+   deterministic; the arena makes it the natural creation order of the
+   nodes rather than an accident of bucket layout. *)
 let iter t f =
-  (* Walk order is load-bearing: balancing victim selection (Variable /
-     Mobile) was tuned against this order and the pinned experiment tables
-     depend on it.  Hashtbl order is deterministic for a fixed stdlib and
-     seed-free hash, which the simulator guarantees. *)
-  (* dblint: allow no-nondeterminism -- order tuned; see comment above *)
-  Hashtbl.iter (fun _ c -> f c) t.copies
+  let a = t.copies in
+  for id = 0 to Array.length a - 1 do
+    match Array.unsafe_get a id with None -> () | Some c -> f c
+  done

@@ -6,6 +6,11 @@
     per-copy protocol state the split disciplines need (AAS flags, blocked
     actions, the eager baseline's serialization queue).
 
+    Node ids are small dense ints ([Cluster.fresh_node_id]), so the three
+    per-node maps are arenas — flat arrays indexed by node id, grown by
+    doubling — rather than hash tables.  A hot-path lookup is a bounds
+    check and a load.
+
     The queue-manager half of the paper's architecture is the simulator's
     network; the store is what the node manager reads and writes. *)
 
@@ -38,18 +43,23 @@ type rcopy = {
   mutable blocked : Msg.t list;
       (** initial updates blocked by the AAS, newest first *)
   mutable eager_busy : bool;
-  mutable eager_queue : eager_job Queue.t;
+  eager_queue : eager_job Queue.t;
+      (** [Queue.t] is itself mutable; the field need not be *)
   mutable eager_acks : int;
   mutable eager_current : eager_job option;
 }
 
 type t = {
   pid : pid;
-  copies : (node_id, rcopy) Hashtbl.t;
-  where : (node_id, pid list) Hashtbl.t;
-      (** location directory: node -> known member set *)
-  pending : (node_id, Msg.t list) Hashtbl.t;
-      (** messages that arrived before their node's copy was installed *)
+  mutable copies : rcopy option array;
+      (** arena: node id -> local copy.  Use the accessors; the raw array
+          over-approximates (trailing [None] slack from doubling). *)
+  mutable where : pid list option array;
+      (** arena: location directory, node id -> known member set *)
+  mutable pending : Msg.t list array;
+      (** arena: messages that arrived before their node's copy was
+          installed, newest first ([take_pending] reverses) *)
+  mutable live_copies : int;  (** number of [Some] slots in [copies] *)
   forwarding : (node_id, pid) Hashtbl.t;
       (** §4.2 forwarding addresses left by migrated nodes *)
   departed : (node_id, unit) Hashtbl.t;
@@ -93,8 +103,15 @@ val add_pending : t -> node_id -> Msg.t -> unit
 val take_pending : t -> node_id -> Msg.t list
 (** Drain buffered messages for a node, in arrival order. *)
 
+val iter_pending : t -> (node_id -> Msg.t list -> unit) -> unit
+(** Visit every node with parked messages, ascending node id, messages in
+    arrival order.  Does not drain. *)
+
 val copy_count : t -> int
 
 val iter : t -> (rcopy -> unit) -> unit
-(** Visit every local copy.  The walk order is unspecified but stable for a
-    fixed build; callers that need a canonical order must sort. *)
+(** Visit every local copy in ascending node-id order.  The walk order is
+    load-bearing — it escapes into schedule decisions (balance victim
+    choice in Variable/Mobile) and reports — and with the arena it is
+    genuinely deterministic: the global node-creation order, independent
+    of any hash-bucket layout. *)

@@ -43,7 +43,10 @@ let guide_key (n : Msg.value Node.t) =
 let choose_member t members =
   match members with
   | [ m ] -> m
-  | ms -> Rng.pick (Sim.rng t.cl.Cluster.sim) (Array.of_list ms)
+  | ms ->
+    (* Same single [Rng.int] draw as [Rng.pick], minus the per-hop
+       intermediate array. *)
+    List.nth ms (Rng.int (Sim.rng t.cl.Cluster.sim) (List.length ms))
 
 let forward ?authority t pid msg next =
   let store = Cluster.store t.cl pid in

@@ -1,0 +1,17 @@
+(** E17 — million-op scale: throughput, root traffic and AAS stalls at
+    64–256 processors, with cells distributed over domains by
+    {!Dbtree_sim.Par.map}. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> unit
+
+val run_with : ?quick:bool -> ?domains:int -> unit -> unit
+(** [run] with an explicit domain count, for the sequential-vs-parallel
+    byte-identity tests ([domains:1] spawns no domain at all). *)
+
+val metrics : ?quick:bool -> ?domains:int -> unit -> (string * float) list
+(** Flat ["procs.protocol.metric" -> value] pairs for BENCH.json's
+    [scale] / [scale_quick] sections.  Every value is deterministic
+    simulation output, portable across machines. *)

@@ -1,4 +1,5 @@
-(* Preallocated ring of typed trace events (struct-of-arrays, ints only).
+(* Ring of typed trace events (struct-of-arrays, ints only), preallocated
+   once enabled.
 
    The recording path allocates nothing and builds no strings: an emit is
    seven array stores and a counter bump, and a disabled emit is one
@@ -8,13 +9,16 @@
 type t = {
   mutable enabled : bool;
   capacity : int;
-  time : int array;
-  pid : int array;
-  op : int array;
-  parent : int array;
-  kind : int array;
-  a : int array;
-  b : int array;
+  (* Buffers are allocated lazily, on creation when enabled or on the
+     first [set_enabled true] — a disabled ring costs a record, not
+     7 x capacity words (every Cluster.create builds one). *)
+  mutable time : int array;
+  mutable pid : int array;
+  mutable op : int array;
+  mutable parent : int array;
+  mutable kind : int array;
+  mutable a : int array;
+  mutable b : int array;
   mutable next : int;  (* total events ever emitted; the next event id *)
   (* Ambient causal context: the operation being executed and the event
      that caused the current execution (a [Msg_recv] or an [Op_issue]).
@@ -50,22 +54,34 @@ let registered () = List.rev !registry
 let clear_registered () = registry := []
 
 let make ~enabled ~capacity ~label =
+  let n = if enabled then capacity else 0 in
   {
     enabled;
     capacity;
-    time = Array.make capacity 0;
-    pid = Array.make capacity 0;
-    op = Array.make capacity 0;
-    parent = Array.make capacity 0;
-    kind = Array.make capacity 0;
-    a = Array.make capacity 0;
-    b = Array.make capacity 0;
+    time = Array.make n 0;
+    pid = Array.make n 0;
+    op = Array.make n 0;
+    parent = Array.make n 0;
+    kind = Array.make n 0;
+    a = Array.make n 0;
+    b = Array.make n 0;
     next = 0;
     cur_op = -1;
     cur_parent = -1;
     msg_name = default_msg_name;
     label;
   }
+
+let alloc_buffers t =
+  if Array.length t.time < t.capacity then begin
+    t.time <- Array.make t.capacity 0;
+    t.pid <- Array.make t.capacity 0;
+    t.op <- Array.make t.capacity 0;
+    t.parent <- Array.make t.capacity 0;
+    t.kind <- Array.make t.capacity 0;
+    t.a <- Array.make t.capacity 0;
+    t.b <- Array.make t.capacity 0
+  end
 
 let create ?(enabled = false) ?(capacity = default_capacity) ?(label = "") ()
     =
@@ -78,7 +94,9 @@ let create ?(enabled = false) ?(capacity = default_capacity) ?(label = "") ()
 
 let disabled = make ~enabled:false ~capacity:1 ~label:""
 let on t = t.enabled
-let set_enabled t b = t.enabled <- b
+let set_enabled t b =
+  if b then alloc_buffers t;
+  t.enabled <- b
 let label t = t.label
 let set_msg_names t f = t.msg_name <- f
 let msg_name t i = t.msg_name i

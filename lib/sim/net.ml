@@ -94,9 +94,20 @@ module Make (M : MESSAGE) = struct
     c_dup_dropped : Stats.counter;
     c_held : Stats.counter;
     c_kind : Stats.counter array;
+    (* Typed-event handler ids ([Sim.register_handler]): the per-message
+       hot path schedules five ints instead of allocating a closure.
+       [h_deliver] carries a raw/local delivery (a = src*procs+dst,
+       b = op, c = sid, o = the message); [h_frame] a reliable-transport
+       frame arrival (a = src*procs+dst, b = seq, c = ack, o = the
+       payload option).  Registered once in [create], the only schedule
+       sites are [schedule_deliveries] and [send] below. *)
+    mutable h_deliver : int;
+    mutable h_frame : int;
   }
 
-  let create ?(latency = default_latency) ?(faults = no_faults)
+  (* Record construction only; the typed-event handlers are registered by
+     [create] below, once [deliver] and [recv_frame] exist. *)
+  let make ?(latency = default_latency) ?(faults = no_faults)
       ?(transport = Raw) ?(obs = Obs.disabled) sim ~procs =
     let stats = Sim.stats sim in
     (* The retransmit timeout starts comfortably above one round trip and
@@ -139,6 +150,8 @@ module Make (M : MESSAGE) = struct
         Array.init M.num_kinds (fun i ->
             (* dblint: allow interned-stats -- resolved once per network at creation, not on the message path *)
             Stats.counter stats ("net.msg." ^ M.kind_name i));
+      h_deliver = -1;
+      h_frame = -1;
     }
 
   let sim t = t.sim
@@ -170,7 +183,9 @@ module Make (M : MESSAGE) = struct
     | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
 
   (* Record a [Msg_send] under the ambient context and return the
-     lineage pair to capture in the delivery closure. *)
+     lineage pair for the reliable path's in-flight queue.  The raw/local
+     hot paths read the two halves separately instead, avoiding the pair
+     allocation per message. *)
   let note_send t ~src ~dst msg =
     let sid =
       Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid:src ~kind:Event.Msg_send
@@ -179,11 +194,13 @@ module Make (M : MESSAGE) = struct
     (Obs.cur_op t.obs, sid)
 
   (* Shared physical leg: compute the arrival time of one wire transmission
-     (latency + per-channel FIFO front) and schedule [receive] for every
-     copy the fault model actually delivers.  Every scheduled delivery —
-     including fault-injected duplicates and late copies — is counted in
-     [inbound]; a dropped transmission is not (nothing arrives). *)
-  let schedule_deliveries t ~src ~dst receive =
+     (latency + per-channel FIFO front) and schedule a typed delivery
+     event for every copy the fault model actually delivers — handler
+     [h] with payload [o] and ints [b]/[c] ([a] always carries the
+     channel).  Every scheduled delivery — including fault-injected
+     duplicates and late copies — is counted in [inbound]; a dropped
+     transmission is not (nothing arrives). *)
+  let schedule_deliveries t ~src ~dst ~h ~b ~c ~o =
     let raw_delay =
       t.latency.remote_base
       + (if t.latency.remote_jitter > 0 then
@@ -201,7 +218,7 @@ module Make (M : MESSAGE) = struct
     if dropped then Stats.tick t.c_dropped
     else begin
       t.inbound.(dst) <- t.inbound.(dst) + 1;
-      Sim.schedule t.sim ~delay:(at - now) receive
+      Sim.schedule_typed t.sim ~delay:(at - now) ~h ~a:chan ~b ~c ~o
     end;
     (* fault injection (off by default): duplicate delivery, and FIFO
        violation via an extra late delivery of a copy *)
@@ -211,15 +228,15 @@ module Make (M : MESSAGE) = struct
     then begin
       Stats.tick t.c_dup;
       t.inbound.(dst) <- t.inbound.(dst) + 1;
-      Sim.schedule t.sim ~delay:(at - now + 1) receive
+      Sim.schedule_typed t.sim ~delay:(at - now + 1) ~h ~a:chan ~b ~c ~o
     end;
     if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
     then begin
       Stats.tick t.c_delayed;
       t.inbound.(dst) <- t.inbound.(dst) + 1;
-      Sim.schedule t.sim
+      Sim.schedule_typed t.sim
         ~delay:(at - now + t.faults.delay_ticks)
-        receive
+        ~h ~a:chan ~b ~c ~o
     end
 
   (* ---------------- Raw transport ---------------- *)
@@ -234,8 +251,12 @@ module Make (M : MESSAGE) = struct
     Stats.tick t.c_msgs;
     Stats.tick t.c_kind.(kind_id);
     Stats.add t.c_bytes size;
-    let op, sid = note_send t ~src ~dst msg in
-    schedule_deliveries t ~src ~dst (fun () -> deliver t ~src ~dst ~op ~sid msg)
+    let sid =
+      Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid:src ~kind:Event.Msg_send
+        ~a:dst ~b:kind_id
+    in
+    schedule_deliveries t ~src ~dst ~h:t.h_deliver ~b:(Obs.cur_op t.obs)
+      ~c:sid ~o:(Obj.repr msg)
 
   (* ---------------- Reliable transport ---------------- *)
 
@@ -283,8 +304,8 @@ module Make (M : MESSAGE) = struct
       ignore
         (Obs.emit_here t.obs ~time:(Sim.now t.sim) ~pid:src ~kind:Event.Ack
            ~a:dst ~b:ack));
-    schedule_deliveries t ~src ~dst (fun () ->
-        recv_frame t ~src ~dst ~seq ~ack payload)
+    schedule_deliveries t ~src ~dst ~h:t.h_frame ~b:seq ~c:ack
+      ~o:(Obj.repr payload)
 
   (* Data frame for (seq, msg) on channel (src, dst), piggybacking the
      cumulative ack of the reverse direction and thereby covering any ack
@@ -393,6 +414,21 @@ module Make (M : MESSAGE) = struct
       end
     end
 
+  (* Public constructor: build the record, then register the two typed
+     delivery handlers (they close over [t] and must see [deliver] /
+     [recv_frame], hence the placement after the transport code). *)
+  let create ?latency ?faults ?transport ?obs sim ~procs =
+    let t = make ?latency ?faults ?transport ?obs sim ~procs in
+    t.h_deliver <-
+      Sim.register_handler sim (fun a b c o ->
+          deliver t ~src:(a / t.procs) ~dst:(a mod t.procs) ~op:b ~sid:c
+            (Obj.obj o : M.t));
+    t.h_frame <-
+      Sim.register_handler sim (fun a b c o ->
+          recv_frame t ~src:(a / t.procs) ~dst:(a mod t.procs) ~seq:b ~ack:c
+            (Obj.obj o : (M.t * int * int) option));
+    t
+
   let rel_send t ~src ~dst msg =
     let ch = rel_chan t ~src ~dst in
     let seq = ch.next_seq in
@@ -416,9 +452,12 @@ module Make (M : MESSAGE) = struct
       let now = Sim.now t.sim in
       let at = max (now + t.latency.local_delay) (t.channel_front.(chan) + 1) in
       t.channel_front.(chan) <- at;
-      let op, sid = note_send t ~src ~dst msg in
-      Sim.schedule t.sim ~delay:(at - now) (fun () ->
-          deliver t ~src ~dst ~op ~sid msg)
+      let sid =
+        Obs.emit_here t.obs ~time:now ~pid:src ~kind:Event.Msg_send ~a:dst
+          ~b:(M.kind_id msg)
+      in
+      Sim.schedule_typed t.sim ~delay:(at - now) ~h:t.h_deliver ~a:chan
+        ~b:(Obs.cur_op t.obs) ~c:sid ~o:(Obj.repr msg)
     end
     else
       match t.transport with

@@ -1,0 +1,54 @@
+(* Deterministic domain-parallel map over independent simulation cells.
+
+   The simulator core is single-threaded by design — determinism comes
+   from one event queue, one Rng lineage, one processed-counter.  The
+   parallelism the scale experiments need is coarser: whole *cells*
+   (one cluster + workload per parameter point) that share nothing.
+   [map] farms such cells out to OCaml 5 domains and merges results in
+   input order, so the output — and anything rendered from it — is
+   byte-identical to a sequential run.  This is conservative lookahead
+   taken to its fixed point: the cells exchange no messages, so every
+   cell's horizon is infinite and no synchronisation protocol is needed.
+
+   Work distribution is an atomic take-a-number counter.  The *schedule*
+   (which domain runs which cell, and when) is nondeterministic; the
+   *result* is not, because slot [i] of the output is written by exactly
+   one worker, from inputs alone.  Exceptions are captured per cell and
+   re-raised for the lowest failing index after all domains join, so
+   even failure behaviour does not depend on domain interleaving. *)
+
+let available () = Domain.recommended_domain_count ()
+
+let default_domains () =
+  match Sys.getenv_opt "DBTREE_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let run_cells f xs n d =
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+        go ()
+      end
+    in
+    go ()
+  in
+  let doms = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join doms;
+  Array.map
+    (function
+      | Some (Ok r) -> r
+      | Some (Error e) -> raise e
+      | None -> assert false)
+    results
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let d = min d n in
+  if d <= 1 then Array.map f xs else run_cells f xs n d

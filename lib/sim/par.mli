@@ -1,0 +1,30 @@
+(** Deterministic domain-parallel map over independent simulation cells.
+
+    The simulator itself stays single-threaded (that is where its
+    determinism comes from); what parallelises is the layer above — the
+    experiment grids that run one self-contained cluster per parameter
+    point.  [map] distributes those cells over OCaml 5 domains and
+    returns results in input order, so output is byte-identical to the
+    sequential run no matter how many domains execute it (the
+    equivalence is pinned by test).
+
+    The callback must be *cell-isolated*: build its own [Sim.t]/cluster
+    from its input and touch no process-global mutable state.  In this
+    codebase that means no [Obs.force_tracing] and no [Table] printing
+    from inside the callback — return row data and render on the caller's
+    thread. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — what the machine offers. *)
+
+val default_domains : unit -> int
+(** Domain count from the [DBTREE_DOMAINS] environment variable,
+    defaulting to 1 (purely sequential; no domains spawned). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] applies [f] to every element, using up to
+    [domains] domains ([default_domains ()] when omitted; clamped to the
+    array length; [<= 1] runs sequentially in the calling domain with no
+    domain spawned at all).  Results arrive in input order.  If any call
+    raises, the exception of the lowest failing index is re-raised after
+    all domains complete. *)

@@ -1,72 +1,122 @@
+type handler = int -> int -> int -> Obj.t -> unit
+
 type t = {
   mutable now : int;
-  mutable seq : int;
   mutable processed : int;
-  pending : Evq.t;
+  pending : Wheel.t;
+  cell : Wheel.cell;  (* scratch for pop/dispatch; reused, never escapes *)
+  mutable handlers : handler array;
+  mutable n_handlers : int;
   rng : Rng.t;
   stats : Stats.t;
 }
 
+let no_handler : handler =
+ fun _ _ _ _ -> Fmt.failwith "Sim: dispatch to unregistered handler"
+
 let create ?(seed = 42) () =
   {
     now = 0;
-    seq = 0;
     processed = 0;
-    pending = Evq.create ();
+    pending = Wheel.create ();
+    cell = Wheel.make_cell ();
+    handlers = Array.make 8 no_handler;
+    n_handlers = 0;
     rng = Rng.create seed;
     stats = Stats.create ();
   }
 
 let now t = t.now
-let pending t = Evq.length t.pending
+let pending t = Wheel.length t.pending
 let rng t = t.rng
 let stats t = t.stats
 let events_processed t = t.processed
+let seq_consumed t = Wheel.overflow_seq t.pending
+
+let register_handler t f =
+  let id = t.n_handlers in
+  if id = Array.length t.handlers then begin
+    let h = Array.make (2 * id) no_handler in
+    Array.blit t.handlers 0 h 0 id;
+    t.handlers <- h
+  end;
+  t.handlers.(id) <- f;
+  t.n_handlers <- id + 1;
+  id
+
+(* Packed-clock guard.  Time still has the [Evq] budget of 2^31 ticks; the
+   per-event [seq] of the old global heap is gone — only events scheduled
+   beyond the wheel window consume a (time, seq)-packed overflow slot, so
+   [seq] stays near zero even over million-op runs (see the regression
+   test).  [max_time - 1] (not [max_time]) so a packed overflow key can
+   never reach [max_int], the empty sentinel. *)
+let[@inline] check_clock t time =
+  if time >= Evq.max_time - 1 || Wheel.overflow_seq t.pending >= Evq.max_seq
+  then
+    Fmt.invalid_arg "Sim.schedule: packed clock exhausted (time=%d seq=%d)"
+      time
+      (Wheel.overflow_seq t.pending)
 
 let schedule t ~delay action =
   let delay = if delay < 0 then 0 else delay in
   let time = t.now + delay in
-  (* [max_time - 1] (not [max_time]) so a packed key can never reach
-     [max_int], which [Evq.min_key] reserves as the empty sentinel. *)
-  if time >= Evq.max_time - 1 || t.seq >= Evq.max_seq then
-    Fmt.invalid_arg "Sim.schedule: packed clock exhausted (time=%d seq=%d)"
-      time t.seq;
-  Evq.add t.pending ~key:(Evq.pack ~time ~seq:t.seq) action;
-  t.seq <- t.seq + 1
+  check_clock t time;
+  Wheel.schedule t.pending ~time action
+
+let schedule_typed t ~delay ~h ~a ~b ~c ~o =
+  let delay = if delay < 0 then 0 else delay in
+  let time = t.now + delay in
+  check_clock t time;
+  Wheel.schedule_typed t.pending ~time ~h ~a ~b ~c ~o
 
 exception Budget_exhausted
 
+(* The cell is read fully before the handler runs, so a handler that
+   schedules (or even recursively runs the loop) cannot clobber the event
+   being dispatched. *)
+let[@inline] dispatch t =
+  let cell = t.cell in
+  t.now <- cell.Wheel.time;
+  t.processed <- t.processed + 1;
+  let h = cell.Wheel.h in
+  if h < 0 then (Obj.obj cell.Wheel.o : unit -> unit) ()
+  else
+    (Array.unsafe_get t.handlers h)
+      cell.Wheel.a cell.Wheel.b cell.Wheel.c cell.Wheel.o
+
 let step t =
-  if Evq.is_empty t.pending then false
-  else begin
-    t.now <- Evq.time_of_key (Evq.min_key t.pending);
-    t.processed <- t.processed + 1;
-    let action = Evq.pop_min t.pending in
-    action ();
+  if Wheel.pop_into t.pending t.cell then begin
+    dispatch t;
     true
   end
+  else false
 
 let run ?max_events ?max_time t =
   (* Hoist the option matches out of the per-event loop: an absent budget
-     becomes a bound no 63-bit event count reaches, an absent horizon a key
-     no packed event exceeds ([min_key] is [max_int] on empty, which also
-     terminates the loop). *)
+     becomes a bound no 63-bit event count reaches, an absent horizon a
+     time no scheduled event exceeds ([next_time] is [max_int] on empty,
+     which also terminates the loop). *)
   let budget = match max_events with Some m -> m | None -> max_int in
-  let key_horizon =
-    match max_time with
-    | Some limit when limit < Evq.max_time ->
-      Evq.pack ~time:limit ~seq:(Evq.max_seq - 1)
-    | Some _ | None -> max_int - 1
-  in
-  let rec loop () =
-    if t.processed >= budget then raise Budget_exhausted;
-    let key = Evq.min_key t.pending in
-    if key <= key_horizon then begin
-      t.now <- Evq.time_of_key key;
-      t.processed <- t.processed + 1;
-      let action = Evq.pop_min t.pending in
-      action ();
-      loop ()
-    end
-  in
-  loop ()
+  match max_time with
+  | Some horizon when horizon < Evq.max_time ->
+    let rec loop () =
+      if t.processed >= budget then raise Budget_exhausted;
+      if Wheel.next_time t.pending <= horizon then begin
+        ignore (Wheel.pop_into t.pending t.cell : bool);
+        dispatch t;
+        loop ()
+      end
+    in
+    loop ()
+  | Some _ | None ->
+    (* No reachable horizon ([check_clock] keeps every scheduled time
+       below [Evq.max_time]): pop directly instead of probing
+       [next_time] first — one queue touch per event, not two. *)
+    let rec loop () =
+      if t.processed >= budget then raise Budget_exhausted;
+      if Wheel.pop_into t.pending t.cell then begin
+        dispatch t;
+        loop ()
+      end
+    in
+    loop ()

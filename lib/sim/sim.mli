@@ -1,14 +1,20 @@
 (** Deterministic discrete-event simulator.
 
     This is the substrate standing in for the paper's message-passing
-    multicomputer: virtual time in integer ticks, a pending-event heap, and
-    an event loop that runs callbacks in (time, insertion) order.  Each
-    callback executes atomically, which gives exactly the paper's execution
-    model — the node manager processes one action at a time, and an action
-    on a node cannot be interrupted by another action (§1.1).
+    multicomputer: virtual time in integer ticks, a calendar event queue
+    ({!Wheel}), and an event loop that runs events in (time, insertion)
+    order.  Each event executes atomically, which gives exactly the
+    paper's execution model — the node manager processes one action at a
+    time, and an action on a node cannot be interrupted by another action
+    (§1.1).
 
-    All randomness flows through {!rng}, so a run is a pure function of the
-    seed and the scheduled work. *)
+    Events come in two flavors.  Closure events ({!schedule}) are the
+    general API.  Typed events ({!schedule_typed}) are the zero-alloc hot
+    path: a pre-registered handler id plus three ints and one boxed
+    payload, so scheduling a message delivery allocates nothing.
+
+    All randomness flows through {!rng}, so a run is a pure function of
+    the seed and the scheduled work. *)
 
 type t
 
@@ -19,9 +25,9 @@ val now : t -> int
 (** Current virtual time, in ticks. *)
 
 val pending : t -> int
-(** Number of events waiting in the heap.  Periodic background activities
-    (e.g. a data balancer) use this to self-disarm when they are the only
-    thing left, so the simulation can quiesce. *)
+(** Number of events waiting in the queue.  Periodic background
+    activities (e.g. a data balancer) use this to self-disarm when they
+    are the only thing left, so the simulation can quiesce. *)
 
 val rng : t -> Rng.t
 val stats : t -> Stats.t
@@ -30,10 +36,33 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at time [now t + max delay 0].  Events
     with equal times run in scheduling order. *)
 
+val register_handler : t -> (int -> int -> int -> Obj.t -> unit) -> int
+(** Register a typed-event handler, returning its id for
+    {!schedule_typed}.  The handler receives the event's [a b c o]
+    exactly as scheduled.  Registration is expected at subsystem setup
+    (e.g. once per network); the table never shrinks.
+
+    The [Obj.t] payload is the one deliberately untyped corner: a handler
+    must only ever be scheduled with payloads of the single type it
+    [Obj.obj]s back.  Keep each handler's schedule sites next to its
+    registration (as [Net] does) so that invariant is visible locally. *)
+
+val schedule_typed :
+  t -> delay:int -> h:int -> a:int -> b:int -> c:int -> o:Obj.t -> unit
+(** Typed twin of {!schedule}: at [now + max delay 0], dispatch to
+    handler [h] with the three ints and the payload.  Allocation-free —
+    the event is five words in a bucket, not a closure. *)
+
+val seq_consumed : t -> int
+(** Packed-clock slots consumed so far (overflow-heap insertions; see the
+    2^31 budget note in the implementation).  Near zero in practice —
+    exposed so tests can pin that million-op runs stay inside the
+    budget. *)
+
 exception Budget_exhausted
 
 val run : ?max_events:int -> ?max_time:int -> t -> unit
-(** Drain the event heap until quiescence (no pending events).
+(** Drain the event queue until quiescence (no pending events).
 
     @param max_events raise {!Budget_exhausted} after this many events —
            a runaway-protocol backstop for tests.

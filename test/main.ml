@@ -15,6 +15,7 @@ let () =
       ("misc", Test_misc.suite);
       ("regressions", Test_regressions.suite);
       ("obs", Test_obs.suite);
+      ("scale", Test_scale.suite);
       ("lint", Test_lint.suite);
       ("flow", Test_flow.suite);
     ]

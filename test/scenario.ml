@@ -38,12 +38,9 @@ let check_verified ?(expect_ok = true) label report =
 let check_no_leftover label (cluster : Cluster.t) =
   Array.iter
     (fun s ->
-      (* dblint: allow no-nondeterminism -- every entry is a failure; order cannot matter *)
-      Hashtbl.iter
-        (fun id msgs ->
+      Store.iter_pending s (fun id msgs ->
           Alcotest.failf "%s: %d message(s) parked forever at p%d for node %d"
-            label (List.length msgs) s.Store.pid id)
-        s.Store.pending)
+            label (List.length msgs) s.Store.pid id))
     cluster.Cluster.stores
 
 let all_search_results_correct (cluster : Cluster.t) keys =

@@ -118,6 +118,26 @@ let test_lht_nested_updates () =
   Alcotest.(check bool) "directory copies converged" false
     r.Lht.directory_divergent
 
+(* Bug 7: a split completing while the New_root broadcast from an earlier
+   root grow was still in flight routed its Add_child from a stale root
+   pointer whose level was below the target, and the fixed kernel treated
+   that as an invariant violation and died.  Fix: re-enter at the current
+   root until the pending New_root lands (the variable kernel's route_up
+   recovery).  Exact shrunk qcheck input: procs=6, capacity=4, count=112,
+   seed=274, semi discipline. *)
+let test_fixed_stale_root_route_up () =
+  let cfg =
+    Config.make ~procs:6 ~capacity:4 ~key_space:50_000 ~seed:274
+      ~discipline:Config.Semi ~replication:Config.Path ()
+  in
+  let t = Fixed.create cfg in
+  let cl = Fixed.cluster t in
+  let _, report =
+    Scenario.run_cluster ~api:(Driver.fixed_api t) ~cluster:cl ~cfg ~count:112
+      ~searches:8 ()
+  in
+  Scenario.check_verified "stale root route_up" report
+
 (* Determinism pin for the hot-path rewrite (monomorphic event queue,
    interned counters, cached batch sizes): the same seed must reproduce the
    exact same schedule, so every counter — message kinds, routing events,
@@ -175,6 +195,8 @@ let suite =
       test_mobile_reclamation_band;
     Alcotest.test_case "nested hash-directory updates" `Quick
       test_lht_nested_updates;
+    Alcotest.test_case "stale root pointer (route below target)" `Quick
+      test_fixed_stale_root_route_up;
     Alcotest.test_case "determinism: fixed-copies counters" `Quick
       test_determinism_fixed;
     Alcotest.test_case "determinism: variable-copies counters" `Quick

@@ -90,6 +90,58 @@ let prop_evq_interleaved =
         ops;
       !ok)
 
+(* The wheel must reproduce the single-heap (time, insertion) order
+   exactly — including across the window/overflow boundary and for
+   same-timestamp batches.  Driver: random interleavings of schedule
+   (delays chosen to straddle [Wheel.window]) and pop, checked against a
+   stable-minimum model over the insertion list. *)
+let prop_wheel_order =
+  QCheck.Test.make ~name:"wheel matches (time, insertion) model" ~count:500
+    QCheck.(pair (int_bound 3) (list (option (int_bound (3 * Wheel.window)))))
+    (fun (divisor, ops) ->
+      (* [divisor] skews delays toward the interesting boundaries. *)
+      let w = Wheel.create () in
+      let cell = Wheel.make_cell () in
+      let model = ref [] in
+      (* insertion order; stable min = pop order *)
+      let now = ref 0 in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let stable_min l =
+        List.fold_left
+          (fun best (time, id) ->
+            match best with
+            | Some (bt, _) when bt <= time -> best
+            | _ -> Some (time, id))
+          None l
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some delay ->
+            let time = !now + (delay / (divisor + 1)) in
+            let id = !next_id in
+            incr next_id;
+            Wheel.schedule_typed w ~time ~h:id ~a:0 ~b:0 ~c:0 ~o:(Obj.repr 0);
+            model := !model @ [ (time, id) ]
+          | None -> (
+            match stable_min !model with
+            | None ->
+              if Wheel.pop_into w cell then ok := false;
+              if Wheel.next_time w <> max_int then ok := false
+            | Some (time, id) ->
+              if Wheel.next_time w <> time then ok := false;
+              if not (Wheel.pop_into w cell) then ok := false
+              else begin
+                if cell.Wheel.time <> time || cell.Wheel.h <> id then
+                  ok := false;
+                now := time;
+                model := List.filter (fun (_, i) -> i <> id) !model
+              end));
+          if Wheel.length w <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let test_stats () =
   let s = Stats.create () in
   Stats.incr s "a";
@@ -353,6 +405,7 @@ let suite =
     Alcotest.test_case "rng: permutation" `Quick test_rng_permutation;
     QCheck_alcotest.to_alcotest prop_evq_order;
     QCheck_alcotest.to_alcotest prop_evq_interleaved;
+    QCheck_alcotest.to_alcotest prop_wheel_order;
     Alcotest.test_case "stats: counters and summaries" `Quick test_stats;
     Alcotest.test_case "stats: interned counter handles" `Quick
       test_stats_interned;

@@ -14,7 +14,9 @@ let notes t = List.rev t.notes
 (* Optional capture of every printed table, so the bench harness can dump
    the experiment message counts into BENCH.json alongside the
    micro-benchmark estimates. *)
+(* dbrace: domain-local -- tables are built and printed on the caller's domain only; Par workers return row data, never a Table *)
 let capture_enabled = ref false
+(* dbrace: domain-local -- same: captured during single-domain rendering, after any Par.map has joined *)
 let captured_rev : t list ref = ref []
 
 let set_capture on =

@@ -17,6 +17,13 @@
 
 open Dbtree_lint
 
+type access_kind =
+  | Deref  (** [!x] *)
+  | Assign  (** [x := e], [incr x], a mutating stdlib call on [x] *)
+  | Setfield  (** [x.f <- e] *)
+  | Atomic_op of string  (** [Atomic.op x ...] *)
+  | Use  (** any other mention: [x] passed around or aliased *)
+
 type node = {
   id : string;
   unit_name : string;
@@ -28,6 +35,8 @@ type node = {
   mutable reply_sites : Location.t list;
   mutable pc_gates : Location.t list;
   mutable aas_marked : bool;
+  mutable accesses : (string * access_kind * Location.t) list;
+  mutable par_roots : string list;
 }
 
 type arm = {
@@ -178,12 +187,16 @@ let count_use env name =
   Hashtbl.replace env.e_uses name
     (1 + Option.value (Hashtbl.find_opt env.e_uses name) ~default:0)
 
-let resolve_call env node lid =
+(* Resolve a value path to a node id: a bare name against this unit's
+   top-level bindings, a qualified one against the program's units
+   (through module aliases).  Shared by the call graph and the
+   global-access facts dbrace layers on top. *)
+let resolve_target env lid =
   let comps = Rule.lident_components (Rule.strip_stdlib lid) in
-  let add id = if not (List.mem id node.calls) then node.calls <- node.calls @ [ id ] in
   match comps with
-  | [] -> ()
-  | [ f ] -> if List.mem f env.e_top_names then add (env.e_unit ^ "." ^ f)
+  | [] -> None
+  | [ f ] ->
+    if List.mem f env.e_top_names then Some (env.e_unit ^ "." ^ f) else None
   | comps ->
     let n = List.length comps in
     let f = List.nth comps (n - 1) in
@@ -191,7 +204,13 @@ let resolve_call env node lid =
     let m =
       match List.assoc_opt m env.e_aliases with Some m' -> m' | None -> m
     in
-    if List.mem m env.e_unit_names && is_lower_ident f then add (m ^ "." ^ f)
+    if List.mem m env.e_unit_names && is_lower_ident f then Some (m ^ "." ^ f)
+    else None
+
+let resolve_call env node lid =
+  match resolve_target env lid with
+  | Some id -> if not (List.mem id node.calls) then node.calls <- node.calls @ [ id ]
+  | None -> ()
 
 let string_lit (e : Parsetree.expression) =
   match e.pexp_desc with
@@ -228,10 +247,62 @@ let creation ~makers (e : Parsetree.expression) =
     | _ -> None)
   | _ -> None
 
+(* Calls whose first unlabelled argument is mutated in place: enough to
+   classify [Hashtbl.add tbl ...] on a toplevel table as a write rather
+   than a generic use.  (A global in any *other* argument position of
+   such a call still surfaces as a [Use] — dbrace treats both as shared
+   access; only the rule attribution differs.) *)
+let mutating_first_arg lid =
+  match Rule.lident_components (Rule.strip_stdlib lid) with
+  | [ m; f ] -> (
+    match m with
+    | "Hashtbl" ->
+      List.mem f [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+    | "Array" -> List.mem f [ "set"; "fill"; "unsafe_set"; "blit" ]
+    | "Bytes" -> List.mem f [ "set"; "fill"; "unsafe_set"; "blit" ]
+    | "Buffer" ->
+      List.mem f
+        [ "add_string"; "add_char"; "add_bytes"; "add_substring";
+          "add_buffer"; "clear"; "reset"; "truncate" ]
+    | "Queue" -> List.mem f [ "push"; "add"; "pop"; "take"; "clear"; "transfer" ]
+    | _ -> false)
+  | _ -> false
+
+(* Which unlabelled argument of a call becomes a domain-worker entry
+   point: the function handed to [Par.map]/[Par.run_cells], and the
+   handler registered with [Sim.register_handler] (handlers run inside
+   [Sim.run], which the parallel cells drive). *)
+let par_fn_index lid =
+  let f = last_comp lid in
+  if Rule.mentions_module lid "Par" && (f = "map" || f = "run_cells") then
+    Some 0
+  else if Rule.mentions_module lid "Sim" && f = "register_handler" then Some 1
+  else None
+
 let walk_node env (node : node) (expr0 : Parsetree.expression)
     ~(skip_cases : Parsetree.case list option) =
   let exempt = ref 0 in
   let makers = ref [] in
+  (* Identifier occurrences already folded into a specialised access
+     ([!x], [x := e], [Atomic.get x], ...) must not re-surface as a
+     generic [Use] when the iterator descends into the argument. *)
+  let claimed : (Location.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let add_access id kind loc =
+    node.accesses <- node.accesses @ [ (id, kind, loc) ]
+  in
+  let claim_ident kind (a : Parsetree.expression) =
+    match a.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+      Hashtbl.replace claimed a.pexp_loc ();
+      match resolve_target env txt with
+      | Some id -> add_access id kind a.pexp_loc
+      | None -> ())
+    | _ -> ()
+  in
+  let add_par_root id =
+    if not (List.mem id node.par_roots) then
+      node.par_roots <- node.par_roots @ [ id ]
+  in
   let add_counter ~key ~name kind loc =
     env.e_counters :=
       !(env.e_counters)
@@ -260,6 +331,10 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
       (match e.pexp_desc with
       | Pexp_ident { txt; _ } ->
         resolve_call env node txt;
+        if not (Hashtbl.mem claimed e.pexp_loc) then (
+          match resolve_target env txt with
+          | Some id -> add_access id Use e.pexp_loc
+          | None -> ());
         (match txt with
         | Longident.Lident x ->
           count_use env x;
@@ -280,8 +355,36 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
         count_use env lbl;
         if lbl = "pc" then node.pc_gates <- node.pc_gates @ [ e.pexp_loc ];
         mark_aas_label lbl
-      | Pexp_setfield (_, { txt; _ }, _) -> mark_aas_label (last_comp txt)
+      | Pexp_setfield (recv, { txt; _ }, _) ->
+        claim_ident Setfield recv;
+        mark_aas_label (last_comp txt)
       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+        let nolabel =
+          List.filter_map
+            (fun ((l : Asttypes.arg_label), a) ->
+              match l with Asttypes.Nolabel -> Some a | _ -> None)
+            args
+        in
+        (match (Rule.lident_components (Rule.strip_stdlib txt), nolabel) with
+        | [ "!" ], [ a ] -> claim_ident Deref a
+        | [ ":=" ], a :: _ -> claim_ident Assign a
+        | [ ("incr" | "decr") ], [ a ] -> claim_ident Assign a
+        | [ "Atomic"; op ], a :: _ -> claim_ident (Atomic_op op) a
+        | _, a :: _ when mutating_first_arg txt -> claim_ident Assign a
+        | _ -> ());
+        (match par_fn_index txt with
+        | Some idx -> (
+          match List.nth_opt nolabel idx with
+          | Some { pexp_desc = Pexp_ident { txt = flid; _ }; _ } ->
+            Option.iter add_par_root (resolve_target env flid)
+          | Some { pexp_desc = Pexp_fun _ | Pexp_function _; _ } ->
+            (* An inline worker closure: its body (and accesses) belong
+               to this node, so the node itself becomes a worker entry.
+               Conservative — the node's sequential code is swept in
+               too; name the worker to scope the analysis tightly. *)
+            add_par_root node.id
+          | _ -> ())
+        | None -> ());
         (if List.mem (last_comp txt) emit_callees then
            List.iter
              (fun ((_, a) : _ * Parsetree.expression) ->
@@ -375,6 +478,8 @@ let build (prog : Program.t) =
         reply_sites = [];
         pc_gates = [];
         aas_marked = false;
+        accesses = [];
+        par_roots = [];
       }
     in
     if not (Hashtbl.mem nodes id) then begin

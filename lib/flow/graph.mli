@@ -8,6 +8,13 @@
     flows through re-entrant dispatch (the [Batch] arm calls [handle]
     recursively, which must not make every arm reach every other). *)
 
+type access_kind =
+  | Deref  (** [!x] *)
+  | Assign  (** [x := e], [incr x], or a mutating stdlib call on [x] *)
+  | Setfield  (** [x.f <- e] on a resolved module-level value *)
+  | Atomic_op of string  (** [Atomic.op x ...] *)
+  | Use  (** any other mention: [x] passed around or aliased *)
+
 type node = {
   id : string;  (** ["Fixed.do_split"] or ["Fixed.handle#Split_start"] *)
   unit_name : string;
@@ -27,6 +34,13 @@ type node = {
   mutable aas_marked : bool;
       (** touches the AAS machinery: a [splitting] field or any
           identifier containing ["aas"] *)
+  mutable accesses : (string * access_kind * Location.t) list;
+      (** every resolved reference to a top-level value, classified:
+          the raw material of dbrace's shared-state rules *)
+  mutable par_roots : string list;
+      (** resolved ids of functions this node hands to
+          [Par.map]/[Par.run_cells]/[Sim.register_handler]; the node's
+          own id when the worker is an inline closure *)
 }
 
 type arm = {

@@ -39,19 +39,34 @@ let default_msg_name i = "kind" ^ string_of_int i
 (* Global force switch for `dbtree run --trace`: experiments build their
    configurations internally, so the CLI cannot thread a flag through
    them.  When forced, every ring created afterwards is enabled and
-   registered (in creation order) for a merged export after the run. *)
+   registered for a merged export after the run.
 
-let force_on = ref false
-let force_capacity = ref default_capacity
+   [create] is par-reachable (every parallel E17 cell builds a cluster,
+   and a cluster builds a ring), so this state is the repo's one genuine
+   cross-domain rendezvous: the flag and capacity are Atomics read once
+   per create, and the registry is a ref guarded by [registry_mu] —
+   which makes the registry *complete* under [Par.map].  Creation order
+   across domains is scheduling-dependent, so parallel callers wanting a
+   stable view must order [registered] themselves (by label, as the
+   regression test does). *)
+
+let force_on = Atomic.make false
+let force_capacity = Atomic.make default_capacity
+let registry_mu = Mutex.create ()
+
+(* dbrace: guarded -- every touch below is inside Mutex.protect registry_mu *)
 let registry : t list ref = ref []
 
 let force_enable ?(capacity = default_capacity) () =
-  force_on := true;
-  force_capacity := capacity
+  Atomic.set force_capacity capacity;
+  Atomic.set force_on true
 
-let forced () = !force_on
-let registered () = List.rev !registry
-let clear_registered () = registry := []
+let force_disable () = Atomic.set force_on false
+let forced () = Atomic.get force_on
+
+let registered () = List.rev (Mutex.protect registry_mu (fun () -> !registry))
+
+let clear_registered () = Mutex.protect registry_mu (fun () -> registry := [])
 
 let make ~enabled ~capacity ~label =
   let n = if enabled then capacity else 0 in
@@ -86,10 +101,16 @@ let alloc_buffers t =
 let create ?(enabled = false) ?(capacity = default_capacity) ?(label = "") ()
     =
   if capacity < 1 then invalid_arg "Obs.create: capacity must be >= 1";
-  let enabled = enabled || !force_on in
-  let capacity = if !force_on then max capacity !force_capacity else capacity in
+  (* One Atomic read: a concurrent [force_enable] either sees this create
+     entirely or not at all, never a half-forced ring (enabled but
+     unregistered, or registered at the unforced capacity). *)
+  let force = Atomic.get force_on in
+  let enabled = enabled || force in
+  let capacity =
+    if force then max capacity (Atomic.get force_capacity) else capacity
+  in
   let t = make ~enabled ~capacity ~label in
-  if !force_on then registry := t :: !registry;
+  if force then Mutex.protect registry_mu (fun () -> registry := t :: !registry);
   t
 
 let disabled = make ~enabled:false ~capacity:1 ~label:""

@@ -105,12 +105,25 @@ val pp : t Fmt.t
     For [dbtree run --trace]: experiments construct their configurations
     internally, so the CLI cannot pass a flag through them.  After
     {!force_enable}, every recorder subsequently {!create}d is enabled
-    and registered; the CLI exports the merged set after the run. *)
+    and registered; the CLI exports the merged set after the run.
+
+    This is the one piece of [Obs] state shared across domains
+    ({!create} runs inside parallel experiment cells): the switch is an
+    Atomic read once per create, and the registry is mutex-guarded, so
+    forcing tracing over a [Par.map] registers every ring exactly
+    once. *)
 
 val force_enable : ?capacity:int -> unit -> unit
+val force_disable : unit -> unit
+(** Switch forcing back off (the registry is kept — {!clear_registered}
+    drops it).  For tests that must not leak the forced state. *)
+
 val forced : unit -> bool
 
 val registered : unit -> t list
-(** Recorders created since {!force_enable}, in creation order. *)
+(** Recorders created since {!force_enable}, in creation order.  Under a
+    parallel run, creation order across domains is scheduling-dependent:
+    the set is complete and deterministic, the order is not — sort by
+    {!label} for a stable view. *)
 
 val clear_registered : unit -> unit

@@ -19,10 +19,29 @@
 
 let available () = Domain.recommended_domain_count ()
 
-let default_domains () =
-  match Sys.getenv_opt "DBTREE_DOMAINS" with
-  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+let parse_domains s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some d -> Ok (max 1 d)
+  | None ->
+    Error (Fmt.str "DBTREE_DOMAINS=%S is not an integer; running sequentially" s)
+
+(* Warn on a broken DBTREE_DOMAINS once per process, not once per
+   [Par.map] — an experiment grid calls this per table.  [exchange] keeps
+   the flag inside dbrace's atomic discipline (a get/set pair would be a
+   split read-modify-write, and genuinely racy from two spawners). *)
+let warned = Atomic.make false
+
+let domains_of_env = function
   | None -> 1
+  | Some s -> (
+    match parse_domains s with
+    | Ok d -> d
+    | Error msg ->
+      if not (Atomic.exchange warned true) then Fmt.epr "dbtree: %s@." msg;
+      1)
+
+let default_domains () = domains_of_env (Sys.getenv_opt "DBTREE_DOMAINS")
 
 let run_cells f xs n d =
   let results = Array.make n None in

@@ -19,7 +19,18 @@ val available : unit -> int
 
 val default_domains : unit -> int
 (** Domain count from the [DBTREE_DOMAINS] environment variable,
-    defaulting to 1 (purely sequential; no domains spawned). *)
+    defaulting to 1 (purely sequential; no domains spawned).  An
+    unparsable value falls back to 1 with a warning on stderr, printed
+    once per process. *)
+
+val parse_domains : string -> (int, string) result
+(** The [DBTREE_DOMAINS] parser: trimmed integer clamped to [>= 1], or
+    an explanation of why the value was ignored. *)
+
+val domains_of_env : string option -> int
+(** {!default_domains} on an explicit environment value — exposed so the
+    fallback path is unit-testable without mutating the process
+    environment.  [None] and unparsable values give 1. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, using up to

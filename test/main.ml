@@ -18,4 +18,5 @@ let () =
       ("scale", Test_scale.suite);
       ("lint", Test_lint.suite);
       ("flow", Test_flow.suite);
+      ("race", Test_race.suite);
     ]

@@ -211,9 +211,53 @@ let test_validate_rejects_garbage () =
        (Export.validate
           "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Z\",\"pid\":0,\"tid\":0,\"ts\":1}]}"))
 
+(* ---------------------------------------------------------------- *)
+(* The force switch across domains: the race this PR fixed.  Forcing
+   tracing and then creating rings from inside a [Par.map] must register
+   every ring exactly once (pre-fix, [registry := t :: !registry] from
+   four domains could lose entries), and two identical parallel runs
+   must agree.  Creation *order* across domains is scheduling-dependent,
+   so the stable view is the sorted label set. *)
+
+let test_forced_registry_complete_under_par () =
+  let run () =
+    Obs.clear_registered ();
+    Obs.force_enable ~capacity:4096 ();
+    Fun.protect ~finally:Obs.force_disable (fun () ->
+        let rings =
+          Par.map ~domains:4
+            (fun i ->
+              let o = Obs.create ~capacity:1024 ~label:(Fmt.str "cell%d" i) () in
+              for t = 1 to 10 do
+                ignore
+                  (Obs.emit o ~time:t ~pid:i ~op:t ~parent:(-1)
+                     ~kind:Event.Op_issue ~a:0 ~b:t)
+              done;
+              o)
+            (Array.init 6 (fun i -> i))
+        in
+        Array.iter
+          (fun o ->
+            Alcotest.(check bool) "forced ring enabled" true (Obs.on o);
+            Alcotest.(check int) "all emits recorded" 10 (Obs.length o))
+          rings;
+        List.sort compare (List.map Obs.label (Obs.registered ())))
+  in
+  let labels = run () in
+  Alcotest.(check (list string))
+    "registry complete after the join"
+    (List.init 6 (Fmt.str "cell%d"))
+    labels;
+  Alcotest.(check (list string)) "and deterministic across runs" labels (run ());
+  Alcotest.(check bool) "force_disable took" false (Obs.forced ());
+  Obs.clear_registered ();
+  Alcotest.(check int) "registry cleared" 0 (List.length (Obs.registered ()))
+
 let suite =
   [
     Alcotest.test_case "obs: disabled guard" `Quick test_disabled_guard;
+    Alcotest.test_case "obs: forced registry complete under Par" `Quick
+      test_forced_registry_complete_under_par;
     Alcotest.test_case "obs: ring wraparound" `Quick test_ring_wraparound;
     Alcotest.test_case "obs: ambient context" `Quick test_context;
     Alcotest.test_case "export: deterministic" `Quick test_export_deterministic;

@@ -33,6 +33,65 @@ let test_par_map_exn_lowest () =
        which domain hit which index first *)
     Alcotest.(check string) "lowest failing index raised" "3" s
 
+(* Arbitrary failing subsets under arbitrary domain counts: whichever
+   domain hits whichever cell first, the exception that surfaces is
+   always the lowest failing index's, and a failure-free run matches the
+   sequential map. *)
+let prop_par_exn_lowest =
+  QCheck.Test.make ~count:200 ~name:"par: lowest of many failing cells wins"
+    (QCheck.make
+       ~print:
+         (Fmt.str "%a"
+            (Fmt.Dump.pair
+               (Fmt.Dump.pair Fmt.int (Fmt.Dump.list Fmt.int))
+               Fmt.int))
+       QCheck.Gen.(
+         pair (pair (int_range 1 40) (small_list (int_bound 39))) (int_range 1 6)))
+    (fun ((n, fails), domains) ->
+      let fails = List.sort_uniq compare (List.filter (fun i -> i < n) fails) in
+      let xs = Array.init n (fun i -> i) in
+      let f i = if List.mem i fails then failwith (string_of_int i) else i * 2 in
+      match Par.map ~domains f xs with
+      | r -> fails = [] && r = Array.map (fun i -> i * 2) xs
+      | exception Failure s -> fails <> [] && s = string_of_int (List.hd fails))
+
+let test_par_domains_exceed_cells () =
+  (* the domain count clamps to the cell count: no idle domain spawns,
+     and results (and exceptions) are unchanged *)
+  let xs = [| 10; 20; 30 |] in
+  Alcotest.(check (array int))
+    "8 domains over 3 cells" (Array.map succ xs)
+    (Par.map ~domains:8 succ xs);
+  Alcotest.(check (array int))
+    "5 domains over 1 cell" [| 2 |]
+    (Par.map ~domains:5 succ [| 1 |]);
+  match Par.map ~domains:7 (fun i -> if i = 1 then failwith "x" else i) [| 0; 1 |] with
+  | _ -> Alcotest.fail "expected a Failure"
+  | exception Failure s -> Alcotest.(check string) "exn through the clamp" "x" s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_parse_domains () =
+  Alcotest.(check (result int string)) "plain" (Ok 4) (Par.parse_domains "4");
+  Alcotest.(check (result int string))
+    "whitespace trimmed" (Ok 8)
+    (Par.parse_domains " 8\n");
+  Alcotest.(check (result int string)) "zero clamps" (Ok 1) (Par.parse_domains "0");
+  Alcotest.(check (result int string))
+    "negative clamps" (Ok 1) (Par.parse_domains "-3");
+  (match Par.parse_domains "many" with
+  | Ok d -> Alcotest.failf "parsed %d from garbage" d
+  | Error m ->
+    Alcotest.(check bool) "error names the variable" true (contains m "DBTREE_DOMAINS"));
+  Alcotest.(check int) "unset env means 1" 1 (Par.domains_of_env None);
+  Alcotest.(check int) "garbage env means 1 (warned once on stderr)" 1
+    (Par.domains_of_env (Some "garbage"));
+  Alcotest.(check int) "valid env passes through" 6
+    (Par.domains_of_env (Some "6"))
+
 (* e17's cells through one domain and through several must render the
    exact same table: the domain count is an execution detail, never an
    output one. *)
@@ -206,6 +265,10 @@ let suite =
     Alcotest.test_case "par: map order" `Quick test_par_map_order;
     Alcotest.test_case "par: lowest exception wins" `Quick
       test_par_map_exn_lowest;
+    QCheck_alcotest.to_alcotest prop_par_exn_lowest;
+    Alcotest.test_case "par: domains exceed cells" `Quick
+      test_par_domains_exceed_cells;
+    Alcotest.test_case "par: DBTREE_DOMAINS parsing" `Quick test_parse_domains;
     Alcotest.test_case "par: e17 byte-identical across domains" `Quick
       test_e17_par_byte_identical;
     QCheck_alcotest.to_alcotest prop_store_matches_reference;

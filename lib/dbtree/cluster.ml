@@ -48,6 +48,9 @@ type counters = {
   reclaim_absorb_stale : Stats.counter;
   reclaim_dropped : Stats.counter;
   reclaim_drop_stale : Stats.counter;
+  route_no_members : Stats.counter;
+  recovery_replayed : Stats.counter;
+  recovery_rejoined : Stats.counter;
   (* Latency histograms (log-bucketed; see {!Stats.hist}).  Observed on
      every operation completion and at the end of every synchronous
      split's AAS window, whether or not tracing is on. *)
@@ -99,6 +102,9 @@ let make_counters stats =
     reclaim_absorb_stale = c "reclaim.absorb_stale";
     reclaim_dropped = c "reclaim.dropped";
     reclaim_drop_stale = c "reclaim.drop_stale";
+    route_no_members = c "route.no_members";
+    recovery_replayed = c "recovery.replayed";
+    recovery_rejoined = c "recovery.rejoined";
     lat_search = Stats.hist stats "latency.search";
     lat_insert = Stats.hist stats "latency.insert";
     lat_delete = Stats.hist stats "latency.delete";
@@ -111,6 +117,7 @@ type t = {
   sim : Sim.t;
   net : Network.t;
   stores : Store.t array;
+  wals : Wal.t array;  (* per-processor journals; length 0 when WAL off *)
   ops : Opstate.t;
   hist : Registry.t;
   obs : Obs.t;
@@ -137,11 +144,36 @@ let create (config : Config.t) =
   let stores =
     Array.init config.procs (fun pid -> Store.create ~pid ~root:(-1))
   in
+  let wals =
+    if config.durability.Config.wal then
+      Array.init config.procs (fun pid ->
+          let w =
+            Wal.create ~pid
+              ~snapshot_every:config.durability.Config.snapshot_every
+          in
+          Store.set_wal stores.(pid) w;
+          w)
+    else [||]
+  in
+  if Array.length wals > 0 then
+    (* The transport's durability hooks all fire inside the simulation
+       event performing the action, so a crash (between events) never
+       sees a half-journaled channel. *)
+    Network.set_persist net
+      {
+        Network.p_send = (fun ~src ~dst ~abs msg ->
+            Wal.append wals.(src) (Wal.Send { dst; abs; msg }));
+        p_retire = (fun ~src ~dst ~abs ->
+            Wal.append wals.(src) (Wal.Retire { dst; abs }));
+        p_deliver = (fun ~src ~dst ~abs ->
+            Wal.append wals.(dst) (Wal.Deliver { src; abs }));
+      };
   {
     config;
     sim;
     net;
     stores;
+    wals;
     ops = Opstate.create ();
     hist = Registry.create ();
     obs;
@@ -180,9 +212,24 @@ let members_for_range t ~low ~high =
   | Config.All_procs -> List.init t.config.procs (fun i -> i)
   | Config.Path -> Partition.members_of_range t.partition ~low ~high
 
+(* An empty member set is a typed error, not an exception: once the last
+   copy-holder of a node can crash, a message computing a primary copy
+   from a stale directory entry must be able to take the park path
+   instead of tearing down the run. *)
+type pc_error = Empty_members
+
 let pc_of_members = function
-  | [] -> invalid_arg "Cluster.pc_of_members: empty member list"
-  | pc :: _ -> pc
+  | [] -> Error Empty_members
+  | pc :: _ -> Ok pc
+
+(* For the construction and bootstrap sites whose member lists come from
+   the partition (structurally nonempty): still a typed check, but a
+   violated invariant is a bug worth crashing on. *)
+let pc_of_members_exn members =
+  match pc_of_members members with
+  | Ok pc -> pc
+  | Error Empty_members ->
+    invalid_arg "Cluster.pc_of_members: empty member list"
 
 let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
 
@@ -227,6 +274,10 @@ let op_complete t ~op ~result =
   | Some r when r.Opstate.completed_at = None ->
     let lat = now - r.Opstate.issued_at in
     Stats.hist_observe (op_latency_hist t r.Opstate.kind) lat;
+    (* the acknowledged-op audit stream: E18's zero-lost-acks check
+       compares these against the post-recovery tree *)
+    if Array.length t.wals > 0 then
+      Wal.append t.wals.(r.Opstate.origin) (Wal.Op_done { op });
     if Obs.on t.obs then
       ignore
         (Obs.emit t.obs ~time:now ~pid:r.Opstate.origin ~op
@@ -253,5 +304,73 @@ let hist_snapshot t ~node ~pid =
 
 let hist_retire t ~node ~pid =
   if recording t then Registry.retire_copy t.hist ~node ~pid
+
+(* [pc_error] surfaced through the park path: the message waits for a
+   copy that can name a primary, and [route.no_members] counts it. *)
+let park_no_members t ~pid ~node msg =
+  Stats.tick t.ctr.route_no_members;
+  Store.add_pending t.stores.(pid) node msg;
+  event t ~pid Event.Park ~a:node ~b:(Msg.kind_id msg)
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart recovery                                            *)
+
+let wal t pid = t.wals.(pid)
+
+(* Rebuild a processor's store from its journal; returns (records,
+   bytes) read.  Appends are refused for the duration so the mutations
+   do not re-journal the facts they are reading. *)
+let replay_wal t pid =
+  let w = t.wals.(pid) in
+  let store = t.stores.(pid) in
+  let bytes = ref 0 in
+  Wal.set_replaying w true;
+  let n =
+    Wal.replay w (fun r ->
+        bytes := !bytes + Wal.record_size r;
+        Store.apply_record store r)
+  in
+  Wal.set_replaying w false;
+  (n, !bytes)
+
+(* Wire the crash/restart machinery.  [rejoin] is the kernel's
+   re-enrollment step, run after the replay and the durable-channel
+   restore — for variable copies it is the §4.3 join path (one
+   Join_request per recovered copy whose primary is elsewhere; the PC's
+   version-stamped Join_copy delivers everything missed), for the
+   fixed-copies family it is a no-op (the resumed reliable channels
+   redeliver the missed relays).
+
+   Both the Crash and the Restart event are emitted from this function's
+   closures: dbflow pairs them as a span, so the analysis proves every
+   crash reaches its restart. *)
+let install_recovery t ~rejoin =
+  Network.set_crash_hooks t.net
+    ~on_crash:(fun pid ->
+      event t ~pid Event.Crash ~a:(Network.generation t.net pid) ~b:0;
+      Store.clear t.stores.(pid))
+    ~on_restart:(fun pid ->
+      event t ~pid Event.Restart ~a:(Network.generation t.net pid) ~b:0;
+      let records, bytes = replay_wal t pid in
+      Stats.add t.ctr.recovery_replayed records;
+      event t ~pid Event.Replay ~a:records ~b:bytes;
+      let outbound, sent, delivered = Wal.net_state t.wals.(pid) in
+      Network.restore_proc t.net ~pid ~outbound ~sent ~delivered;
+      rejoin pid)
+
+(* The §4.3 rejoin step shared by kernels with a join protocol: ask the
+   primary of every recovered copy for a fresh image.  The PC answers
+   with a version-stamped [Join_copy]; per-channel FIFO makes it the
+   last message on the channel, so the refreshed copy is current. *)
+let rejoin_copies t pid =
+  let store = t.stores.(pid) in
+  Store.iter store (fun c ->
+      let node = c.Store.node.Dbtree_blink.Node.id in
+      let pc = c.Store.pc in
+      if pc <> pid then begin
+        Stats.tick t.ctr.recovery_rejoined;
+        event t ~pid Event.Rejoin ~a:node ~b:pc;
+        send t ~src:pid ~dst:pc (Msg.Join_request { node; requester = pid })
+      end)
 
 let run ?(max_events = 50_000_000) t = Sim.run ~max_events t.sim

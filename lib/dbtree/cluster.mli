@@ -52,6 +52,9 @@ type counters = {
   reclaim_absorb_stale : Stats.counter;
   reclaim_dropped : Stats.counter;
   reclaim_drop_stale : Stats.counter;
+  route_no_members : Stats.counter;
+  recovery_replayed : Stats.counter;
+  recovery_rejoined : Stats.counter;
   lat_search : Stats.hist;
   lat_insert : Stats.hist;
   lat_delete : Stats.hist;
@@ -64,6 +67,9 @@ type t = {
   sim : Sim.t;
   net : Network.t;
   stores : Store.t array;
+  wals : Wal.t array;
+      (** per-processor durable journals ([Config.durability.wal]);
+          length 0 when durability is off *)
   ops : Opstate.t;
   hist : Dbtree_history.Registry.t;
   obs : Dbtree_obs.Obs.t;
@@ -89,8 +95,23 @@ val members_for_range : t -> low:Bound.t -> high:Bound.t -> Msg.pid list
 (** The replication policy: where the copies of a node covering
     [\[low, high)] live. *)
 
-val pc_of_members : Msg.pid list -> Msg.pid
+(** An empty member set — reachable once the last copy-holder of a node
+    can crash — is a typed error, surfaced through the park path
+    ({!park_no_members}) rather than an exception. *)
+type pc_error = Empty_members
+
+val pc_of_members : Msg.pid list -> (Msg.pid, pc_error) result
 (** The primary copy's processor: the first member. *)
+
+val pc_of_members_exn : Msg.pid list -> Msg.pid
+(** For construction/bootstrap sites whose member lists come from the
+    partition and are structurally nonempty; raises [Invalid_argument]
+    if that invariant is ever broken. *)
+
+val park_no_members : t -> pid:Msg.pid -> node:Msg.node_id -> Msg.t -> unit
+(** Surface {!pc_error} through the park path: buffer the message at the
+    node (it waits for a copy that can name a primary) and count it
+    under [route.no_members]. *)
 
 val send : t -> src:Msg.pid -> dst:Msg.pid -> Msg.t -> unit
 
@@ -139,6 +160,30 @@ val hist_snapshot : t -> node:int -> pid:int -> int list
     not recording. *)
 
 val hist_retire : t -> node:int -> pid:int -> unit
+
+(** {2 Durability and crash recovery} *)
+
+val wal : t -> Msg.pid -> Wal.t
+(** The processor's journal; only valid when [config.durability.wal]. *)
+
+val replay_wal : t -> Msg.pid -> int * int
+(** Rebuild the processor's store from its journal (snapshot + tail log,
+    in order); returns (records, bytes) read.  Journaling is suspended
+    for the duration. *)
+
+val install_recovery : t -> rejoin:(Msg.pid -> unit) -> unit
+(** Wire the crash/restart machinery into the network: on crash the
+    store's volatile state is dropped; on restart the journal is
+    replayed, the durable channel state restored
+    ({!Network.restore_proc}), and then [rejoin] runs — the kernel's
+    re-enrollment step.  Kernels with crash support call this once at
+    creation; kernels without it reject [faults.crash_at] instead. *)
+
+val rejoin_copies : t -> Msg.pid -> unit
+(** The §4.3 rejoin step for kernels with a join protocol: send one
+    [Join_request] to the primary of every recovered copy held by
+    [pid] whose primary is elsewhere.  The PC's version-stamped
+    [Join_copy] reply delivers everything the processor missed. *)
 
 val run : ?max_events:int -> t -> unit
 (** Drain the simulation to quiescence. *)

@@ -1,6 +1,10 @@
 type replication = All_procs | Path
 type discipline = Sync | Semi | Naive | Eager
 
+type durability = { wal : bool; snapshot_every : int }
+
+let no_durability = { wal = false; snapshot_every = 256 }
+
 type t = {
   procs : int;
   capacity : int;
@@ -22,6 +26,7 @@ type t = {
   ordered_links : bool;
   trace : bool;
   trace_capacity : int;
+  durability : durability;
 }
 
 let default =
@@ -46,6 +51,7 @@ let default =
     ordered_links = true;
     trace = false;
     trace_capacity = 1 lsl 16;
+    durability = no_durability;
   }
 
 let discipline_name = function
@@ -54,14 +60,18 @@ let discipline_name = function
   | Naive -> "naive"
   | Eager -> "eager"
 
+(* Every message names the offending config field: [Cluster.create]
+   surfaces these via [invalid_arg] and a caller debugging a rejected
+   config should not have to guess which knob to turn. *)
 let validate t =
   let prob_ok p = p >= 0.0 && p <= 1.0 in
+  let crash = t.faults.Dbtree_sim.Net.crash_at <> [] in
   if t.procs < 1 then Error "procs must be >= 1"
   else if t.capacity < 2 then Error "capacity must be >= 2"
   else if t.key_space < t.procs then Error "key_space must be >= procs"
   else if t.relay_batch < 1 then Error "relay_batch must be >= 1"
   else if t.relay_batch > 1 && t.discipline <> Semi then
-    Error "relay batching requires the Semi discipline"
+    Error "relay_batch > 1 (relay batching) requires the Semi discipline"
   else if t.trace_capacity < 1 then Error "trace_capacity must be >= 1"
   else if
     not
@@ -76,6 +86,26 @@ let validate t =
     Error
       "the reliable transport cannot terminate over a channel that drops \
        everything (drop_prob must be < 1)"
+  else if t.durability.snapshot_every < 0 then
+    Error "durability.snapshot_every must be >= 0"
+  else if
+    crash
+    && List.exists
+         (fun (p, tick) -> p < 0 || p >= t.procs || tick < 0)
+         t.faults.Dbtree_sim.Net.crash_at
+  then Error "faults.crash_at entries must satisfy 0 <= proc < procs, tick >= 0"
+  else if crash && t.faults.Dbtree_sim.Net.restart_delay < 1 then
+    Error "faults.restart_delay must be >= 1"
+  else if crash && not t.durability.wal then
+    Error "faults.crash_at requires durability.wal (volatile state cannot recover)"
+  else if crash && t.transport <> Dbtree_sim.Net.Reliable then
+    Error "faults.crash_at requires the Reliable transport"
+  else if crash && t.relay_batch > 1 then
+    Error "faults.crash_at requires relay_batch = 1"
+  else if crash && not (t.discipline = Semi || t.discipline = Naive) then
+    Error
+      "faults.crash_at requires the Semi or Naive discipline (Sync/Eager \
+       barrier state is not journaled)"
   else Ok t
 
 let make ?(procs = default.procs) ?(capacity = default.capacity)
@@ -92,7 +122,8 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
     ?(balance_period = default.balance_period)
     ?(reclaim_empty_leaves = default.reclaim_empty_leaves)
     ?(ordered_links = default.ordered_links) ?(trace = default.trace)
-    ?(trace_capacity = default.trace_capacity) () =
+    ?(trace_capacity = default.trace_capacity)
+    ?(durability = default.durability) () =
   let t =
     {
       procs;
@@ -115,6 +146,7 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
       ordered_links;
       trace;
       trace_capacity;
+      durability;
     }
   in
   match validate t with Ok t -> t | Error e -> invalid_arg ("Config: " ^ e)

@@ -29,6 +29,19 @@ type replication = All_procs | Path
       ack barrier before the operation completes. *)
 type discipline = Sync | Semi | Naive | Eager
 
+type durability = {
+  wal : bool;
+      (** journal every crash-survivable state change (node writes,
+          copy-set changes, location directory, parked actions, op
+          completions, unretired sends / delivered counts) to a
+          per-processor write-ahead log (see {!Wal}) *)
+  snapshot_every : int;
+      (** log records between snapshot compactions; 0 = never compact *)
+}
+
+val no_durability : durability
+(** WAL off; [snapshot_every = 256]. *)
+
 type t = {
   procs : int;  (** number of processors *)
   capacity : int;  (** max entries per node before it must split *)
@@ -83,6 +96,11 @@ type t = {
   trace_capacity : int;
       (** ring-buffer size of the trace recorder, in events; the ring
           retains the most recent [trace_capacity] events *)
+  durability : durability;
+      (** per-processor durable storage.  Required (with the [Reliable]
+          transport, [relay_batch = 1], and a [Semi]/[Naive] discipline)
+          when [faults.crash_at] schedules crashes: recovery replays the
+          WAL and re-joins replication via the §4.3 join path. *)
 }
 
 val default : t
@@ -110,10 +128,14 @@ val make :
   ?ordered_links:bool ->
   ?trace:bool ->
   ?trace_capacity:int ->
+  ?durability:durability ->
   unit ->
   t
 (** [default] with overrides, validated (positive sizes, batching only
-    with the [Semi] discipline). *)
+    with the [Semi] discipline, crash schedules only with durable
+    storage over the reliable transport). *)
 
 val validate : t -> (t, string) result
+(** Every [Error] message names the offending config field. *)
+
 val discipline_name : discipline -> string

@@ -76,20 +76,25 @@ let reply_op t ~src op result =
    initial execution owes, if any. *)
 let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
   let n = copy.Store.node in
-  match u with
-  | Msg.Upsert { op; value; _ } ->
-    Node.add_entry n key (Node.Data value);
-    Some (op, Msg.Inserted)
-  | Msg.Remove { op; _ } ->
-    let present = Entries.mem n.Node.entries key in
-    Node.remove_entry n key;
-    Some (op, Msg.Removed present)
-  | Msg.Add_child { child; child_members } ->
-    Node.add_entry n key (Node.Child child);
-    Store.learn (Cluster.store t.cl pid) child child_members;
-    None
-  | Msg.Drop_child _ ->
-    Fmt.failwith "Fixed: leaf reclamation is a mobile-protocol extension"
+  let store = Cluster.store t.cl pid in
+  let reply =
+    match u with
+    | Msg.Upsert { op; value; _ } ->
+      Node.add_entry n key (Node.Data value);
+      Some (op, Msg.Inserted)
+    | Msg.Remove { op; _ } ->
+      let present = Entries.mem n.Node.entries key in
+      Node.remove_entry n key;
+      Some (op, Msg.Removed present)
+    | Msg.Add_child { child; child_members } ->
+      Node.add_entry n key (Node.Child child);
+      Store.learn store child child_members;
+      None
+    | Msg.Drop_child _ ->
+      Fmt.failwith "Fixed: leaf reclamation is a mobile-protocol extension"
+  in
+  Store.wrote store n.Node.id;
+  reply
 
 let action_kind key (u : Msg.update) =
   match u with
@@ -118,13 +123,44 @@ let choose_member t members =
 (* Forward a routed action towards node [next]: locally when we hold a
    copy, otherwise to some member (any copy will do — that is the lazy
    win; the eager redirect to the PC happens at the target node). *)
-let forward t pid msg next =
+let forward ?authority t pid msg next =
   let store = Cluster.store t.cl pid in
   Stats.tick (ctr t).Cluster.route_hops;
   if Store.mem store next then send_local t pid msg
   else
-    let members = Store.members_of store next in
-    send t ~src:pid ~dst:(choose_member t members) msg
+    match Store.members_opt store next with
+    | Some members -> send t ~src:pid ~dst:(choose_member t members) msg
+    | None when (config t).Config.transport <> Dbtree_sim.Net.Reliable ->
+      (* Over the raw transport the relay carrying this hint may be lost
+         outright, not merely late; recovering would absorb a violated
+         delivery assumption.  Keep the strict lookup so E14's raw rows
+         surface the broken invariant loudly. *)
+      send t ~src:pid ~dst:(choose_member t (Store.members_of store next)) msg
+    | None -> (
+      Stats.tick (ctr t).Cluster.route_lost_hint;
+      (* Unknown location.  Member sets are static here, but the
+         hint-carrying relay can lag the sibling snapshot that exposed
+         [next] when the two travel on different channels (a crash
+         stretches the lagging channel's retransmit).  Hand the action to
+         the PC of the node that referenced [next] — it learned every
+         child and sibling it ever pointed to; without an authority,
+         restart at the root. *)
+      match authority with
+      | Some a when a <> pid -> send t ~src:pid ~dst:a msg
+      | Some _ | None -> (
+        match msg with
+        | Msg.Route r ->
+          if r.node = store.Store.root then
+            Fmt.failwith "Fixed: processor %d lost at its own root" pid
+          else send_local t pid (Msg.Route { r with node = store.Store.root })
+        | Msg.Op_done _ | Msg.Relay_update _ | Msg.Split_start _
+        | Msg.Split_ack _ | Msg.Split_done _ | Msg.New_root _
+        | Msg.Eager_update _ | Msg.Eager_split _ | Msg.Eager_ack _
+        | Msg.Batch _ | Msg.Migrate_install _ | Msg.Join_request _
+        | Msg.Join_copy _ | Msg.Relay_member _ | Msg.Unjoin_request _ ->
+          (* Only routed actions restart at the root; control traffic is
+             addressed to a concrete processor and must never be lost. *)
+          Fmt.failwith "Fixed: cannot reroute %s" (Msg.kind msg)))
 
 (* ------------------------------------------------------------------ *)
 (* Splits and copy installation                                        *)
@@ -195,6 +231,7 @@ and do_split t pid (copy : Store.rcopy) =
   let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
   let sib = Node.half_split n ~sibling_id:sib_id in
   let sep = Node.separator_of_sibling sib in
+  Store.wrote store n.Node.id;
   t.splits <- t.splits + 1;
   Stats.tick (ctr t).Cluster.split_count;
   Cluster.event t.cl ~pid Event.Split_start ~a:n.Node.id ~b:sib_id;
@@ -207,7 +244,7 @@ and do_split t pid (copy : Store.rcopy) =
     (fun m -> Cluster.hist_new_copy t.cl ~node:sib_id ~pid:m ~base)
     sibling_members;
   let snapshot = Msg.snapshot_of_node ~base sib in
-  let sib_pc = Cluster.pc_of_members sibling_members in
+  let sib_pc = Cluster.pc_of_members_exn sibling_members in
   if List.mem pid sibling_members then
     install_copy t pid ~snap:snapshot ~pc:sib_pc ~members:sibling_members
   else Store.learn store sib_id sibling_members;
@@ -267,13 +304,13 @@ and grow_root t pid ~old_root ~sep ~sib_id =
     (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[])
     members;
   let snap = Msg.snapshot_of_node root in
-  let pc = Cluster.pc_of_members members in
+  let pc = Cluster.pc_of_members_exn members in
   if List.mem pid members then begin
     ignore (Store.install store ~node:root ~pc ~members);
     drain_pending t pid id
   end
   else Store.learn store id members;
-  store.Store.root <- id;
+  Store.set_root store id;
   List.iter
     (fun m ->
       if m <> pid then send t ~src:pid ~dst:m (Msg.New_root { snap; members }))
@@ -358,7 +395,7 @@ and pump_eager t pid (copy : Store.rcopy) =
           (fun m -> Cluster.hist_new_copy t.cl ~node:sib_id ~pid:m ~base)
           sibling_members;
         let snapshot = Msg.snapshot_of_node ~base sib in
-        let sib_pc = Cluster.pc_of_members sibling_members in
+        let sib_pc = Cluster.pc_of_members_exn sibling_members in
         if List.mem pid sibling_members then
           install_copy t pid ~snap:snapshot ~pc:sib_pc ~members:sibling_members
         else Store.learn store sib_id sibling_members;
@@ -523,21 +560,35 @@ and perform t pid (copy : Store.rcopy) ~key ~(act : Msg.routed) =
 and handle_route t pid ~key ~level ~node ~act =
   let store = Cluster.store t.cl pid in
   match Store.find store node with
-  | None ->
-    (* The copy is not installed yet (e.g. a sibling whose Split_done is
-       still in flight): park the action until it is. *)
+  | None -> (
     let msg = Msg.Route { key; level; node; act } in
-    Stats.tick (ctr t).Cluster.route_parked;
-    Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
-    Store.add_pending store node msg
+    match Store.members_opt store node with
+    | Some members
+      when (config t).Config.transport = Dbtree_sim.Net.Reliable
+           && List.exists (fun m -> m <> pid) members ->
+      (* Not a copy-holder, but the location is known: an authority
+         fallback or stale hint landed the route here.  Pass it on to a
+         member rather than parking for an install that never comes. *)
+      Stats.tick (ctr t).Cluster.recover_hinted;
+      send t ~src:pid
+        ~dst:(choose_member t (List.filter (fun m -> m <> pid) members))
+        msg
+    | Some _ | None ->
+      (* The copy is not installed yet (e.g. a sibling whose Split_done is
+         still in flight): park the action until it is. *)
+      Stats.tick (ctr t).Cluster.route_parked;
+      Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
+      Store.add_pending store node msg)
   | Some copy ->
     let n = copy.Store.node in
     if n.Node.level > level then begin
+      let authority = copy.Store.pc in
       match Node.step n key with
       | Node.Chase_right r ->
         Stats.tick (ctr t).Cluster.route_chase;
-        forward t pid (Msg.Route { key; level; node = r; act }) r
-      | Node.Descend c -> forward t pid (Msg.Route { key; level; node = c; act }) c
+        forward ~authority t pid (Msg.Route { key; level; node = r; act }) r
+      | Node.Descend c ->
+        forward ~authority t pid (Msg.Route { key; level; node = c; act }) c
       | Node.Here | Node.Chase_left _ | Node.Dead_end ->
         Fmt.failwith "Fixed: bad navigation at node %d for key %d" node key
     end
@@ -557,7 +608,10 @@ and handle_route t pid ~key ~level ~node ~act =
       (* out of range at the target level: chase the right link *)
       Stats.tick (ctr t).Cluster.route_chase;
       match n.Node.right with
-      | Some r -> forward t pid (Msg.Route { key; level; node = r; act }) r
+      | Some r ->
+        forward ~authority:copy.Store.pc t pid
+          (Msg.Route { key; level; node = r; act })
+          r
       | None -> Fmt.failwith "Fixed: dead end at node %d for key %d" node key
     end
     else if Bound.compare_key n.Node.low key > 0 then
@@ -691,9 +745,13 @@ and handle t pid ~src msg =
       | None -> true
     in
     Store.learn store snap.Msg.s_id members;
-    if List.mem pid members then
-      install_copy t pid ~snap ~pc:(Cluster.pc_of_members members) ~members;
-    if is_newer then store.Store.root <- snap.Msg.s_id
+    (match Cluster.pc_of_members members with
+    | Error Cluster.Empty_members ->
+      (* no surviving copy-holder to name a primary: wait on the park
+         path rather than tearing the handler down *)
+      Cluster.park_no_members t.cl ~pid ~node:snap.Msg.s_id msg
+    | Ok pc -> if List.mem pid members then install_copy t pid ~snap ~pc ~members);
+    if is_newer then Store.set_root store snap.Msg.s_id
   (* dbflow: class semi -- eager discipline round: apply then ack to the coordinating PC (E8 baseline) *)
   | Msg.Eager_update { uid; node; key; u } -> begin
     let store = Cluster.store t.cl pid in
@@ -745,6 +803,7 @@ and apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
   n.Node.high <- Bound.Key sep;
   n.Node.right <- Some sibling.Msg.s_id;
   n.Node.version <- n.Node.version + 1;
+  Store.wrote store n.Node.id;
   if not (Entries.is_empty dropped) then
     Stats.add (ctr t).Cluster.split_dropped_entries (Entries.length dropped);
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Relayed ~uid
@@ -752,7 +811,7 @@ and apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
   Store.learn store sibling.Msg.s_id sibling_members;
   if List.mem pid sibling_members then
     install_copy t pid ~snap:sibling
-      ~pc:(Cluster.pc_of_members sibling_members)
+      ~pc:(Cluster.pc_of_members_exn sibling_members)
       ~members:sibling_members;
   if pid = copy.Store.pc then maybe_split t pid copy
 
@@ -801,12 +860,12 @@ let bootstrap t =
   in
   for pid = 0 to nprocs - 1 do
     let store = Cluster.store cl pid in
-    store.Store.root <- root_id;
+    Store.set_root store root_id;
     Store.learn store root_id rmembers;
     if List.mem pid rmembers then begin
       ignore
         (Store.install store ~node:(Node.clone root)
-           ~pc:(Cluster.pc_of_members rmembers)
+           ~pc:(Cluster.pc_of_members_exn rmembers)
            ~members:rmembers);
       Cluster.hist_new_copy cl ~node:root_id ~pid ~base:[]
     end;
@@ -817,7 +876,7 @@ let bootstrap t =
         if List.mem pid members then begin
           ignore
             (Store.install store ~node:(Node.clone node)
-               ~pc:(Cluster.pc_of_members members)
+               ~pc:(Cluster.pc_of_members_exn members)
                ~members);
           Cluster.hist_new_copy cl ~node:node.Node.id ~pid ~base:[]
         end)
@@ -843,6 +902,11 @@ let create cfg =
     Cluster.Network.set_handler cl.Cluster.net pid (fun ~src msg ->
         handle t pid ~src msg)
   done;
+  (* Fixed copies need no rejoin protocol: the member set of every node
+     is static, so after the WAL replay the resumed reliable channels
+     redeliver whatever relays the crashed processor missed. *)
+  if cfg.Config.durability.Config.wal then
+    Cluster.install_recovery cl ~rejoin:(fun _pid -> ());
   bootstrap t;
   t
 

@@ -646,6 +646,14 @@ let bootstrap t =
     leaves
 
 let create cfg =
+  (* Migration clears the whole forwarding table in one swoop and moves
+     copies between processors mid-flight; neither is journaled, so the
+     mobile protocol cannot recover from a crash.  Reject the config
+     rather than silently lose state. *)
+  if cfg.Config.durability.Config.wal then
+    invalid_arg "Mobile: durability.wal is not supported (migration state is not journaled)";
+  if cfg.Config.faults.Dbtree_sim.Net.crash_at <> [] then
+    invalid_arg "Mobile: faults.crash_at is not supported (no durable storage to recover from)";
   let cl = Cluster.create cfg in
   let t =
     { cl; link_versions = Hashtbl.create 256; splits = 0; migrations = 0 }

@@ -170,6 +170,10 @@ val num_kinds : int
 val kind_name : int -> string
 (** Inverse of {!kind_id}: [kind_name (kind_id m) = kind m]. *)
 
+val snapshot_size : snapshot -> int
+(** Estimated wire/disk size of a node image in bytes — shared by the
+    message cost model and the durability layer's byte accounting. *)
+
 val snapshot_of_node : ?base:int list -> value Node.t -> snapshot
 val node_of_snapshot : snapshot -> value Node.t
 val pp : t Fmt.t

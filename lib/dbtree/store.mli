@@ -66,9 +66,15 @@ type t = {
       (** variable copies: nodes this processor unjoined — relayed actions
           for them are discarded rather than parked *)
   mutable root : node_id;  (** this processor's root pointer *)
+  mutable wal : Wal.t option;
+      (** durable journal (set by the cluster when
+          [Config.durability.wal]); mutate through the setters below so
+          every crash-survivable change is journaled *)
 }
 
 val create : pid:pid -> root:node_id -> t
+
+val set_wal : t -> Wal.t -> unit
 
 val find : t -> node_id -> rcopy option
 val get : t -> node_id -> rcopy
@@ -115,3 +121,39 @@ val iter : t -> (rcopy -> unit) -> unit
     choice in Variable/Mobile) and reports — and with the arena it is
     genuinely deterministic: the global node-creation order, independent
     of any hash-bucket layout. *)
+
+(** {2 Durability} (see {!Wal})
+
+    With a WAL installed, [install]/[remove]/[learn]/[add_pending]/
+    [take_pending] journal themselves; in-place copy mutations must be
+    followed by {!wrote}; and the scalar/side-table setters below replace
+    direct field pokes so those changes are journaled too. *)
+
+val wrote : t -> node_id -> unit
+(** Journal the full current image of the copy of [node_id] (no-op when
+    absent or no WAL).  Call after any in-place mutation of a copy that
+    must survive a crash: entry writes, link changes, pc / member /
+    join-version / splitting updates. *)
+
+val set_root : t -> node_id -> unit
+val depart : t -> node_id -> unit
+val undepart : t -> node_id -> unit
+val set_forwarding : t -> node_id -> pid -> unit
+val clear_forwarding : t -> node_id -> unit
+
+val clear : t -> unit
+(** Crash: drop every volatile structure (copies, directory, parked
+    messages, forwarding, departed, root).  The WAL handle survives — it
+    is the disk. *)
+
+val apply_record : t -> Wal.record -> unit
+(** Recovery: apply one replayed journal record.  Bracket the replay
+    with [Wal.set_replaying] so the mutations do not re-journal
+    themselves.  Net-layer records and [Op_done] are ignored here. *)
+
+val digest : t -> string
+(** Hex digest of the crash-survivable state, deterministic across runs
+    (all maps emitted in sorted key order).  The recovery tests pin
+    [digest live = digest (replay of live's WAL)] and same-seed
+    reproducibility.  AAS / eager scratch state is excluded — it is
+    volatile by design. *)

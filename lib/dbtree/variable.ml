@@ -92,21 +92,26 @@ let silence (u : Msg.update) =
 
 let apply_update t pid (copy : Store.rcopy) key (u : Msg.update) =
   let n = copy.Store.node in
-  match u with
-  | Msg.Upsert { op; value; _ } ->
-    Node.add_entry n key (Node.Data value);
-    Some (op, Msg.Inserted)
-  | Msg.Remove { op; _ } ->
-    let present = Entries.mem n.Node.entries key in
-    Node.remove_entry n key;
-    Some (op, Msg.Removed present)
-  | Msg.Add_child { child; child_members } ->
-    Node.add_entry n key (Node.Child child);
-    (* weak: a relayed Add_child can arrive after the child migrated *)
-    Store.learn_if_absent (Cluster.store t.cl pid) child child_members;
-    None
-  | Msg.Drop_child _ ->
-    Fmt.failwith "Variable: leaf reclamation is a mobile-protocol extension"
+  let store = Cluster.store t.cl pid in
+  let reply =
+    match u with
+    | Msg.Upsert { op; value; _ } ->
+      Node.add_entry n key (Node.Data value);
+      Some (op, Msg.Inserted)
+    | Msg.Remove { op; _ } ->
+      let present = Entries.mem n.Node.entries key in
+      Node.remove_entry n key;
+      Some (op, Msg.Removed present)
+    | Msg.Add_child { child; child_members } ->
+      Node.add_entry n key (Node.Child child);
+      (* weak: a relayed Add_child can arrive after the child migrated *)
+      Store.learn_if_absent store child child_members;
+      None
+    | Msg.Drop_child _ ->
+      Fmt.failwith "Variable: leaf reclamation is a mobile-protocol extension"
+  in
+  Store.wrote store n.Node.id;
+  reply
 
 let join_version_of (copy : Store.rcopy) m =
   match List.assoc_opt m copy.Store.join_versions with
@@ -166,6 +171,7 @@ and do_split t pid (copy : Store.rcopy) =
   let base = Cluster.hist_snapshot t.cl ~node:n.Node.id ~pid in
   let sib = Node.half_split n ~sibling_id:sib_id in
   let sep = Node.separator_of_sibling sib in
+  Store.wrote store n.Node.id;
   t.splits <- t.splits + 1;
   Stats.tick (ctr t).Cluster.split_count;
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Initial ~uid
@@ -264,7 +270,7 @@ and grow_root t pid ~old_root ~sep ~sib_id =
   Cluster.event t.cl ~pid Event.Root_grow ~a:id ~b:(old_root.Node.level + 1);
   List.iter (fun m -> Cluster.hist_new_copy t.cl ~node:id ~pid:m ~base:[]) members;
   ignore (Store.install store ~node:root ~pc:pid ~members);
-  store.Store.root <- id;
+  Store.set_root store id;
   let snap = Msg.snapshot_of_node root in
   List.iter
     (fun m ->
@@ -291,6 +297,7 @@ and perform_relink t pid (copy : Store.rcopy) ~uid ~which ~target ~target_pid
     | `Left -> n.Node.left <- Some target
     | `Right -> n.Node.right <- Some target
     | `Child _ -> ());
+    Store.wrote store n.Node.id;
     Store.learn store target [ target_pid ]
   end
   else Stats.tick (ctr t).Cluster.link_change_absorbed;
@@ -420,7 +427,7 @@ and do_migrate t ~node ~to_pid =
       Store.remove store node;
       Cluster.hist_retire t.cl ~node ~pid;
       if (config t).Config.forwarding then
-        Hashtbl.replace store.Store.forwarding node to_pid;
+        Store.set_forwarding store node to_pid;
       Store.learn store node [ to_pid ];
       t.migrations <- t.migrations + 1;
       Stats.tick (ctr t).Cluster.migrate_count;
@@ -460,7 +467,7 @@ and do_unjoin t pid (acopy : Store.rcopy) =
   Stats.tick (ctr t).Cluster.unjoin_count;
   Cluster.event t.cl ~pid Event.Unjoin ~a:node ~b:pid;
   Store.remove store node;
-  Hashtbl.replace store.Store.departed node ();
+  Store.depart store node;
   Cluster.hist_retire t.cl ~node ~pid;
   Store.learn store node (List.filter (fun m -> m <> pid) acopy.Store.members);
   send t ~src:pid ~dst:acopy.Store.pc (Msg.Unjoin_request { node; pid })
@@ -470,8 +477,8 @@ and handle_migrate_install t pid ~(snap : Msg.snapshot) ~ancestors ~from_pid =
   let node = Msg.node_of_snapshot snap in
   let id = node.Node.id in
   ignore (Store.install store ~node ~pc:pid ~members:[ pid ]);
-  Hashtbl.remove store.Store.forwarding id;
-  Hashtbl.remove store.Store.departed id;
+  Store.clear_forwarding store id;
+  Store.undepart store id;
   Cluster.hist_new_copy t.cl ~node:id ~pid ~base:snap.Msg.s_base;
   Cluster.hist_record t.cl ~node:id ~pid ~mode:Action.Initial
     ~version:node.Node.version
@@ -632,6 +639,7 @@ let apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
   n.Node.high <- Bound.Key sep;
   n.Node.right <- Some sibling.Msg.s_id;
   n.Node.version <- n.Node.version + 1;
+  Store.wrote store n.Node.id;
   Cluster.hist_record t.cl ~node:n.Node.id ~pid ~mode:Action.Relayed ~uid
     ~version:n.Node.version
     (Action.Half_split { sep; sibling = sibling.Msg.s_id });
@@ -640,16 +648,62 @@ let apply_remote_split t pid (copy : Store.rcopy) ~uid ~sep ~sibling
     let node = Msg.node_of_snapshot sibling in
     ignore
       (Store.install store ~node
-         ~pc:(Cluster.pc_of_members sibling_members)
+         ~pc:(Cluster.pc_of_members_exn sibling_members)
          ~members:sibling_members);
-    Hashtbl.remove store.Store.departed sibling.Msg.s_id;
+    Store.undepart store sibling.Msg.s_id;
     List.iter (send_local t pid) (Store.take_pending store sibling.Msg.s_id)
   end
+
+(* Grant leg of a join (or re-join): ship the requester a snapshot of the
+   PC's current image plus location hints for its children and right
+   sibling, so the new copy can route without consulting the directory. *)
+let send_join_copy t pid store (copy : Store.rcopy) ~node ~requester ~base =
+  let n = copy.Store.node in
+  let snap = Msg.snapshot_of_node ~base n in
+  let hint_ids =
+    Entries.fold
+      (fun _ p acc ->
+        match p with Node.Child c -> c :: acc | Node.Data _ -> acc)
+      n.Node.entries []
+  in
+  let hint_ids =
+    match n.Node.right with Some r -> r :: hint_ids | None -> hint_ids
+  in
+  let hints =
+    List.filter_map
+      (fun c ->
+        Option.map (fun ms -> (c, ms)) (Store.members_opt store c))
+      hint_ids
+  in
+  send t ~src:pid ~dst:requester
+    (Msg.Join_copy
+       {
+         node;
+         snap;
+         members = copy.Store.members;
+         join_version = n.Node.version;
+         hints;
+       })
 
 let handle_join_request t pid ~node ~requester =
   let store = Cluster.store t.cl pid in
   let copy = Store.get store node in
-  if List.mem requester copy.Store.members then Stats.tick (ctr t).Cluster.join_duplicate
+  if List.mem requester copy.Store.members then begin
+    Stats.tick (ctr t).Cluster.join_duplicate;
+    (* Re-join after a crash (durable runs only): the requester is still a
+       member — its membership, join version and the PC's relay duty all
+       survived the crash, and the requester's own WAL replay plus the
+       resumed reliable channels restore everything else exactly once.
+       Mutating anything here (a version bump, a join-version restamp)
+       would duplicate relays the channel layer already guarantees, so
+       the grant is a pure confirmation: resend the Join_copy carrying
+       the current image and fresh location hints.  No Relay_member
+       broadcast — the membership did not change. *)
+    if (config t).Config.durability.Config.wal then begin
+      let base = Cluster.hist_snapshot t.cl ~node ~pid in
+      send_join_copy t pid store copy ~node ~requester ~base
+    end
+  end
   else begin
     let n = copy.Store.node in
     n.Node.version <- n.Node.version + 1;
@@ -663,28 +717,11 @@ let handle_join_request t pid ~node ~requester =
     copy.Store.members <- copy.Store.members @ [ requester ];
     copy.Store.join_versions <-
       (requester, version) :: copy.Store.join_versions;
+    Store.wrote store node;
     Store.learn store node copy.Store.members;
     let base = Cluster.hist_snapshot t.cl ~node ~pid in
     Cluster.hist_new_copy t.cl ~node ~pid:requester ~base;
-    let snap = Msg.snapshot_of_node ~base n in
-    let hint_ids =
-      Entries.fold
-        (fun _ p acc ->
-          match p with Node.Child c -> c :: acc | Node.Data _ -> acc)
-        n.Node.entries []
-    in
-    let hint_ids =
-      match n.Node.right with Some r -> r :: hint_ids | None -> hint_ids
-    in
-    let hints =
-      List.filter_map
-        (fun c ->
-          Option.map (fun ms -> (c, ms)) (Store.members_opt store c))
-        hint_ids
-    in
-    send t ~src:pid ~dst:requester
-      (Msg.Join_copy
-         { node; snap; members = copy.Store.members; join_version = version; hints });
+    send_join_copy t pid store copy ~node ~requester ~base;
     List.iter
       (fun m ->
         if m <> pid && m <> requester then
@@ -696,14 +733,30 @@ let handle_join_request t pid ~node ~requester =
 let handle_join_copy t pid ~node ~(snap : Msg.snapshot) ~members ~hints =
   let store = Cluster.store t.cl pid in
   List.iter (fun (c, ms) -> Store.learn_if_absent store c ms) hints;
-  if Store.mem store node then Stats.tick (ctr t).Cluster.join_already_member
-  else begin
+  let do_install () =
     let n = Msg.node_of_snapshot snap in
     ignore
-      (Store.install store ~node:n ~pc:(Cluster.pc_of_members members) ~members);
-    Hashtbl.remove store.Store.departed node;
+      (Store.install store ~node:n
+         ~pc:(Cluster.pc_of_members_exn members)
+         ~members);
+    Store.undepart store node;
     List.iter (send_local t pid) (Store.take_pending store node)
-  end
+  in
+  match Store.find store node with
+  | None -> do_install ()
+  | Some prev ->
+    Stats.tick (ctr t).Cluster.join_already_member;
+    (* Durable runs: a rejoin confirmation normally carries the same
+       version we already hold and is a no-op — the WAL replay and the
+       resumed channels are the recovery mechanism, and overwriting a
+       live copy would race the relays still in flight to it.  A strictly
+       newer image means the PC granted a genuine re-join after our
+       membership had lapsed (so no relays were addressed to us in the
+       gap): only then is the refresh install the correct §4.3 move. *)
+    if
+      (config t).Config.durability.Config.wal
+      && snap.Msg.s_version > prev.Store.node.Node.version
+    then do_install ()
 
 let handle_relay_member t pid ~node ~change ~version ~uid =
   let store = Cluster.store t.cl pid in
@@ -728,6 +781,7 @@ let handle_relay_member t pid ~node ~change ~version ~uid =
       copy.Store.members <- List.filter (fun m -> m <> p) copy.Store.members;
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~version ~uid
         (Action.Unjoin { pid = p }));
+    Store.wrote store node;
     Store.learn store node copy.Store.members
 
 let handle_unjoin_request t pid ~node ~who =
@@ -745,6 +799,7 @@ let handle_unjoin_request t pid ~node ~who =
     copy.Store.members <- List.filter (fun m -> m <> who) copy.Store.members;
     copy.Store.join_versions <-
       List.filter (fun (m, _) -> m <> who) copy.Store.join_versions;
+    Store.wrote store node;
     Store.learn store node copy.Store.members;
     List.iter
       (fun m ->
@@ -775,9 +830,9 @@ let handle t pid ~src:_ msg =
            processing the unjoin).  Decline it: mark the sibling departed
            and tell its PC to drop us. *)
         if List.mem pid sibling_members then begin
-          Hashtbl.replace store.Store.departed sibling.Msg.s_id ();
+          Store.depart store sibling.Msg.s_id;
           Cluster.hist_retire t.cl ~node:sibling.Msg.s_id ~pid;
-          let sib_pc = Cluster.pc_of_members sibling_members in
+          let sib_pc = Cluster.pc_of_members_exn sibling_members in
           if sib_pc <> pid then
             send t ~src:pid ~dst:sib_pc
               (Msg.Unjoin_request { node = sibling.Msg.s_id; pid })
@@ -790,14 +845,18 @@ let handle t pid ~src:_ msg =
     | Some copy -> apply_remote_split t pid copy ~uid ~sep ~sibling ~sibling_members
   end
   (* dbflow: class lazy -- root adoption: copies may learn the new root in any order (§4.3) *)
-  | Msg.New_root { snap; members } ->
+  | Msg.New_root { snap; members } -> begin
     let store = Cluster.store t.cl pid in
-    Store.learn store snap.Msg.s_id members;
-    let n = Msg.node_of_snapshot snap in
-    ignore
-      (Store.install store ~node:n ~pc:(Cluster.pc_of_members members) ~members);
-    store.Store.root <- snap.Msg.s_id;
-    List.iter (send_local t pid) (Store.take_pending store snap.Msg.s_id)
+    match Cluster.pc_of_members members with
+    | Error Cluster.Empty_members ->
+      Cluster.park_no_members t.cl ~pid ~node:snap.Msg.s_id msg
+    | Ok pc ->
+      Store.learn store snap.Msg.s_id members;
+      let n = Msg.node_of_snapshot snap in
+      ignore (Store.install store ~node:n ~pc ~members);
+      Store.set_root store snap.Msg.s_id;
+      List.iter (send_local t pid) (Store.take_pending store snap.Msg.s_id)
+  end
   (* dbflow: class semi -- migration install is coordinated by the sending owner (§5.2) *)
   | Msg.Migrate_install { snap; ancestors; from_pid } ->
     handle_migrate_install t pid ~snap ~ancestors ~from_pid
@@ -878,7 +937,7 @@ let bootstrap t =
   let members = List.init nprocs Fun.id in
   for pid = 0 to nprocs - 1 do
     let store = Cluster.store cl pid in
-    store.Store.root <- root_id;
+    Store.set_root store root_id;
     let root =
       Node.make ~id:root_id ~level:1 ~low:Bound.Neg_inf ~high:Bound.Pos_inf
         root_entries
@@ -912,6 +971,11 @@ let create cfg =
     Cluster.Network.set_handler cl.Cluster.net pid (fun ~src msg ->
         handle t pid ~src msg)
   done;
+  (* Crash recovery: after the WAL replay, re-request every copy whose PC
+     is elsewhere through the §4.3 join path — the PC restamps our join
+     version and resends a fresh image, covering relays we slept through. *)
+  if cfg.Config.durability.Config.wal then
+    Cluster.install_recovery cl ~rejoin:(fun pid -> Cluster.rejoin_copies cl pid);
   bootstrap t;
   if cfg.Config.balance_period > 0 then begin
     let rec tick () =

@@ -1,0 +1,293 @@
+(* Per-processor durability: a deterministic, simulated single-writer
+   store.  Every state change a processor must survive a crash with is
+   appended as one typed record; every [snapshot_every] records the log
+   is compacted into a canonical snapshot (one record per live fact,
+   sorted) and truncated.  Recovery replays snapshot + tail log, in
+   order, through closure-free record dispatch — records are plain data
+   over ints and {!Msg} payloads, tagged with dense interned ids like
+   [Msg.kind_id], so replay allocates nothing per record beyond the
+   rebuilt state itself.
+
+   The log doubles as the durable half of the reliable transport: sends
+   are journaled until the cumulative ack retires them, and per-source
+   delivered counts are journaled so a restarted processor can recognise
+   (and drop) redeliveries of messages it already processed — the
+   exactly-once guarantee survives the crash. *)
+
+type record =
+  | Write of {
+      snap : Msg.snapshot;
+      pc : int;
+      members : int list;
+      join_versions : (int * int) list;
+      splitting : bool;
+    }  (** full image of a local node copy after a mutation *)
+  | Remove of { node : int }
+  | Learn of { node : int; members : int list }  (** location directory *)
+  | Unlearn of { node : int }
+  | Root of { node : int }
+  | Depart of { node : int }
+  | Undepart of { node : int }
+  | Forward of { node : int; dst : int }
+  | Unforward of { node : int }
+  | Park of { node : int; msg : Msg.t }
+  | Unpark of { node : int }
+  | Op_done of { op : int }  (** an acknowledged client operation *)
+  | Send of { dst : int; abs : int; msg : Msg.t }
+      (** durable outbound: unretired reliable (or local) send *)
+  | Retire of { dst : int; abs : int }  (** acked/delivered through [abs] *)
+  | Deliver of { src : int; abs : int }  (** inbound delivered count *)
+
+(* Dense tags, [Msg.kind_id]-style: replay and accounting dispatch on an
+   array index, never a string. *)
+let tag = function
+  | Write _ -> 0
+  | Remove _ -> 1
+  | Learn _ -> 2
+  | Unlearn _ -> 3
+  | Root _ -> 4
+  | Depart _ -> 5
+  | Undepart _ -> 6
+  | Forward _ -> 7
+  | Unforward _ -> 8
+  | Park _ -> 9
+  | Unpark _ -> 10
+  | Op_done _ -> 11
+  | Send _ -> 12
+  | Retire _ -> 13
+  | Deliver _ -> 14
+
+let tag_names =
+  [|
+    "write"; "remove"; "learn"; "unlearn"; "root"; "depart"; "undepart";
+    "forward"; "unforward"; "park"; "unpark"; "op_done"; "send"; "retire";
+    "deliver";
+  |]
+
+let num_tags = Array.length tag_names
+let tag_name i = tag_names.(i)
+
+(* Simulated bytes written for one record: a small header plus the
+   payload priced by the message cost model. *)
+let record_size = function
+  | Write { snap; members; join_versions; _ } ->
+    12 + Msg.snapshot_size snap
+    + (4 * List.length members)
+    + (8 * List.length join_versions)
+  | Remove _ | Unlearn _ | Root _ | Depart _ | Undepart _ | Unforward _
+  | Unpark _ | Op_done _ ->
+    8
+  | Learn { members; _ } -> 8 + (4 * List.length members)
+  | Forward _ -> 12
+  | Park { msg; _ } -> 8 + Msg.size msg
+  | Send { msg; _ } -> 16 + Msg.size msg
+  | Retire _ | Deliver _ -> 16
+
+type t = {
+  pid : int;
+  snapshot_every : int;  (** log records between compactions; 0 = never *)
+  mutable snap : record list;  (** last snapshot, canonical order *)
+  mutable log : record list;  (** tail since the snapshot, newest first *)
+  mutable log_len : int;
+  (* monotone accounting, over the whole life of the store *)
+  mutable records_total : int;
+  mutable bytes_total : int;
+  mutable snapshots : int;
+  mutable snap_bytes : int;  (** bytes of the most recent snapshot *)
+  mutable replaying : bool;
+      (** replay in progress: appends are refused (a recovery must never
+          re-journal the facts it is reading) *)
+}
+
+let create ~pid ~snapshot_every =
+  {
+    pid;
+    snapshot_every;
+    snap = [];
+    log = [];
+    log_len = 0;
+    records_total = 0;
+    bytes_total = 0;
+    snapshots = 0;
+    snap_bytes = 0;
+    replaying = false;
+  }
+
+let pid t = t.pid
+let log_length t = t.log_len
+let records_total t = t.records_total
+let bytes_total t = t.bytes_total
+let snapshots t = t.snapshots
+let snapshot_bytes t = t.snap_bytes
+let replaying t = t.replaying
+let set_replaying t b = t.replaying <- b
+
+(* ------------------------------------------------------------------ *)
+(* Materialized replay state.  Used both by compaction (to build the
+   next snapshot) and by recovery (via [fold]/[net_state]).            *)
+
+type state = {
+  nodes : (int, record) Hashtbl.t;  (* node -> latest Write *)
+  where : (int, int list) Hashtbl.t;
+  mutable root : int;
+  departed : (int, unit) Hashtbl.t;
+  forwarding : (int, int) Hashtbl.t;
+  parked : (int, Msg.t list) Hashtbl.t;  (* newest first *)
+  outbound : (int, (int * Msg.t) list) Hashtbl.t;
+      (* dst -> unretired sends, newest first, with their abs index *)
+  sent : (int, int) Hashtbl.t;  (* dst -> sends journaled (abs high-water) *)
+  delivered : (int, int) Hashtbl.t;  (* src -> delivered count *)
+  mutable ops_done : int;
+}
+
+let fresh_state () =
+  {
+    nodes = Hashtbl.create 64;
+    where = Hashtbl.create 64;
+    root = -1;
+    departed = Hashtbl.create 8;
+    forwarding = Hashtbl.create 8;
+    parked = Hashtbl.create 8;
+    outbound = Hashtbl.create 8;
+    sent = Hashtbl.create 8;
+    delivered = Hashtbl.create 8;
+    ops_done = 0;
+  }
+
+let apply_to_state st r =
+  match r with
+  | Write { snap; members; _ } ->
+    (* [Store.install]/[Store.wrote] refresh the location hint from the
+       member list, so a [Write] carries a [where] update too; folding it
+       here keeps compaction faithful to the interleaved live order
+       (a snapshot emits Writes before Learns, so [st.where] must hold
+       the final hint, not just the last explicit [Learn]). *)
+    Hashtbl.replace st.nodes snap.Msg.s_id r;
+    Hashtbl.replace st.where snap.Msg.s_id members
+  | Remove { node } -> Hashtbl.remove st.nodes node
+  | Learn { node; members } -> Hashtbl.replace st.where node members
+  | Unlearn { node } -> Hashtbl.remove st.where node
+  | Root { node } -> st.root <- node
+  | Depart { node } -> Hashtbl.replace st.departed node ()
+  | Undepart { node } -> Hashtbl.remove st.departed node
+  | Forward { node; dst } -> Hashtbl.replace st.forwarding node dst
+  | Unforward { node } -> Hashtbl.remove st.forwarding node
+  | Park { node; msg } ->
+    let prev = Option.value (Hashtbl.find_opt st.parked node) ~default:[] in
+    Hashtbl.replace st.parked node (msg :: prev)
+  | Unpark { node } -> Hashtbl.remove st.parked node
+  | Op_done _ -> st.ops_done <- st.ops_done + 1
+  | Send { dst; abs; msg } ->
+    let prev = Option.value (Hashtbl.find_opt st.outbound dst) ~default:[] in
+    Hashtbl.replace st.outbound dst ((abs, msg) :: prev);
+    let hi = Option.value (Hashtbl.find_opt st.sent dst) ~default:0 in
+    Hashtbl.replace st.sent dst (max hi (abs + 1))
+  | Retire { dst; abs } ->
+    let prev = Option.value (Hashtbl.find_opt st.outbound dst) ~default:[] in
+    Hashtbl.replace st.outbound dst
+      (List.filter (fun (a, _) -> a > abs) prev);
+    (* retiring through [abs] implies at least [abs + 1] sends happened;
+       this is what lets a snapshot of a fully-drained channel carry the
+       abs high-water as a single Retire record *)
+    let hi = Option.value (Hashtbl.find_opt st.sent dst) ~default:0 in
+    Hashtbl.replace st.sent dst (max hi (abs + 1))
+  | Deliver { src; abs } ->
+    let prev = Option.value (Hashtbl.find_opt st.delivered src) ~default:0 in
+    Hashtbl.replace st.delivered src (max prev (abs + 1))
+
+(* Replay order: snapshot first, then the tail log oldest-first. *)
+let iter_records t f =
+  List.iter f t.snap;
+  List.iter f (List.rev t.log)
+
+let materialize t =
+  let st = fresh_state () in
+  iter_records t (fun r -> apply_to_state st r);
+  st
+
+(* Deterministic canonical listing of a materialized state.  Hashtbl
+   iteration order never escapes: every table is folded into a list and
+   sorted by key before records are emitted. *)
+let sorted_bindings h =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (* dblint: allow no-nondeterminism -- unordered fold feeds the sort by key above *)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [])
+
+let canonical st =
+  let recs = ref [] in
+  let push r = recs := r :: !recs in
+  List.iter (fun (_, r) -> push r) (sorted_bindings st.nodes);
+  List.iter (fun (node, members) -> push (Learn { node; members }))
+    (sorted_bindings st.where);
+  (* replaying a Write re-installs the hint; if it was since unlearned,
+     say so explicitly or the snapshot resurrects it *)
+  List.iter
+    (fun (node, _) ->
+      if not (Hashtbl.mem st.where node) then push (Unlearn { node }))
+    (sorted_bindings st.nodes);
+  if st.root >= 0 then push (Root { node = st.root });
+  List.iter (fun (node, ()) -> push (Depart { node }))
+    (sorted_bindings st.departed);
+  List.iter (fun (node, dst) -> push (Forward { node; dst }))
+    (sorted_bindings st.forwarding);
+  List.iter
+    (fun (node, msgs) ->
+      List.iter (fun msg -> push (Park { node; msg })) (List.rev msgs))
+    (sorted_bindings st.parked);
+  List.iter
+    (fun (dst, items) ->
+      List.iter (fun (abs, msg) -> push (Send { dst; abs; msg }))
+        (List.sort compare (List.map (fun (a, m) -> (a, m)) items)))
+    (sorted_bindings st.outbound);
+  (* preserve the abs high-water for channels whose queue drained *)
+  List.iter
+    (fun (dst, hi) ->
+      if hi > 0 && Hashtbl.find_opt st.outbound dst = Some [] then
+        push (Retire { dst; abs = hi - 1 }))
+    (sorted_bindings st.sent);
+  List.iter (fun (src, n) -> push (Deliver { src; abs = n - 1 }))
+    (List.filter (fun (_, n) -> n > 0) (sorted_bindings st.delivered));
+  List.rev !recs
+
+let compact t =
+  let st = materialize t in
+  let snap = canonical st in
+  t.snap <- snap;
+  t.log <- [];
+  t.log_len <- 0;
+  t.snapshots <- t.snapshots + 1;
+  t.snap_bytes <- List.fold_left (fun acc r -> acc + record_size r) 0 snap
+
+let append t r =
+  if not t.replaying then begin
+    t.log <- r :: t.log;
+    t.log_len <- t.log_len + 1;
+    t.records_total <- t.records_total + 1;
+    t.bytes_total <- t.bytes_total + record_size r;
+    if t.snapshot_every > 0 && t.log_len >= t.snapshot_every then compact t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let replay t f =
+  let n = ref 0 in
+  iter_records t (fun r ->
+      incr n;
+      f r);
+  !n
+
+(* Durable network state for [Net.restore_proc]: unretired outbound
+   sends per destination (oldest first, with abs indices), the abs
+   high-water per destination, and the per-source delivered counts. *)
+let net_state t =
+  let st = materialize t in
+  let outbound =
+    List.map (fun (dst, items) -> (dst, List.sort compare items))
+      (sorted_bindings st.outbound)
+  in
+  let sent = sorted_bindings st.sent in
+  let delivered =
+    List.filter (fun (_, n) -> n > 0) (sorted_bindings st.delivered)
+  in
+  (outbound, sent, delivered)

@@ -99,6 +99,7 @@ let run ?(quick = false) () =
         (fun transport ->
           let faults =
             {
+              Dbtree_sim.Net.no_faults with
               Dbtree_sim.Net.drop_prob;
               duplicate_prob;
               delay_prob;

@@ -1,0 +1,14 @@
+(** Experiment: Crash/restart recovery (WAL replay, rejoin, lost-ack audit)
+
+    Exposes only the registry-facing surface; configuration sweeps and
+    the lost-acknowledged-update audit stay private. *)
+
+val id : string
+(** Short identifier used by the CLI to select this experiment. *)
+
+val title : string
+(** Human-readable description printed above the result table. *)
+
+val run : ?quick:bool -> unit -> unit
+(** Run the experiment and print its table. [quick] shrinks the
+    workload for CI-speed smoke runs at the cost of table fidelity. *)

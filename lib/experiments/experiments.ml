@@ -43,6 +43,7 @@ let all =
     { id = E15_tree_vs_hash.id; title = E15_tree_vs_hash.title; run = E15_tree_vs_hash.run };
     { id = E16_reclamation.id; title = E16_reclamation.title; run = E16_reclamation.run };
     { id = E17_scale.id; title = E17_scale.title; run = E17_scale.run };
+    { id = E18_recovery.id; title = E18_recovery.title; run = E18_recovery.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -329,7 +329,13 @@ let check_counter_lifecycle _prog (g : Graph.t) =
    window that never ends and every span query over it degenerates. *)
 
 let span_pairs =
-  [ ("Split_start", "Split_end"); ("Aas_block", "Aas_release") ]
+  [
+    ("Split_start", "Split_end");
+    ("Aas_block", "Aas_release");
+    (* A crash span must always close: the recovery driver that downs a
+       processor must be able to reach the restart that brings it back. *)
+    ("Crash", "Restart");
+  ]
 
 let check_span_pairing _prog (g : Graph.t) =
   List.concat_map

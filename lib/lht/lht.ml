@@ -583,6 +583,10 @@ let create cfg =
     invalid_arg
       "Lht.create: the reliable transport cannot terminate over a channel \
        that drops everything (drop_prob must be < 1)";
+  if cfg.faults.Net.crash_at <> [] then
+    invalid_arg
+      "Lht.create: faults.crash_at is not supported (the LHT has no durable \
+       storage to recover from)";
   let obs =
     Obs.create ~enabled:cfg.trace ~capacity:cfg.trace_capacity ~label:"lht" ()
   in

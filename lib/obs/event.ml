@@ -17,6 +17,10 @@ type kind =
   | Reclaim
   | Park
   | Unpark
+  | Crash
+  | Restart
+  | Replay
+  | Rejoin
 
 let to_int = function
   | Op_issue -> 0
@@ -37,8 +41,12 @@ let to_int = function
   | Reclaim -> 15
   | Park -> 16
   | Unpark -> 17
+  | Crash -> 18
+  | Restart -> 19
+  | Replay -> 20
+  | Rejoin -> 21
 
-let num_kinds = 18
+let num_kinds = 22
 
 let of_int = function
   | 0 -> Op_issue
@@ -59,6 +67,10 @@ let of_int = function
   | 15 -> Reclaim
   | 16 -> Park
   | 17 -> Unpark
+  | 18 -> Crash
+  | 19 -> Restart
+  | 20 -> Replay
+  | 21 -> Rejoin
   | k -> Fmt.invalid_arg "Event.of_int: %d" k
 
 let name = function
@@ -80,6 +92,10 @@ let name = function
   | Reclaim -> "reclaim"
   | Park -> "park"
   | Unpark -> "unpark"
+  | Crash -> "crash"
+  | Restart -> "restart"
+  | Replay -> "replay"
+  | Rejoin -> "rejoin"
 
 (* Client-operation kind codes carried in the [a] field of
    [Op_issue]/[Op_complete] (and the [b] field of [Aas_block]). *)

@@ -44,6 +44,10 @@ type kind =
   | Reclaim
   | Park
   | Unpark
+  | Crash  (** processor failure: in-memory state dropped ([a] = generation) *)
+  | Restart  (** processor back up, about to replay its log ([a] = generation) *)
+  | Replay  (** WAL replay finished ([a] = records applied, [b] = bytes read) *)
+  | Rejoin  (** §4.3 re-join refresh requested for a node ([a] = node, [b] = pc) *)
 
 val to_int : kind -> int
 (** Dense code in [\[0, num_kinds)]; stable across a run (the ring buffer

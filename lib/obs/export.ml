@@ -116,7 +116,8 @@ let emit_event em t ~index (e : Obs.event) =
       ~k2:"ackno" ~v2:e.b
   | (Event.Relay | Event.Split_start | Event.Split_end | Event.Aas_block
     | Event.Aas_release | Event.Root_grow | Event.Migrate | Event.Join
-    | Event.Unjoin | Event.Reclaim | Event.Park | Event.Unpark) as k ->
+    | Event.Unjoin | Event.Reclaim | Event.Park | Event.Unpark
+    | Event.Crash | Event.Restart | Event.Replay | Event.Rejoin) as k ->
     instant em ~name:(Event.name k) ~cat:"protocol" ~pid ~tid ~ts ~k1:"a"
       ~v1:e.a ~k2:"b" ~v2:e.b
 

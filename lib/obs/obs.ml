@@ -235,6 +235,12 @@ let pp_event t ppf (e : event) =
     Fmt.pf ppf "p%d: park %s at node %d" e.pid (t.msg_name e.b) e.a
   | Event.Unpark ->
     Fmt.pf ppf "p%d: unpark %d actions at node %d" e.pid e.b e.a
+  | Event.Crash -> Fmt.pf ppf "p%d: crash (generation %d)" e.pid e.a
+  | Event.Restart -> Fmt.pf ppf "p%d: restart (generation %d)" e.pid e.a
+  | Event.Replay ->
+    Fmt.pf ppf "p%d: replayed %d wal records (%d bytes)" e.pid e.a e.b
+  | Event.Rejoin ->
+    Fmt.pf ppf "p%d: rejoin node %d via pc %d" e.pid e.a e.b
 
 let pp ppf t =
   List.iter

@@ -21,10 +21,21 @@ type faults = {
   duplicate_prob : float;
   delay_prob : float;
   delay_ticks : int;
+  crash_at : (int * int) list;
+      (* (proc, tick) crash schedule: at [tick] the processor drops its
+         in-memory state and its reliable-channel state is reset *)
+  restart_delay : int;  (* ticks a crashed processor stays down *)
 }
 
 let no_faults =
-  { drop_prob = 0.0; duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+  {
+    drop_prob = 0.0;
+    duplicate_prob = 0.0;
+    delay_prob = 0.0;
+    delay_ticks = 0;
+    crash_at = [];
+    restart_delay = 64;
+  }
 
 type transport = Raw | Reliable
 
@@ -48,16 +59,36 @@ module Make (M : MESSAGE) = struct
   type chan = {
     (* sender side *)
     mutable next_seq : int;
-    unacked : (int * M.t * int * int) Queue.t;
-        (* (seq, msg, op, send event id), in-flight, oldest first *)
+    mutable unacked : (int * int * M.t * int * int) Queue.t;
+        (* (seq, abs, msg, op, send event id), in-flight, oldest first.
+           [abs] is the channel-lifetime send index used by the durable
+           outbound journal and crash-recovery dedup; -1 when the network
+           has no persistence hooks. *)
     mutable rto : int;  (* current retransmit timeout (backs off) *)
     mutable timer_gen : int;  (* stale-timer invalidation *)
     mutable timer_armed : bool;
+    mutable sent_abs : int;  (* next abs index to assign *)
     (* receiver side *)
     mutable expect : int;  (* next seqno released to the handler *)
-    ooo : (int, M.t * int * int) Hashtbl.t;
-        (* held out-of-order frames, by seqno: (msg, op, send event id) *)
+    ooo : (int, M.t * int * int * int) Hashtbl.t;
+        (* held out-of-order frames, by seqno: (msg, op, send id, abs) *)
     mutable ack_owed : bool;  (* delayed ack scheduled and not yet covered *)
+    mutable delivered_abs : int;
+        (* count of data messages released to the handler; survives a
+           channel reset on the live side and is restored from the
+           receiver's journal after a crash *)
+  }
+
+  (* Durability hooks, installed by whoever owns the processors' journals
+     (the cluster).  [p_send]/[p_retire] bracket the life of an outbound
+     message in [src]'s journal; [p_deliver] advances the delivered count
+     in [dst]'s journal.  All three fire inside the event that performs
+     the action, so a crash (which only strikes between events) can never
+     observe a half-journaled step. *)
+  type persist = {
+    p_send : src:pid -> dst:pid -> abs:int -> M.t -> unit;
+    p_retire : src:pid -> dst:pid -> abs:int -> unit;
+    p_deliver : src:pid -> dst:pid -> abs:int -> unit;
   }
 
   type t = {
@@ -73,6 +104,14 @@ module Make (M : MESSAGE) = struct
     channel_front : int array;
     inbound : int array;
     rel : chan option array;  (* lazily allocated, Reliable only *)
+    (* crash/restart machinery *)
+    down : bool array;
+    gen : int array;  (* per-processor incarnation; bumped at each crash *)
+    local_sent : int array;  (* durable local-loopback send indices *)
+    local_del : int array;  (* durable local-loopback delivery indices *)
+    mutable on_crash : pid -> unit;
+    mutable on_restart : pid -> unit;
+    mutable persist : persist option;
     rto_base : int;
     rto_max : int;
     ack_delay : int;
@@ -93,6 +132,8 @@ module Make (M : MESSAGE) = struct
     c_acks : Stats.counter;
     c_dup_dropped : Stats.counter;
     c_held : Stats.counter;
+    c_crashes : Stats.counter;
+    c_stale : Stats.counter;  (* frames from a dead incarnation, dropped *)
     c_kind : Stats.counter array;
     (* Typed-event handler ids ([Sim.register_handler]): the per-message
        hot path schedules five ints instead of allocating a closure.
@@ -129,6 +170,13 @@ module Make (M : MESSAGE) = struct
         (match transport with
         | Raw -> [||]
         | Reliable -> Array.make (procs * procs) None);
+      down = Array.make procs false;
+      gen = Array.make procs 0;
+      local_sent = Array.make procs 0;
+      local_del = Array.make procs 0;
+      on_crash = ignore;
+      on_restart = ignore;
+      persist = None;
       rto_base;
       rto_max = rto_base * 16;
       ack_delay = (latency.remote_base / 4) + 1;
@@ -146,6 +194,8 @@ module Make (M : MESSAGE) = struct
       c_acks = Stats.counter stats "net.rel.acks";
       c_dup_dropped = Stats.counter stats "net.rel.dup_dropped";
       c_held = Stats.counter stats "net.rel.reordered_held";
+      c_crashes = Stats.counter stats "net.crash.count";
+      c_stale = Stats.counter stats "net.crash.stale_dropped";
       c_kind =
         Array.init M.num_kinds (fun i ->
             (* dblint: allow interned-stats -- resolved once per network at creation, not on the message path *)
@@ -157,6 +207,23 @@ module Make (M : MESSAGE) = struct
   let sim t = t.sim
   let procs t = t.procs
   let obs t = t.obs
+  let is_down t pid = t.down.(pid)
+  let generation t pid = t.gen.(pid)
+  let set_persist t p = t.persist <- Some p
+
+  let set_crash_hooks t ~on_crash ~on_restart =
+    t.on_crash <- on_crash;
+    t.on_restart <- on_restart
+
+  (* Epoch-tagged channel index for typed delivery events: a frame is
+     stamped with the sum of both endpoints' incarnations at schedule
+     time, and dropped on arrival if either endpoint has crashed since —
+     no frame from a dead incarnation is ever released to a handler. *)
+  let[@inline] chan_code t ~src ~dst =
+    ((t.gen.(src) + t.gen.(dst)) * t.procs * t.procs) + (src * t.procs) + dst
+
+  let[@inline] stale t ~src ~dst ~epoch =
+    epoch <> t.gen.(src) + t.gen.(dst) || t.down.(dst)
 
   let set_handler t pid handler =
     if pid < 0 || pid >= t.procs then invalid_arg "Net.set_handler: bad pid";
@@ -208,6 +275,7 @@ module Make (M : MESSAGE) = struct
          else 0)
     in
     let chan = (src * t.procs) + dst in
+    let code = chan_code t ~src ~dst in
     let now = Sim.now t.sim in
     (* FIFO per channel: a transmission may not overtake an earlier one. *)
     let at = max (now + raw_delay) (t.channel_front.(chan) + 1) in
@@ -218,7 +286,7 @@ module Make (M : MESSAGE) = struct
     if dropped then Stats.tick t.c_dropped
     else begin
       t.inbound.(dst) <- t.inbound.(dst) + 1;
-      Sim.schedule_typed t.sim ~delay:(at - now) ~h ~a:chan ~b ~c ~o
+      Sim.schedule_typed t.sim ~delay:(at - now) ~h ~a:code ~b ~c ~o
     end;
     (* fault injection (off by default): duplicate delivery, and FIFO
        violation via an extra late delivery of a copy *)
@@ -228,7 +296,7 @@ module Make (M : MESSAGE) = struct
     then begin
       Stats.tick t.c_dup;
       t.inbound.(dst) <- t.inbound.(dst) + 1;
-      Sim.schedule_typed t.sim ~delay:(at - now + 1) ~h ~a:chan ~b ~c ~o
+      Sim.schedule_typed t.sim ~delay:(at - now + 1) ~h ~a:code ~b ~c ~o
     end;
     if t.faults.delay_prob > 0.0 && Rng.float t.rng 1.0 < t.faults.delay_prob
     then begin
@@ -236,7 +304,7 @@ module Make (M : MESSAGE) = struct
       t.inbound.(dst) <- t.inbound.(dst) + 1;
       Sim.schedule_typed t.sim
         ~delay:(at - now + t.faults.delay_ticks)
-        ~h ~a:chan ~b ~c ~o
+        ~h ~a:code ~b ~c ~o
     end
 
   (* ---------------- Raw transport ---------------- *)
@@ -272,9 +340,11 @@ module Make (M : MESSAGE) = struct
           rto = t.rto_base;
           timer_gen = 0;
           timer_armed = false;
+          sent_abs = 0;
           expect = 0;
           ooo = Hashtbl.create 8;
           ack_owed = false;
+          delivered_abs = 0;
         }
       in
       t.rel.(i) <- Some c;
@@ -290,7 +360,7 @@ module Make (M : MESSAGE) = struct
   let rec transmit_frame t ~src ~dst ~seq ~ack payload =
     let size =
       match payload with
-      | Some (m, _, _) -> frame_header_bytes + M.size m
+      | Some (m, _, _, _) -> frame_header_bytes + M.size m
       | None -> frame_header_bytes
     in
     t.remote <- t.remote + 1;
@@ -298,7 +368,7 @@ module Make (M : MESSAGE) = struct
     Stats.tick t.c_msgs;
     Stats.add t.c_bytes size;
     (match payload with
-    | Some (m, _, _) -> Stats.tick t.c_kind.(M.kind_id m)
+    | Some (m, _, _, _) -> Stats.tick t.c_kind.(M.kind_id m)
     | None ->
       Stats.tick t.c_acks;
       ignore
@@ -322,12 +392,12 @@ module Make (M : MESSAGE) = struct
     process_ack t ~src:dst ~dst:src ack;
     match payload with
     | None -> ()
-    | Some ((msg, op, sid) as payload) ->
+    | Some ((msg, op, sid, abs) as payload) ->
       let ch = rel_chan t ~src ~dst in
       if seq = ch.expect then begin
         ch.expect <- seq + 1;
         note_ack_owed t ~src ~dst ch;
-        deliver t ~src ~dst ~op ~sid msg;
+        release_data t ~src ~dst ch ~op ~sid ~abs msg;
         release_in_order t ~src ~dst ch
       end
       else if seq < ch.expect || Hashtbl.mem ch.ooo seq then begin
@@ -343,12 +413,29 @@ module Make (M : MESSAGE) = struct
         note_ack_owed t ~src ~dst ch
       end
 
+  (* In-order data release with crash-recovery dedup: a message whose abs
+     index is below the channel's delivered count was already released to
+     the handler by a previous incarnation (the sender re-sent it from
+     its journal because the ack died with the crash) — re-ack it, never
+     re-deliver it. *)
+  and release_data t ~src ~dst ch ~op ~sid ~abs msg =
+    if abs >= 0 && abs < ch.delivered_abs then Stats.tick t.c_dup_dropped
+    else begin
+      if abs >= 0 then begin
+        ch.delivered_abs <- abs + 1;
+        match t.persist with
+        | Some p -> p.p_deliver ~src ~dst ~abs
+        | None -> ()
+      end;
+      deliver t ~src ~dst ~op ~sid msg
+    end
+
   and release_in_order t ~src ~dst ch =
     match Hashtbl.find_opt ch.ooo ch.expect with
-    | Some (msg, op, sid) ->
+    | Some (msg, op, sid, abs) ->
       Hashtbl.remove ch.ooo ch.expect;
       ch.expect <- ch.expect + 1;
-      deliver t ~src ~dst ~op ~sid msg;
+      release_data t ~src ~dst ch ~op ~sid ~abs msg;
       release_in_order t ~src ~dst ch
     | None -> ()
 
@@ -363,10 +450,14 @@ module Make (M : MESSAGE) = struct
       while
         (not (Queue.is_empty ch.unacked))
         &&
-        let seq, _, _, _ = Queue.peek ch.unacked in
+        let seq, _, _, _, _ = Queue.peek ch.unacked in
         seq <= ackno
       do
-        ignore (Queue.pop ch.unacked);
+        let _, abs, _, _, _ = Queue.pop ch.unacked in
+        (if abs >= 0 then
+           match t.persist with
+           | Some p -> p.p_retire ~src ~dst ~abs
+           | None -> ());
         progressed := true
       done;
       if !progressed then begin
@@ -403,16 +494,168 @@ module Make (M : MESSAGE) = struct
         (* Cumulative acks: retransmitting the oldest unacked frame is
            enough — anything newer the receiver already holds in its
            out-of-order buffer. *)
-        let seq, msg, op, sid = Queue.peek ch.unacked in
+        let seq, abs, msg, op, sid = Queue.peek ch.unacked in
         Stats.tick t.c_retx;
         ignore
           (Obs.emit t.obs ~time:(Sim.now t.sim) ~pid:src ~op ~parent:sid
              ~kind:Event.Retx ~a:dst ~b:seq);
         ch.rto <- min (2 * ch.rto) t.rto_max;
-        transmit_data t ~src ~dst ~seq (msg, op, sid);
+        transmit_data t ~src ~dst ~seq (msg, op, sid, abs);
         arm_timer t ~src ~dst ch
       end
     end
+
+  (* ---------------- Crash / restart ---------------- *)
+
+  (* Local transmission leg shared by [send] and the restart replay of
+     journaled loopback messages (which must not be re-journaled). *)
+  let local_transmit t ~pid msg =
+    t.local <- t.local + 1;
+    Stats.tick t.c_local;
+    let chan = (pid * t.procs) + pid in
+    let now = Sim.now t.sim in
+    let at = max (now + t.latency.local_delay) (t.channel_front.(chan) + 1) in
+    t.channel_front.(chan) <- at;
+    let sid =
+      Obs.emit_here t.obs ~time:now ~pid ~kind:Event.Msg_send ~a:pid
+        ~b:(M.kind_id msg)
+    in
+    Sim.schedule_typed t.sim ~delay:(at - now) ~h:t.h_deliver
+      ~a:(chan_code t ~src:pid ~dst:pid)
+      ~b:(Obs.cur_op t.obs) ~c:sid ~o:(Obj.repr msg)
+
+  (* Go-back-N resume of one live sender's channel into a freshly
+     restarted peer: the whole in-flight window is renumbered from 0 for
+     the new incarnation and retransmitted; the receiver's journal-backed
+     delivered count drops the prefix it already processed. *)
+  let resume_channel t ~src ~dst ch =
+    let items = List.rev (Queue.fold (fun acc e -> e :: acc) [] ch.unacked) in
+    Queue.clear ch.unacked;
+    ch.next_seq <- 0;
+    List.iter
+      (fun (_, abs, msg, op, sid) ->
+        let seq = ch.next_seq in
+        ch.next_seq <- seq + 1;
+        Queue.push (seq, abs, msg, op, sid) ch.unacked;
+        transmit_data t ~src ~dst ~seq (msg, op, sid, abs))
+      items;
+    ch.rto <- t.rto_base;
+    ch.timer_armed <- false;
+    if not (Queue.is_empty ch.unacked) then arm_timer t ~src ~dst ch
+
+  (* Re-arm a restarted processor's durable network state from its
+     journal: per-destination send indices, per-source delivered counts,
+     and the unretired outbound tail (re-queued in order and
+     retransmitted; the receivers dedup by abs index). *)
+  let restore_proc t ~pid ~outbound ~sent ~delivered =
+    List.iter
+      (fun (dst, hi) ->
+        if dst = pid then begin
+          t.local_sent.(pid) <- hi;
+          t.local_del.(pid) <- hi
+        end
+        else (rel_chan t ~src:pid ~dst).sent_abs <- hi)
+      sent;
+    List.iter
+      (fun (src, n) -> (rel_chan t ~src ~dst:pid).delivered_abs <- n)
+      delivered;
+    List.iter
+      (fun (dst, items) ->
+        if dst = pid then begin
+          (* unretired loopback sends: re-deliver in order; each delivery
+             re-journals its retirement under the continuing index *)
+          t.local_del.(pid) <- t.local_sent.(pid) - List.length items;
+          List.iter (fun (_, msg) -> local_transmit t ~pid msg) items
+        end
+        else begin
+          let ch = rel_chan t ~src:pid ~dst in
+          List.iter
+            (fun (abs, msg) ->
+              let seq = ch.next_seq in
+              ch.next_seq <- seq + 1;
+              Queue.push (seq, abs, msg, -1, -1) ch.unacked;
+              if not t.down.(dst) then
+                transmit_data t ~src:pid ~dst ~seq (msg, -1, -1, abs))
+            items;
+          if (not t.down.(dst)) && not (Queue.is_empty ch.unacked) then begin
+            ch.rto <- t.rto_base;
+            if not ch.timer_armed then arm_timer t ~src:pid ~dst ch
+          end
+        end)
+      outbound
+
+  let rec do_crash t p =
+    if not t.down.(p) then begin
+      t.down.(p) <- true;
+      t.gen.(p) <- t.gen.(p) + 1;
+      Stats.tick t.c_crashes;
+      (match t.transport with
+      | Raw -> ()
+      | Reliable ->
+        for q = 0 to t.procs - 1 do
+          (* q -> p: the in-flight window stays queued on the live side,
+             but its retransmit timer dies with the generation bump — a
+             pending retransmission aimed at the dead incarnation must
+             not keep backing off against a peer that cannot ack.  The
+             receiver half (p's sequencing and delivered count) is part
+             of the crashed state. *)
+          (match t.rel.((q * t.procs) + p) with
+          | Some ch ->
+            ch.timer_gen <- ch.timer_gen + 1;
+            ch.timer_armed <- false;
+            ch.rto <- t.rto_base;
+            ch.expect <- 0;
+            Hashtbl.reset ch.ooo;
+            ch.ack_owed <- false;
+            ch.delivered_abs <- 0
+          | None -> ());
+          (* p -> q: the sender side died with p (its journal keeps the
+             unretired tail); the live receiver resets its sequencing for
+             p's next incarnation but keeps its delivered count — that
+             count is what dedups p's journal-driven re-sends. *)
+          if q <> p then
+            match t.rel.((p * t.procs) + q) with
+            | Some ch ->
+              Queue.clear ch.unacked;
+              ch.next_seq <- 0;
+              ch.sent_abs <- 0;
+              ch.timer_gen <- ch.timer_gen + 1;
+              ch.timer_armed <- false;
+              ch.rto <- t.rto_base;
+              ch.expect <- 0;
+              Hashtbl.reset ch.ooo;
+              ch.ack_owed <- false
+            | None -> ()
+        done);
+      t.on_crash p;
+      Sim.schedule t.sim
+        ~delay:(max 1 t.faults.restart_delay)
+        (fun () -> do_restart t p)
+    end
+
+  and do_restart t p =
+    t.down.(p) <- false;
+    (* The owner's hook replays the journal (rebuilding state and calling
+       [restore_proc]) before any channel resumes, so everything a peer
+       retransmits below lands on recovered state. *)
+    t.on_restart p;
+    match t.transport with
+    | Raw -> ()
+    | Reliable ->
+      for q = 0 to t.procs - 1 do
+        if q <> p && not t.down.(q) then
+          match t.rel.((q * t.procs) + p) with
+          | Some ch ->
+            (* Resume even a drained channel: [p]'s receive window was
+               reset to expect seq 0, so [q]'s next fresh send must also
+               restart from 0 — a channel left at its old [next_seq]
+               would send a frame the new incarnation holds in its
+               out-of-order buffer forever (an unfillable gap, retried
+               until the clock exhausts).  On an empty queue this only
+               resets the sequence window, rto, and timer. *)
+            resume_channel t ~src:q ~dst:p ch
+          | None -> ()
+      done
 
   (* Public constructor: build the record, then register the two typed
      delivery handlers (they close over [t] and must see [deliver] /
@@ -421,12 +664,37 @@ module Make (M : MESSAGE) = struct
     let t = make ?latency ?faults ?transport ?obs sim ~procs in
     t.h_deliver <-
       Sim.register_handler sim (fun a b c o ->
-          deliver t ~src:(a / t.procs) ~dst:(a mod t.procs) ~op:b ~sid:c
-            (Obj.obj o : M.t));
+          let p2 = t.procs * t.procs in
+          let chan = a mod p2 and epoch = a / p2 in
+          let src = chan / t.procs and dst = chan mod t.procs in
+          if stale t ~src ~dst ~epoch then Stats.tick t.c_stale
+          else begin
+            (match t.persist with
+            | Some p when src = dst ->
+              (* loopback deliveries retire their journal entry inside
+                 the delivery event: exactly-once across a crash *)
+              let abs = t.local_del.(src) in
+              t.local_del.(src) <- abs + 1;
+              p.p_retire ~src ~dst ~abs
+            | Some _ | None -> ());
+            deliver t ~src ~dst ~op:b ~sid:c (Obj.obj o : M.t)
+          end);
     t.h_frame <-
       Sim.register_handler sim (fun a b c o ->
-          recv_frame t ~src:(a / t.procs) ~dst:(a mod t.procs) ~seq:b ~ack:c
-            (Obj.obj o : (M.t * int * int) option));
+          let p2 = t.procs * t.procs in
+          let chan = a mod p2 and epoch = a / p2 in
+          let src = chan / t.procs and dst = chan mod t.procs in
+          if stale t ~src ~dst ~epoch then Stats.tick t.c_stale
+          else
+            recv_frame t ~src ~dst ~seq:b ~ack:c
+              (Obj.obj o : (M.t * int * int * int) option));
+    let now = Sim.now sim in
+    List.iter
+      (fun (p, tick) ->
+        if p < 0 || p >= procs then
+          invalid_arg "Net.create: crash_at names an unknown processor";
+        Sim.schedule sim ~delay:(max 0 (tick - now)) (fun () -> do_crash t p))
+      t.faults.crash_at;
     t
 
   let rel_send t ~src ~dst msg =
@@ -434,11 +702,26 @@ module Make (M : MESSAGE) = struct
     let seq = ch.next_seq in
     ch.next_seq <- seq + 1;
     let op, sid = note_send t ~src ~dst msg in
-    Queue.push (seq, msg, op, sid) ch.unacked;
-    transmit_data t ~src ~dst ~seq (msg, op, sid);
-    if not ch.timer_armed then begin
-      ch.rto <- t.rto_base;
-      arm_timer t ~src ~dst ch
+    let abs =
+      match t.persist with
+      | Some p ->
+        let abs = ch.sent_abs in
+        ch.sent_abs <- abs + 1;
+        p.p_send ~src ~dst ~abs msg;
+        abs
+      | None -> -1
+    in
+    Queue.push (seq, abs, msg, op, sid) ch.unacked;
+    (* A send aimed at a crashed peer stays queued (and journaled): it is
+       transmitted when the peer's restart resumes the channel.  Arming a
+       retransmit timer against a dead destination would only grow
+       [net.rel.retx] against a peer that cannot ack. *)
+    if not t.down.(dst) then begin
+      transmit_data t ~src ~dst ~seq (msg, op, sid, abs);
+      if not ch.timer_armed then begin
+        ch.rto <- t.rto_base;
+        arm_timer t ~src ~dst ch
+      end
     end
 
   (* ---------------- Common entry points ---------------- *)
@@ -446,18 +729,15 @@ module Make (M : MESSAGE) = struct
   let send t ~src ~dst msg =
     if dst < 0 || dst >= t.procs then invalid_arg "Net.send: bad dst";
     if src = dst then begin
-      t.local <- t.local + 1;
-      Stats.tick t.c_local;
-      let chan = (src * t.procs) + dst in
-      let now = Sim.now t.sim in
-      let at = max (now + t.latency.local_delay) (t.channel_front.(chan) + 1) in
-      t.channel_front.(chan) <- at;
-      let sid =
-        Obs.emit_here t.obs ~time:now ~pid:src ~kind:Event.Msg_send ~a:dst
-          ~b:(M.kind_id msg)
-      in
-      Sim.schedule_typed t.sim ~delay:(at - now) ~h:t.h_deliver ~a:chan
-        ~b:(Obs.cur_op t.obs) ~c:sid ~o:(Obj.repr msg)
+      (match t.persist with
+      | Some p ->
+        (* loopback messages are state a crash would otherwise lose:
+           journal the send; the delivery event retires it *)
+        let abs = t.local_sent.(src) in
+        t.local_sent.(src) <- abs + 1;
+        p.p_send ~src ~dst ~abs msg
+      | None -> ());
+      local_transmit t ~pid:src msg
     end
     else
       match t.transport with

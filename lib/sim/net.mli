@@ -71,9 +71,24 @@ type faults = {
       (** probability an extra copy of a transmission is held back long
           enough to be re-ordered behind later traffic (breaks FIFO) *)
   delay_ticks : int;  (** how long a delayed copy is held *)
+  crash_at : (int * int) list;
+      (** crash schedule: [(proc, tick)] downs [proc] at virtual time
+          [tick].  A crash bumps the processor's channel generation:
+          every frame in flight to or from the dead incarnation is
+          dropped on arrival ([net.crash.stale_dropped]), pending
+          retransmission timers aimed at it are invalidated, and peers
+          hold their unacked windows until the restart.  Entries for a
+          processor already down are ignored. *)
+  restart_delay : int;
+      (** ticks a crashed processor stays down (min 1).  At restart the
+          owner's {!Make.set_crash_hooks} [on_restart] runs first (state
+          replay), then every live peer resumes its channel go-back-N:
+          the surviving unacked window is renumbered from sequence 0 and
+          retransmitted. *)
 }
 
 val no_faults : faults
+(** No faults; [restart_delay = 64]. *)
 
 (** Which wire discipline [send]/[broadcast] use for remote messages:
 
@@ -143,4 +158,62 @@ module Make (M : MESSAGE) : sig
   (** Remote transmissions delivered to [pid] — used for hot-spot
       detection.  Counts every scheduled delivery, including fault-injected
       duplicates and late copies; dropped transmissions are not counted. *)
+
+  (** {2 Crashes and durability}
+
+      A crash (scheduled through {!faults.crash_at}) strikes between
+      simulation events, downs the processor for
+      {!faults.restart_delay} ticks, and bumps its channel generation —
+      in-flight traffic of the dead incarnation is dropped as stale.
+      The machinery below lets an owner with durable storage journal the
+      channel state that must survive: each reliable (and loopback) send
+      is assigned a per-channel absolute index, journaled on send,
+      retired when the cumulative ack (or local delivery) covers it, and
+      deduped at the receiver by a journaled delivered count — so
+      exactly-once delivery survives the crash.  With no [persist]
+      record installed, indices are never assigned and the transport
+      behaves exactly as before. *)
+
+  type persist = {
+    p_send : src:pid -> dst:pid -> abs:int -> M.t -> unit;
+        (** a send was assigned durable index [abs] on channel
+            (src, dst); journal the message *)
+    p_retire : src:pid -> dst:pid -> abs:int -> unit;
+        (** the send at [abs] is acked (or locally delivered): its
+            journal entry may be dropped *)
+    p_deliver : src:pid -> dst:pid -> abs:int -> unit;
+        (** [dst] delivered the remote message with index [abs]:
+            journal the per-source delivered count *)
+  }
+  (** Durability hooks.  All three fire inside the simulation event that
+      performs the action, so a crash (which strikes between events)
+      never observes a half-journaled transition. *)
+
+  val set_persist : t -> persist -> unit
+
+  val set_crash_hooks :
+    t -> on_crash:(pid -> unit) -> on_restart:(pid -> unit) -> unit
+  (** [on_crash p] runs inside the crash event, after the channel reset —
+      the owner drops [p]'s volatile state.  [on_restart p] runs inside
+      the restart event, before any peer channel resumes — the owner
+      replays its journal (typically ending with {!restore_proc}) so the
+      retransmissions that follow land on recovered state. *)
+
+  val is_down : t -> pid -> bool
+  val generation : t -> pid -> int
+
+  val restore_proc :
+    t ->
+    pid:pid ->
+    outbound:(pid * (int * M.t) list) list ->
+    sent:(pid * int) list ->
+    delivered:(pid * int) list ->
+    unit
+  (** Re-arm a restarted processor's durable network state from its
+      journal: [sent] is the per-destination send-index high-water,
+      [delivered] the per-source delivered counts (receivers' dedup
+      floor), and [outbound] the unretired sends per destination, oldest
+      first with their indices — re-queued and retransmitted (loopback
+      entries are re-delivered locally).  Receivers drop the prefix they
+      already processed by comparing indices. *)
 end

@@ -14,6 +14,7 @@ let () =
       ("kv", Test_kv.suite);
       ("misc", Test_misc.suite);
       ("regressions", Test_regressions.suite);
+      ("recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
       ("scale", Test_scale.suite);
       ("lint", Test_lint.suite);

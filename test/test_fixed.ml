@@ -163,7 +163,7 @@ let test_relay_batching () =
 
 let test_batching_rejected_elsewhere () =
   Alcotest.check_raises "batching requires Semi"
-    (Invalid_argument "Config: relay batching requires the Semi discipline")
+    (Invalid_argument "Config: relay_batch > 1 (relay batching) requires the Semi discipline")
     (fun () -> ignore (mk ~relay_batch:4 Config.Sync))
 
 let test_single_copy_root () =

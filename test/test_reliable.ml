@@ -19,6 +19,7 @@ module TestNet = Net.Make (TestMsg)
 
 let heavy_faults =
   {
+    Net.no_faults with
     Net.drop_prob = 0.3;
     duplicate_prob = 0.3;
     delay_prob = 0.2;
@@ -83,12 +84,7 @@ let test_reliable_pure_acks () =
 let test_reliable_masks_reordering () =
   let sim = Sim.create ~seed:11 () in
   let faults =
-    {
-      Net.drop_prob = 0.0;
-      duplicate_prob = 0.0;
-      delay_prob = 1.0;
-      delay_ticks = 400;
-    }
+    { Net.no_faults with Net.delay_prob = 1.0; delay_ticks = 400 }
   in
   let net = TestNet.create ~faults ~transport:Net.Reliable sim ~procs:2 in
   let got = ref [] in
@@ -112,6 +108,7 @@ let prop_reliable_channel =
     (fun ((na, nb), ((drop, dup), (dly, seed))) ->
       let faults =
         {
+          Net.no_faults with
           Net.drop_prob = float_of_int drop /. 100.0;
           duplicate_prob = float_of_int dup /. 100.0;
           delay_prob = float_of_int dly /. 100.0;
@@ -142,6 +139,7 @@ let prop_reliable_channel =
 
 let lossy =
   {
+    Net.no_faults with
     Net.drop_prob = 0.05;
     duplicate_prob = 0.02;
     delay_prob = 0.02;

@@ -142,6 +142,135 @@ let prop_wheel_order =
         ops;
       !ok)
 
+(* Exact active-window boundary, pinned (the audit found no off-by-one;
+   these cases keep it that way).  From a drained position [p], delay
+   [window - 1] is the last ring bucket; delay [window] would land on the
+   slot currently draining and must take the overflow heap instead.
+   Either way pop order stays exact (time, insertion) order. *)
+let test_wheel_window_boundary () =
+  let w = Wheel.create () in
+  let cell = Wheel.make_cell () in
+  let sched time h =
+    Wheel.schedule_typed w ~time ~h ~a:0 ~b:0 ~c:0 ~o:(Obj.repr 0)
+  in
+  let pop_expect time h =
+    Alcotest.(check int) "next_time" time (Wheel.next_time w);
+    Alcotest.(check bool) "pop" true (Wheel.pop_into w cell);
+    Alcotest.(check int) "pop time" time cell.Wheel.time;
+    Alcotest.(check int) "pop id" h cell.Wheel.h
+  in
+  (* from position 0, scheduled out of order on purpose *)
+  sched (Wheel.window + 1) 3;
+  sched (Wheel.window - 1) 1;
+  sched Wheel.window 2;
+  Alcotest.(check int) "window and window+1 overflowed" 2
+    (Wheel.overflow_seq w);
+  pop_expect (Wheel.window - 1) 1;
+  pop_expect Wheel.window 2;
+  pop_expect (Wheel.window + 1) 3;
+  (* the same boundary relative to an advanced drained position *)
+  let p = Wheel.window + 1 in
+  let base = Wheel.overflow_seq w in
+  sched (p + Wheel.window - 1) 4;
+  Alcotest.(check int) "window-1 from pos stays in the ring" base
+    (Wheel.overflow_seq w);
+  sched (p + Wheel.window) 5;
+  Alcotest.(check int) "window from pos overflows" (base + 1)
+    (Wheel.overflow_seq w);
+  pop_expect (p + Wheel.window - 1) 4;
+  pop_expect (p + Wheel.window) 5;
+  Alcotest.(check bool) "drained" false (Wheel.pop_into w cell)
+
+(* An event scheduled for the tick that is currently draining (delay 0
+   from inside a handler — e.g. a restart landing on the restart tick
+   itself) fires later in the same tick in insertion order, not a full
+   window lap later. *)
+let test_wheel_drained_tick_reschedule () =
+  let w = Wheel.create () in
+  let cell = Wheel.make_cell () in
+  let sched time h =
+    Wheel.schedule_typed w ~time ~h ~a:0 ~b:0 ~c:0 ~o:(Obj.repr 0)
+  in
+  let pop_expect time h =
+    Alcotest.(check bool) "pop" true (Wheel.pop_into w cell);
+    Alcotest.(check int) "pop time" time cell.Wheel.time;
+    Alcotest.(check int) "pop id" h cell.Wheel.h
+  in
+  sched 5 1;
+  pop_expect 5 1;
+  (* tick 5 is now the drained position *)
+  sched 5 2;
+  sched 6 4;
+  sched 5 3;
+  pop_expect 5 2;
+  pop_expect 5 3;
+  pop_expect 6 4;
+  Alcotest.(check bool) "drained" false (Wheel.pop_into w cell)
+
+(* The same two edges through the public simulator API: a restart-style
+   delay of exactly [Wheel.window] and a delay-0 self-reschedule both
+   fire, at the expected times. *)
+let test_sim_window_delay () =
+  let sim = Sim.create ~seed:1 () in
+  let fired = ref [] in
+  Sim.schedule sim ~delay:3 (fun () ->
+      let t0 = Sim.now sim in
+      Sim.schedule sim ~delay:Wheel.window (fun () ->
+          fired := ("window", Sim.now sim - t0) :: !fired);
+      Sim.schedule sim ~delay:0 (fun () ->
+          fired := ("zero", Sim.now sim - t0) :: !fired));
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "fire offsets" [ ("window", Wheel.window); ("zero", 0) ] !fired
+
+(* Random schedule/pop interleavings concentrated within a few ticks of
+   the window boundary, against the same stable-minimum model. *)
+let prop_wheel_boundary =
+  QCheck.Test.make ~name:"wheel boundary delays match model" ~count:300
+    QCheck.(list (option (int_bound 8)))
+    (fun ops ->
+      let w = Wheel.create () in
+      let cell = Wheel.make_cell () in
+      let model = ref [] in
+      let now = ref 0 in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let stable_min l =
+        List.fold_left
+          (fun best (time, id) ->
+            match best with
+            | Some (bt, _) when bt <= time -> best
+            | _ -> Some (time, id))
+          None l
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some k ->
+            (* delays window-4 .. window+4 around the drained position *)
+            let time = !now + Wheel.window - 4 + k in
+            let id = !next_id in
+            incr next_id;
+            Wheel.schedule_typed w ~time ~h:id ~a:0 ~b:0 ~c:0 ~o:(Obj.repr 0);
+            model := !model @ [ (time, id) ]
+          | None -> (
+            match stable_min !model with
+            | None ->
+              if Wheel.pop_into w cell then ok := false;
+              if Wheel.next_time w <> max_int then ok := false
+            | Some (time, id) ->
+              if Wheel.next_time w <> time then ok := false;
+              if not (Wheel.pop_into w cell) then ok := false
+              else begin
+                if cell.Wheel.time <> time || cell.Wheel.h <> id then
+                  ok := false;
+                now := time;
+                model := List.filter (fun (_, i) -> i <> id) !model
+              end));
+          if Wheel.length w <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let test_stats () =
   let s = Stats.create () in
   Stats.incr s "a";
@@ -300,7 +429,7 @@ let test_net_accounting () =
 let test_net_fault_injection () =
   let sim = Sim.create () in
   let faults =
-    { Net.drop_prob = 0.0; duplicate_prob = 1.0; delay_prob = 0.0; delay_ticks = 0 }
+    { Net.no_faults with Net.duplicate_prob = 1.0 }
   in
   let net = TestNet.create ~faults sim ~procs:2 in
   let received = ref 0 in
@@ -322,7 +451,7 @@ let test_net_fault_injection () =
 let test_net_drop_fault () =
   let sim = Sim.create () in
   let faults =
-    { Net.drop_prob = 1.0; duplicate_prob = 0.0; delay_prob = 0.0; delay_ticks = 0 }
+    { Net.no_faults with Net.drop_prob = 1.0 }
   in
   let net = TestNet.create ~faults sim ~procs:2 in
   let received = ref 0 in
@@ -406,6 +535,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_evq_order;
     QCheck_alcotest.to_alcotest prop_evq_interleaved;
     QCheck_alcotest.to_alcotest prop_wheel_order;
+    Alcotest.test_case "wheel: exact window boundary" `Quick
+      test_wheel_window_boundary;
+    Alcotest.test_case "wheel: reschedule onto the draining tick" `Quick
+      test_wheel_drained_tick_reschedule;
+    Alcotest.test_case "sim: window-length and zero delays" `Quick
+      test_sim_window_delay;
+    QCheck_alcotest.to_alcotest prop_wheel_boundary;
     Alcotest.test_case "stats: counters and summaries" `Quick test_stats;
     Alcotest.test_case "stats: interned counter handles" `Quick
       test_stats_interned;

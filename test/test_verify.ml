@@ -113,12 +113,7 @@ let test_fault_injection_detected () =
     Config.make ~procs:4 ~capacity:4 ~key_space:50_000
       ~replication:Config.All_procs
       ~faults:
-        {
-          Dbtree_sim.Net.drop_prob = 0.0;
-          duplicate_prob = 0.05;
-          delay_prob = 0.0;
-          delay_ticks = 0;
-        }
+        { Dbtree_sim.Net.no_faults with Dbtree_sim.Net.duplicate_prob = 0.05 }
       ()
   in
   let t = Fixed.create cfg in

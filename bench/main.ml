@@ -220,17 +220,19 @@ let json_metrics xs =
          xs)
   ^ "}"
 
-let write_json ~file ~micro ~alloc ~tables ~latency ~scale_quick ~scale =
+let write_json ~file ~micro ~alloc ~tables ~latency ~scale_quick ~scale ~phases
+    =
   let oc = open_out file in
   Printf.fprintf oc
-    "{\"schema\":\"dbtree-bench/2\",\"micro\":{%s},\"alloc\":{%s},\"tables\":%s,\"latency\":%s,\"scale_quick\":%s%s}\n"
+    "{\"schema\":\"dbtree-bench/2\",\"micro\":{%s},\"alloc\":{%s},\"tables\":%s,\"latency\":%s,\"scale_quick\":%s%s,\"phases\":%s}\n"
     (json_estimates micro) (json_estimates alloc)
     (json_list json_table tables)
     latency
     (json_metrics scale_quick)
     (match scale with
     | None -> ""
-    | Some s -> Printf.sprintf ",\"scale\":%s" (json_metrics s));
+    | Some s -> Printf.sprintf ",\"scale\":%s" (json_metrics s))
+    (json_metrics phases);
   close_out oc;
   Fmt.pr "@.wrote %s (%d micro estimates, %d tables, %d scale metrics)@." file
     (List.length micro) (List.length tables)
@@ -322,6 +324,8 @@ let () =
       if quick then None
       else Some (Dbtree_experiments.E17_scale.metrics ~quick:false ())
     in
+    (* critical-path share per discipline (E19's traced runs) *)
+    let phases = Dbtree_experiments.E19_telemetry.metrics ~quick () in
     write_json ~file ~micro ~alloc
       ~tables:(Dbtree_experiments.Table.captured ())
-      ~latency ~scale_quick ~scale
+      ~latency ~scale_quick ~scale ~phases

@@ -132,6 +132,40 @@ let demo_cmd =
       const run $ procs_arg $ count_arg $ capacity_arg $ seed_arg
       $ protocol_arg $ dump_arg)
 
+(* ----------------------------- metrics ---------------------------- *)
+
+let metrics_cmd =
+  let doc =
+    "Run a small deterministic semi-lazy workload with the telemetry \
+     plane on and print the scraped series: Prometheus text exposition \
+     of the final scrape plus the SLO health summary, or the full \
+     retained time series as JSON with $(b,--json)."
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Dump every retained point of every series as JSON.")
+  in
+  let run json =
+    let open Dbtree_core in
+    let open Dbtree_experiments in
+    let cfg =
+      Config.make ~procs:4 ~capacity:8 ~seed:42 ~key_space:100_000
+        ~discipline:Config.Semi ~telemetry:true ~telemetry_every:256 ()
+    in
+    let r = Common.run_fixed ~count:400 cfg in
+    let tm = Cluster.telemetry r.Common.cluster in
+    let series = Telemetry.series tm in
+    if json then print_string (Dbtree_obs.Series.to_json series)
+    else begin
+      Fmt.pr "%a" Dbtree_obs.Series.pp_prometheus series;
+      Fmt.pr "# health (rule: fired / active ticks / peak)@.";
+      Fmt.pr "%a" Dbtree_obs.Health.pp_summary (Telemetry.health tm)
+    end
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ json_arg)
+
 (* --------------------------- trace-check -------------------------- *)
 
 let trace_check_cmd =
@@ -163,6 +197,6 @@ let main =
   let doc = "Lazy updates for distributed search structures (dB-tree)" in
   Cmd.group
     (Cmd.info "dbtree" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; demo_cmd; trace_check_cmd ]
+    [ list_cmd; run_cmd; all_cmd; demo_cmd; metrics_cmd; trace_check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,6 +1,8 @@
 open Dbtree_sim
 module Obs = Dbtree_obs.Obs
 module Event = Dbtree_obs.Event
+module Series = Dbtree_obs.Series
+module Health = Dbtree_obs.Health
 module Network = Net.Make (Msg)
 module Registry = Dbtree_history.Registry
 module Action = Dbtree_history.Action
@@ -121,11 +123,94 @@ type t = {
   ops : Opstate.t;
   hist : Registry.t;
   obs : Obs.t;
+  telem : Telemetry.t;
   partition : Partition.t;
   ctr : counters;
   mutable next_node_id : int;
   mutable next_uid : int;
 }
+
+(* Default SLO thresholds for the standard health rules.  Deliberately
+   conservative: a clean run (reliable transport, no fault injection)
+   must not trip any of them — the alert tests gate exactly that. *)
+let slo_p99_search = 5_000  (* ticks; windowed p99 ceiling *)
+let slo_stall_age = 20_000  (* ticks an op may stay outstanding *)
+let slo_retx_per_window = 24  (* retransmissions per scrape window *)
+let slo_hottest_share = 75  (* percent of touches on one node *)
+
+(* Register the cluster's whole observable surface on the telemetry
+   plane: every interned stat counter, the per-processor and global
+   gauges, and the standard SLO rules.  Runs once at creation, off the
+   hot path; everything registered here is read-only at scrape time. *)
+let wire_telemetry tm ~(config : Config.t) ~sim ~net ~stores ~wals ~ops =
+  let series = Telemetry.series tm in
+  let stats = Sim.stats sim in
+  List.iter
+    (fun (name, r) -> Series.counter series name r)
+    (Stats.counter_handles stats);
+  Series.gauge series "sim.queue_depth" (fun () -> Sim.pending sim);
+  Series.gauge series "sim.overflow_depth" (fun () -> Sim.overflow_depth sim);
+  Series.gauge series "ops.outstanding" (fun () -> Opstate.outstanding ops);
+  Series.gauge series "ops.oldest_age" (fun () ->
+      Opstate.oldest_outstanding_age ops ~now:(Sim.now sim));
+  Series.gauge series "net.down_ticks" (fun () ->
+      Network.longest_down net ~now:(Sim.now sim));
+  let sum f =
+    let acc = ref 0 in
+    for pid = 0 to config.procs - 1 do
+      acc := !acc + f pid
+    done;
+    !acc
+  in
+  Series.gauge series "net.inbox" (fun () ->
+      sum (fun pid -> Network.in_flight net pid));
+  Series.gauge series "net.retx_backlog" (fun () ->
+      sum (fun pid -> Network.retx_backlog net pid));
+  Series.gauge series "store.parked" (fun () ->
+      sum (fun pid -> Store.parked_count stores.(pid)));
+  if Array.length wals > 0 then
+    Series.gauge series "wal.bytes" (fun () ->
+        sum (fun pid -> Wal.bytes_total wals.(pid)));
+  for pid = 0 to config.procs - 1 do
+    (* dblint: allow interned-stats -- per-processor names are built once at creation, never on the message path *)
+    Series.gauge series
+      (Fmt.str "net.inbox.p%d" pid)
+      (fun () -> Network.in_flight net pid);
+    Series.gauge series
+      (Fmt.str "net.retx_backlog.p%d" pid)
+      (fun () -> Network.retx_backlog net pid);
+    Series.gauge series
+      (Fmt.str "store.parked.p%d" pid)
+      (fun () -> Store.parked_count stores.(pid));
+    if Array.length wals > 0 then
+      Series.gauge series
+        (Fmt.str "wal.bytes.p%d" pid)
+        (fun () -> Wal.bytes_total wals.(pid))
+  done;
+  let health = Telemetry.health tm in
+  Health.add_rule health ~name:"p99_search" ~severity:Health.Warn
+    ~signal:(fun () ->
+      Telemetry.percentile tm ~kind:Event.op_search ~now:(Sim.now sim) 99.0)
+    ~threshold:slo_p99_search ();
+  Health.add_rule health ~name:"stall_oldest_op" ~severity:Health.Crit
+    ~signal:(fun () -> Opstate.oldest_outstanding_age ops ~now:(Sim.now sim))
+    ~threshold:slo_stall_age ();
+  (let retx = Stats.counter stats "net.rel.retx" in
+   let prev = ref 0 in
+   Health.add_rule health ~name:"retx_storm" ~severity:Health.Crit
+     ~signal:(fun () ->
+       let v = !retx in
+       let d = v - !prev in
+       prev := v;
+       d)
+     ~threshold:slo_retx_per_window ());
+  (let restart = max 1 config.faults.Net.restart_delay in
+   Health.add_rule health ~name:"recovery_slow" ~severity:Health.Warn
+     ~signal:(fun () -> Network.longest_down net ~now:(Sim.now sim))
+     ~threshold:(2 * restart) ());
+  Health.add_rule health ~name:"hot_imbalance" ~severity:Health.Info
+    ~signal:(fun () -> Telemetry.hottest_share_pct tm)
+    ~threshold:slo_hottest_share ()
 
 let create (config : Config.t) =
   (match Config.validate config with
@@ -168,18 +253,44 @@ let create (config : Config.t) =
         p_deliver = (fun ~src ~dst ~abs ->
             Wal.append wals.(dst) (Wal.Deliver { src; abs }));
       };
+  let ops = Opstate.create () in
+  let ctr = make_counters (Sim.stats sim) in
+  (* Telemetry joins the run like tracing does: through the config, or
+     through the global force switch (`dbtree metrics`).  Wired after
+     [make_counters] and [Network.create] so [Stats.counter_handles]
+     covers every interned counter. *)
+  let telem =
+    let forced = Series.forced () in
+    if not (config.telemetry || forced) then Telemetry.disabled
+    else begin
+      let every =
+        if config.telemetry then config.telemetry_every
+        else Series.forced_every ()
+      in
+      let tm =
+        Telemetry.create ~every
+          ~label:(Config.discipline_name config.discipline)
+          ~obs ()
+      in
+      wire_telemetry tm ~config ~sim ~net ~stores ~wals ~ops;
+      Telemetry.install tm sim;
+      if forced then Series.note_registered (Telemetry.series tm);
+      tm
+    end
+  in
   {
     config;
     sim;
     net;
     stores;
     wals;
-    ops = Opstate.create ();
+    ops;
     hist = Registry.create ();
     obs;
+    telem;
     partition =
       Partition.create ~procs:config.procs ~key_space:config.key_space;
-    ctr = make_counters (Sim.stats sim);
+    ctr;
     next_node_id = 0;
     next_uid = 0;
   }
@@ -233,6 +344,13 @@ let pc_of_members_exn members =
 
 let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
 
+(* ---- telemetry hooks (one branch each when the plane is off) ------- *)
+
+let telemetry t = t.telem
+let touch t ~node = Telemetry.touch t.telem ~node
+let aas_begin t = Telemetry.aas_begin t.telem
+let aas_end t = Telemetry.aas_end t.telem
+
 (* ---- typed trace events ------------------------------------------- *)
 
 let event t ~pid kind ~a ~b =
@@ -274,6 +392,9 @@ let op_complete t ~op ~result =
   | Some r when r.Opstate.completed_at = None ->
     let lat = now - r.Opstate.issued_at in
     Stats.hist_observe (op_latency_hist t r.Opstate.kind) lat;
+    Telemetry.observe_latency t.telem
+      ~kind:(op_kind_code r.Opstate.kind)
+      ~now lat;
     (* the acknowledged-op audit stream: E18's zero-lost-acks check
        compares these against the post-recovery tree *)
     if Array.length t.wals > 0 then
@@ -373,4 +494,7 @@ let rejoin_copies t pid =
         send t ~src:pid ~dst:pc (Msg.Join_request { node; requester = pid })
       end)
 
-let run ?(max_events = 50_000_000) t = Sim.run ~max_events t.sim
+let run ?(max_events = 50_000_000) t =
+  Sim.run ~max_events t.sim;
+  (* quiescent: flush the final partial scrape window, close open alerts *)
+  Telemetry.finish t.telem ~now:(Sim.now t.sim)

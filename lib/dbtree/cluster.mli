@@ -73,6 +73,9 @@ type t = {
   ops : Opstate.t;
   hist : Dbtree_history.Registry.t;
   obs : Dbtree_obs.Obs.t;
+  telem : Telemetry.t;
+      (** live telemetry plane ([Config.telemetry] or the [Series] force
+          switch); {!Telemetry.disabled} otherwise *)
   partition : Partition.t;
   ctr : counters;
   mutable next_node_id : int;
@@ -114,6 +117,21 @@ val park_no_members : t -> pid:Msg.pid -> node:Msg.node_id -> Msg.t -> unit
     under [route.no_members]. *)
 
 val send : t -> src:Msg.pid -> dst:Msg.pid -> Msg.t -> unit
+
+(** {2 Telemetry hooks} — one branch each when the plane is off.
+
+    The standard series and SLO rules ([p99_search], [stall_oldest_op],
+    [retx_storm], [recovery_slow], [hot_imbalance]) are wired at
+    creation; kernels feed the plane through the hooks below. *)
+
+val telemetry : t -> Telemetry.t
+
+val touch : t -> node:int -> unit
+(** Count one access to a node's local copy, for the heat gauges. *)
+
+val aas_begin : t -> unit
+val aas_end : t -> unit
+(** Bracket a synchronous-split AAS hold ([aas.open] series). *)
 
 (** {2 Typed trace events} — one branch when tracing is off. *)
 

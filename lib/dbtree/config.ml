@@ -27,6 +27,8 @@ type t = {
   trace : bool;
   trace_capacity : int;
   durability : durability;
+  telemetry : bool;
+  telemetry_every : int;
 }
 
 let default =
@@ -52,6 +54,8 @@ let default =
     trace = false;
     trace_capacity = 1 lsl 16;
     durability = no_durability;
+    telemetry = false;
+    telemetry_every = 512;
   }
 
 let discipline_name = function
@@ -73,6 +77,7 @@ let validate t =
   else if t.relay_batch > 1 && t.discipline <> Semi then
     Error "relay_batch > 1 (relay batching) requires the Semi discipline"
   else if t.trace_capacity < 1 then Error "trace_capacity must be >= 1"
+  else if t.telemetry_every < 1 then Error "telemetry_every must be >= 1"
   else if
     not
       (prob_ok t.faults.Dbtree_sim.Net.drop_prob
@@ -123,7 +128,8 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
     ?(reclaim_empty_leaves = default.reclaim_empty_leaves)
     ?(ordered_links = default.ordered_links) ?(trace = default.trace)
     ?(trace_capacity = default.trace_capacity)
-    ?(durability = default.durability) () =
+    ?(durability = default.durability) ?(telemetry = default.telemetry)
+    ?(telemetry_every = default.telemetry_every) () =
   let t =
     {
       procs;
@@ -147,6 +153,8 @@ let make ?(procs = default.procs) ?(capacity = default.capacity)
       trace;
       trace_capacity;
       durability;
+      telemetry;
+      telemetry_every;
     }
   in
   match validate t with Ok t -> t | Error e -> invalid_arg ("Config: " ^ e)

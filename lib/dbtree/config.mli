@@ -101,6 +101,14 @@ type t = {
           transport, [relay_batch = 1], and a [Semi]/[Naive] discipline)
           when [faults.crash_at] schedules crashes: recovery replays the
           WAL and re-joins replication via the §4.3 join path. *)
+  telemetry : bool;
+      (** live telemetry plane (see [Telemetry]): periodic scrapes of
+          counters and gauges into ring-buffered series, sliding-window
+          latency sketches, and SLO health rules.  Scrapes ride the
+          simulator's observation probe, so enabling this changes no
+          event ordering; disabled it costs one branch per hook. *)
+  telemetry_every : int;
+      (** ticks between telemetry scrapes (must be >= 1) *)
 }
 
 val default : t
@@ -129,6 +137,8 @@ val make :
   ?trace:bool ->
   ?trace_capacity:int ->
   ?durability:durability ->
+  ?telemetry:bool ->
+  ?telemetry_every:int ->
   unit ->
   t
 (** [default] with overrides, validated (positive sizes, batching only

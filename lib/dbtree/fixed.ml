@@ -190,6 +190,7 @@ let rec maybe_split t pid (copy : Store.rcopy) =
       Hashtbl.replace t.aas_since
         ((copy.Store.node.Node.id * procs t) + pid)
         (Cluster.now t.cl);
+      Cluster.aas_begin t.cl;
       match List.filter (fun m -> m <> pid) copy.Store.members with
       | [] ->
         do_split t pid copy;
@@ -214,6 +215,7 @@ and end_aas t pid (copy : Store.rcopy) =
   (match Hashtbl.find_opt t.aas_since aas_key with
   | Some since ->
     Hashtbl.remove t.aas_since aas_key;
+    Cluster.aas_end t.cl;
     let dur = Cluster.now t.cl - since in
     Stats.hist_observe (ctr t).Cluster.aas_time dur;
     Cluster.event t.cl ~pid Event.Aas_release ~a:copy.Store.node.Node.id
@@ -580,6 +582,7 @@ and handle_route t pid ~key ~level ~node ~act =
       Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
       Store.add_pending store node msg)
   | Some copy ->
+    Cluster.touch t.cl ~node;
     let n = copy.Store.node in
     if n.Node.level > level then begin
       let authority = copy.Store.pc in
@@ -627,6 +630,7 @@ and handle_relay t pid ~uid ~node ~key ~u ~version:_ ~sender:_ =
     Cluster.event t.cl ~pid Event.Park ~a:node ~b:(Msg.kind_id msg);
     Store.add_pending store node msg
   | Some copy ->
+    Cluster.touch t.cl ~node;
     if Node.in_range copy.Store.node key then begin
       ignore (apply_update t pid copy key u);
       Cluster.hist_record t.cl ~node ~pid ~mode:Action.Relayed ~uid
@@ -712,6 +716,7 @@ and handle t pid ~src msg =
     | Some copy ->
       copy.Store.splitting <- true;
       Hashtbl.replace t.aas_since ((node * procs t) + pid) (Cluster.now t.cl);
+      Cluster.aas_begin t.cl;
       send t ~src:pid ~dst:src (Msg.Split_ack { node })
   end
   (* dbflow: class sync -- AAS quorum ack: the synchronous split proceeds only once every member enrolled (§4.1.1) *)

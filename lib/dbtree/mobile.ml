@@ -540,6 +540,7 @@ let handle_route t pid ~key ~level ~node ~act =
   match Store.find store node with
   | None -> recover t pid (Msg.Route { key; level; node; act }) ~node ~level
   | Some copy ->
+    Cluster.touch t.cl ~node;
     let n = copy.Store.node in
     if n.Node.level > level then begin
       match Node.step n key with

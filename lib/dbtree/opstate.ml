@@ -19,6 +19,7 @@ type t = {
   mutable arr : record option array;
   mutable next : int;
   mutable completed : int;
+  mutable oldest : int;  (* scan cursor: every op below it is complete *)
   mutable hook : (record -> unit) option;
   mutable tolerate_duplicates : bool;
   mutable duplicate_completions : int;
@@ -29,6 +30,7 @@ let create () =
     arr = Array.make 1024 None;
     next = 0;
     completed = 0;
+    oldest = 0;
     hook = None;
     tolerate_duplicates = false;
     duplicate_completions = 0;
@@ -79,6 +81,25 @@ let on_complete t f = t.hook <- Some f
 let issued t = t.next
 let completed t = t.completed
 let outstanding t = t.next - t.completed
+
+(* Age of the oldest still-outstanding op — the stall-duration telemetry
+   signal.  The cursor only moves forward (ids complete roughly in issue
+   order), so the scan is amortized O(1) per call across a run. *)
+let oldest_outstanding_age t ~now =
+  while
+    t.oldest < t.next
+    &&
+    match t.arr.(t.oldest) with
+    | Some r -> r.completed_at <> None
+    | None -> true
+  do
+    t.oldest <- t.oldest + 1
+  done;
+  if t.oldest >= t.next then 0
+  else
+    match t.arr.(t.oldest) with
+    | Some r -> now - r.issued_at
+    | None -> 0
 
 (* Ascending op id — the issue order, which is what [sorted_bindings]
    over the pre-arena hash table produced. *)

@@ -45,6 +45,11 @@ val issued : t -> int
 val completed : t -> int
 val outstanding : t -> int
 
+val oldest_outstanding_age : t -> now:int -> int
+(** Ticks since the oldest still-incomplete operation was issued; 0 when
+    everything has completed.  The stall-duration telemetry signal.
+    Amortized O(1): a monotone cursor skips completed prefixes. *)
+
 val iter : t -> (record -> unit) -> unit
 
 val inserted_keys : t -> (int, Msg.value) Hashtbl.t

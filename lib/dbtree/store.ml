@@ -38,6 +38,7 @@ type t = {
   mutable where : pid list option array;  (* node_id -> known member set *)
   mutable pending : Msg.t list array;  (* node_id -> parked msgs, newest first *)
   mutable live_copies : int;  (* number of [Some] slots in [copies] *)
+  mutable parked_msgs : int;  (* total messages across [pending]; a gauge *)
   forwarding : (node_id, pid) Hashtbl.t;
   departed : (node_id, unit) Hashtbl.t;
   mutable root : node_id;
@@ -53,6 +54,7 @@ let create ~pid ~root =
     where = Array.make initial_cap None;
     pending = Array.make initial_cap [];
     live_copies = 0;
+    parked_msgs = 0;
     forwarding = Hashtbl.create 8;
     departed = Hashtbl.create 8;
     root;
@@ -163,16 +165,22 @@ let members_opt t id =
 let add_pending t id msg =
   ensure t id;
   t.pending.(id) <- msg :: t.pending.(id);
+  t.parked_msgs <- t.parked_msgs + 1;
   journal t (Wal.Park { node = id; msg })
 
 let take_pending t id =
   if id < Array.length t.pending then begin
     let msgs = t.pending.(id) in
     t.pending.(id) <- [];
-    if msgs <> [] then journal t (Wal.Unpark { node = id });
+    if msgs <> [] then begin
+      t.parked_msgs <- t.parked_msgs - List.length msgs;
+      journal t (Wal.Unpark { node = id })
+    end;
     List.rev msgs
   end
   else []
+
+let parked_count t = t.parked_msgs
 
 let iter_pending t f =
   for id = 0 to Array.length t.pending - 1 do
@@ -255,6 +263,7 @@ let clear t =
   t.where <- Array.make initial_cap None;
   t.pending <- Array.make initial_cap [];
   t.live_copies <- 0;
+  t.parked_msgs <- 0;
   Hashtbl.reset t.forwarding;
   Hashtbl.reset t.departed;
   t.root <- -1
@@ -279,7 +288,10 @@ let apply_record t = function
   | Wal.Unforward { node } -> Hashtbl.remove t.forwarding node
   | Wal.Park { node; msg } -> add_pending t node msg
   | Wal.Unpark { node } ->
-    if node < Array.length t.pending then t.pending.(node) <- []
+    if node < Array.length t.pending then begin
+      t.parked_msgs <- t.parked_msgs - List.length t.pending.(node);
+      t.pending.(node) <- []
+    end
   | Wal.Op_done _ | Wal.Send _ | Wal.Retire _ | Wal.Deliver _ -> ()
 
 (* Deterministic digest of the journaled state, for the recovery

@@ -60,6 +60,9 @@ type t = {
       (** arena: messages that arrived before their node's copy was
           installed, newest first ([take_pending] reverses) *)
   mutable live_copies : int;  (** number of [Some] slots in [copies] *)
+  mutable parked_msgs : int;
+      (** total messages across [pending] — maintained so the telemetry
+          gauge ({!parked_count}) is O(1) *)
   forwarding : (node_id, pid) Hashtbl.t;
       (** §4.2 forwarding addresses left by migrated nodes *)
   departed : (node_id, unit) Hashtbl.t;
@@ -112,6 +115,10 @@ val take_pending : t -> node_id -> Msg.t list
 val iter_pending : t -> (node_id -> Msg.t list -> unit) -> unit
 (** Visit every node with parked messages, ascending node id, messages in
     arrival order.  Does not drain. *)
+
+val parked_count : t -> int
+(** Messages currently parked across all nodes — an O(1) maintained
+    count, read as a telemetry gauge at scrape points. *)
 
 val copy_count : t -> int
 

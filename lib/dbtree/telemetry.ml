@@ -1,0 +1,152 @@
+(* The cluster's live telemetry plane: one Series registry (counters and
+   gauges scraped on simulated time), per-op-kind sliding-window latency
+   sketches, per-node access heat, and an SLO health rule engine — all
+   driven from the simulator's observation probe, so an instrumented run
+   executes the exact same events as a bare one.
+
+   The hot-path surface is three helpers ([touch], [observe_latency],
+   [aas_begin]/[aas_end]); each is one branch when telemetry is off, and
+   none allocates when it is on (the heat arena doubles only on a
+   first-touch of a fresh node id). *)
+
+module Series = Dbtree_obs.Series
+module Sketch = Dbtree_obs.Sketch
+module Health = Dbtree_obs.Health
+module Obs = Dbtree_obs.Obs
+open Dbtree_sim
+
+type t = {
+  on : bool;
+  every : int;
+  series : Series.t;
+  health : Health.t;
+  sk : Sketch.t array;  (* per op-kind code (Event.op_search ..), 4 entries *)
+  mutable heat : int array;  (* node id -> accesses (arena, doubled) *)
+  heat_total : int ref;  (* the "heat.touches" cell *)
+  aas_open : int ref;  (* the "aas.open" cell *)
+  mutable heat_max : int;
+  mutable heat_argmax : int;
+  mutable last_scrape : int;
+}
+
+let disabled =
+  {
+    on = false;
+    every = Series.default_every;
+    series = Series.disabled;
+    health = Health.create ();
+    sk = [||];
+    heat = [||];
+    heat_total = ref 0;
+    aas_open = ref 0;
+    heat_max = 0;
+    heat_argmax = -1;
+    last_scrape = -1;
+  }
+
+let create ?(enabled = true) ?(every = Series.default_every)
+    ?(capacity = Series.default_capacity) ?(label = "dbtree")
+    ?(obs = Obs.disabled) () =
+  if not enabled then disabled
+  else begin
+    let series = Series.create ~enabled ~every ~capacity ~label () in
+    let t =
+      {
+        on = true;
+        every;
+        series;
+        health = Health.create ~obs ();
+        sk =
+          Array.init 4 (fun _ -> Sketch.create ~slices:8 ~slice_width:every ());
+        heat = Array.make 64 0;
+        heat_total = Series.cell series "heat.touches";
+        aas_open = Series.cell series "aas.open";
+        heat_max = 0;
+        heat_argmax = -1;
+        last_scrape = -1;
+      }
+    in
+    Series.gauge series "heat.hottest" (fun () -> t.heat_max);
+    Series.gauge series "heat.hottest_node" (fun () -> t.heat_argmax);
+    Series.gauge series "heat.hottest_share_pct" (fun () ->
+        if !(t.heat_total) = 0 then 0 else 100 * t.heat_max / !(t.heat_total));
+    t
+  end
+
+let on t = t.on
+let every t = t.every
+let series t = t.series
+let health t = t.health
+
+(* ---- hot-path hooks ------------------------------------------------ *)
+
+let touch t ~node =
+  if t.on && node >= 0 then begin
+    if node >= Array.length t.heat then begin
+      let cap =
+        let rec go c = if node < c then c else go (2 * c) in
+        go (2 * Array.length t.heat)
+      in
+      let heat' = Array.make cap 0 in
+      Array.blit t.heat 0 heat' 0 (Array.length t.heat);
+      t.heat <- heat'
+    end;
+    let h = t.heat.(node) + 1 in
+    t.heat.(node) <- h;
+    incr t.heat_total;
+    if h > t.heat_max then begin
+      t.heat_max <- h;
+      t.heat_argmax <- node
+    end
+  end
+
+let observe_latency t ~kind ~now lat =
+  if t.on then Sketch.observe t.sk.(kind) ~now lat
+
+let aas_begin t = if t.on then incr t.aas_open
+let aas_end t = if t.on then decr t.aas_open
+
+(* ---- scrape-path queries ------------------------------------------- *)
+
+let sketch t kind = t.sk.(kind)
+
+let percentile t ~kind ~now p =
+  if t.on then Sketch.percentile t.sk.(kind) ~now p else 0
+
+let rate_per_ktick t ~kind ~now =
+  if t.on then Sketch.rate_per_ktick t.sk.(kind) ~now else 0.0
+
+let heat_total t = !(t.heat_total)
+let hottest t = (t.heat_argmax, t.heat_max)
+
+let hottest_share_pct t =
+  if !(t.heat_total) = 0 then 0 else 100 * t.heat_max / !(t.heat_total)
+
+(* ---- the scrape loop ----------------------------------------------- *)
+
+let scrape t ~now =
+  if t.on then begin
+    t.last_scrape <- now;
+    Series.scrape t.series ~now;
+    Health.evaluate t.health ~now
+  end
+
+(* Ride the simulator's probe: the callback is a single recursive
+   closure, so steady-state scraping allocates nothing and — because the
+   probe lives outside the event queue — perturbs nothing. *)
+let install t sim =
+  if t.on then begin
+    let rec cb now =
+      scrape t ~now;
+      Sim.set_probe sim ~at:(now + t.every) cb
+    in
+    Sim.set_probe sim ~at:(Sim.now sim + t.every) cb
+  end
+
+(* Final partial window (the probe only fires when an event reaches the
+   boundary) plus alert closure, at end of run. *)
+let finish t ~now =
+  if t.on then begin
+    if now > t.last_scrape then scrape t ~now;
+    Health.finish t.health ~now
+  end

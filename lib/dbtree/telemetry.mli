@@ -1,0 +1,89 @@
+(** The cluster's live telemetry plane.
+
+    Bundles one [Series] registry (counters and gauges scraped on
+    simulated time), four per-op-kind sliding-window latency sketches,
+    a per-node access-heat arena, and a [Health] SLO rule engine.
+    Scrapes ride the simulator's observation probe ({!Sim.set_probe}),
+    so an instrumented run executes exactly the same events as a bare
+    one; disabled, every hook is a single branch. *)
+
+module Series = Dbtree_obs.Series
+module Sketch = Dbtree_obs.Sketch
+module Health = Dbtree_obs.Health
+
+type t
+
+val disabled : t
+(** Shared inert instance: every hook is one branch, no state. *)
+
+val create :
+  ?enabled:bool ->
+  ?every:int ->
+  ?capacity:int ->
+  ?label:string ->
+  ?obs:Dbtree_obs.Obs.t ->
+  unit ->
+  t
+(** [create ()] builds an enabled plane scraping every [every] ticks
+    (default {!Series.default_every}), retaining [capacity] points per
+    series.  [obs] receives the health engine's alert trace events.
+    [~enabled:false] returns {!disabled}.  The built-in series are the
+    heat cells/gauges ([heat.touches], [heat.hottest],
+    [heat.hottest_node], [heat.hottest_share_pct]) and the AAS
+    hold-count cell ([aas.open]); the owner registers everything else
+    on {!series}. *)
+
+val on : t -> bool
+val every : t -> int
+
+val series : t -> Series.t
+(** The registry, for gauge/counter registration and rendering. *)
+
+val health : t -> Health.t
+(** The rule engine, for rule registration and run summaries. *)
+
+(** {2 Hot-path hooks} — one branch each when telemetry is off;
+    allocation-free when on (the heat arena doubles only on first touch
+    of a fresh node id): *)
+
+val touch : t -> node:int -> unit
+(** Count one access to [node] (negative ids ignored). *)
+
+val observe_latency : t -> kind:int -> now:int -> int -> unit
+(** Feed one completed operation's latency into the sliding-window
+    sketch for op-kind code [kind] ([Event.op_search] etc.). *)
+
+val aas_begin : t -> unit
+val aas_end : t -> unit
+(** Bracket an AAS hold; the open count is the [aas.open] series. *)
+
+(** {2 Scrape-path queries}: *)
+
+val sketch : t -> int -> Sketch.t
+(** The sketch for an op-kind code.  Only valid on an enabled plane. *)
+
+val percentile : t -> kind:int -> now:int -> float -> int
+(** Windowed nearest-rank percentile for an op kind; 0 when disabled. *)
+
+val rate_per_ktick : t -> kind:int -> now:int -> float
+
+val heat_total : t -> int
+val hottest : t -> int * int
+(** [(node, touches)] of the hottest node; [(-1, 0)] before any touch. *)
+
+val hottest_share_pct : t -> int
+(** The hottest node's share of all touches, in percent. *)
+
+(** {2 The scrape loop}: *)
+
+val scrape : t -> now:int -> unit
+(** Take one scrape point now: sample every series and evaluate every
+    health rule.  Normally driven by {!install}. *)
+
+val install : t -> Dbtree_sim.Sim.t -> unit
+(** Arm the simulator's probe to {!scrape} every {!every} ticks.  The
+    steady-state loop allocates nothing and schedules no events. *)
+
+val finish : t -> now:int -> unit
+(** Take the final partial-window scrape (if the run ended between
+    boundaries) and close any open alerts. *)

@@ -544,6 +544,7 @@ let handle_route t pid ~key ~level ~node ~act =
           send_local t pid
             (Msg.Route { key; level; node = store.Store.root; act })))
   | Some copy ->
+    Cluster.touch t.cl ~node;
     let n = copy.Store.node in
     if n.Node.level > level then begin
       let authority = copy.Store.pc in
@@ -597,6 +598,7 @@ let handle_relay t pid ~uid ~node ~key ~u ~version ~sender =
         (Msg.Relay_update { uid; node; key; u; version; sender })
     end
   | Some copy ->
+    Cluster.touch t.cl ~node;
     if pid = copy.Store.pc then
       catchup t pid copy ~uid ~key ~u ~version ~sender;
     if Node.in_range copy.Store.node key then begin

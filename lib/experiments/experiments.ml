@@ -44,6 +44,7 @@ let all =
     { id = E16_reclamation.id; title = E16_reclamation.title; run = E16_reclamation.run };
     { id = E17_scale.id; title = E17_scale.title; run = E17_scale.run };
     { id = E18_recovery.id; title = E18_recovery.title; run = E18_recovery.run };
+    { id = E19_telemetry.id; title = E19_telemetry.title; run = E19_telemetry.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

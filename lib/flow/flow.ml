@@ -278,18 +278,29 @@ let check_ordering_class (prog : Program.t) (g : Graph.t) =
   per_kernel @ orphaned
 
 (* ------------------------------------------------------------------ *)
-(* counter-lifecycle: an interned Stats.counter/hist that is created
-   but never referenced again can never be ticked or rendered
-   (zero-valued counters are skipped by Stats.counters), so it is dead
-   weight that silently vanishes from every report; and one metric
-   name interned into two handles in the same unit aliases a single
-   ref under two fields, which is almost always an editing mistake. *)
+(* counter-lifecycle: an interned Stats.counter/hist or Series.cell
+   that is created but never referenced again can never be ticked or
+   rendered (zero-valued counters are skipped by Stats.counters), so it
+   is dead weight that silently vanishes from every report; and one
+   metric name interned into two handles in the same unit aliases a
+   single ref under two fields, which is almost always an editing
+   mistake.  Handle-free Series registrations (gauge / scraped counter)
+   have nothing to go unused, but a duplicate name raises at runtime
+   only when telemetry is actually on, so the duplicate check covers
+   them statically. *)
+
+let counter_kind_name = function
+  | `Counter -> "counter"
+  | `Hist -> "histogram"
+  | `Cell -> "series cell"
+  | `Gauge -> "gauge"
+  | `Scounter -> "scraped counter"
 
 let check_counter_lifecycle _prog (g : Graph.t) =
   let unused =
     List.filter_map
       (fun (cd : Graph.counter_def) ->
-        if Graph.use_count g cd.cd_key > 0 then None
+        if cd.Graph.cd_key = "" || Graph.use_count g cd.cd_key > 0 then None
         else
           Some
             (v ~rule:"counter-lifecycle" ~file:cd.cd_file ~loc:cd.cd_loc
@@ -297,24 +308,36 @@ let check_counter_lifecycle _prog (g : Graph.t) =
                   "interned %s %S is bound to %s but never ticked, observed \
                    or read: zero-valued metrics are invisible in reports, \
                    so wire it up or delete it"
-                  (match cd.cd_kind with
-                  | `Counter -> "counter"
-                  | `Hist -> "histogram")
-                  cd.cd_name cd.cd_key)))
+                  (counter_kind_name cd.cd_kind) cd.cd_name cd.cd_key)))
       g.counters
   in
   let dups =
+    (* Stats and Series names live in different registries, so a Stats
+       counter and a Series gauge may legitimately share a name; only a
+       collision within the same registry aliases state. *)
+    let registry (cd : Graph.counter_def) =
+      match cd.cd_kind with
+      | `Counter | `Hist -> "stats"
+      | `Cell | `Gauge | `Scounter -> "series"
+    in
     let seen = ref [] in
     List.filter_map
       (fun (cd : Graph.counter_def) ->
-        let key = (cd.cd_unit, cd.cd_name) in
+        let key = (cd.cd_unit, registry cd, cd.cd_name) in
         if List.mem key !seen then
           Some
             (v ~rule:"counter-lifecycle" ~file:cd.cd_file ~loc:cd.cd_loc
                (Fmt.str
-                  "metric name %S is interned more than once in %s: both \
-                   handles alias one ref, which double-counts every tick"
-                  cd.cd_name cd.cd_unit))
+                  "metric name %S is %s more than once in %s: both \
+                   registrations alias one %s, which double-counts every \
+                   tick (Series rejects the duplicate only at runtime, and \
+                   only when telemetry is enabled)"
+                  cd.cd_name
+                  (match registry cd with
+                  | "stats" -> "interned"
+                  | _ -> "registered")
+                  cd.cd_unit
+                  (match registry cd with "stats" -> "ref" | _ -> "series")))
         else begin
           seen := key :: !seen;
           None
@@ -390,8 +413,10 @@ let all_rules =
     {
       name = "counter-lifecycle";
       doc =
-        "every interned Stats counter/histogram is referenced after \
-         creation, and no metric name is interned twice in one unit";
+        "every interned Stats counter/histogram and Series cell is \
+         referenced after creation, and no metric name is registered \
+         twice in one unit's registry (Stats and Series checked \
+         separately)";
       check = check_counter_lifecycle;
     };
     {

@@ -9,8 +9,9 @@
      point: [handle] itself gets no outgoing edges, so reachability
      from one arm never leaks through re-entrant dispatch like the
      [Batch] arm),
-   - every interned [Stats.counter]/[Stats.hist] creation and a global
-     tally of identifier/field mentions to pair them against.
+   - every interned [Stats.counter]/[Stats.hist] creation, every
+     literal-named [Series] registration (cell/gauge/counter), and a
+     global tally of identifier/field mentions to pair them against.
 
    Everything is syntactic (no typing pass), like dblint: the rules
    compensate by scoping to the kernel unit and erring silent. *)
@@ -53,9 +54,11 @@ type kernel = {
 }
 
 type counter_def = {
-  cd_key : string;  (** record label or let-bound name holding the handle *)
+  cd_key : string;
+      (** record label or let-bound name holding the handle; [""] for
+          handle-free registrations *)
   cd_name : string;  (** interned metric name *)
-  cd_kind : [ `Counter | `Hist ];
+  cd_kind : [ `Counter | `Hist | `Cell | `Gauge | `Scounter ];
   cd_unit : string;
   cd_file : string;
   cd_loc : Location.t;
@@ -228,9 +231,9 @@ let maker_kind (e : Parsetree.expression) =
     | _ -> None)
   | _ -> None
 
-(* Is [e] the creation of a named metric?  Either a full literal call
-   [Stats.counter bag "name"] or an application of an in-scope maker
-   [c "name"]. *)
+(* Is [e] the creation of a named metric handle?  A full literal call
+   [Stats.counter bag "name"] / [Series.cell reg "name"] or an
+   application of an in-scope maker [c "name"]. *)
 let creation ~makers (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
@@ -240,10 +243,29 @@ let creation ~makers (e : Parsetree.expression) =
       Some (`Counter, name)
     | [ "Stats"; "hist" ], [ name ] when List.length args = 2 ->
       Some (`Hist, name)
+    | [ "Series"; "cell" ], [ name ] when List.length args = 2 ->
+      Some (`Cell, name)
     | [ v ], [ name ] when List.length args = 1 -> (
       match List.assoc_opt v makers with
       | Some kind -> Some (kind, name)
       | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(* A handle-free [Series] registration: [Series.gauge reg "name" f] or
+   [Series.counter reg "name" r].  Only literal names register a
+   definition — computed names (the per-processor [Fmt.str] gauges) have
+   nothing for the lifecycle rule to check.  [Series.counter] shares a
+   head with [Stats.counter]; the argument count separates them
+   (3 arguments against 2). *)
+let series_registration (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when List.length args = 3 -> (
+    let lits = List.filter_map (fun (_, a) -> string_lit a) args in
+    match (Rule.lident_components (Rule.strip_stdlib txt), lits) with
+    | [ "Series"; "gauge" ], [ name ] -> Some (`Gauge, name)
+    | [ "Series"; "counter" ], [ name ] -> Some (`Scounter, name)
     | _ -> None)
   | _ -> None
 
@@ -365,6 +387,9 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
               match l with Asttypes.Nolabel -> Some a | _ -> None)
             args
         in
+        (match series_registration e with
+        | Some (kind, name) -> add_counter ~key:"" ~name kind e.pexp_loc
+        | None -> ());
         (match (Rule.lident_components (Rule.strip_stdlib txt), nolabel) with
         | [ "!" ], [ a ] -> claim_ident Deref a
         | [ ":=" ], a :: _ -> claim_ident Assign a

@@ -58,9 +58,15 @@ type kernel = {
 }
 
 type counter_def = {
-  cd_key : string;  (** record label or let-bound name holding the handle *)
-  cd_name : string;  (** interned metric name *)
-  cd_kind : [ `Counter | `Hist ];
+  cd_key : string;
+      (** record label or let-bound name holding the handle; [""] for
+          handle-free registrations ([Series.gauge]/[Series.counter]) *)
+  cd_name : string;  (** interned metric name (literal names only) *)
+  cd_kind : [ `Counter | `Hist | `Cell | `Gauge | `Scounter ];
+      (** [`Counter]/[`Hist] are interned [Stats] handles; [`Cell] is a
+          [Series.cell] handle; [`Gauge]/[`Scounter] are handle-free
+          [Series] registrations (closure-sampled gauge / scraped
+          counter ref) *)
   cd_unit : string;
   cd_file : string;
   cd_loc : Location.t;

@@ -3,6 +3,7 @@ module Action = Dbtree_history.Action
 module Registry = Dbtree_history.Registry
 module Obs = Dbtree_obs.Obs
 module Event = Dbtree_obs.Event
+module Series = Dbtree_obs.Series
 
 type pid = int
 
@@ -218,6 +219,11 @@ type t = {
   place_rng : Rng.t;
   ctr : counters;
   obs : Obs.t;
+  telem : Series.t;  (* live under [Series.forced]; {!Series.disabled} else *)
+  mutable heat : int array;  (* bucket id -> accesses (arena, doubled) *)
+  heat_total : int ref;  (* the "heat.touches" cell *)
+  mutable heat_max : int;
+  mutable heat_argmax : int;
 }
 
 (* The directory is modelled as logical node 0 in the history registry;
@@ -253,6 +259,29 @@ let hist_snapshot t ~node ~pid =
 
 let stats t = Sim.stats t.sim
 let send t ~src ~dst msg = Network.send t.net ~src ~dst msg
+
+(* Bucket-access heat, mirroring the cluster kernels' per-node arena:
+   one branch when the plane is off, and the arena doubles only on the
+   first touch of a fresh bucket id. *)
+let heat_touch t ~id =
+  if Series.on t.telem && id >= 0 then begin
+    if id >= Array.length t.heat then begin
+      let cap =
+        let rec go c = if id < c then c else go (2 * c) in
+        go (2 * Array.length t.heat)
+      in
+      let heat' = Array.make cap 0 in
+      Array.blit t.heat 0 heat' 0 (Array.length t.heat);
+      t.heat <- heat'
+    end;
+    let h = t.heat.(id) + 1 in
+    t.heat.(id) <- h;
+    incr t.heat_total;
+    if h > t.heat_max then begin
+      t.heat_max <- h;
+      t.heat_argmax <- id
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Directory maintenance *)
@@ -498,6 +527,7 @@ let handle t pid ~src msg =
           (msg :: Option.value (Hashtbl.find_opt ps.parked bucket) ~default:[])
       )
     | Some b ->
+      heat_touch t ~id:b.id;
       let h = hash key in
       if low_bits h b.ldepth = b.suffix then
         perform_op t pid b ~op ~kind ~key ~origin
@@ -612,6 +642,11 @@ let create cfg =
           parked = Hashtbl.create 8;
         })
   in
+  let telem =
+    if Series.forced () then
+      Series.create ~every:(Series.forced_every ()) ~label:"lht" ()
+    else Series.disabled
+  in
   let t =
     {
       cfg;
@@ -629,8 +664,46 @@ let create cfg =
       place_rng = Rng.create (cfg.seed + 5);
       ctr = make_counters (Sim.stats sim);
       obs;
+      telem;
+      heat = (if Series.on telem then Array.make 64 0 else [||]);
+      heat_total = Series.cell telem "heat.touches";
+      heat_max = 0;
+      heat_argmax = -1;
     }
   in
+  if Series.on telem then begin
+    List.iter
+      (fun (name, c) -> Series.counter telem name c)
+      (Stats.counter_handles (Sim.stats sim));
+    Series.gauge telem "sim.queue_depth" (fun () -> Sim.pending sim);
+    Series.gauge telem "lht.buckets" (fun () ->
+        let n = ref 0 in
+        Array.iter
+          (fun ps -> n := !n + Hashtbl.length ps.buckets)
+          t.procs_state;
+        !n);
+    Series.gauge telem "lht.parked" (fun () ->
+        let n = ref 0 in
+        Array.iter
+          (fun ps ->
+            (* dblint: allow no-nondeterminism -- commutative sum, order-insensitive *)
+            Hashtbl.iter (fun _ msgs -> n := !n + List.length msgs) ps.parked)
+          t.procs_state;
+        !n);
+    Series.gauge telem "lht.splits" (fun () -> t.splits);
+    Series.gauge telem "lht.doublings" (fun () -> t.doublings);
+    Series.gauge telem "heat.hottest" (fun () -> t.heat_max);
+    Series.gauge telem "heat.hottest_bucket" (fun () -> t.heat_argmax);
+    Series.gauge telem "heat.hottest_share_pct" (fun () ->
+        if !(t.heat_total) = 0 then 0
+        else 100 * t.heat_max / !(t.heat_total));
+    Series.note_registered telem;
+    let rec cb now =
+      Series.scrape telem ~now;
+      Sim.set_probe sim ~at:(now + Series.every telem) cb
+    in
+    Sim.set_probe sim ~at:(Sim.now sim + Series.every telem) cb
+  end;
   for pid = 0 to cfg.procs - 1 do
     Network.set_handler net pid (fun ~src msg -> handle t pid ~src msg);
     Hashtbl.replace t.procs_state.(pid).dir.owners 0 0;
@@ -671,7 +744,15 @@ let issue t ~origin ~kind key =
 let insert t ~origin key value = issue t ~origin ~kind:(K_insert value) key
 let search t ~origin key = issue t ~origin ~kind:K_search key
 let remove t ~origin key = issue t ~origin ~kind:K_remove key
-let run ?(max_events = 50_000_000) t = Sim.run ~max_events t.sim
+let run ?(max_events = 50_000_000) t =
+  Sim.run ~max_events t.sim;
+  (* final partial window: the probe only fires when an event reaches
+     the boundary *)
+  if Series.on t.telem then Series.scrape t.telem ~now:(Sim.now t.sim)
+
+let telemetry t = t.telem
+let heat_total t = !(t.heat_total)
+let hottest_bucket t = (t.heat_argmax, t.heat_max)
 
 let result t op =
   Option.bind (Hashtbl.find_opt t.ops op) (fun r -> r.op_result)

@@ -80,6 +80,22 @@ val issued : t -> int
 val obs : t -> Dbtree_obs.Obs.t
 (** The table's trace recorder (disabled unless [config.trace]). *)
 
+val telemetry : t -> Dbtree_obs.Series.t
+(** The table's time-series registry.  Live only under the
+    {!Dbtree_obs.Series.force_enable} switch (there is no per-config
+    flag for the LHT); {!Dbtree_obs.Series.disabled} otherwise.  When
+    live it scrapes every interned counter plus bucket-population,
+    parked-op, and bucket-heat gauges on the simulator's probe, and a
+    final partial window at the end of {!run}. *)
+
+val heat_total : t -> int
+(** Total bucket accesses recorded by the heat arena (0 when telemetry
+    is off). *)
+
+val hottest_bucket : t -> int * int
+(** [(bucket id, accesses)] of the most-touched bucket; [(-1, 0)] when
+    telemetry is off or nothing has been touched. *)
+
 (** {2 Introspection} *)
 
 val depth : t -> pid -> int

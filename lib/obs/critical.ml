@@ -1,0 +1,103 @@
+(* Critical-path extraction: attribute each operation's latency to
+   phases, by walking its span's events in time order and charging the
+   gap after each event to the state that event put the op in:
+
+   - after a [Msg_send]: the op is on the wire            -> network
+   - after a [Retx]: it is waiting out a retransmission   -> retransmit
+   - after an [Aas_block]: blocked by a primary-copy AAS  -> aas
+   - after a [Park]: parked at a copy waiting for a split
+     relay to install the target node                     -> parked
+   - after anything else (recv, relay, split bookkeeping): the
+     processor is doing protocol work                     -> processing
+
+   The attribution is total — the five phases sum exactly to the span's
+   issue-to-complete latency — and purely a function of the ring, so
+   per-discipline aggregates are deterministic.  [Park] time is the lazy
+   disciplines' residual update-synchronization cost (the relaxed AAS of
+   §4.1.1 seen from a non-primary copy), so discipline comparisons read
+   [aas + parked] as the total split-stall share. *)
+
+type phases = {
+  p_net : int;
+  p_aas : int;
+  p_parked : int;
+  p_retx : int;
+  p_proc : int;
+}
+
+let zero = { p_net = 0; p_aas = 0; p_parked = 0; p_retx = 0; p_proc = 0 }
+
+let total p = p.p_net + p.p_aas + p.p_parked + p.p_retx + p.p_proc
+
+let add a b =
+  {
+    p_net = a.p_net + b.p_net;
+    p_aas = a.p_aas + b.p_aas;
+    p_parked = a.p_parked + b.p_parked;
+    p_retx = a.p_retx + b.p_retx;
+    p_proc = a.p_proc + b.p_proc;
+  }
+
+let stall p = p.p_aas + p.p_parked
+
+let share p part =
+  let t = total p in
+  if t = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int t
+
+(* Attribute one span.  Events arrive in id order, which is time order
+   (ids are monotone and simulated time never decreases), so consecutive
+   events bound the gaps directly.  Only the window between the issue
+   and the completion counts; spans missing either end attribute
+   nothing. *)
+let of_span (s : Query.span) =
+  match (s.Query.issue, s.Query.complete) with
+  | Some issue, Some complete ->
+    let rec walk acc (prev : Obs.event) = function
+      | [] ->
+        (* tail gap: from the last event up to the completion *)
+        let gap = complete.Obs.time - prev.Obs.time in
+        Some (charge acc prev gap)
+      | (e : Obs.event) :: rest ->
+        if e.Obs.id > complete.Obs.id then walk acc prev []
+        else
+          let gap = e.Obs.time - prev.Obs.time in
+          walk (charge acc prev gap) e rest
+    and charge acc (e : Obs.event) gap =
+      if gap <= 0 then acc
+      else
+        match e.Obs.kind with
+        | Event.Msg_send -> { acc with p_net = acc.p_net + gap }
+        | Event.Retx -> { acc with p_retx = acc.p_retx + gap }
+        | Event.Aas_block -> { acc with p_aas = acc.p_aas + gap }
+        | Event.Park -> { acc with p_parked = acc.p_parked + gap }
+        | _ -> { acc with p_proc = acc.p_proc + gap }
+    in
+    let after_issue =
+      List.filter (fun (e : Obs.event) -> e.Obs.id >= issue.Obs.id) s.Query.events
+    in
+    (match after_issue with
+    | [] -> None
+    | first :: rest -> walk zero first rest)
+  | _ -> None
+
+(* Aggregate over every complete span in the ring: the per-run breakdown
+   the per-discipline tables report. *)
+let aggregate t =
+  List.fold_left
+    (fun acc s ->
+      if Query.complete_span t s then
+        match of_span s with Some p -> add acc p | None -> acc
+      else acc)
+    zero (Query.spans t)
+
+let per_op t =
+  List.filter_map
+    (fun s ->
+      if Query.complete_span t s then
+        match of_span s with Some p -> Some (s.Query.op, p) | None -> None
+      else None)
+    (Query.spans t)
+
+let pp ppf p =
+  Fmt.pf ppf "net=%d aas=%d parked=%d retx=%d proc=%d (total %d)" p.p_net
+    p.p_aas p.p_parked p.p_retx p.p_proc (total p)

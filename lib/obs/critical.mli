@@ -1,0 +1,47 @@
+(** Critical-path extraction over recorded trace rings.
+
+    Walks each operation's span in time order and charges the gap after
+    each event to the state that event put the op in: on the wire after
+    a [Msg_send] (network), waiting out a retransmission after a [Retx],
+    blocked by a primary-copy AAS after an [Aas_block], parked behind a
+    split relay after a [Park], and protocol processing otherwise.  The
+    attribution is total — the five phases sum exactly to the span's
+    latency — and deterministic.
+
+    [Park] time is the lazy disciplines' residual update-synchronization
+    cost (the relaxed per-copy AAS of §4.1.1 seen from a non-primary
+    copy), so discipline comparisons read {!stall} ([aas + parked]) as
+    the total split-stall share. *)
+
+type phases = {
+  p_net : int;  (** ticks in flight between send and receive *)
+  p_aas : int;  (** ticks blocked by a primary-copy AAS *)
+  p_parked : int;  (** ticks parked waiting for a split relay *)
+  p_retx : int;  (** ticks waiting out retransmissions *)
+  p_proc : int;  (** everything else: protocol processing *)
+}
+
+val zero : phases
+val total : phases -> int
+val add : phases -> phases -> phases
+
+val stall : phases -> int
+(** [p_aas + p_parked]: the split-synchronization stall total. *)
+
+val share : phases -> int -> float
+(** [share p part] is [part] as a percentage of [total p] (0.0 when the
+    total is 0). *)
+
+val of_span : Query.span -> phases option
+(** Attribute one span; [None] unless both issue and completion are
+    present.  Events past the completion (late relay deliveries carrying
+    the op's lineage) are not charged. *)
+
+val aggregate : Obs.t -> phases
+(** Sum of {!of_span} over every complete span in the ring (see
+    [Query.complete_span]). *)
+
+val per_op : Obs.t -> (int * phases) list
+(** Per-operation breakdowns for complete spans, ascending op id. *)
+
+val pp : Format.formatter -> phases -> unit

@@ -21,6 +21,8 @@ type kind =
   | Restart
   | Replay
   | Rejoin
+  | Alert_raise
+  | Alert_clear
 
 let to_int = function
   | Op_issue -> 0
@@ -45,8 +47,10 @@ let to_int = function
   | Restart -> 19
   | Replay -> 20
   | Rejoin -> 21
+  | Alert_raise -> 22
+  | Alert_clear -> 23
 
-let num_kinds = 22
+let num_kinds = 24
 
 let of_int = function
   | 0 -> Op_issue
@@ -71,6 +75,8 @@ let of_int = function
   | 19 -> Restart
   | 20 -> Replay
   | 21 -> Rejoin
+  | 22 -> Alert_raise
+  | 23 -> Alert_clear
   | k -> Fmt.invalid_arg "Event.of_int: %d" k
 
 let name = function
@@ -96,6 +102,8 @@ let name = function
   | Restart -> "restart"
   | Replay -> "replay"
   | Rejoin -> "rejoin"
+  | Alert_raise -> "alert_raise"
+  | Alert_clear -> "alert_clear"
 
 (* Client-operation kind codes carried in the [a] field of
    [Op_issue]/[Op_complete] (and the [b] field of [Aas_block]). *)

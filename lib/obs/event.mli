@@ -48,6 +48,10 @@ type kind =
   | Restart  (** processor back up, about to replay its log ([a] = generation) *)
   | Replay  (** WAL replay finished ([a] = records applied, [b] = bytes read) *)
   | Rejoin  (** §4.3 re-join refresh requested for a node ([a] = node, [b] = pc) *)
+  | Alert_raise
+      (** a {!Health} rule started breaching ([a] = rule index, [b] = observed value) *)
+  | Alert_clear
+      (** the paired rule stopped breaching ([a] = rule index, [b] = ticks active) *)
 
 val to_int : kind -> int
 (** Dense code in [\[0, num_kinds)]; stable across a run (the ring buffer

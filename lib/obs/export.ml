@@ -114,6 +114,9 @@ let emit_event em t ~index (e : Obs.event) =
   | Event.Ack ->
     instant em ~name:"ack" ~cat:"net" ~pid ~tid ~ts ~k1:"dst" ~v1:e.a
       ~k2:"ackno" ~v2:e.b
+  | (Event.Alert_raise | Event.Alert_clear) as k ->
+    instant em ~name:(Event.name k) ~cat:"health" ~pid ~tid ~ts ~k1:"rule"
+      ~v1:e.a ~k2:"value" ~v2:e.b
   | (Event.Relay | Event.Split_start | Event.Split_end | Event.Aas_block
     | Event.Aas_release | Event.Root_grow | Event.Migrate | Event.Join
     | Event.Unjoin | Event.Reclaim | Event.Park | Event.Unpark

@@ -1,0 +1,183 @@
+(* Typed SLO rule engine, evaluated at scrape points.
+
+   A rule is a named threshold over a sampled signal.  Evaluation is a
+   hysteresis-free level check: the first breaching evaluation opens an
+   alert (emitting [Alert_raise] into the trace ring), the first
+   non-breaching one closes it (emitting the paired [Alert_clear]), and
+   [finish] closes whatever is still open so run summaries are complete.
+   Everything is driven by simulated time through the scrape hook, so
+   alert histories are deterministic. *)
+
+type severity = Info | Warn | Crit
+
+let severity_name = function Info -> "info" | Warn -> "warn" | Crit -> "crit"
+
+type cmp = Above | Below
+
+type rule = {
+  r_name : string;
+  r_severity : severity;
+  signal : unit -> int;
+  threshold : int;
+  cmp : cmp;
+  mutable active_since : int;  (* -1 when not breaching *)
+  mutable peak : int;  (* worst value seen while active *)
+  mutable fired : int;  (* alerts opened over the run *)
+  mutable active_ticks : int;  (* total breach duration, closed alerts *)
+}
+
+type alert = {
+  al_rule : string;
+  al_severity : severity;
+  al_from : int;
+  al_until : int;  (* close time; [finish]'s time for still-open alerts *)
+  al_peak : int;
+}
+
+type t = {
+  obs : Obs.t;
+  mutable rules : rule array;
+  mutable n : int;
+  mutable closed : alert list;  (* newest first; reversed by [alerts] *)
+}
+
+let dummy_rule =
+  {
+    r_name = "";
+    r_severity = Info;
+    signal = (fun () -> 0);
+    threshold = 0;
+    cmp = Above;
+    active_since = -1;
+    peak = 0;
+    fired = 0;
+    active_ticks = 0;
+  }
+
+let create ?(obs = Obs.disabled) () =
+  { obs; rules = Array.make 0 dummy_rule; n = 0; closed = [] }
+
+let add_rule t ~name ?(severity = Warn) ?(cmp = Above) ~signal ~threshold () =
+  for i = 0 to t.n - 1 do
+    if t.rules.(i).r_name = name then
+      Fmt.invalid_arg "Health: duplicate rule %S" name
+  done;
+  if t.n = Array.length t.rules then begin
+    let grown = Array.make (max 4 (2 * t.n)) dummy_rule in
+    Array.blit t.rules 0 grown 0 t.n;
+    t.rules <- grown
+  end;
+  t.rules.(t.n) <-
+    {
+      r_name = name;
+      r_severity = severity;
+      signal;
+      threshold;
+      cmp;
+      active_since = -1;
+      peak = 0;
+      fired = 0;
+      active_ticks = 0;
+    };
+  t.n <- t.n + 1
+
+let[@inline] breaching r v =
+  match r.cmp with Above -> v > r.threshold | Below -> v < r.threshold
+
+let[@inline] worse r a b =
+  match r.cmp with Above -> max a b | Below -> min a b
+
+let close t ~now i r =
+  let dur = now - r.active_since in
+  r.active_ticks <- r.active_ticks + dur;
+  t.closed <-
+    {
+      al_rule = r.r_name;
+      al_severity = r.r_severity;
+      al_from = r.active_since;
+      al_until = now;
+      al_peak = r.peak;
+    }
+    :: t.closed;
+  r.active_since <- -1;
+  ignore
+    (Obs.emit_here t.obs ~time:now ~pid:0 ~kind:Event.Alert_clear ~a:i ~b:dur)
+
+(* One evaluation pass over every rule, at a scrape point. *)
+let evaluate t ~now =
+  for i = 0 to t.n - 1 do
+    let r = t.rules.(i) in
+    let v = r.signal () in
+    if breaching r v then
+      if r.active_since < 0 then begin
+        r.active_since <- now;
+        r.peak <- v;
+        r.fired <- r.fired + 1;
+        ignore
+          (Obs.emit_here t.obs ~time:now ~pid:0 ~kind:Event.Alert_raise ~a:i
+             ~b:v)
+      end
+      else r.peak <- worse r r.peak v
+    else if r.active_since >= 0 then close t ~now i r
+  done
+
+(* Close whatever is still breaching, so the run summary accounts for
+   every opened alert (and every [Alert_raise] gets its paired clear). *)
+let finish t ~now =
+  for i = 0 to t.n - 1 do
+    let r = t.rules.(i) in
+    if r.active_since >= 0 then close t ~now i r
+  done
+
+let rules t = List.init t.n (fun i -> t.rules.(i).r_name)
+let alerts t = List.rev t.closed
+
+let fired t =
+  let n = ref 0 in
+  for i = 0 to t.n - 1 do
+    n := !n + t.rules.(i).fired
+  done;
+  !n
+
+let active t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    let r = t.rules.(i) in
+    if r.active_since >= 0 then acc := (r.r_name, r.active_since) :: !acc
+  done;
+  !acc
+
+let active_count t = List.length (active t)
+
+type summary_row = {
+  su_rule : string;
+  su_severity : severity;
+  su_fired : int;
+  su_active_ticks : int;
+  su_peak : int;  (* worst value over all closed alerts; 0 if none *)
+}
+
+let summary t =
+  List.init t.n (fun i ->
+      let r = t.rules.(i) in
+      let peak =
+        List.fold_left
+          (fun acc (al : alert) ->
+            if al.al_rule = r.r_name then worse r acc al.al_peak else acc)
+          0 t.closed
+      in
+      {
+        su_rule = r.r_name;
+        su_severity = r.r_severity;
+        su_fired = r.fired;
+        su_active_ticks = r.active_ticks;
+        su_peak = peak;
+      })
+
+let pp_summary ppf t =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%-24s %-5s fired=%d active=%d ticks peak=%d@." s.su_rule
+        (severity_name s.su_severity)
+        s.su_fired s.su_active_ticks s.su_peak)
+    (summary t)

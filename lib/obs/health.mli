@@ -1,0 +1,78 @@
+(** Typed SLO rule engine, evaluated at scrape points.
+
+    A rule is a named threshold over a sampled signal ([unit -> int]).
+    {!evaluate} is a level check at a point in simulated time: the first
+    breaching evaluation opens an alert and emits [Alert_raise] (with
+    [a] = rule index, [b] = observed value) into the trace ring; the
+    first non-breaching one closes it with the paired [Alert_clear]
+    ([b] = ticks active); {!finish} closes whatever is still open.
+    Driven only by simulated time, so alert histories are
+    deterministic. *)
+
+type severity = Info | Warn | Crit
+
+val severity_name : severity -> string
+
+type cmp = Above | Below
+
+type t
+
+val create : ?obs:Obs.t -> unit -> t
+(** [obs] receives the alert trace events (default [Obs.disabled]). *)
+
+val add_rule :
+  t ->
+  name:string ->
+  ?severity:severity ->
+  ?cmp:cmp ->
+  signal:(unit -> int) ->
+  threshold:int ->
+  unit ->
+  unit
+(** Register a rule; [cmp] defaults to [Above] (breach when the signal
+    exceeds [threshold]; [Below] breaches when it drops under).
+    Duplicate names raise [Invalid_argument].  Rule indices in trace
+    events follow registration order. *)
+
+val evaluate : t -> now:int -> unit
+(** Sample every rule's signal at time [now], opening and closing alerts
+    as levels cross thresholds.  [now] must not decrease across calls. *)
+
+val finish : t -> now:int -> unit
+(** Close every still-open alert at [now], pairing any outstanding
+    [Alert_raise] with its [Alert_clear]. *)
+
+val rules : t -> string list
+(** Registered rule names, in registration (= trace-index) order. *)
+
+type alert = {
+  al_rule : string;
+  al_severity : severity;
+  al_from : int;
+  al_until : int;  (** close time; {!finish}'s time for open alerts *)
+  al_peak : int;  (** worst signal value observed while active *)
+}
+
+val alerts : t -> alert list
+(** Closed alerts, oldest first.  Complete after {!finish}. *)
+
+val fired : t -> int
+(** Total alerts opened over the run, across all rules. *)
+
+val active : t -> (string * int) list
+(** Currently-breaching rules as [(name, active_since)]. *)
+
+val active_count : t -> int
+
+type summary_row = {
+  su_rule : string;
+  su_severity : severity;
+  su_fired : int;
+  su_active_ticks : int;  (** total breach duration over closed alerts *)
+  su_peak : int;  (** worst value over all closed alerts; 0 if none *)
+}
+
+val summary : t -> summary_row list
+(** One row per rule, in registration order. *)
+
+val pp_summary : Format.formatter -> t -> unit

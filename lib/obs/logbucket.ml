@@ -1,0 +1,30 @@
+(* Shared log-bucketing scheme: 16 sub-buckets per octave, values below
+   16 bucketed exactly.  [Stats.hist] (lib/sim) and [Sketch] (this
+   library) index the *same* bucket space, which is what makes window
+   sketches mergeable into run-lifetime histograms and lets the
+   percentile-consistency property in the tests compare the two
+   implementations bucket-for-bucket. *)
+
+let sub_bits = 4
+let linear = 1 lsl sub_bits
+
+(* Highest index: msb 61 (OCaml 63-bit ints) -> (61-4+1)*16 + 15 = 943. *)
+let num_buckets = 944
+
+let msb v =
+  let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+  go v 0
+
+let index v =
+  if v < linear then v
+  else
+    let m = msb v in
+    ((m - sub_bits + 1) lsl sub_bits)
+    + ((v lsr (m - sub_bits)) land (linear - 1))
+
+let lower idx =
+  if idx < linear then idx
+  else
+    let m = (idx lsr sub_bits) + sub_bits - 1 in
+    let sub = idx land (linear - 1) in
+    (linear + sub) lsl (m - sub_bits)

@@ -1,0 +1,21 @@
+(** Log-bucketing shared by [Stats.hist] (lib/sim) and {!Sketch}.
+
+    16 sub-buckets per octave (<= 6.25% relative error on percentiles),
+    values below 16 bucketed exactly.  Both consumers index the same
+    bucket space, so window sketches merge into run-lifetime histograms
+    and the two percentile implementations are comparable
+    bucket-for-bucket. *)
+
+val sub_bits : int
+val linear : int
+
+val num_buckets : int
+(** Number of distinct bucket indices; [index] maps into
+    [\[0, num_buckets)] for any non-negative 63-bit int. *)
+
+val index : int -> int
+(** Bucket index of a non-negative value. *)
+
+val lower : int -> int
+(** Smallest value mapping to the given bucket: [index (lower i) = i] and
+    [lower (index v) <= v]. *)

@@ -241,6 +241,10 @@ let pp_event t ppf (e : event) =
     Fmt.pf ppf "p%d: replayed %d wal records (%d bytes)" e.pid e.a e.b
   | Event.Rejoin ->
     Fmt.pf ppf "p%d: rejoin node %d via pc %d" e.pid e.a e.b
+  | Event.Alert_raise ->
+    Fmt.pf ppf "p%d: alert raised (rule %d, value %d)" e.pid e.a e.b
+  | Event.Alert_clear ->
+    Fmt.pf ppf "p%d: alert cleared (rule %d, %d ticks active)" e.pid e.a e.b
 
 let pp ppf t =
   List.iter

@@ -1,0 +1,108 @@
+(** Ring-buffered time series, scraped on simulated time.
+
+    A registry holds named series in registration order.  Each series is
+    backed by one of three sources:
+
+    - a {e gauge}: a closure sampled at every scrape point;
+    - a {e cell}: an int ref returned to the owning subsystem, which
+      writes it on its own schedule and has it sampled at every scrape;
+    - a {e counter}: an existing interned [Stats] counter ref, scraped
+      as-is (rates are derived offline from deltas).
+
+    One scrape writes one slot per series into preallocated rings —
+    no allocation, no strings, no hashing — so the scrape path can be
+    driven from the simulator's probe hook between events.  All series
+    share one timestamp ring: everything is scraped together.
+
+    A disabled registry ([enabled = false], or the shared {!disabled})
+    ignores registrations and scrapes; every operation on it is a cheap
+    branch, so instrumented code needs no [if] of its own around
+    registration or [Cell] updates. *)
+
+type t
+
+val default_every : int
+(** Default scrape cadence: 512 simulated ticks. *)
+
+val default_capacity : int
+(** Default points retained per series: 64. *)
+
+val create :
+  ?enabled:bool -> ?every:int -> ?capacity:int -> ?label:string -> unit -> t
+(** [create ()] is an enabled registry scraping every {!default_every}
+    ticks, retaining {!default_capacity} points per series.  [every] and
+    [capacity] must be >= 1. *)
+
+val disabled : t
+(** Shared inert registry: registrations are ignored, scrapes are a
+    branch, renderings are empty. *)
+
+val on : t -> bool
+val every : t -> int
+val capacity : t -> int
+val label : t -> string
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register a sampled-at-scrape gauge.  The closure must read existing
+    state without allocating — it runs on the scrape path.  Duplicate
+    names raise [Invalid_argument]. *)
+
+val cell : t -> string -> int ref
+(** Register a series backed by a caller-updated cell and return the
+    cell.  On a disabled registry the returned ref is a dummy, so owners
+    update it unconditionally. *)
+
+val counter : t -> string -> int ref -> unit
+(** Register an existing interned counter (e.g. a [Stats.counter]) to be
+    scraped by value. *)
+
+val scrape : t -> now:int -> unit
+(** Take one scrape point at simulated time [now]: sample every source
+    into its ring slot.  Allocation-free. *)
+
+val scrape_count : t -> int
+(** Total scrape points taken (including ones whose slots have since
+    been overwritten in the rings). *)
+
+val names : t -> string list
+(** Registered series names, in registration order. *)
+
+val points : t -> string -> (int * int) list
+(** Retained (time, value) points for a series, oldest first; [] for an
+    unknown name. *)
+
+val last : t -> string -> (int * int) option
+(** Latest retained point, if any scrape has happened. *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition of the latest scrape (dots in names map
+    to underscores, prefixed [dbtree_]; the registry label becomes a
+    [run] label). *)
+
+val to_json : t -> string
+(** Full dump — cadence, scrape count, and every retained point of every
+    series — as a deterministic JSON object. *)
+
+(** {2 Global force switch}
+
+    Mirror of [Obs]'s forced-tracing switch, for CLI paths (`dbtree
+    metrics`) that cannot thread a telemetry flag through an
+    experiment's internal configs.  Cross-domain safe: the switch and
+    cadence are Atomics, the collection list is mutex-guarded and
+    therefore complete under [Par.map]; callers wanting a stable order
+    must sort (by {!label}). *)
+
+val force_enable : ?every:int -> unit -> unit
+val force_disable : unit -> unit
+val forced : unit -> bool
+val forced_every : unit -> int
+
+val note_registered : t -> unit
+(** Record a registry for {!registered}; called by whoever creates a
+    registry under {!forced}. *)
+
+val registered : unit -> t list
+(** Registries recorded since the last {!clear_registered}, in creation
+    order. *)
+
+val clear_registered : unit -> unit

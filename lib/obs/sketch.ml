@@ -1,0 +1,128 @@
+(* Sliding-window quantile sketch over the shared log-bucket space
+   ({!Logbucket}, the same bucketing as [Stats.hist]).
+
+   The window is a ring of [slices] sub-histograms, each covering
+   [slice_width] simulated ticks; an observation lands in the slice of
+   its epoch ([now / slice_width]), and advancing to a new epoch zeroes
+   the slices that fell out of the window — in place, so the observe
+   path allocates nothing.  Queries merge the live slices by walking the
+   bucket space, which happens at scrape points, off the hot path.
+
+   Two sketches with the same geometry merge by bucket-count addition
+   (after aligning both to the same epoch), which is what makes per-op
+   and per-processor sketches composable into aggregates. *)
+
+module LB = Logbucket
+
+type t = {
+  slice_width : int;
+  n_slices : int;
+  counts : int array;  (* per-slice observation counts *)
+  buckets : int array;  (* n_slices * num_buckets, row-major by slice *)
+  mutable epoch : int;  (* epoch of the slice at [epoch mod n_slices] *)
+  mutable total : int;  (* lifetime observations, windowed out or not *)
+}
+
+let create ?(slices = 8) ~slice_width () =
+  if slices < 1 then invalid_arg "Sketch.create: slices must be >= 1";
+  if slice_width < 1 then invalid_arg "Sketch.create: slice_width must be >= 1";
+  {
+    slice_width;
+    n_slices = slices;
+    counts = Array.make slices 0;
+    buckets = Array.make (slices * LB.num_buckets) 0;
+    epoch = 0;
+    total = 0;
+  }
+
+let slices t = t.n_slices
+let slice_width t = t.slice_width
+let window t = t.n_slices * t.slice_width
+let total t = t.total
+
+let[@inline] row t e = e mod t.n_slices
+
+let zero_slice t e =
+  let r = row t e in
+  t.counts.(r) <- 0;
+  Array.fill t.buckets (r * LB.num_buckets) LB.num_buckets 0
+
+(* Advance the ring to [epoch], zeroing every slice that expires.  A jump
+   past the whole window zeroes all slices (bounded by [n_slices], not by
+   the jump size). *)
+let rotate t epoch =
+  if epoch > t.epoch then begin
+    let steps = min t.n_slices (epoch - t.epoch) in
+    for k = 1 to steps do
+      zero_slice t (t.epoch + k)
+    done;
+    t.epoch <- epoch
+  end
+
+let observe t ~now v =
+  let v = if v < 0 then 0 else v in
+  let epoch = now / t.slice_width in
+  if epoch <> t.epoch then rotate t epoch;
+  let r = row t t.epoch in
+  t.counts.(r) <- t.counts.(r) + 1;
+  let i = (r * LB.num_buckets) + LB.index v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.total <- t.total + 1
+
+let count t ~now =
+  rotate t (now / t.slice_width);
+  Array.fold_left ( + ) 0 t.counts
+
+(* Observations per 1000 ticks over the part of the window that has
+   actually elapsed (a young sketch is not diluted by empty future). *)
+let rate_per_ktick t ~now =
+  let n = count t ~now in
+  let elapsed = min (now + 1) (window t) in
+  if elapsed <= 0 then 0.0
+  else 1000.0 *. float_of_int n /. float_of_int elapsed
+
+(* Nearest-rank percentile over the merged window, reported as the
+   bucket's lower bound (<= 6.25% relative error, exactly [Stats.hist]'s
+   bucketing).  0 when the window is empty. *)
+let percentile t ~now p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Sketch.percentile";
+  let n = count t ~now in
+  if n = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    let seen = ref 0 in
+    let result = ref 0 in
+    (try
+       for i = 0 to LB.num_buckets - 1 do
+         let c = ref 0 in
+         for s = 0 to t.n_slices - 1 do
+           c := !c + t.buckets.((s * LB.num_buckets) + i)
+         done;
+         seen := !seen + !c;
+         if !seen >= rank then begin
+           result := LB.lower i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* Merge [src]'s window into [dst].  Both are first rotated to [now]'s
+   epoch so slice rows line up; geometries must match. *)
+let merge_into ~dst ~now src =
+  if dst.slice_width <> src.slice_width || dst.n_slices <> src.n_slices then
+    invalid_arg "Sketch.merge_into: geometry mismatch";
+  let epoch = now / dst.slice_width in
+  rotate dst epoch;
+  rotate src epoch;
+  for r = 0 to dst.n_slices - 1 do
+    dst.counts.(r) <- dst.counts.(r) + src.counts.(r)
+  done;
+  for i = 0 to (dst.n_slices * LB.num_buckets) - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.total <- dst.total + src.total

@@ -1,0 +1,49 @@
+(** Mergeable sliding-window quantile sketch.
+
+    A ring of per-epoch sub-histograms over the shared {!Logbucket}
+    bucket space (the same bucketing as [Stats.hist]): an observation
+    lands in the slice of its epoch ([now / slice_width]), advancing to
+    a new epoch zeroes expired slices in place, and queries merge the
+    live slices.  The observe path is allocation-free; quantile and rate
+    queries walk the bucket space and belong at scrape points, off the
+    hot path.
+
+    All time arguments are simulated ticks, so window contents are a
+    pure function of the run. *)
+
+type t
+
+val create : ?slices:int -> slice_width:int -> unit -> t
+(** [create ~slice_width ()] covers a window of [slices * slice_width]
+    ticks (default 8 slices).  Both must be >= 1. *)
+
+val slices : t -> int
+val slice_width : t -> int
+
+val window : t -> int
+(** Window span in ticks: [slices * slice_width]. *)
+
+val observe : t -> now:int -> int -> unit
+(** Record a non-negative value at time [now].  Allocation-free;
+    negative values clamp to 0.  [now] must not decrease across calls
+    (simulated time never does). *)
+
+val total : t -> int
+(** Lifetime observation count, including windowed-out ones. *)
+
+val count : t -> now:int -> int
+(** Observations still inside the window at [now]. *)
+
+val rate_per_ktick : t -> now:int -> float
+(** Windowed rate: observations per 1000 ticks over the elapsed part of
+    the window. *)
+
+val percentile : t -> now:int -> float -> int
+(** [percentile t ~now p] for [p] in [\[0, 100\]]: nearest-rank
+    percentile of the windowed observations, reported as the containing
+    bucket's lower bound (<= 6.25% relative error).  0 on an empty
+    window. *)
+
+val merge_into : dst:t -> now:int -> t -> unit
+(** Add [src]'s windowed counts into [dst] after aligning both to
+    [now]'s epoch.  Raises [Invalid_argument] on geometry mismatch. *)

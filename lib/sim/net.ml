@@ -103,9 +103,13 @@ module Make (M : MESSAGE) = struct
        by never scheduling a delivery at or before this time. *)
     channel_front : int array;
     inbound : int array;
+    arrived : int array;
+        (* remote deliveries dispatched (stale drops included); the
+           inbox-depth gauge is [inbound - arrived] *)
     rel : chan option array;  (* lazily allocated, Reliable only *)
     (* crash/restart machinery *)
     down : bool array;
+    down_at : int array;  (* crash time of the current outage *)
     gen : int array;  (* per-processor incarnation; bumped at each crash *)
     local_sent : int array;  (* durable local-loopback send indices *)
     local_del : int array;  (* durable local-loopback delivery indices *)
@@ -166,6 +170,8 @@ module Make (M : MESSAGE) = struct
       handlers = Array.make procs None;
       channel_front = Array.make (procs * procs) min_int;
       inbound = Array.make procs 0;
+      arrived = Array.make procs 0;
+      down_at = Array.make procs 0;
       rel =
         (match transport with
         | Raw -> [||]
@@ -587,6 +593,7 @@ module Make (M : MESSAGE) = struct
   let rec do_crash t p =
     if not t.down.(p) then begin
       t.down.(p) <- true;
+      t.down_at.(p) <- Sim.now t.sim;
       t.gen.(p) <- t.gen.(p) + 1;
       Stats.tick t.c_crashes;
       (match t.transport with
@@ -667,6 +674,9 @@ module Make (M : MESSAGE) = struct
           let p2 = t.procs * t.procs in
           let chan = a mod p2 and epoch = a / p2 in
           let src = chan / t.procs and dst = chan mod t.procs in
+          (* remote arrival (stale or not): the scheduled delivery left the
+             wire, so the inbox-depth gauge drops back *)
+          if src <> dst then t.arrived.(dst) <- t.arrived.(dst) + 1;
           if stale t ~src ~dst ~epoch then Stats.tick t.c_stale
           else begin
             (match t.persist with
@@ -684,6 +694,7 @@ module Make (M : MESSAGE) = struct
           let p2 = t.procs * t.procs in
           let chan = a mod p2 and epoch = a / p2 in
           let src = chan / t.procs and dst = chan mod t.procs in
+          t.arrived.(dst) <- t.arrived.(dst) + 1;
           if stale t ~src ~dst ~epoch then Stats.tick t.c_stale
           else
             recv_frame t ~src ~dst ~seq:b ~ack:c
@@ -764,4 +775,32 @@ module Make (M : MESSAGE) = struct
   let local_messages t = t.local
   let bytes_sent t = t.bytes
   let sent_to t pid = t.inbound.(pid)
+
+  (* ---------------- Telemetry gauges ---------------- *)
+  (* Scrape-path reads: O(1) or O(procs) walks over existing state, no
+     bookkeeping added to the message hot path beyond the [arrived]
+     bumps above. *)
+
+  let in_flight t pid = t.inbound.(pid) - t.arrived.(pid)
+
+  let retx_backlog t pid =
+    match t.transport with
+    | Raw -> 0
+    | Reliable ->
+      let n = ref 0 in
+      for dst = 0 to t.procs - 1 do
+        match t.rel.((pid * t.procs) + dst) with
+        | Some ch -> n := !n + Queue.length ch.unacked
+        | None -> ()
+      done;
+      !n
+
+  let longest_down t ~now =
+    let worst = ref 0 in
+    for p = 0 to t.procs - 1 do
+      if t.down.(p) then
+        let d = now - t.down_at.(p) in
+        if d > !worst then worst := d
+    done;
+    !worst
 end

@@ -159,6 +159,21 @@ module Make (M : MESSAGE) : sig
       detection.  Counts every scheduled delivery, including fault-injected
       duplicates and late copies; dropped transmissions are not counted. *)
 
+  (** Telemetry gauges — instantaneous depths read at scrape points;
+      none of them perturbs the transport: *)
+
+  val in_flight : t -> pid -> int
+  (** Remote transmissions scheduled toward [pid] and not yet dispatched
+      (the processor's wire inbox depth, stale frames included). *)
+
+  val retx_backlog : t -> pid -> int
+  (** Frames sitting unacked in [pid]'s reliable send windows, summed
+      over all destinations.  0 under [Raw]. *)
+
+  val longest_down : t -> now:int -> int
+  (** Ticks the longest-crashed processor has been down at [now]; 0 when
+      every processor is up.  Feeds the recovery-time health rule. *)
+
   (** {2 Crashes and durability}
 
       A crash (scheduled through {!faults.crash_at}) strikes between

@@ -9,6 +9,8 @@ type t = {
   mutable n_handlers : int;
   rng : Rng.t;
   stats : Stats.t;
+  mutable probe_at : int;  (* max_int = disarmed *)
+  mutable probe : int -> unit;
 }
 
 let no_handler : handler =
@@ -24,6 +26,8 @@ let create ?(seed = 42) () =
     n_handlers = 0;
     rng = Rng.create seed;
     stats = Stats.create ();
+    probe_at = max_int;
+    probe = ignore;
   }
 
 let now t = t.now
@@ -32,6 +36,7 @@ let rng t = t.rng
 let stats t = t.stats
 let events_processed t = t.processed
 let seq_consumed t = Wheel.overflow_seq t.pending
+let overflow_depth t = Wheel.overflow_depth t.pending
 
 let register_handler t f =
   let id = t.n_handlers in
@@ -69,13 +74,38 @@ let schedule_typed t ~delay ~h ~a ~b ~c ~o =
   check_clock t time;
   Wheel.schedule_typed t.pending ~time ~h ~a ~b ~c ~o
 
+let set_probe t ~at f =
+  if at < t.now then Fmt.invalid_arg "Sim.set_probe: at=%d < now=%d" at t.now;
+  t.probe_at <- at;
+  t.probe <- f
+
+let clear_probe t =
+  t.probe_at <- max_int;
+  t.probe <- ignore
+
 exception Budget_exhausted
+
+(* Observation probe: runs the callback at its due time, just before the
+   first event at or past it dispatches.  The probe sees the world
+   quiescent at the window boundary and schedules nothing, so arming it
+   perturbs neither [events_processed] nor the wheel — telemetry-on runs
+   stay byte-identical to telemetry-off ones.  Out of line: the hot-path
+   cost when disarmed is the single [probe_at] compare in [dispatch]
+   ([max_int] never fires — [check_clock] keeps event times below it). *)
+let probe_catchup t time =
+  while time >= t.probe_at do
+    let at = t.probe_at in
+    t.probe_at <- max_int;
+    t.now <- at;
+    t.probe at  (* re-arms via [set_probe], or leaves the probe cleared *)
+  done
 
 (* The cell is read fully before the handler runs, so a handler that
    schedules (or even recursively runs the loop) cannot clobber the event
    being dispatched. *)
 let[@inline] dispatch t =
   let cell = t.cell in
+  if cell.Wheel.time >= t.probe_at then probe_catchup t cell.Wheel.time;
   t.now <- cell.Wheel.time;
   t.processed <- t.processed + 1;
   let h = cell.Wheel.h in

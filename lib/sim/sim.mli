@@ -53,11 +53,32 @@ val schedule_typed :
     handler [h] with the three ints and the payload.  Allocation-free —
     the event is five words in a bucket, not a closure. *)
 
+val overflow_depth : t -> int
+(** Events currently parked beyond the wheel window (see
+    {!Wheel.overflow_depth}).  A telemetry gauge. *)
+
 val seq_consumed : t -> int
 (** Packed-clock slots consumed so far (overflow-heap insertions; see the
     2^31 budget note in the implementation).  Near zero in practice —
     exposed so tests can pin that million-op runs stay inside the
     budget. *)
+
+val set_probe : t -> at:int -> (int -> unit) -> unit
+(** Arm the observation probe: [f at] runs at virtual time [at], just
+    before the first event at or past [at] dispatches (and with [now]
+    advanced to [at]).  There is one probe; arming replaces the previous
+    one, and the callback must re-arm itself (at a strictly later time)
+    to recur.  The probe is for {e observation at window boundaries} —
+    telemetry scrapes — and must not schedule events: it lives outside
+    the event queue precisely so arming it changes neither
+    {!events_processed} nor any event ordering, keeping instrumented
+    runs byte-identical to bare ones.  Disarmed cost is one integer
+    compare per event.  Raises [Invalid_argument] if [at] is in the
+    past.  Note the probe only fires when some event reaches [at] — on
+    quiescence a final partial window must be flushed by the owner. *)
+
+val clear_probe : t -> unit
+(** Disarm the probe. *)
 
 exception Budget_exhausted
 

@@ -11,13 +11,14 @@ type counter = int ref
    error on percentiles), values below 16 bucketed exactly.  Observation
    is branch + shift + two array ops — cheap enough for hot paths, and
    unlike the count/sum/min/max summary it keeps the whole latency
-   distribution (p50/p90/p99 instead of a lossy mean). *)
+   distribution (p50/p90/p99 instead of a lossy mean).
 
-let sub_bits = 4
-let linear = 1 lsl sub_bits
+   The bucketing scheme itself lives in [Dbtree_obs.Logbucket] so the
+   telemetry plane's window sketches index the same bucket space. *)
 
-(* Highest index: msb 61 (OCaml 63-bit ints) -> (61-4+1)*16 + 15 = 943. *)
-let num_buckets = 944
+module Logbucket = Dbtree_obs.Logbucket
+
+let num_buckets = Logbucket.num_buckets
 
 type hist = {
   mutable h_count : int;
@@ -27,23 +28,8 @@ type hist = {
   buckets : int array;
 }
 
-let msb v =
-  let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
-  go v 0
-
-let bucket_index v =
-  if v < linear then v
-  else
-    let m = msb v in
-    ((m - sub_bits + 1) lsl sub_bits)
-    + ((v lsr (m - sub_bits)) land (linear - 1))
-
-let bucket_lower idx =
-  if idx < linear then idx
-  else
-    let m = (idx lsr sub_bits) + sub_bits - 1 in
-    let sub = idx land (linear - 1) in
-    (linear + sub) lsl (m - sub_bits)
+let bucket_index = Logbucket.index
+let bucket_lower = Logbucket.lower
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
@@ -178,6 +164,10 @@ let sorted_bindings tbl =
 let counters t =
   sorted_bindings t.counters
   |> List.filter_map (fun (k, r) -> if !r <> 0 then Some (k, !r) else None)
+
+(* Live handles, still-zero ones included — telemetry registers these
+   once and reads the refs directly on every scrape. *)
+let counter_handles t = sorted_bindings t.counters
 
 let hists t =
   sorted_bindings t.hists |> List.filter (fun (_, h) -> h.h_count > 0)

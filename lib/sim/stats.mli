@@ -87,7 +87,15 @@ val hist_max : hist -> int
 val hist_percentile : hist -> float -> int
 (** [hist_percentile h p] for [p] in [\[0, 100\]]: nearest-rank
     percentile over bucket lower bounds, clamped to the exact
-    [\[min, max\]].  0 when empty. *)
+    [\[min, max\]].  0 when empty.
+
+    Two percentile definitions coexist in this repo.  This bucketed one
+    (≤ 6.25% relative error) is what BENCH.json's [latency] section and
+    the telemetry sketches report; experiment latency columns (e.g.
+    E17's [search_p99]) use [Opstate.latency_percentile], the exact
+    nearest-rank over per-op samples.  A qcheck property in
+    [test/test_telemetry.ml] pins their divergence to at most one
+    log-bucket. *)
 
 val hists : t -> (string * hist) list
 (** All non-empty histograms, sorted by name. *)
@@ -101,6 +109,12 @@ val sorted_bindings : ('k, 'v) Hashtbl.t -> ('k * 'v) list
 
 val counters : t -> (string * int) list
 (** All nonzero counters, sorted by name. *)
+
+val counter_handles : t -> (string * counter) list
+(** Every interned counter handle (still-zero ones included), sorted by
+    name.  For telemetry registration: the scrape path reads the refs
+    directly, so handles interned after registration need another
+    registration pass by the owner. *)
 
 val summaries : t -> (string * summary) list
 (** Direct summaries plus one synthesized from each non-empty {!hist}

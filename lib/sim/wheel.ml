@@ -120,6 +120,7 @@ let create () =
 let length t = t.ring_count + t.osize
 let is_empty t = t.ring_count = 0 && t.osize = 0
 let overflow_seq t = t.oseq
+let overflow_depth t = t.osize
 
 (* ---- times heap (int keys, all distinct) ---- *)
 

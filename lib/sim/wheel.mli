@@ -41,6 +41,10 @@ val overflow_seq : t -> int
     clock.  Stays near zero in practice; {!Sim} guards it against the
     [Evq.max_seq] budget. *)
 
+val overflow_depth : t -> int
+(** Events currently parked in the overflow heap (scheduled beyond the
+    ring window).  A telemetry gauge; near zero in healthy runs. *)
+
 val schedule : t -> time:int -> (unit -> unit) -> unit
 (** Closure event at absolute [time].  [time] must be >= the last popped
     time and < [Evq.max_time - 1]; {!Sim} enforces both. *)

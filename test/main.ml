@@ -16,6 +16,7 @@ let () =
       ("regressions", Test_regressions.suite);
       ("recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("scale", Test_scale.suite);
       ("lint", Test_lint.suite);
       ("flow", Test_flow.suite);

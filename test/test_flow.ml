@@ -202,6 +202,31 @@ let test_counter_clean () =
        \  let c_ops = Stats.counter st \"ops\" in\n\
        \  Stats.tick c_ops\n")
 
+let test_series_cell_unused () =
+  check_fires "counter-lifecycle" ~sub:"series cell"
+    (kern "let make reg = let touches = Series.cell reg \"heat\" in 0\n")
+
+let test_series_duplicate_gauge () =
+  check_fires "counter-lifecycle" ~sub:"registered more than once"
+    (kern
+       "let wire reg st =\n\
+       \  Series.gauge reg \"depth\" (fun () -> 1);\n\
+       \  Series.counter reg \"depth\" st\n")
+
+(* Stats and Series are separate registries: one name in both is not a
+   collision, and computed Series names register nothing to collide. *)
+let test_series_registries_distinct () =
+  check_clean "counter-lifecycle"
+    (kern
+       "let wire reg st pids =\n\
+       \  let c_retx = Stats.counter st \"retx\" in\n\
+       \  Stats.tick c_retx;\n\
+       \  Series.counter reg \"retx\" c_retx;\n\
+       \  List.iter\n\
+       \    (fun p -> Series.gauge reg (Fmt.str \"net.inbox.p%d\" p)\n\
+       \      (fun () -> p))\n\
+       \    pids\n")
+
 (* ---------------------------------------------------------------- *)
 (* span-pairing *)
 
@@ -367,6 +392,12 @@ let suite =
     Alcotest.test_case "counter: duplicate fires" `Quick
       test_counter_duplicate;
     Alcotest.test_case "counter: clean" `Quick test_counter_clean;
+    Alcotest.test_case "counter: series cell unused fires" `Quick
+      test_series_cell_unused;
+    Alcotest.test_case "counter: duplicate gauge fires" `Quick
+      test_series_duplicate_gauge;
+    Alcotest.test_case "counter: registries distinct" `Quick
+      test_series_registries_distinct;
     Alcotest.test_case "span: unbalanced fires" `Quick test_span_unbalanced;
     Alcotest.test_case "span: paired clean" `Quick test_span_paired_clean;
     Alcotest.test_case "suppress: dbflow marker" `Quick test_suppress_dbflow;

@@ -1,0 +1,444 @@
+(* The live telemetry plane: series registries, windowed sketches,
+   critical-path attribution, SLO health rules, and the cluster glue.
+
+   The load-bearing gates live here:
+   - the bucketed percentile (Stats.hist / Sketch) diverges from the
+     exact nearest-rank percentile by at most one log-bucket (qcheck);
+   - an instrumented run executes exactly the events of a bare run
+     (zero drift — the overhead claim);
+   - every SLO rule stays silent on a clean run, and a drop-heavy
+     reliable channel trips retx_storm;
+   - the critical-path stall share orders sync > semi > mobile;
+   - the hot-path hooks and the scrape path allocate nothing;
+   - forced telemetry under Par.map registers every registry and is
+     deterministic across identical parallel runs. *)
+
+open Dbtree_obs
+module Stats = Dbtree_sim.Stats
+module Par = Dbtree_sim.Par
+module Config = Dbtree_core.Config
+module Cluster = Dbtree_core.Cluster
+module Opstate = Dbtree_core.Opstate
+module Telemetry = Dbtree_core.Telemetry
+module Common = Dbtree_experiments.Common
+
+(* ---------------- percentile divergence (satellite property) ------- *)
+
+(* Both percentile implementations pick the nearest-rank sample; the
+   bucketed one returns its bucket's lower bound.  Rank rounding can
+   move the chosen sample by one, so the bound is one log-bucket. *)
+let percentile_divergence =
+  QCheck.Test.make ~name:"bucketed p99 within one log-bucket of exact"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 100_000))
+    (fun lats ->
+      QCheck.assume (lats <> []);
+      let ops = Opstate.create () in
+      let stats = Stats.create () in
+      let h = Stats.hist stats "lat" in
+      List.iter
+        (fun lat ->
+          let r =
+            Opstate.register ops ~kind:Opstate.Search ~key:0 ~value:None
+              ~origin:0 ~now:0
+          in
+          Opstate.complete ops ~op:r.Opstate.id
+            ~result:Dbtree_core.Msg.Absent ~now:lat;
+          Stats.hist_observe h lat)
+        lats;
+      List.for_all
+        (fun p ->
+          let exact =
+            int_of_float
+              (Opstate.latency_percentile ops Opstate.Search (p /. 100.0))
+          in
+          let bucketed = Stats.hist_percentile h p in
+          abs (Logbucket.index exact - Logbucket.index bucketed) <= 1)
+        [ 50.0; 90.0; 99.0 ])
+
+(* ---------------- sketch ------------------------------------------- *)
+
+let test_sketch_window () =
+  let sk = Sketch.create ~slices:4 ~slice_width:100 () in
+  for i = 1 to 100 do
+    Sketch.observe sk ~now:(i * 2) i
+  done;
+  let p50 = Sketch.percentile sk ~now:200 50.0 in
+  Alcotest.(check bool)
+    "p50 near 50" true
+    (p50 >= 40 && p50 <= 60);
+  (* everything observed before now - slices*width has expired *)
+  Sketch.observe sk ~now:10_000 7;
+  Alcotest.(check int) "old slices expired" 7
+    (Sketch.percentile sk ~now:10_000 99.0)
+
+let test_sketch_merge () =
+  let a = Sketch.create ~slices:4 ~slice_width:100 () in
+  let b = Sketch.create ~slices:4 ~slice_width:100 () in
+  for i = 1 to 50 do
+    Sketch.observe a ~now:10 i;
+    Sketch.observe b ~now:10 (1000 + i)
+  done;
+  Sketch.merge_into ~dst:a ~now:10 b;
+  let p99 = Sketch.percentile a ~now:10 99.0 in
+  Alcotest.(check bool) "merged tail visible" true (p99 >= 1000);
+  Alcotest.(check_raises) "geometry mismatch rejected"
+    (Invalid_argument "Sketch.merge_into: geometry mismatch")
+    (fun () ->
+      Sketch.merge_into ~dst:a ~now:10
+        (Sketch.create ~slices:2 ~slice_width:100 ()))
+
+(* ---------------- series ------------------------------------------- *)
+
+let test_series_sources () =
+  let s = Series.create ~every:10 ~capacity:4 ~label:"t" () in
+  let g = ref 5 in
+  Series.gauge s "g" (fun () -> !g);
+  let c = Series.cell s "c" in
+  let ctr = ref 0 in
+  Series.counter s "k" ctr;
+  Series.scrape s ~now:10;
+  g := 7;
+  c := 3;
+  ctr := 11;
+  Series.scrape s ~now:20;
+  Alcotest.(check (list (pair int int)))
+    "gauge points" [ (10, 5); (20, 7) ] (Series.points s "g");
+  Alcotest.(check (list (pair int int)))
+    "cell points" [ (10, 0); (20, 3) ] (Series.points s "c");
+  Alcotest.(check (option (pair int int)))
+    "counter last" (Some (20, 11)) (Series.last s "k");
+  (* ring keeps only the newest [capacity] points *)
+  List.iter (fun now -> Series.scrape s ~now) [ 30; 40; 50 ];
+  Alcotest.(check int) "ring bounded" 4 (List.length (Series.points s "g"))
+
+let test_series_disabled () =
+  let s = Series.disabled in
+  Series.gauge s "g" (fun () -> 1);
+  let c = Series.cell s "c" in
+  incr c;
+  Series.scrape s ~now:10;
+  Alcotest.(check (list string)) "no registrations" [] (Series.names s);
+  Alcotest.(check int) "no scrapes" 0 (Series.scrape_count s)
+
+(* ---------------- critical-path fixtures --------------------------- *)
+
+let emit o ~time ~op ~kind ~a ~b =
+  ignore (Obs.emit o ~time ~pid:0 ~op ~parent:(-1) ~kind ~a ~b)
+
+(* A hand-built span touching every phase:
+     issue@0 send@0 ..net.. recv@20 ..proc.. aas@25 ..aas.. relay@40
+     ..proc.. park@45 ..parked.. unpark@60 send@60 ..net.. complete@80
+   net = 20 + 20, proc = 5 + 5, aas = 15, parked = 15; total 80. *)
+let test_critical_fixture () =
+  let o = Obs.create ~enabled:true ~capacity:64 ~label:"fix" () in
+  emit o ~time:0 ~op:1 ~kind:Event.Op_issue ~a:Event.op_search ~b:0;
+  emit o ~time:0 ~op:1 ~kind:Event.Msg_send ~a:1 ~b:0;
+  emit o ~time:20 ~op:1 ~kind:Event.Msg_recv ~a:1 ~b:0;
+  emit o ~time:25 ~op:1 ~kind:Event.Aas_block ~a:3 ~b:0;
+  emit o ~time:40 ~op:1 ~kind:Event.Relay ~a:3 ~b:0;
+  emit o ~time:45 ~op:1 ~kind:Event.Park ~a:3 ~b:0;
+  emit o ~time:60 ~op:1 ~kind:Event.Unpark ~a:3 ~b:0;
+  emit o ~time:60 ~op:1 ~kind:Event.Msg_send ~a:0 ~b:0;
+  emit o ~time:80 ~op:1 ~kind:Event.Op_complete ~a:Event.op_search ~b:80;
+  match Critical.per_op o with
+  | [ (1, p) ] ->
+    Alcotest.(check int) "net" 40 p.Critical.p_net;
+    Alcotest.(check int) "aas" 15 p.Critical.p_aas;
+    Alcotest.(check int) "parked" 15 p.Critical.p_parked;
+    Alcotest.(check int) "retx" 0 p.Critical.p_retx;
+    (* the unpark->send gap is 0; proc is the two 5-tick gaps *)
+    Alcotest.(check int) "proc" 10 p.Critical.p_proc;
+    Alcotest.(check int) "total = latency" 80 (Critical.total p);
+    Alcotest.(check int) "stall = aas + parked" 30 (Critical.stall p)
+  | l -> Alcotest.failf "expected one complete span, got %d" (List.length l)
+
+let test_critical_excludes_late_events () =
+  let o = Obs.create ~enabled:true ~capacity:64 ~label:"late" () in
+  emit o ~time:0 ~op:1 ~kind:Event.Op_issue ~a:0 ~b:0;
+  emit o ~time:0 ~op:1 ~kind:Event.Msg_send ~a:1 ~b:0;
+  emit o ~time:30 ~op:1 ~kind:Event.Op_complete ~a:0 ~b:30;
+  (* a relay delivery carrying the op's lineage, after completion *)
+  emit o ~time:500 ~op:1 ~kind:Event.Relay ~a:9 ~b:0;
+  (match Critical.per_op o with
+  | [ (1, p) ] ->
+    Alcotest.(check int) "only the span window charged" 30 (Critical.total p)
+  | _ -> Alcotest.fail "span lost");
+  (* missing completion -> no attribution *)
+  let o2 = Obs.create ~enabled:true ~capacity:64 ~label:"open" () in
+  emit o2 ~time:0 ~op:7 ~kind:Event.Op_issue ~a:0 ~b:0;
+  emit o2 ~time:5 ~op:7 ~kind:Event.Msg_send ~a:1 ~b:0;
+  Alcotest.(check int) "incomplete spans skipped" 0
+    (List.length (Critical.per_op o2))
+
+(* ---------------- query stall detection on wrapped rings ----------- *)
+
+let test_stalled_on_wrapped_ring () =
+  (* capacity 8: the first op's early events are overwritten *)
+  let o = Obs.create ~enabled:true ~capacity:8 ~label:"wrap" () in
+  emit o ~time:0 ~op:1 ~kind:Event.Op_issue ~a:0 ~b:0;
+  emit o ~time:1 ~op:1 ~kind:Event.Msg_send ~a:1 ~b:0;
+  (* a second op generates enough traffic to wrap the ring: 10 events
+     total, so op 1 is evicted entirely while op 2's issue survives *)
+  emit o ~time:100 ~op:2 ~kind:Event.Op_issue ~a:0 ~b:0;
+  for i = 1 to 7 do
+    emit o ~time:(100 + i) ~op:2 ~kind:Event.Msg_send ~a:1 ~b:i
+  done;
+  Alcotest.(check bool) "ring wrapped" true (Obs.dropped o > 0);
+  (* op 1's issue was evicted: it cannot be reported stalled (its span
+     has no issue event left); op 2 is issued, uncompleted and idle *)
+  let stalled = Query.stalled o ~now:1000 ~idle:500 in
+  Alcotest.(check (list int))
+    "wrapped ring reports the op whose issue survived" [ 2 ]
+    (List.map (fun s -> s.Query.op) stalled);
+  (* an op completing after the wrap is never stalled *)
+  emit o ~time:120 ~op:2 ~kind:Event.Op_complete ~a:0 ~b:20;
+  Alcotest.(check int) "completed op not stalled" 0
+    (List.length (Query.stalled o ~now:1000 ~idle:500))
+
+(* ---------------- health rules ------------------------------------- *)
+
+let test_health_rules () =
+  let o = Obs.create ~enabled:true ~capacity:64 ~label:"h" () in
+  let h = Health.create ~obs:o () in
+  let level = ref 0 in
+  Health.add_rule h ~name:"hi" ~severity:Health.Crit
+    ~signal:(fun () -> !level)
+    ~threshold:10 ();
+  Health.add_rule h ~name:"lo" ~cmp:Health.Below
+    ~signal:(fun () -> !level)
+    ~threshold:(-5) ();
+  Health.evaluate h ~now:0;
+  level := 25;
+  Health.evaluate h ~now:100;
+  level := 40;
+  Health.evaluate h ~now:200;
+  level := 0;
+  Health.evaluate h ~now:300;
+  Health.finish h ~now:400;
+  (match Health.alerts h with
+  | [ al ] ->
+    Alcotest.(check string) "rule" "hi" al.Health.al_rule;
+    Alcotest.(check int) "opened" 100 al.Health.al_from;
+    Alcotest.(check int) "closed" 300 al.Health.al_until;
+    Alcotest.(check int) "peak tracked" 40 al.Health.al_peak
+  | l -> Alcotest.failf "expected one alert, got %d" (List.length l));
+  let raises, clears =
+    List.fold_left
+      (fun (r, c) (e : Obs.event) ->
+        match e.Obs.kind with
+        | Event.Alert_raise -> (r + 1, c)
+        | Event.Alert_clear -> (r, c + 1)
+        | _ -> (r, c))
+      (0, 0) (Obs.events o)
+  in
+  Alcotest.(check (pair int int)) "raise/clear paired" (1, 1) (raises, clears);
+  (match Health.summary h with
+  | [ hi; lo ] ->
+    Alcotest.(check int) "fired once" 1 hi.Health.su_fired;
+    Alcotest.(check int) "active 200 ticks" 200 hi.Health.su_active_ticks;
+    Alcotest.(check int) "below rule silent" 0 lo.Health.su_fired
+  | _ -> Alcotest.fail "two rules expected");
+  Alcotest.(check_raises) "duplicate rule name"
+    (Invalid_argument "Health: duplicate rule \"hi\"") (fun () ->
+      Health.add_rule h ~name:"hi" ~signal:(fun () -> 0) ~threshold:0 ())
+
+(* ---------------- cluster gates ------------------------------------ *)
+
+let semi_config ?(telemetry = false) ?faults ?transport ~seed () =
+  Config.make ~procs:4 ~capacity:8 ~seed ~key_space:100_000
+    ~discipline:Config.Semi ?faults ?transport ~telemetry
+    ~telemetry_every:256 ()
+
+(* The overhead gate: scrapes ride the probe and schedule nothing, so
+   the instrumented run must execute the exact same events. *)
+let test_zero_event_drift () =
+  let events r =
+    Dbtree_sim.Sim.events_processed r.Common.cluster.Cluster.sim
+  in
+  let off = Common.run_fixed ~count:200 (semi_config ~seed:3 ()) in
+  let on = Common.run_fixed ~count:200 (semi_config ~telemetry:true ~seed:3 ()) in
+  Alcotest.(check int) "identical event count" (events off) (events on);
+  Alcotest.(check int) "identical elapsed" off.Common.elapsed on.Common.elapsed;
+  Alcotest.(check bool) "plane was live" true
+    (Series.scrape_count (Telemetry.series (Cluster.telemetry on.Common.cluster))
+    > 0)
+
+let fired_of r name =
+  let health = Telemetry.health (Cluster.telemetry r.Common.cluster) in
+  List.fold_left
+    (fun acc (s : Health.summary_row) ->
+      if s.Health.su_rule = name then s.Health.su_fired else acc)
+    0 (Health.summary health)
+
+let test_alerts_silent_on_clean_run () =
+  let r =
+    Common.run_fixed ~count:200
+      (semi_config ~telemetry:true ~transport:Dbtree_sim.Net.Reliable ~seed:5 ())
+  in
+  let health = Telemetry.health (Cluster.telemetry r.Common.cluster) in
+  List.iter
+    (fun (s : Health.summary_row) ->
+      Alcotest.(check int) (s.Health.su_rule ^ " silent") 0 s.Health.su_fired)
+    (Health.summary health)
+
+let test_retx_storm_fires () =
+  let faults =
+    { Dbtree_sim.Net.no_faults with Dbtree_sim.Net.drop_prob = 0.3 }
+  in
+  let cfg =
+    Config.make ~procs:8 ~capacity:8 ~seed:23 ~key_space:200_000
+      ~discipline:Config.Semi ~transport:Dbtree_sim.Net.Reliable ~faults
+      ~telemetry:true ~telemetry_every:256 ()
+  in
+  let r = Common.run_fixed ~window:32 ~count:100 cfg in
+  Alcotest.(check bool) "retx_storm fired" true (fired_of r "retx_storm" > 0)
+
+let test_stall_ordering () =
+  let shares = Dbtree_experiments.E19_telemetry.metrics ~quick:true () in
+  let get k = List.assoc (k ^ ".stall_pct") shares in
+  let sync = get "sync" and semi = get "semi" and mobile = get "mobile" in
+  Alcotest.(check bool)
+    (Fmt.str "sync (%.2f) > semi (%.2f) > mobile (%.2f)" sync semi mobile)
+    true
+    (sync > semi && semi > mobile)
+
+(* ---------------- allocation-free hot and scrape paths ------------- *)
+
+let alloc_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_disabled_hooks_alloc_free () =
+  let tm = Telemetry.disabled in
+  (* warm up any one-time allocation *)
+  Telemetry.touch tm ~node:1;
+  let words =
+    alloc_of (fun () ->
+        for i = 0 to 9_999 do
+          Telemetry.touch tm ~node:(i land 63);
+          Telemetry.observe_latency tm ~kind:0 ~now:i 5;
+          Telemetry.aas_begin tm;
+          Telemetry.aas_end tm;
+          Telemetry.scrape tm ~now:i
+        done)
+  in
+  Alcotest.(check (float 0.0)) "disabled hooks allocate nothing" 0.0 words
+
+let test_scrape_path_alloc_free () =
+  let tm = Telemetry.create ~every:64 ~label:"alloc" () in
+  let g = ref 0 in
+  Series.gauge (Telemetry.series tm) "g" (fun () -> !g);
+  (* warm up: first touches may grow the heat arena *)
+  for n = 0 to 63 do
+    Telemetry.touch tm ~node:n
+  done;
+  Telemetry.scrape tm ~now:0;
+  let words =
+    alloc_of (fun () ->
+        for i = 1 to 9_999 do
+          Telemetry.touch tm ~node:(i land 63);
+          Telemetry.observe_latency tm ~kind:(i land 3) ~now:i 7;
+          if i land 63 = 0 then Telemetry.scrape tm ~now:i
+        done)
+  in
+  Alcotest.(check (float 0.0)) "steady-state plane allocates nothing" 0.0
+    words
+
+(* ---------------- forced telemetry under Par ----------------------- *)
+
+(* Mirror of the forced-tracing registry regression: forcing the plane
+   and building clusters from four domains must register every registry
+   exactly once, and two identical parallel runs must agree on the
+   stable view (sorted labels, scrape counts, series values). *)
+let test_forced_registry_under_par () =
+  let run () =
+    Series.clear_registered ();
+    Series.force_enable ~every:128 ();
+    Fun.protect ~finally:Series.force_disable (fun () ->
+        let rs =
+          Par.map ~domains:4
+            (fun seed ->
+              Common.run_fixed ~count:60 (semi_config ~seed ()))
+            (Array.init 6 (fun i -> i + 1))
+        in
+        Array.iter
+          (fun r ->
+            let tm = Cluster.telemetry r.Common.cluster in
+            Alcotest.(check bool) "forced plane live" true (Telemetry.on tm);
+            Alcotest.(check int) "forced cadence" 128 (Telemetry.every tm))
+          rs;
+        let regs = Series.registered () in
+        Alcotest.(check int) "all registries recorded" 6 (List.length regs);
+        List.sort compare
+          (List.map
+             (fun s -> (Series.label s, Series.scrape_count s))
+             regs))
+  in
+  let view = run () in
+  Alcotest.(check bool) "scrapes happened" true
+    (List.for_all (fun (_, n) -> n > 0) view);
+  Alcotest.(check (list (pair string int)))
+    "identical parallel runs agree" view (run ());
+  Alcotest.(check bool) "force_disable took" false (Series.forced ());
+  Series.clear_registered ()
+
+(* Forced plane reaches the LHT too (it has no per-config flag). *)
+let test_forced_lht_heat () =
+  Series.clear_registered ();
+  Series.force_enable ~every:128 ();
+  Fun.protect ~finally:Series.force_disable (fun () ->
+      let t = Dbtree_lht.Lht.create Dbtree_lht.Lht.default_config in
+      for i = 1 to 200 do
+        ignore (Dbtree_lht.Lht.insert t ~origin:(i mod 4) (i * 7919) "v")
+      done;
+      Dbtree_lht.Lht.run t;
+      Alcotest.(check bool) "bucket heat recorded" true
+        (Dbtree_lht.Lht.heat_total t > 0);
+      let id, hits = Dbtree_lht.Lht.hottest_bucket t in
+      Alcotest.(check bool) "hottest bucket sane" true (id >= 0 && hits > 0);
+      let series = Dbtree_lht.Lht.telemetry t in
+      Alcotest.(check bool) "lht series scraped" true
+        (Series.scrape_count series > 0));
+  Series.clear_registered ()
+
+let test_config_validation () =
+  match
+    Config.validate
+      { (semi_config ~telemetry:true ~seed:1 ()) with Config.telemetry_every = 0 }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "telemetry_every = 0 accepted"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest percentile_divergence;
+    Alcotest.test_case "sketch: sliding window" `Quick test_sketch_window;
+    Alcotest.test_case "sketch: merge" `Quick test_sketch_merge;
+    Alcotest.test_case "series: sources and rings" `Quick test_series_sources;
+    Alcotest.test_case "series: disabled guard" `Quick test_series_disabled;
+    Alcotest.test_case "critical: phase fixture" `Quick test_critical_fixture;
+    Alcotest.test_case "critical: late events excluded" `Quick
+      test_critical_excludes_late_events;
+    Alcotest.test_case "query: stalled on wrapped ring" `Quick
+      test_stalled_on_wrapped_ring;
+    Alcotest.test_case "health: rule lifecycle" `Quick test_health_rules;
+    Alcotest.test_case "cluster: zero event drift" `Quick
+      test_zero_event_drift;
+    Alcotest.test_case "cluster: alerts silent when clean" `Quick
+      test_alerts_silent_on_clean_run;
+    Alcotest.test_case "cluster: retx storm fires" `Quick
+      test_retx_storm_fires;
+    Alcotest.test_case "cluster: stall ordering sync>semi>mobile" `Slow
+      test_stall_ordering;
+    Alcotest.test_case "alloc: disabled hooks" `Quick
+      test_disabled_hooks_alloc_free;
+    Alcotest.test_case "alloc: scrape path" `Quick
+      test_scrape_path_alloc_free;
+    Alcotest.test_case "forced registry under Par" `Quick
+      test_forced_registry_under_par;
+    Alcotest.test_case "forced plane reaches LHT" `Quick test_forced_lht_heat;
+    Alcotest.test_case "config: telemetry_every validated" `Quick
+      test_config_validation;
+  ]

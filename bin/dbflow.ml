@@ -12,71 +12,23 @@
 open Dbtree_lint
 open Dbtree_flow
 
-let usage =
-  "dbflow [--format text|json|sarif] [--rules NAMES] [--list-rules] [PATH...]"
-
 let () =
-  let format = ref `Text in
-  let selected = ref None in
-  let list_rules = ref false in
-  let paths = ref [] in
-  let set_format = function
-    | "text" -> format := `Text
-    | "json" -> format := `Json
-    | "sarif" -> format := `Sarif
-    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json|sarif)" f))
-  in
-  let set_rules names =
-    selected :=
-      Some
-        (String.split_on_char ',' names
-        |> List.map (fun name ->
-               match Flow.find_rule (String.trim name) with
-               | Some r -> r
-               | None -> raise (Arg.Bad (Fmt.str "unknown rule %S" name))))
-  in
-  let spec =
-    [
-      ( "--format",
-        Arg.String set_format,
-        "FMT Report format: text (default), json or sarif" );
-      ("--rules", Arg.String set_rules, "NAMES Comma-separated subset of rules to run");
-      ("--list-rules", Arg.Set list_rules, " List the registered rules and exit");
-    ]
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  if !list_rules then begin
-    List.iter
-      (fun (r : Flow.rule) -> Fmt.pr "%-20s %s@." r.Flow.name r.Flow.doc)
-      Flow.all_rules;
-    exit 0
-  end;
-  let paths = match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps in
-  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
-  | Some p ->
-    Fmt.epr "dbflow: no such file or directory: %s@." p;
-    exit 2
-  | None -> ());
-  let rules = Option.value !selected ~default:Flow.all_rules in
-  let prog, errors = Program.load paths in
-  List.iter
-    (fun (file, err) -> Fmt.epr "dbflow: cannot parse %s: %s@." file err)
-    errors;
-  let report = Flow.analyze ~rules prog in
-  (match !format with
-  | `Text ->
-    List.iter (Lint.pp_text Fmt.stdout) report.Flow.violations;
-    Fmt.epr "dbflow: %d file(s), %d violation(s), %d suppressed@."
-      report.Flow.files
-      (List.length report.Flow.violations)
-      report.Flow.suppressed
-  | `Json ->
-    Lint.pp_json Fmt.stdout ~files:report.Flow.files
-      ~suppressed:report.Flow.suppressed report.Flow.violations
-  | `Sarif ->
-    Sarif.pp Fmt.stdout ~tool:"dbflow"
-      ~rules:(List.map (fun (r : Flow.rule) -> (r.Flow.name, r.Flow.doc)) Flow.all_rules)
-      report.Flow.violations);
-  if errors <> [] then exit 2
-  else if report.Flow.violations <> [] then exit 1
-  else exit 0
+  Cli.run ~tool:"dbflow"
+    ~registry:(List.map (fun (r : Flow.rule) -> (r.Flow.name, r.Flow.doc)) Flow.all_rules)
+    ~analyze:(fun ~selected ~paths ->
+      let rules =
+        match selected with
+        | None -> Flow.all_rules
+        | Some names ->
+          List.filter (fun (r : Flow.rule) -> List.mem r.Flow.name names)
+            Flow.all_rules
+      in
+      let prog, errors = Program.load paths in
+      let report = Flow.analyze ~rules prog in
+      {
+        Cli.o_violations = report.Flow.violations;
+        o_suppressed = report.Flow.suppressed;
+        o_files = report.Flow.files;
+        o_errors = errors;
+      })
+    ()

@@ -11,77 +11,32 @@
 
 open Dbtree_lint
 
-let usage =
-  "dblint [--format text|json|sarif] [--rules NAMES] [--list-rules] [PATH...]"
-
 let () =
-  let format = ref `Text in
-  let selected = ref None in
-  let list_rules = ref false in
-  let paths = ref [] in
-  let set_format = function
-    | "text" -> format := `Text
-    | "json" -> format := `Json
-    | "sarif" -> format := `Sarif
-    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json|sarif)" f))
-  in
-  let set_rules names =
-    selected :=
-      Some
-        (String.split_on_char ',' names
-        |> List.map (fun name ->
-               match Lint.find_rule (String.trim name) with
-               | Some r -> r
-               | None -> raise (Arg.Bad (Fmt.str "unknown rule %S" name))))
-  in
-  let spec =
-    [
-      ( "--format",
-        Arg.String set_format,
-        "FMT Report format: text (default), json or sarif" );
-      ("--rules", Arg.String set_rules, "NAMES Comma-separated subset of rules to run");
-      ("--list-rules", Arg.Set list_rules, " List the registered rules and exit");
-    ]
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  if !list_rules then begin
-    List.iter
-      (fun r -> Fmt.pr "%-20s %s@." r.Rule.name r.Rule.doc)
-      Lint.all_rules;
-    exit 0
-  end;
-  let paths = match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps in
-  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
-  | Some p ->
-    Fmt.epr "dblint: no such file or directory: %s@." p;
-    exit 2
-  | None -> ());
-  let rules = Option.value !selected ~default:Lint.all_rules in
-  let files = Lint.collect_files paths in
-  let errors = ref 0 in
-  let results =
-    List.map
-      (fun file ->
-        try Lint.lint_file ~rules file
-        with exn ->
-          incr errors;
-          Fmt.epr "dblint: cannot parse %s: %a@." file Fmt.exn exn;
-          { Lint.violations = []; suppressed = 0 })
-      files
-  in
-  let violations = List.concat_map (fun r -> r.Lint.violations) results in
-  let suppressed =
-    List.fold_left (fun acc r -> acc + r.Lint.suppressed) 0 results
-  in
-  (match !format with
-  | `Text ->
-    List.iter (Lint.pp_text Fmt.stdout) violations;
-    Fmt.epr "dblint: %d file(s), %d violation(s), %d suppressed@."
-      (List.length files) (List.length violations) suppressed
-  | `Json ->
-    Lint.pp_json Fmt.stdout ~files:(List.length files) ~suppressed violations
-  | `Sarif ->
-    Sarif.pp Fmt.stdout ~tool:"dblint"
-      ~rules:(List.map (fun r -> (r.Rule.name, r.Rule.doc)) Lint.all_rules)
-      violations);
-  if !errors > 0 then exit 2 else if violations <> [] then exit 1 else exit 0
+  Cli.run ~tool:"dblint"
+    ~registry:(List.map (fun r -> (r.Rule.name, r.Rule.doc)) Lint.all_rules)
+    ~analyze:(fun ~selected ~paths ->
+      let rules =
+        match selected with
+        | None -> Lint.all_rules
+        | Some names ->
+          List.filter (fun r -> List.mem r.Rule.name names) Lint.all_rules
+      in
+      let files = Lint.collect_files paths in
+      let errors = ref [] in
+      let results =
+        List.map
+          (fun file ->
+            try Lint.lint_file ~rules file
+            with exn ->
+              errors := (file, Printexc.to_string exn) :: !errors;
+              { Lint.violations = []; suppressed = 0 })
+          files
+      in
+      {
+        Cli.o_violations = List.concat_map (fun r -> r.Lint.violations) results;
+        o_suppressed =
+          List.fold_left (fun acc r -> acc + r.Lint.suppressed) 0 results;
+        o_files = List.length files;
+        o_errors = List.rev !errors;
+      })
+    ()

@@ -15,80 +15,40 @@
 open Dbtree_lint
 open Dbtree_flow
 
-let usage =
-  "dbrace [--format text|json|sarif] [--rules NAMES] [--list-rules] \
-   [--inventory] [PATH...]"
-
 let () =
-  let format = ref `Text in
-  let selected = ref None in
-  let list_rules = ref false in
   let show_inventory = ref false in
-  let paths = ref [] in
-  let set_format = function
-    | "text" -> format := `Text
-    | "json" -> format := `Json
-    | "sarif" -> format := `Sarif
-    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json|sarif)" f))
-  in
-  let set_rules names =
-    selected :=
-      Some
-        (String.split_on_char ',' names
-        |> List.map (fun name ->
-               match Race.find_rule (String.trim name) with
-               | Some r -> r
-               | None -> raise (Arg.Bad (Fmt.str "unknown rule %S" name))))
-  in
-  let spec =
-    [
-      ( "--format",
-        Arg.String set_format,
-        "FMT Report format: text (default), json or sarif" );
-      ("--rules", Arg.String set_rules, "NAMES Comma-separated subset of rules to run");
-      ("--list-rules", Arg.Set list_rules, " List the registered rules and exit");
-      ( "--inventory",
-        Arg.Set show_inventory,
-        " Print the toplevel mutable-state inventory and exit" );
-    ]
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  if !list_rules then begin
-    List.iter
-      (fun (r : Race.rule) -> Fmt.pr "%-20s %s@." r.Race.name r.Race.doc)
-      Race.all_rules;
-    exit 0
-  end;
-  let paths = match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps in
-  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
-  | Some p ->
-    Fmt.epr "dbrace: no such file or directory: %s@." p;
-    exit 2
-  | None -> ());
-  let rules = Option.value !selected ~default:Race.all_rules in
-  let prog, errors = Program.load paths in
-  List.iter
-    (fun (file, err) -> Fmt.epr "dbrace: cannot parse %s: %s@." file err)
-    errors;
-  if !show_inventory then begin
-    Race.pp_inventory Fmt.stdout prog;
-    exit (if errors <> [] then 2 else 0)
-  end;
-  let report = Race.analyze ~rules prog in
-  (match !format with
-  | `Text ->
-    List.iter (Lint.pp_text Fmt.stdout) report.Race.violations;
-    Fmt.epr "dbrace: %d file(s), %d violation(s), %d suppressed@."
-      report.Race.files
-      (List.length report.Race.violations)
-      report.Race.suppressed
-  | `Json ->
-    Lint.pp_json Fmt.stdout ~files:report.Race.files
-      ~suppressed:report.Race.suppressed report.Race.violations
-  | `Sarif ->
-    Sarif.pp Fmt.stdout ~tool:"dbrace"
-      ~rules:(List.map (fun (r : Race.rule) -> (r.Race.name, r.Race.doc)) Race.all_rules)
-      report.Race.violations);
-  if errors <> [] then exit 2
-  else if report.Race.violations <> [] then exit 1
-  else exit 0
+  Cli.run ~tool:"dbrace"
+    ~registry:(List.map (fun (r : Race.rule) -> (r.Race.name, r.Race.doc)) Race.all_rules)
+    ~extra_specs:
+      [
+        ( "--inventory",
+          Arg.Set show_inventory,
+          " Print the toplevel mutable-state inventory and exit" );
+      ]
+    ~alt:(fun paths ->
+      if not !show_inventory then None
+      else begin
+        let prog, errors = Program.load paths in
+        List.iter
+          (fun (file, err) -> Fmt.epr "dbrace: cannot parse %s: %s@." file err)
+          errors;
+        Race.pp_inventory Fmt.stdout prog;
+        Some (if errors <> [] then 2 else 0)
+      end)
+    ~analyze:(fun ~selected ~paths ->
+      let rules =
+        match selected with
+        | None -> Race.all_rules
+        | Some names ->
+          List.filter (fun (r : Race.rule) -> List.mem r.Race.name names)
+            Race.all_rules
+      in
+      let prog, errors = Program.load paths in
+      let report = Race.analyze ~rules prog in
+      {
+        Cli.o_violations = report.Race.violations;
+        o_suppressed = report.Race.suppressed;
+        o_files = report.Race.files;
+        o_errors = errors;
+      })
+    ()

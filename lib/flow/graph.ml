@@ -38,6 +38,10 @@ type node = {
   mutable aas_marked : bool;
   mutable accesses : (string * access_kind * Location.t) list;
   mutable par_roots : string list;
+  mutable allocs : (string * Location.t) list;
+  mutable polys : (string * Location.t) list;
+  mutable apps : (string * int * Location.t) list;
+  mutable hot_roots : string list;
 }
 
 type arm = {
@@ -70,6 +74,8 @@ type t = {
   kernels : kernel list;
   counters : counter_def list;
   uses : (string, int) Hashtbl.t;
+  hot_subnodes : node list;
+  arities : (string, int) Hashtbl.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -195,6 +201,10 @@ let count_use env name =
    (through module aliases).  Shared by the call graph and the
    global-access facts dbrace layers on top. *)
 let resolve_target env lid =
+  (* An explicitly [Stdlib.]-qualified name is never a repo binding, even
+     when a same-unit binding shadows the stdlib one ([Stats.incr]). *)
+  if List.mem "Stdlib" (Rule.lident_components lid) then None
+  else
   let comps = Rule.lident_components (Rule.strip_stdlib lid) in
   match comps with
   | [] -> None
@@ -301,8 +311,136 @@ let par_fn_index lid =
   else if Rule.mentions_module lid "Sim" && f = "register_handler" then Some 1
   else None
 
+(* ------------------------------------------------------------------ *)
+(* Allocation- and boxing-shaped expressions (dbperf's raw material)    *)
+
+let rec skip_constraint (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) -> skip_constraint e
+  | _ -> e
+
+(* Stdlib entry points that build a fresh block per call.  Syntactic and
+   deliberately shallow: only the makers/mappers that show up in this
+   codebase, so a hot-set hit is almost always a real allocation. *)
+let alloc_call comps =
+  match comps with
+  | [ "ref" ] -> Some "ref cell"
+  | [ "^" ] -> Some "string append (^)"
+  | [ "@" ] -> Some "list append (@)"
+  | [ ("failwith" | "invalid_arg") ] -> Some "exception construction"
+  | [ "Fmt"; ("str" | "strf" | "failwith" | "invalid_arg" | "error_msg") ] ->
+    Some "Fmt string build"
+  | [ "Printf"; "sprintf" ] | [ "Format"; ("sprintf" | "asprintf") ] ->
+    Some "sprintf string build"
+  | [ "String"; ("concat" | "sub" | "make" | "init" | "map" | "cat"
+                | "split_on_char" | "of_bytes" | "to_bytes" | "uppercase_ascii"
+                | "lowercase_ascii" | "capitalize_ascii") ] ->
+    Some "String build"
+  | [ "Bytes"; ("create" | "make" | "sub" | "copy" | "cat" | "extend"
+               | "of_string" | "to_string") ] ->
+    Some "Bytes build"
+  | [ "Array"; ("make" | "init" | "copy" | "append" | "sub" | "concat"
+               | "of_list" | "to_list" | "map" | "mapi" | "make_matrix"
+               | "create_float" | "of_seq" | "to_seq") ] ->
+    Some "Array build"
+  | [ "List"; ("map" | "mapi" | "init" | "rev" | "append" | "rev_append"
+              | "concat" | "concat_map" | "flatten" | "filter" | "filter_map"
+              | "partition" | "sort" | "sort_uniq" | "stable_sort"
+              | "fast_sort" | "merge" | "split" | "combine" | "cons"
+              | "of_seq" | "to_seq") ] ->
+    Some "List build"
+  | [ "Hashtbl"; ("create" | "copy" | "to_seq" | "to_seq_keys"
+                 | "to_seq_values") ] ->
+    Some "Hashtbl build"
+  | [ "Buffer"; ("create" | "contents" | "to_bytes" | "sub") ] ->
+    Some "Buffer build"
+  | [ "Queue"; ("create" | "copy" | "to_seq") ] -> Some "Queue build"
+  | _ -> None
+
+(* Syntactic evidence an argument of [=]/[<>]/[min]/[max] is a boxed
+   value, making the comparison a polymorphic C call.  Bare idents stay
+   silent (their type is unknowable without inference), so hot int
+   compares like [pid = pc] never fire; constant constructors other than
+   [true]/[false]/[()] do fire — [x = None] and [disc = Sync] both walk
+   the generic equality. *)
+let looks_boxed (e : Parsetree.expression) =
+  match (skip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_string _ | Pconst_float _) -> true
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_variant _ -> true
+  | Pexp_construct ({ txt; _ }, arg) -> (
+    match (last_comp txt, arg) with
+    | ("true" | "false" | "()"), _ -> false
+    | _, _ -> true)
+  | _ -> false
+
+(* Leading parameter count of a binding (labelled params count, optional
+   ones do not — an omitted optional argument still applies totally), so
+   a cross-unit application with fewer arguments is a partial
+   application: a closure allocated at the call site. *)
+let arity_of (expr : Parsetree.expression) =
+  let rec go n (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (l, _, _, body) ->
+      let n = match l with Asttypes.Optional _ -> n | _ -> n + 1 in
+      go n body
+    | Pexp_newtype (_, body) -> go n body
+    | Pexp_function _ -> n + 1
+    | _ -> n
+  in
+  go 0 expr
+
+(* [let x = ref e in body] where [x] is only ever dereferenced,
+   assigned, or incr/decr'd is the compiler's own criterion for
+   eliminating the cell ([Simplif.eliminate_ref]): the ref becomes a
+   mutable local variable and never reaches the heap, so dbperf must
+   not charge the site as an allocation. *)
+let ref_stays_local x body =
+  let escaped = ref false in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_apply
+        ( {
+            pexp_desc =
+              Pexp_ident { txt = Longident.Lident ("!" | "incr" | "decr"); _ };
+            _;
+          },
+          [
+            ( Asttypes.Nolabel,
+              { pexp_desc = Pexp_ident { txt = Longident.Lident y; _ }; _ } );
+          ] )
+      when y = x ->
+      ()
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident ":="; _ }; _ },
+          [
+            ( Asttypes.Nolabel,
+              { pexp_desc = Pexp_ident { txt = Longident.Lident y; _ }; _ } );
+            (Asttypes.Nolabel, rhs);
+          ] )
+      when y = x ->
+      it.expr it rhs
+    | Pexp_ident { txt = Longident.Lident y; _ } when y = x -> escaped := true
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  not !escaped
+
+(* Which unlabelled argument of a call becomes a hot-path entry point
+   for dbperf: the handler registered with [Sim.register_handler] runs
+   once per simulated event, and the [Sim.set_probe] callback (its last
+   unlabelled argument) runs on every scrape boundary. *)
+let hot_fn_slot lid ~nolabel_count =
+  let f = last_comp lid in
+  if Rule.mentions_module lid "Sim" && f = "register_handler" then Some 1
+  else if Rule.mentions_module lid "Sim" && f = "set_probe" then
+    Some (nolabel_count - 1)
+  else None
+
 let walk_node env (node : node) (expr0 : Parsetree.expression)
-    ~(skip_cases : Parsetree.case list option) =
+    ~(skip_cases : Parsetree.case list option)
+    ~(on_hot_fn : (string -> Parsetree.expression -> string) option) =
   let exempt = ref 0 in
   let makers = ref [] in
   (* Identifier occurrences already folded into a specialised access
@@ -324,6 +462,39 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
   let add_par_root id =
     if not (List.mem id node.par_roots) then
       node.par_roots <- node.par_roots @ [ id ]
+  in
+  (* The binding's own leading [fun] chain is the function itself, not a
+     closure allocated per call; every [fun] below it is. *)
+  let spine : (Location.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec mark_spine (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) ->
+      Hashtbl.replace spine e.pexp_loc ();
+      mark_spine body
+    | Pexp_function _ -> Hashtbl.replace spine e.pexp_loc ()
+    | _ -> ()
+  in
+  mark_spine expr0;
+  (* A tuple immediately under a multi-argument constructor is that
+     constructor's argument block, not a second allocation. *)
+  let alloc_claimed : (Location.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let add_alloc desc loc =
+    if not (Hashtbl.mem alloc_claimed loc) then
+      node.allocs <- node.allocs @ [ (desc, loc) ]
+  in
+  let claim_arg (arg : Parsetree.expression) =
+    match (skip_constraint arg).pexp_desc with
+    | Pexp_tuple _ -> Hashtbl.replace alloc_claimed (skip_constraint arg).pexp_loc ()
+    | _ -> ()
+  in
+  (* [ref] cells [Simplif.eliminate_ref] turns into mutable variables;
+     see [ref_stays_local]. *)
+  let safe_refs : (Location.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let add_poly desc loc = node.polys <- node.polys @ [ (desc, loc) ] in
+  let local_fns = ref [] in
+  let add_hot_root id =
+    if not (List.mem id node.hot_roots) then
+      node.hot_roots <- node.hot_roots @ [ id ]
   in
   let add_counter ~key ~name kind loc =
     env.e_counters :=
@@ -350,6 +521,99 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
          only the scrutinee belongs to [handle] itself. *)
       it.expr it scrut
     | _ ->
+      (* Allocation- and boxing-shaped facts, recorded on every node;
+         dbperf reports only the ones that land in the hot set. *)
+      (match e.pexp_desc with
+      | Pexp_fun _ | Pexp_newtype _ | Pexp_function _ ->
+        if not (Hashtbl.mem spine e.pexp_loc) then begin
+          add_alloc "closure" e.pexp_loc;
+          (* A nested [fun x -> fun y -> ...] chain is one closure, not
+             one allocation per parameter. *)
+          let rec claim_chain (e : Parsetree.expression) =
+            match e.pexp_desc with
+            | Pexp_fun (_, _, _, body) | Pexp_newtype (_, body) -> (
+              match body.pexp_desc with
+              | Pexp_fun _ | Pexp_newtype _ | Pexp_function _ ->
+                Hashtbl.replace alloc_claimed body.pexp_loc ();
+                claim_chain body
+              | _ -> ())
+            | _ -> ()
+          in
+          claim_chain e
+        end
+      | Pexp_tuple _ -> add_alloc "tuple" e.pexp_loc
+      | Pexp_record _ -> add_alloc "record" e.pexp_loc
+      | Pexp_array _ -> add_alloc "array literal" e.pexp_loc
+      | Pexp_lazy _ -> add_alloc "lazy block" e.pexp_loc
+      | Pexp_construct ({ txt; _ }, Some arg) ->
+        let name = last_comp txt in
+        if is_upper_ident name || name = "::" then begin
+          add_alloc
+            (if name = "::" then "list cons (::)"
+             else Fmt.str "constructor %s" name)
+            e.pexp_loc;
+          claim_arg arg
+        end
+      | Pexp_variant (_, Some arg) ->
+        add_alloc "polymorphic variant" e.pexp_loc;
+        claim_arg arg
+      | Pexp_let (Asttypes.Nonrecursive, vbs, body) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match
+              (vb.pvb_pat.ppat_desc, (skip_constraint vb.pvb_expr).pexp_desc)
+            with
+            | ( Ppat_var { txt = x; _ },
+                Pexp_apply
+                  ( {
+                      pexp_desc =
+                        Pexp_ident { txt = Longident.Lident "ref"; _ };
+                      _;
+                    },
+                    [ (Asttypes.Nolabel, _) ] ) )
+              when ref_stays_local x body ->
+              Hashtbl.replace safe_refs (skip_constraint vb.pvb_expr).pexp_loc
+                ()
+            | _ -> ())
+          vbs
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        let comps = Rule.lident_components (Rule.strip_stdlib txt) in
+        (match alloc_call comps with
+        | Some desc ->
+          if not (Hashtbl.mem safe_refs e.pexp_loc) then
+            add_alloc desc e.pexp_loc
+        | None -> ());
+        let nolabel =
+          List.filter_map
+            (fun ((l : Asttypes.arg_label), a) ->
+              match l with Asttypes.Nolabel -> Some a | _ -> None)
+            args
+        in
+        (match (comps, nolabel) with
+        | [ "compare" ], _ :: _ ->
+          add_poly "polymorphic compare" e.pexp_loc
+        | [ "Hashtbl"; "hash" ], _ :: _ ->
+          add_poly "Hashtbl.hash" e.pexp_loc
+        | [ (("=" | "<>" | "min" | "max") as op) ], [ a; b ]
+          when looks_boxed a || looks_boxed b ->
+          add_poly
+            (Fmt.str "polymorphic %s at a boxed-looking type" op)
+            e.pexp_loc
+        | _ -> ());
+        (* Application sites of resolved top-level functions: paired
+           against the arity table to flag partial applications. *)
+        match resolve_target env txt with
+        | Some id ->
+          let n_args =
+            List.length
+              (List.filter
+                 (fun ((l : Asttypes.arg_label), _) ->
+                   match l with Asttypes.Optional _ -> false | _ -> true)
+                 args)
+          in
+          node.apps <- node.apps @ [ (id, n_args, e.pexp_loc) ]
+        | None -> ())
+      | _ -> ());
       (match e.pexp_desc with
       | Pexp_ident { txt; _ } ->
         resolve_call env node txt;
@@ -410,6 +674,34 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
             add_par_root node.id
           | _ -> ())
         | None -> ());
+        (match hot_fn_slot txt ~nolabel_count:(List.length nolabel) with
+        | Some idx -> (
+          match List.nth_opt nolabel idx with
+          | Some { pexp_desc = Pexp_ident { txt = flid; _ }; _ } -> (
+            match resolve_target env flid with
+            | Some id -> add_hot_root id
+            | None -> (
+              (* A locally bound callback ([let rec cb now = ...]): cut
+                 its body into a hot subnode so the hot set covers the
+                 callback without sweeping in this whole function. *)
+              match flid with
+              | Longident.Lident name -> (
+                match (List.assoc_opt name !local_fns, on_hot_fn) with
+                | Some fexpr, Some cut -> add_hot_root (cut name fexpr)
+                | _ -> ())
+              | _ -> ()))
+          | Some ({ pexp_desc = Pexp_fun _ | Pexp_function _; _ } as fexpr)
+            -> (
+            match on_hot_fn with
+            | Some cut ->
+              add_hot_root
+                (cut
+                   (Fmt.str "h%d"
+                      fexpr.pexp_loc.Location.loc_start.Lexing.pos_lnum)
+                   fexpr)
+            | None -> ())
+          | _ -> ())
+        | None -> ());
         (if List.mem (last_comp txt) emit_callees then
            List.iter
              (fun ((_, a) : _ * Parsetree.expression) ->
@@ -432,6 +724,10 @@ let walk_node env (node : node) (expr0 : Parsetree.expression)
           (fun (vb : Parsetree.value_binding) ->
             match vb.pvb_pat.ppat_desc with
             | Ppat_var { txt = v; _ } -> (
+              (match vb.pvb_expr.pexp_desc with
+              | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ ->
+                local_fns := (v, vb.pvb_expr) :: !local_fns
+              | _ -> ());
               match maker_kind vb.pvb_expr with
               | Some kind -> makers := (v, kind) :: !makers
               | None -> (
@@ -489,8 +785,10 @@ let build (prog : Program.t) =
   let kernels = ref [] in
   let counters = ref [] in
   let uses = Hashtbl.create 1024 in
+  let hot_subnodes = ref [] in
+  let arities = Hashtbl.create 256 in
   let unit_names = Program.unit_names prog in
-  let fresh_node ~env ~id loc =
+  let fresh_node ?(register = true) ~env ~id loc =
     let n =
       {
         id;
@@ -505,13 +803,38 @@ let build (prog : Program.t) =
         aas_marked = false;
         accesses = [];
         par_roots = [];
+        allocs = [];
+        polys = [];
+        apps = [];
+        hot_roots = [];
       }
     in
-    if not (Hashtbl.mem nodes id) then begin
+    if register && not (Hashtbl.mem nodes id) then begin
       Hashtbl.add nodes id n;
       node_order := id :: !node_order
     end;
     n
+  in
+  (* Hot subnodes: closures handed to [Sim.register_handler] /
+     [Sim.set_probe] inline or through a local binding, walked into
+     pseudo-nodes kept OUT of the main table — the dbflow/dbrace view of
+     the enclosing function is unchanged; only dbperf's hot-set
+     computation sees them.  The throwaway uses/counters env keeps the
+     double walk from double-counting dbflow's mention tallies. *)
+  let sub_ids = Hashtbl.create 16 in
+  let rec cut_hot env base_id name fexpr =
+    let id = base_id ^ "#" ^ name in
+    if not (Hashtbl.mem sub_ids id) then begin
+      Hashtbl.add sub_ids id ();
+      let env' =
+        { env with e_uses = Hashtbl.create 8; e_counters = ref [] }
+      in
+      let sub = fresh_node ~register:false ~env:env' ~id fexpr.Parsetree.pexp_loc in
+      hot_subnodes := sub :: !hot_subnodes;
+      walk_node env' sub fexpr ~skip_cases:None
+        ~on_hot_fn:(Some (cut_hot env' id))
+    end;
+    id
   in
   List.iter
     (fun (u : Program.unit_info) ->
@@ -530,9 +853,11 @@ let build (prog : Program.t) =
       List.iter
         (fun (name, (expr : Parsetree.expression)) ->
           let id = u.name ^ "." ^ name in
+          Hashtbl.replace arities id (arity_of expr);
           let dispatch = if name = "handle" then find_dispatch expr else None in
           let node = fresh_node ~env ~id expr.pexp_loc in
-          walk_node env node expr ~skip_cases:dispatch;
+          walk_node env node expr ~skip_cases:dispatch
+            ~on_hot_fn:(Some (cut_hot env id));
           match dispatch with
           | None -> ()
           | Some cases ->
@@ -546,9 +871,12 @@ let build (prog : Program.t) =
                     let arm_node =
                       fresh_node ~env ~id:arm_id c.pc_lhs.ppat_loc
                     in
-                    walk_node env arm_node c.pc_rhs ~skip_cases:None;
+                    walk_node env arm_node c.pc_rhs ~skip_cases:None
+                      ~on_hot_fn:(Some (cut_hot env arm_id));
                     Option.iter
-                      (fun g -> walk_node env arm_node g ~skip_cases:None)
+                      (fun g ->
+                        walk_node env arm_node g ~skip_cases:None
+                          ~on_hot_fn:None)
                       c.pc_guard;
                     Some
                       {
@@ -572,6 +900,8 @@ let build (prog : Program.t) =
     kernels = List.rev !kernels;
     counters = !counters;
     uses;
+    hot_subnodes = List.rev !hot_subnodes;
+    arities;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -603,3 +933,5 @@ let unit_nodes t unit_name =
 
 let use_count t key =
   Option.value (Hashtbl.find_opt t.uses key) ~default:0
+
+let arity t id = Hashtbl.find_opt t.arities id

@@ -41,6 +41,26 @@ type node = {
       (** resolved ids of functions this node hands to
           [Par.map]/[Par.run_cells]/[Sim.register_handler]; the node's
           own id when the worker is an inline closure *)
+  mutable allocs : (string * Location.t) list;
+      (** allocation-shaped expressions: closures below the binding's
+          own parameter spine, tuples/records/non-constant constructor
+          and variant applications, list/array literals, and calls to
+          string/list/array-building stdlib entry points *)
+  mutable polys : (string * Location.t) list;
+      (** polymorphic-comparison sites: bare [compare],
+          [Hashtbl.hash], and [=]/[<>]/[min]/[max] where an argument
+          looks boxed (string/float literal, tuple, record, variant
+          application, constant constructor other than
+          [true]/[false]/[()]) *)
+  mutable apps : (string * int * Location.t) list;
+      (** application sites of resolved top-level functions as
+          [(callee id, argument count, loc)]; paired with {!arity} to
+          flag partial applications *)
+  mutable hot_roots : string list;
+      (** ids this node hands to [Sim.register_handler] or
+          [Sim.set_probe]: dbperf's hot-set entry points.  Inline or
+          locally bound callbacks are cut into {!t.hot_subnodes}
+          pseudo-nodes and rooted by their pseudo-id *)
 }
 
 type arm = {
@@ -80,6 +100,16 @@ type t = {
   uses : (string, int) Hashtbl.t;
       (** identifier/field-label mention counts, creation sites
           excluded: the evidence a counter handle is ever touched *)
+  hot_subnodes : node list;
+      (** pseudo-nodes for closures handed to
+          [Sim.register_handler]/[Sim.set_probe] inline or through a
+          local binding (id ["Unit.fn#cb"] / ["Unit.fn#h<line>"]).
+          Kept out of {!nodes}/{!node_order}: the enclosing node is
+          walked exactly as before (dbflow/dbrace are unaffected), and
+          only dbperf's hot-set computation consults these *)
+  arities : (string, int) Hashtbl.t;
+      (** leading parameter count per top-level binding (labelled
+          params count, optional ones do not) *)
 }
 
 val build : Program.t -> t
@@ -93,3 +123,6 @@ val closure : t -> string list -> node list
 val nodes_in_order : t -> node list
 val unit_nodes : t -> string -> node list
 val use_count : t -> string -> int
+
+val arity : t -> string -> int option
+(** Leading parameter count of a top-level binding, when known. *)

@@ -1,0 +1,88 @@
+(* The shared checker driver: every CLI in this repo (dblint, dbflow,
+   dbrace, dbperf) has the same surface — positional paths defaulting to
+   [lib bin], [--format text|json|sarif], a [--rules] subset filter
+   validated against the registry, [--list-rules], and the 0/1/2 exit
+   contract — so the argument handling, rendering and exit-code logic
+   live here once.  A tool contributes its registry, an [analyze]
+   callback, and optionally extra flags plus an alternate mode (dbrace's
+   [--inventory], dbperf's [--hot]) that takes over after path
+   validation. *)
+
+type format = Text | Json | Sarif
+
+type outcome = {
+  o_violations : Rule.violation list;
+  o_suppressed : int;
+  o_files : int;
+  o_errors : (string * string) list;
+      (** unparseable files as [(file, error)]: reported to stderr and
+          forcing exit code 2 *)
+}
+
+let run ~tool ~registry ?(extra_specs = []) ?(alt = fun _ -> None) ~analyze ()
+    =
+  let format = ref Text in
+  let selected = ref None in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let usage =
+    Fmt.str "%s [--format text|json|sarif] [--rules NAMES] [--list-rules]%s [PATH...]"
+      tool
+      (if extra_specs = [] then "" else " [OPTIONS]")
+  in
+  let set_format = function
+    | "text" -> format := Text
+    | "json" -> format := Json
+    | "sarif" -> format := Sarif
+    | f -> raise (Arg.Bad (Fmt.str "unknown format %S (text|json|sarif)" f))
+  in
+  let set_rules names =
+    selected :=
+      Some
+        (String.split_on_char ',' names
+        |> List.map (fun name ->
+               let name = String.trim name in
+               if List.mem_assoc name registry then name
+               else raise (Arg.Bad (Fmt.str "unknown rule %S" name))))
+  in
+  let spec =
+    [
+      ( "--format",
+        Arg.String set_format,
+        "FMT Report format: text (default), json or sarif" );
+      ( "--rules",
+        Arg.String set_rules,
+        "NAMES Comma-separated subset of rules to run" );
+      ("--list-rules", Arg.Set list_rules, " List the registered rules and exit");
+    ]
+    @ extra_specs
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter (fun (name, doc) -> Fmt.pr "%-20s %s@." name doc) registry;
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some p ->
+    Fmt.epr "%s: no such file or directory: %s@." tool p;
+    exit 2
+  | None -> ());
+  (match alt paths with Some code -> exit code | None -> ());
+  let out = analyze ~selected:!selected ~paths in
+  List.iter
+    (fun (file, err) -> Fmt.epr "%s: cannot parse %s: %s@." tool file err)
+    out.o_errors;
+  (match !format with
+  | Text ->
+    List.iter (Lint.pp_text Fmt.stdout) out.o_violations;
+    Fmt.epr "%s: %d file(s), %d violation(s), %d suppressed@." tool out.o_files
+      (List.length out.o_violations)
+      out.o_suppressed
+  | Json ->
+    Lint.pp_json Fmt.stdout ~files:out.o_files ~suppressed:out.o_suppressed
+      out.o_violations
+  | Sarif -> Sarif.pp Fmt.stdout ~tool ~rules:registry out.o_violations);
+  if out.o_errors <> [] then exit 2
+  else if out.o_violations <> [] then exit 1
+  else exit 0

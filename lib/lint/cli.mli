@@ -1,0 +1,38 @@
+(** The shared checker driver: argument handling, rendering, and the
+    0/1/2 exit contract for dblint/dbflow/dbrace/dbperf.
+
+    Every checker exposes the same surface — positional paths
+    (defaulting to [lib bin], missing paths exiting 2), [--format
+    text|json|sarif], a [--rules] subset validated against the
+    registry, and [--list-rules] — so the drivers reduce to a registry,
+    an [analyze] callback, and optionally a few extra flags plus an
+    alternate mode that takes over after path validation (dbrace's
+    [--inventory], dbperf's [--hot]). *)
+
+type format = Text | Json | Sarif
+
+type outcome = {
+  o_violations : Rule.violation list;
+  o_suppressed : int;
+  o_files : int;
+  o_errors : (string * string) list;
+      (** unparseable files as [(file, error)]: reported to stderr and
+          forcing exit code 2 *)
+}
+
+val run :
+  tool:string ->
+  registry:(string * string) list ->
+  ?extra_specs:(Arg.key * Arg.spec * Arg.doc) list ->
+  ?alt:(string list -> int option) ->
+  analyze:(selected:string list option -> paths:string list -> outcome) ->
+  unit ->
+  unit
+(** [run ~tool ~registry ~analyze ()] parses the command line and does
+    not return.  [registry] is the [(name, doc)] rule catalogue used by
+    [--list-rules], [--rules] validation and the SARIF header.  [alt]
+    is called with the validated paths before analysis; returning
+    [Some code] exits with it (the alternate mode consumed the run).
+    [analyze] receives the validated [--rules] subset (rule names) and
+    paths, and its outcome is rendered in the selected format: exit 0
+    clean, 1 violations, 2 parse/usage errors. *)

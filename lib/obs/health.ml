@@ -91,6 +91,7 @@ let close t ~now i r =
   let dur = now - r.active_since in
   r.active_ticks <- r.active_ticks + dur;
   t.closed <-
+    (* dbperf: alloc-ok -- one closed-alert record per alert transition; transitions are edge events, bounded by rules x scrapes *)
     {
       al_rule = r.r_name;
       al_severity = r.r_severity;

@@ -11,9 +11,10 @@ let linear = 1 lsl sub_bits
 (* Highest index: msb 61 (OCaml 63-bit ints) -> (61-4+1)*16 + 15 = 943. *)
 let num_buckets = 944
 
-let msb v =
-  let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
-  go v 0
+(* The loop lives at top level so [index] — run once per histogram
+   observation — allocates no closure per call. *)
+let rec msb_loop v m = if v <= 1 then m else msb_loop (v lsr 1) (m + 1)
+let msb v = msb_loop v 0
 
 let index v =
   if v < linear then v

@@ -253,7 +253,9 @@ module Make (M : MESSAGE) = struct
         Obs.reset_context t.obs
       end
       else handler ~src msg
-    | None -> Fmt.failwith "Net: no handler registered for processor %d" dst
+    | None ->
+      (* dbperf: alloc-ok -- misconfiguration trap: raises before the first delivery or never *)
+      Fmt.failwith "Net: no handler registered for processor %d" dst
 
   (* Record a [Msg_send] under the ambient context and return the
      lineage pair for the reliable path's in-flight queue.  The raw/local
@@ -340,19 +342,23 @@ module Make (M : MESSAGE) = struct
     | Some c -> c
     | None ->
       let c =
+        (* dbperf: alloc-ok -- channel state interning miss: one record per directed pair for the run's lifetime *)
         {
           next_seq = 0;
+          (* dbperf: alloc-ok -- once per directed channel pair *)
           unacked = Queue.create ();
           rto = t.rto_base;
           timer_gen = 0;
           timer_armed = false;
           sent_abs = 0;
           expect = 0;
+          (* dbperf: alloc-ok -- once per directed channel pair *)
           ooo = Hashtbl.create 8;
           ack_owed = false;
           delivered_abs = 0;
         }
       in
+      (* dbperf: alloc-ok -- once per directed channel pair *)
       t.rel.(i) <- Some c;
       c
 
@@ -389,6 +395,7 @@ module Make (M : MESSAGE) = struct
   and transmit_data t ~src ~dst ~seq payload =
     let rev = rel_chan t ~src:dst ~dst:src in
     rev.ack_owed <- false;
+    (* dbperf: alloc-ok -- one option box per reliable data frame, dwarfed by the per-frame journal write *)
     transmit_frame t ~src ~dst ~seq ~ack:(rev.expect - 1) (Some payload)
 
   (* Frame arrival at [dst].  Runs the sender-side ack bookkeeping for the
@@ -479,6 +486,7 @@ module Make (M : MESSAGE) = struct
   and note_ack_owed t ~src ~dst ch =
     if not ch.ack_owed then begin
       ch.ack_owed <- true;
+      (* dbperf: alloc-ok -- one deferred-ack closure per channel in flight, gated by ack_owed *)
       Sim.schedule t.sim ~delay:t.ack_delay (fun () ->
           if ch.ack_owed then begin
             ch.ack_owed <- false;
@@ -491,6 +499,7 @@ module Make (M : MESSAGE) = struct
     ch.timer_armed <- true;
     ch.timer_gen <- ch.timer_gen + 1;
     let gen = ch.timer_gen in
+    (* dbperf: alloc-ok -- one RTO-timer closure per arm: retransmission machinery, off the delivery fast path *)
     Sim.schedule t.sim ~delay:ch.rto (fun () -> on_timer t ~src ~dst ch gen)
 
   and on_timer t ~src ~dst ch gen =
@@ -506,6 +515,7 @@ module Make (M : MESSAGE) = struct
           (Obs.emit t.obs ~time:(Sim.now t.sim) ~pid:src ~op ~parent:sid
              ~kind:Event.Retx ~a:dst ~b:seq);
         ch.rto <- min (2 * ch.rto) t.rto_max;
+        (* dbperf: alloc-ok -- payload tuple rebuilt only on retransmission *)
         transmit_data t ~src ~dst ~seq (msg, op, sid, abs);
         arm_timer t ~src ~dst ch
       end

@@ -17,6 +17,7 @@ let bits64 t =
 let split t = { state = bits64 t }
 
 let int t bound =
+  (* dbperf: alloc-ok -- guard raise: the exception exists only on the error path *)
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo bias is negligible for the bounds used here, but
      we mask to 62 bits first so the intermediate is a non-negative [int]. *)

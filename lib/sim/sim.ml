@@ -58,6 +58,7 @@ let register_handler t f =
 let[@inline] check_clock t time =
   if time >= Evq.max_time - 1 || Wheel.overflow_seq t.pending >= Evq.max_seq
   then
+    (* dbperf: alloc-ok -- clock-exhaustion raise: builds its message once, at the end of the world *)
     Fmt.invalid_arg "Sim.schedule: packed clock exhausted (time=%d seq=%d)"
       time
       (Wheel.overflow_seq t.pending)
@@ -75,6 +76,7 @@ let schedule_typed t ~delay ~h ~a ~b ~c ~o =
   Wheel.schedule_typed t.pending ~time ~h ~a ~b ~c ~o
 
 let set_probe t ~at f =
+  (* dbperf: alloc-ok -- guard raise on a past deadline; the accept path allocates nothing *)
   if at < t.now then Fmt.invalid_arg "Sim.set_probe: at=%d < now=%d" at t.now;
   t.probe_at <- at;
   t.probe <- f

@@ -52,7 +52,9 @@ let counter t name =
     Hashtbl.add t.counters name r;
     r
 
-let tick (c : counter) = incr c
+(* [Stdlib.incr] written out: a bare [incr] reads as the 2-argument
+   [Stats.incr] below, which would be a closure per tick. *)
+let tick (c : counter) = Stdlib.incr c
 let add (c : counter) by = c := !c + by
 let value (c : counter) = !c
 let incr ?(by = 1) t name = add (counter t name) by

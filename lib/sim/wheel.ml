@@ -127,6 +127,7 @@ let overflow_depth t = t.osize
 let times_push t key =
   let cap = Array.length t.tkeys in
   if t.tsize = cap then begin
+    (* dbperf: alloc-ok -- times-heap doubling, amortized O(1) per push *)
     let nk = Array.make (cap * 2) 0 in
     Array.blit t.tkeys 0 nk 0 t.tsize;
     t.tkeys <- nk
@@ -189,7 +190,9 @@ let bucket_grow b =
   let cap = Array.length b.bh in
   let ncap = if cap = 0 then 4 else cap * 2 in
   let n = b.blen - 1 in
+  (* dbperf: alloc-ok -- growth-path closure: [bucket_grow] runs only on a bucket doubling *)
   let gi src =
+    (* dbperf: alloc-ok -- bucket doubling, amortized O(1) per append *)
     let a = Array.make ncap 0 in
     Array.blit src 0 a 0 n;
     a
@@ -198,6 +201,7 @@ let bucket_grow b =
   b.ba <- gi b.ba;
   b.bb <- gi b.bb;
   b.bc <- gi b.bc;
+  (* dbperf: alloc-ok -- bucket doubling, amortized O(1) per append *)
   let o = Array.make ncap null_obj in
   Array.blit b.bo 0 o 0 n;
   b.bo <- o
@@ -231,6 +235,7 @@ let over_push t ~key entry =
   let cap = Array.length t.okeys in
   if t.osize = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
+    (* dbperf: alloc-ok -- overflow-heap doubling, amortized O(1) per far-scheduled event *)
     let nk = Array.make ncap 0 and ne = Array.make ncap null_entry in
     Array.blit t.okeys 0 nk 0 t.osize;
     Array.blit t.oents 0 ne 0 t.osize;
@@ -293,6 +298,7 @@ let over_pop t =
     Array.unsafe_set keys !i k;
     Array.unsafe_set ents !i en
   end;
+  (* dbperf: alloc-ok -- overflow transfer only: no default configuration schedules past the window *)
   (time, e)
 
 (* Pull every overflow event now inside the window into its bucket.
@@ -313,6 +319,7 @@ let[@inline] schedule_typed t ~time ~h ~a ~b ~c ~o =
   else begin
     let key = Evq.pack ~time ~seq:t.oseq in
     t.oseq <- t.oseq + 1;
+    (* dbperf: alloc-ok -- one boxed entry per far event; overflow is rare by design (see the type comment) *)
     over_push t ~key { eh = h; ea = a; eb = b; ec = c; eo = o }
   end
 

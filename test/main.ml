@@ -21,4 +21,5 @@ let () =
       ("lint", Test_lint.suite);
       ("flow", Test_flow.suite);
       ("race", Test_race.suite);
+      ("perf", Test_perf_lint.suite);
     ]

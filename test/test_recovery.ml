@@ -366,7 +366,7 @@ let test_e18_verified_columns () =
     | _ -> Alcotest.fail "e18 must print exactly one table"
   in
   let rows = Dbtree_experiments.Table.rows table in
-  Alcotest.(check int) "kernel x schedule x loss grid" 18 (List.length rows);
+  Alcotest.(check int) "kernel x schedule x loss grid" 24 (List.length rows);
   List.iter
     (fun row ->
       match (row, List.rev row) with
@@ -378,7 +378,26 @@ let test_e18_verified_columns () =
         Alcotest.(check string) (label ^ " loses no acked update") "0"
           lost_acked
       | _ -> Alcotest.fail "malformed e18 row")
-    rows
+    rows;
+  (* The pc-split schedule must really fire: each of its rows crashed
+     the splitting node's PC (a discovery pass located the split, so an
+     empty schedule would mean no split was found) and recovery replayed
+     the WAL on restart. *)
+  let pc_rows =
+    List.filter
+      (fun row -> String.equal (List.nth row 1) "pc-split")
+      rows
+  in
+  Alcotest.(check int) "pc-split rows (kernels x loss)" 6
+    (List.length pc_rows);
+  List.iter
+    (fun row ->
+      let label = Printf.sprintf "%s pc-split" (List.nth row 0) in
+      let replayed = int_of_string (List.nth row 4) in
+      Alcotest.(check bool)
+        (label ^ " crash replays the WAL")
+        true (replayed > 0))
+    pc_rows
 
 let suite =
   [
